@@ -1,0 +1,23 @@
+//! # pegasus-baselines — the paper's comparison systems
+//!
+//! From-scratch implementations of the three baselines Pegasus is evaluated
+//! against (§7.1):
+//!
+//! * [`n3ic`] — binary MLP with XNOR+popcount MatMul (computation
+//!   simplification). Bit-exact packed inference plus the 14-stage-per-
+//!   popcount deployment cost model showing why it cannot fit the switch.
+//! * [`bos`] — binary RNN with exhaustive input→output mapping tables
+//!   (computation bypassing). Fully deployable; its `2^n`-entry tables are
+//!   the input-scale wall fuzzy matching removes.
+//! * [`leo`] — CART decision trees compiled to range-match verdict tables,
+//!   the tree-based IDP design family.
+
+#![warn(missing_docs)]
+
+pub mod bos;
+pub mod leo;
+pub mod n3ic;
+
+pub use bos::{Bos, BosPipeline, DeployedBos};
+pub use leo::{DeployedLeo, Leo, LeoConfig, LeoPipeline};
+pub use n3ic::{binarize_features, N3ic, PackedBinaryMlp};

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the hot primitives: fuzzy-tree lookup,
+//! CRC range expansion, MAT lookup, pipeline per-packet cost, full-precision
+//! forward pass, and the fusion pass itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pegasus_core::fusion::fuse_basic;
+use pegasus_core::fuzzy::ClusterTree;
+use pegasus_core::lowering::{lower_sequential, LoweringOptions};
+use pegasus_nn::init::rng;
+use pegasus_nn::layers::{BatchNorm1d, Dense, NormMode, Relu};
+use pegasus_nn::{Sequential, Tensor};
+use pegasus_switch::{range_to_ternary, SwitchConfig};
+use rand::Rng;
+
+fn mlp() -> Sequential {
+    let mut r = rng(1);
+    let mut m = Sequential::new();
+    m.add(Box::new(BatchNorm1d::new(16, NormMode::Feature)));
+    m.add(Box::new(Dense::new(&mut r, 16, 20)));
+    m.add(Box::new(Relu::new()));
+    m.add(Box::new(Dense::new(&mut r, 20, 20)));
+    m.add(Box::new(Relu::new()));
+    m.add(Box::new(Dense::new(&mut r, 20, 3)));
+    m
+}
+
+fn bench_fuzzy_lookup(c: &mut Criterion) {
+    let mut r = rng(2);
+    let data: Vec<Vec<f32>> = (0..4096)
+        .map(|_| (0..4).map(|_| r.gen_range(0..256) as f32).collect())
+        .collect();
+    let tree = ClusterTree::fit(&data, 6);
+    let probe = vec![100.0f32, 50.0, 200.0, 10.0];
+    c.bench_function("fuzzy_tree_lookup_depth6_dim4", |b| {
+        b.iter(|| tree.index_of(black_box(&probe)))
+    });
+}
+
+fn bench_crc_expansion(c: &mut Criterion) {
+    c.bench_function("crc_range_to_ternary_8bit", |b| {
+        b.iter(|| range_to_ternary(black_box(13), black_box(201), 8))
+    });
+    c.bench_function("crc_range_to_ternary_16bit", |b| {
+        b.iter(|| range_to_ternary(black_box(1000), black_box(48000), 16))
+    });
+}
+
+fn bench_switch_pipeline(c: &mut Criterion) {
+    // Compile a small classifier once; measure per-packet processing.
+    let mut r = rng(3);
+    let mut model = mlp();
+    // Settle BN stats.
+    for _ in 0..20 {
+        let x = pegasus_nn::init::uniform(&mut r, &[64, 16], 127.0).map(|v| v + 128.0);
+        let _ = model.forward(&x, true);
+    }
+    let spec = model.to_spec("m");
+    let mut prog = lower_sequential(&spec, &LoweringOptions::default());
+    fuse_basic(&mut prog);
+    let train: Vec<Vec<f32>> = (0..2048)
+        .map(|_| (0..16).map(|_| r.gen_range(0..256) as f32).collect())
+        .collect();
+    let compiled = pegasus_core::compile::compile(
+        &prog,
+        &train,
+        &pegasus_core::compile::CompileOptions::default(),
+        pegasus_core::compile::CompileTarget::Classify,
+        "bench",
+    );
+    let mut dp = pegasus_core::runtime::DataplaneModel::deploy(compiled, &SwitchConfig::tofino2())
+        .expect("deploys");
+    let sample: Vec<f32> = (0..16).map(|i| (i * 13 % 256) as f32).collect();
+    c.bench_function("switch_pipeline_per_packet_mlp", |b| {
+        b.iter(|| dp.classify(black_box(&sample)))
+    });
+}
+
+fn bench_nn_forward(c: &mut Criterion) {
+    let mut model = mlp();
+    let x = Tensor::full(&[64, 16], 0.5);
+    c.bench_function("nn_forward_mlp_batch64", |b| {
+        b.iter(|| model.forward(black_box(&x), false))
+    });
+}
+
+fn bench_fusion_pass(c: &mut Criterion) {
+    let spec = mlp().to_spec("m");
+    c.bench_function("fuse_basic_mlp", |b| {
+        b.iter(|| {
+            let mut prog = lower_sequential(&spec, &LoweringOptions::default());
+            fuse_basic(black_box(&mut prog))
+        })
+    });
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let mut r = rng(4);
+    let data: Vec<Vec<f32>> = (0..1024)
+        .map(|_| (0..4).map(|_| r.gen_range(0..256) as f32).collect())
+        .collect();
+    c.bench_function("cluster_tree_fit_1k_dim4_depth5", |b| {
+        b.iter(|| ClusterTree::fit(black_box(&data), 5))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fuzzy_lookup,
+    bench_crc_expansion,
+    bench_switch_pipeline,
+    bench_nn_forward,
+    bench_fusion_pass,
+    bench_tree_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * clustering-tree depth vs accuracy and TCAM (fuzzy matching, §4.2);
+//! * Basic vs Advanced fusion: lookup count and resources (§4.3);
+//! * activation width (fixed-point) vs accuracy (§4.4);
+//! * centroid fine-tuning on/off (§4.4);
+//! * partition width vs lookups (§4.1).
+//!
+//! Run: `cargo run -p pegasus-bench --bin ablations --release [-- --quick]`
+
+use pegasus_bench::harness::prepare;
+use pegasus_bench::{parse_args, write_report};
+use pegasus_core::compile::{compile, CompileOptions, CompileTarget};
+use pegasus_core::fusion::{fuse_basic, strip_nonlinear};
+use pegasus_core::lowering::{lower_sequential, LoweringOptions};
+use pegasus_core::models::mlp_b::MlpB;
+use pegasus_core::models::TrainSettings;
+use pegasus_core::runtime::DataplaneModel;
+use pegasus_datasets::peerrush;
+use pegasus_switch::SwitchConfig;
+
+fn main() {
+    let cfg = parse_args();
+    let data = prepare(&peerrush(), &cfg);
+    let settings = if cfg.quick { TrainSettings::quick() } else { TrainSettings::default() };
+    let switch = SwitchConfig::tofino2();
+    let mut out = String::new();
+
+    eprintln!("[ablations] training MLP-B once ...");
+    let mut model = MlpB::train(&data.train.stat, Some(&data.val.stat), &settings);
+    let float_f1 = model.evaluate_float(&data.test.stat).f1;
+    out.push_str(&format!("MLP-B float macro-F1: {float_f1:.4}\n\n"));
+
+    // ---- 1. Tree depth sweep. -------------------------------------------
+    out.push_str("Ablation 1: clustering depth (fuzzy matching granularity)\n");
+    out.push_str(&format!("{:<8} {:>10} {:>12} {:>10}\n", "depth", "F1", "TCAM bits", "entries"));
+    for depth in [2usize, 3, 4, 5, 6, 7] {
+        let opts = CompileOptions { clustering_depth: depth, ..Default::default() };
+        let p = model.compile(&data.train.stat, &opts, false);
+        let mut dp = DataplaneModel::deploy(p, &switch).expect("fits");
+        let f1 = dp.evaluate(&data.test.stat).f1;
+        let r = dp.resource_report();
+        out.push_str(&format!("{depth:<8} {f1:>10.4} {:>12} {:>10}\n", r.tcam_bits, r.entries));
+        eprintln!("[ablations] depth {depth} done");
+    }
+    out.push('\n');
+
+    // ---- 2. Fusion levels. -----------------------------------------------
+    out.push_str("Ablation 2: primitive fusion (lookups per inference)\n");
+    let spec = model.model.to_spec("MLP-B");
+    let unfused = lower_sequential(&spec, &LoweringOptions { segment_width: 4 });
+    let mut basic = unfused.clone();
+    let stats = fuse_basic(&mut basic);
+    let mut linearized = unfused.clone();
+    let removed = strip_nonlinear(&mut linearized);
+    out.push_str(&format!(
+        "  unfused: {} maps; basic fusion: {} maps ({} rewrites); \
+         nonlinearities removed (advanced ❷): {} maps ({} dropped)\n",
+        unfused.map_count(),
+        basic.map_count(),
+        stats.rewrites,
+        linearized.map_count(),
+        removed
+    ));
+    // Accuracy cost of the linearized model.
+    let opts = CompileOptions::default();
+    let rows: Vec<Vec<f32>> =
+        (0..data.train.stat.len()).map(|r| data.train.stat.x.row(r).to_vec()).collect();
+    let pl = compile(&linearized, &rows, &opts, CompileTarget::Classify, "lin");
+    let mut dpl = DataplaneModel::deploy(pl, &switch).expect("fits");
+    let lin_f1 = dpl.evaluate(&data.test.stat).f1;
+    let pb = compile(&basic, &rows, &opts, CompileTarget::Classify, "bas");
+    let mut dpb = DataplaneModel::deploy(pb, &switch).expect("fits");
+    let bas_f1 = dpb.evaluate(&data.test.stat).f1;
+    out.push_str(&format!(
+        "  accuracy: basic {bas_f1:.4} vs fully-linearized {lin_f1:.4} \
+         (the paper's accuracy-for-lookups trade, §4.3)\n\n"
+    ));
+
+    // ---- 3. Activation width. ---------------------------------------------
+    out.push_str("Ablation 3: fixed-point activation width\n");
+    out.push_str(&format!("{:<8} {:>10}\n", "bits", "F1"));
+    for bits in [6u8, 8, 10, 12, 16] {
+        let opts = CompileOptions { act_bits: bits, ..Default::default() };
+        let p = model.compile(&data.train.stat, &opts, false);
+        let mut dp = DataplaneModel::deploy(p, &switch).expect("fits");
+        out.push_str(&format!("{bits:<8} {:>10.4}\n", dp.evaluate(&data.test.stat).f1));
+        eprintln!("[ablations] act_bits {bits} done");
+    }
+    out.push('\n');
+
+    // ---- 4. Fine-tuning. ---------------------------------------------------
+    out.push_str("Ablation 4: centroid fine-tuning (guarded, §4.4)\n");
+    for depth in [2usize, 3, 4] {
+        let opts = CompileOptions { clustering_depth: depth, ..Default::default() };
+        let p0 = model.compile(&data.train.stat, &opts, false);
+        let p1 = model.compile(&data.train.stat, &opts, true);
+        let mut d0 = DataplaneModel::deploy(p0, &switch).expect("fits");
+        let mut d1 = DataplaneModel::deploy(p1, &switch).expect("fits");
+        out.push_str(&format!(
+            "  depth {depth}: off {:.4} -> on {:.4}\n",
+            d0.evaluate(&data.test.stat).f1,
+            d1.evaluate(&data.test.stat).f1
+        ));
+        eprintln!("[ablations] finetune depth {depth} done");
+    }
+    out.push('\n');
+
+    // ---- 5. Partition width. -----------------------------------------------
+    out.push_str("Ablation 5: partition width (codes per segment)\n");
+    out.push_str(&format!("{:<8} {:>10} {:>10} {:>10}\n", "width", "F1", "lookups", "stages"));
+    for width in [2usize, 4, 8] {
+        let mut prog = lower_sequential(&spec, &LoweringOptions { segment_width: width });
+        fuse_basic(&mut prog);
+        // Narrow activations like the MLP-B production path, so the sweep
+        // isolates the partition width.
+        let opts = CompileOptions { act_bits: 10, ..Default::default() };
+        let p = compile(&prog, &rows, &opts, CompileTarget::Classify, "pw");
+        let lookups = p.report.lookups_per_input;
+        match DataplaneModel::deploy(p, &switch) {
+            Ok(mut dp) => {
+                let r = dp.resource_report();
+                out.push_str(&format!(
+                    "{width:<8} {:>10.4} {lookups:>10} {:>10}\n",
+                    dp.evaluate(&data.test.stat).f1,
+                    r.stages_used
+                ));
+            }
+            Err(e) => {
+                // A real finding: too-narrow partitions multiply parallel
+                // per-segment state past the hardware (the §4.2 trade).
+                out.push_str(&format!("{width:<8} {:>10} {lookups:>10} ({e})\n", "no fit"));
+            }
+        }
+        eprintln!("[ablations] width {width} done");
+    }
+
+    println!("{out}");
+    if let Some(p) = write_report("ablations", &out) {
+        eprintln!("[ablations] written to {}", p.display());
+    }
+}

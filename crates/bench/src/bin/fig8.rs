@@ -1,0 +1,52 @@
+//! Figure 8: ROC curves (reported as AUC) of the AutoEncoder against the
+//! six attack families, per dataset. Scores are the *on-switch* MAE values.
+//!
+//! Run: `cargo run -p pegasus-bench --bin fig8 --release [-- --quick]`
+
+use pegasus_bench::harness::prepare;
+use pegasus_bench::methods::train_autoencoder;
+use pegasus_bench::{parse_args, write_report};
+use pegasus_datasets::{all_datasets, extract_views, inject_attack, AttackKind, ATTACK_LABEL};
+use pegasus_nn::metrics::auc;
+
+fn main() {
+    let cfg = parse_args();
+    let mut out = String::new();
+    out.push_str("Figure 8: AutoEncoder detection AUC per attack (on-switch MAE scores)\n\n");
+    out.push_str(&format!("{:<10}", "Attack"));
+    let datasets: Vec<_> = all_datasets().iter().map(|s| prepare(s, &cfg)).collect();
+    for d in &datasets {
+        out.push_str(&format!(" {:>10}", d.name));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(10 + 11 * datasets.len()));
+    out.push('\n');
+
+    // Train one detector per dataset (benign-only), then sweep attacks.
+    let mut detectors = Vec::new();
+    for data in &datasets {
+        eprintln!("[fig8] training AutoEncoder on {} ...", data.name);
+        detectors.push(train_autoencoder(data, &cfg));
+    }
+
+    for kind in AttackKind::all() {
+        out.push_str(&format!("{:<10}", kind.name()));
+        for (data, (_, dp)) in datasets.iter().zip(detectors.iter_mut()) {
+            let mixed = inject_attack(&data.test_trace, kind, cfg.seed ^ 0x5eed);
+            let views = extract_views(&mixed);
+            let labels: Vec<bool> =
+                views.seq.y.iter().map(|&l| l == ATTACK_LABEL).collect();
+            let scores: Vec<f64> = (0..views.seq.len())
+                .map(|r| f64::from(dp.scores(views.seq.x.row(r))[0]))
+                .collect();
+            let a = auc(&scores, &labels);
+            out.push_str(&format!(" {:>10.4}", a));
+        }
+        out.push('\n');
+        eprintln!("[fig8] {} done", kind.name());
+    }
+    println!("{out}");
+    if let Some(p) = write_report("fig8", &out) {
+        eprintln!("[fig8] written to {}", p.display());
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 9 (a–c): macro-F1 of every Pegasus model on the switch vs the
+//! full-precision CPU/GPU implementation, per dataset.
+//!
+//! Run: `cargo run -p pegasus-bench --bin fig9_accuracy --release [-- --quick]`
+
+use pegasus_bench::harness::prepare;
+use pegasus_bench::{parse_args, run_method, write_report, Method};
+use pegasus_datasets::all_datasets;
+
+fn main() {
+    let cfg = parse_args();
+    let models = [Method::MlpB, Method::RnnB, Method::CnnB, Method::CnnM, Method::CnnL];
+    let datasets: Vec<_> = all_datasets().iter().map(|s| prepare(s, &cfg)).collect();
+
+    let mut out = String::new();
+    out.push_str("Figure 9a-c: Pegasus (switch) vs full-precision CPU/GPU macro-F1\n\n");
+    for data in &datasets {
+        out.push_str(&format!("--- {} ---\n", data.name));
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>8}\n",
+            "Model", "Pegasus", "CPU/GPU", "Δ"
+        ));
+        for m in models {
+            eprintln!("[fig9a-c] {} on {} ...", m.name(), data.name);
+            let r = run_method(m, data, &cfg);
+            out.push_str(&format!(
+                "{:<8} {:>10.4} {:>10.4} {:>+8.4}\n",
+                r.method.split(' ').next().unwrap_or(r.method),
+                r.dataplane.f1,
+                r.float.f1,
+                r.dataplane.f1 - r.float.f1
+            ));
+        }
+        out.push('\n');
+    }
+    println!("{out}");
+    if let Some(p) = write_report("fig9_accuracy", &out) {
+        eprintln!("[fig9_accuracy] written to {}", p.display());
+    }
+}

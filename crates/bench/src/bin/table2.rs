@@ -1,0 +1,53 @@
+//! Table 2 (preview): Pegasus vs prior works — accuracy improvement, model
+//! size ratio and input scale ratio of CNN-L over each baseline.
+//!
+//! Run: `cargo run -p pegasus-bench --bin table2 --release [-- --quick]`
+
+use pegasus_bench::harness::prepare;
+use pegasus_bench::{parse_args, run_method, write_report, Method};
+use pegasus_datasets::all_datasets;
+
+fn main() {
+    let cfg = parse_args();
+    let datasets: Vec<_> =
+        all_datasets().iter().map(|spec| prepare(spec, &cfg)).collect();
+
+    // CNN-L is "Pegasus" in this table; baselines per the paper's rows.
+    eprintln!("[table2] running CNN-L ...");
+    let ours: Vec<_> = datasets.iter().map(|d| run_method(Method::CnnL, d, &cfg)).collect();
+    let mut out = String::new();
+    out.push_str("Table 2: Pegasus (CNN-L) vs prior works\n\n");
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>12}\n",
+        "Prior work", "Accuracy ↑", "Model size ↑", "Input scale ↑"
+    ));
+    out.push_str(&"-".repeat(64));
+    out.push('\n');
+    for b in [Method::N3ic, Method::Bos, Method::Leo] {
+        eprintln!("[table2] running {} ...", b.name());
+        let theirs: Vec<_> = datasets.iter().map(|d| run_method(b, d, &cfg)).collect();
+        let acc_gain: f64 = ours
+            .iter()
+            .zip(theirs.iter())
+            .map(|(o, t)| (o.dataplane.f1 - t.dataplane.f1) * 100.0)
+            .sum::<f64>()
+            / ours.len() as f64;
+        let size_ratio = if theirs[0].size_kb.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.0}x", ours[0].size_kb / theirs[0].size_kb)
+        };
+        let input_ratio = format!("{:.0}x", ours[0].input_bits as f64 / theirs[0].input_bits as f64);
+        out.push_str(&format!(
+            "{:<24} {:>11.1}% {:>12} {:>12}\n",
+            b.name(),
+            acc_gain,
+            size_ratio,
+            input_ratio
+        ));
+    }
+    println!("{out}");
+    if let Some(p) = write_report("table2", &out) {
+        eprintln!("[table2] written to {}", p.display());
+    }
+}

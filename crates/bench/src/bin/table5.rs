@@ -1,0 +1,59 @@
+//! Table 5: classification accuracy of all eight methods across the three
+//! datasets, plus input scale and model size.
+//!
+//! Run: `cargo run -p pegasus-bench --bin table5 --release [-- --quick]`
+
+use pegasus_bench::{parse_args, run_method, write_report, Method};
+use pegasus_datasets::all_datasets;
+
+fn main() {
+    let cfg = parse_args();
+    let mut out = String::new();
+    out.push_str("Table 5: classification accuracy across methods\n");
+    out.push_str(&format!(
+        "(flows/class={}, seed={}, quick={})\n\n",
+        cfg.flows_per_class, cfg.seed, cfg.quick
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>10} | {:>23} | {:>23} | {:>23}\n",
+        "Method", "Input(b)", "Size(Kb)", "PeerRush  PR/RC/F1", "CICIOT  PR/RC/F1", "ISCXVPN  PR/RC/F1"
+    ));
+    out.push_str(&"-".repeat(122));
+    out.push('\n');
+
+    let datasets: Vec<_> = all_datasets()
+        .iter()
+        .map(|spec| pegasus_bench::harness::prepare(spec, &cfg))
+        .collect();
+
+    for method in Method::all() {
+        eprintln!("[table5] running {} ...", method.name());
+        let mut cells = Vec::new();
+        let mut input_bits = 0;
+        let mut size_kb = f64::NAN;
+        for data in &datasets {
+            let r = run_method(method, data, &cfg);
+            input_bits = r.input_bits;
+            size_kb = r.size_kb;
+            cells.push(format!(
+                "{:.4}/{:.4}/{:.4}",
+                r.dataplane.precision, r.dataplane.recall, r.dataplane.f1
+            ));
+        }
+        let size = if size_kb.is_nan() { "-".to_string() } else { format!("{size_kb:.1}") };
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>10} | {:>23} | {:>23} | {:>23}\n",
+            method.name(),
+            input_bits,
+            size,
+            cells[0],
+            cells[1],
+            cells[2]
+        ));
+        print!("{}", out.lines().last().map(|l| format!("{l}\n")).unwrap_or_default());
+    }
+    println!("\n{out}");
+    if let Some(p) = write_report("table5", &out) {
+        eprintln!("[table5] written to {}", p.display());
+    }
+}

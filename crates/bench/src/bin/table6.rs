@@ -1,0 +1,65 @@
+//! Table 6: hardware resource utilization per method — stateful bits/flow,
+//! SRAM %, TCAM %, action-bus % on the Tofino-2 model, plus stages used.
+//!
+//! The paper deploys moderate configurations for this comparison (Leo with
+//! 1024 nodes, BoS with hidden size 8); the same spirit applies here.
+//!
+//! Run: `cargo run -p pegasus-bench --bin table6 --release [-- --quick]`
+
+use pegasus_bench::harness::prepare;
+use pegasus_bench::methods::train_autoencoder;
+use pegasus_bench::{parse_args, run_method, write_report, Method};
+use pegasus_datasets::peerrush;
+
+fn main() {
+    let cfg = parse_args();
+    // Resource shape is dataset-independent; the paper reports one table.
+    let data = prepare(&peerrush(), &cfg);
+
+    let mut out = String::new();
+    out.push_str("Table 6: hardware resource utilization (Tofino-2 model)\n\n");
+    out.push_str(&format!(
+        "{:<22} {:>14} {:>9} {:>9} {:>9} {:>8}\n",
+        "Model", "Stateful b/flow", "SRAM", "TCAM", "Bus", "Stages"
+    ));
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+
+    for method in Method::all() {
+        eprintln!("[table6] running {} ...", method.name());
+        let r = run_method(method, &data, &cfg);
+        match r.resources {
+            Some(res) => out.push_str(&format!(
+                "{:<22} {:>14} {:>8.2}% {:>8.2}% {:>8.2}% {:>8}\n",
+                r.method,
+                res.stateful_bits_per_flow,
+                res.sram_frac * 100.0,
+                res.tcam_frac * 100.0,
+                res.bus_frac * 100.0,
+                res.stages_used
+            )),
+            None => out.push_str(&format!(
+                "{:<22} {:>14} {:>9} {:>9} {:>9} {:>8}\n",
+                r.method, 80, "n/a", "n/a", "n/a", "no fit"
+            )),
+        }
+    }
+    // AutoEncoder row.
+    eprintln!("[table6] running AutoEncoder ...");
+    let (_ae, dp) = train_autoencoder(&data, &cfg);
+    let res = dp.resource_report();
+    out.push_str(&format!(
+        "{:<22} {:>14} {:>8.2}% {:>8.2}% {:>8.2}% {:>8}\n",
+        "AutoEncoder",
+        res.stateful_bits_per_flow,
+        res.sram_frac * 100.0,
+        res.tcam_frac * 100.0,
+        res.bus_frac * 100.0,
+        res.stages_used
+    ));
+
+    println!("{out}");
+    if let Some(p) = write_report("table6", &out) {
+        eprintln!("[table6] written to {}", p.display());
+    }
+}

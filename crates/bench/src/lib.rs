@@ -1,0 +1,20 @@
+//! # pegasus-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§7); see
+//! DESIGN.md's experiment index. All binaries accept:
+//!
+//! * `--quick` — smaller traces and fewer epochs (CI-scale sanity run);
+//! * `--seed N` — master seed (default 7);
+//! * `--flows N` — flows per class (default 120).
+//!
+//! Results print as paper-style rows and are also written under
+//! `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod methods;
+pub mod throughput;
+
+pub use harness::{parse_args, write_report, BenchConfig, Prepared};
+pub use methods::{run_method, Method, MethodResult};

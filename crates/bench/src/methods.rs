@@ -1,0 +1,263 @@
+//! Uniform train → compile → deploy → evaluate drivers for all eight
+//! methods of Table 5.
+
+use crate::harness::{BenchConfig, Prepared};
+use pegasus_baselines::{Bos, Leo, LeoConfig, N3ic};
+use pegasus_core::compile::CompileOptions;
+use pegasus_core::models::autoencoder::AutoEncoder;
+use pegasus_core::models::cnn_b::CnnB;
+use pegasus_core::models::cnn_l::{CnnL, CnnLVariant};
+use pegasus_core::models::cnn_m::CnnM;
+use pegasus_core::models::mlp_b::MlpB;
+use pegasus_core::models::rnn_b::RnnB;
+use pegasus_core::runtime::DataplaneModel;
+use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
+use pegasus_switch::{ResourceReport, SwitchConfig};
+
+/// The eight evaluated methods, in the paper's Table 5 row order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Leo decision tree (baseline).
+    Leo,
+    /// N3IC binary MLP (baseline, software-evaluated like the paper).
+    N3ic,
+    /// Pegasus MLP-B.
+    MlpB,
+    /// BoS binary RNN (baseline).
+    Bos,
+    /// Pegasus RNN-B.
+    RnnB,
+    /// Pegasus CNN-B.
+    CnnB,
+    /// Pegasus CNN-M.
+    CnnM,
+    /// Pegasus CNN-L (44-bit variant).
+    CnnL,
+}
+
+impl Method {
+    /// All methods in row order.
+    pub fn all() -> [Method; 8] {
+        [
+            Method::Leo,
+            Method::N3ic,
+            Method::MlpB,
+            Method::Bos,
+            Method::RnnB,
+            Method::CnnB,
+            Method::CnnM,
+            Method::CnnL,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Leo => "Leo (Decision Tree)",
+            Method::N3ic => "N3IC (binary MLP)",
+            Method::MlpB => "MLP-B",
+            Method::Bos => "BoS (binary RNN)",
+            Method::RnnB => "RNN-B",
+            Method::CnnB => "CNN-B",
+            Method::CnnM => "CNN-M",
+            Method::CnnL => "CNN-L",
+        }
+    }
+}
+
+/// One Table 5 row: metrics for a single (method, dataset) pair.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    /// Method display name.
+    pub method: &'static str,
+    /// Input scale in bits.
+    pub input_bits: usize,
+    /// Model size in kilobits.
+    pub size_kb: f64,
+    /// On-switch (deployed-semantics) macro metrics.
+    pub dataplane: PrRcF1,
+    /// Full-precision (CPU) macro metrics — the Figure 9 comparison.
+    pub float: PrRcF1,
+    /// Switch resource report when the method deploys (None for N3IC).
+    pub resources: Option<ResourceReport>,
+}
+
+/// Trains, deploys and evaluates one method on one prepared dataset.
+pub fn run_method(method: Method, data: &Prepared, cfg: &BenchConfig) -> MethodResult {
+    let settings = cfg.train_settings();
+    let opts = CompileOptions {
+        clustering_depth: if cfg.quick { 5 } else { 6 },
+        ..Default::default()
+    };
+    let switch = SwitchConfig::tofino2();
+    match method {
+        Method::Leo => {
+            let leo = Leo::train(&data.train.stat, &LeoConfig::default());
+            let float = leo.evaluate(&data.test.stat);
+            let mut dp = leo.compile().deploy(&switch).expect("Leo deploys");
+            let dataplane = dp.evaluate(&data.test.stat);
+            MethodResult {
+                method: method.name(),
+                input_bits: 128,
+                size_kb: f64::NAN, // trees have no weight matrix (paper: "-")
+                dataplane,
+                float,
+                resources: Some(dp.resource_report()),
+            }
+        }
+        Method::N3ic => {
+            let mut m = N3ic::train(&data.train.stat, settings.epochs, settings.lr, settings.seed);
+            let float = m.evaluate(&data.test.stat);
+            // Deployed semantics: bit-exact packed XNOR/popcnt (software,
+            // like the paper's evaluation of its largest configuration).
+            let packed = m.pack();
+            let preds: Vec<usize> = (0..data.test.stat.len())
+                .map(|r| packed.classify_codes(data.test.stat.x.row(r)))
+                .collect();
+            let dataplane = pr_rc_f1(&data.test.stat.y, &preds, data.classes);
+            MethodResult {
+                method: method.name(),
+                input_bits: N3ic::input_bits(),
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: None, // does not fit (see n3ic::try_deploy)
+            }
+        }
+        Method::MlpB => {
+            let mut m = MlpB::train(&data.train.stat, Some(&data.val.stat), &settings);
+            let float = m.evaluate_float(&data.test.stat);
+            let pipeline = m.compile(&data.train.stat, &opts, !cfg.quick);
+            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("MLP-B deploys");
+            let dataplane = dp.evaluate(&data.test.stat);
+            MethodResult {
+                method: method.name(),
+                input_bits: 128,
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: Some(dp.resource_report()),
+            }
+        }
+        Method::Bos => {
+            let m = Bos::train(&data.train.seq, settings.epochs, settings.lr, settings.seed);
+            let float = m.evaluate(&data.test.seq);
+            let mut dp = m.compile().deploy(&switch).expect("BoS deploys");
+            let dataplane = dp.evaluate(&data.test.seq);
+            MethodResult {
+                method: method.name(),
+                input_bits: Bos::input_bits(),
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: Some(dp.resource_report()),
+            }
+        }
+        Method::RnnB => {
+            let mut m = RnnB::train(&data.train.seq, &settings);
+            let float = m.evaluate_float(&data.test.seq);
+            let pipeline = m.compile(&data.train.seq, &opts);
+            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("RNN-B deploys");
+            let dataplane = dp.evaluate(&data.test.seq);
+            MethodResult {
+                method: method.name(),
+                input_bits: 128,
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: Some(dp.resource_report()),
+            }
+        }
+        Method::CnnB => {
+            let mut m = CnnB::train(&data.train.seq, Some(&data.val.seq), &settings);
+            let float = m.evaluate_float(&data.test.seq);
+            let pipeline = m.compile(&data.train.seq, &opts);
+            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("CNN-B deploys");
+            let dataplane = dp.evaluate(&data.test.seq);
+            MethodResult {
+                method: method.name(),
+                input_bits: 128,
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: Some(dp.resource_report()),
+            }
+        }
+        Method::CnnM => {
+            let mut m = CnnM::train(&data.train.seq, Some(&data.val.seq), &settings);
+            let float = m.evaluate_float(&data.test.seq);
+            let pipeline = m.compile(&data.train.seq, &opts);
+            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("CNN-M deploys");
+            let dataplane = dp.evaluate(&data.test.seq);
+            MethodResult {
+                method: method.name(),
+                input_bits: 128,
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: Some(dp.resource_report()),
+            }
+        }
+        Method::CnnL => {
+            let mut m = CnnL::train(
+                &data.train.raw,
+                &data.train.seq,
+                CnnLVariant::v44(),
+                &settings,
+            );
+            let float = m.evaluate_float(&data.test.raw, &data.test.seq);
+            let mut dp = m
+                .deploy(&data.train.raw, &data.train.seq, &opts, &switch)
+                .expect("CNN-L deploys");
+            let resources = dp.resource_report();
+            let dataplane = CnnL::evaluate_on_trace(&mut dp, &data.test_trace);
+            MethodResult {
+                method: method.name(),
+                input_bits: CnnL::input_bits(),
+                size_kb: m.size_kilobits(),
+                dataplane,
+                float,
+                resources: Some(resources),
+            }
+        }
+    }
+}
+
+/// Trains + compiles the AutoEncoder (Table 6 / Figure 8 driver).
+pub fn train_autoencoder(
+    data: &Prepared,
+    cfg: &BenchConfig,
+) -> (AutoEncoder, DataplaneModel) {
+    let mut settings = cfg.train_settings();
+    settings.epochs = settings.epochs.max(30);
+    let ae = AutoEncoder::train(&data.train.seq, &settings);
+    let opts = CompileOptions::default();
+    let pipeline = ae.compile(&data.train.seq, &opts);
+    let dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("AE deploys");
+    (ae, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::prepare;
+    use pegasus_datasets::peerrush;
+
+    #[test]
+    fn leo_runs_end_to_end_quick() {
+        let cfg = BenchConfig { flows_per_class: 12, seed: 2, quick: true };
+        let p = prepare(&peerrush(), &cfg);
+        let r = run_method(Method::Leo, &p, &cfg);
+        assert!(r.dataplane.f1 > 0.4, "{:?}", r.dataplane);
+        assert!(r.resources.is_some());
+    }
+
+    #[test]
+    fn mlp_b_runs_end_to_end_quick() {
+        let cfg = BenchConfig { flows_per_class: 12, seed: 3, quick: true };
+        let p = prepare(&peerrush(), &cfg);
+        let r = run_method(Method::MlpB, &p, &cfg);
+        assert!(r.dataplane.f1 > 0.3, "{:?}", r.dataplane);
+        assert!(r.float.f1 >= r.dataplane.f1 - 0.3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pegasus-core — the Pegasus framework
+//!
+//! The paper's primary contribution, end to end:
+//!
+//! * [`primitives`] — the Partition / Map / SumReduce IR (Table 3) with a
+//!   float-exact reference interpreter;
+//! * [`lowering`] — DL operators → primitives (Table 4);
+//! * [`fusion`] — Basic Primitive Fusion (semantics-preserving rewrites)
+//!   and Advanced Primitive Fusion (model-altering collapses, §4.3);
+//! * [`fuzzy`] — clustering trees for fuzzy matching (§4.2): greedy min-SSE
+//!   splits, centroids, TCAM-encodable leaf boxes;
+//! * [`finetune`] — centroid fine-tuning by backpropagation (§4.4);
+//! * [`numformat`] / [`compile`] — adaptive fixed-point formats and the
+//!   compiler from fused programs to switch tables (fuzzy + exact paths,
+//!   reduction trees, tournament argmax);
+//! * [`flowpipe`] — per-flow windowed pipelines: per-packet extractors,
+//!   register-packed index windows, on-switch quantizers (§7.3);
+//! * [`runtime`] — deployed-model wrappers;
+//! * [`models`] — MLP-B, RNN-B, CNN-B/M/L and the AutoEncoder (§6.3).
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod finetune;
+pub mod flowpipe;
+pub mod fusion;
+pub mod fuzzy;
+pub mod lowering;
+pub mod models;
+pub mod numformat;
+pub mod primitives;
+pub mod runtime;

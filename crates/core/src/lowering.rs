@@ -1,0 +1,324 @@
+//! Lowering trained models (`pegasus-nn` [`ModelSpec`]s) onto primitives.
+//!
+//! This implements the paper's Table 4 operator translation for the
+//! sequential model families (MLP-B, AutoEncoder, and the dense heads of
+//! every other model):
+//!
+//! | DL operator            | primitives emitted                          |
+//! |------------------------|---------------------------------------------|
+//! | Embedding lookup       | per-element `Map(Embed)`                     |
+//! | Element-wise transform | `Map(Affine / Relu / Tanh / Sigmoid)`        |
+//! | Weighted aggregation   | `Partition` → `Map(MatVec)` × k → `SumReduce`|
+//! | Softmax (argmax head)  | dropped — argmax(softmax(x)) = argmax(x)     |
+//!
+//! Convolutional and recurrent models are authored directly in primitive
+//! form by their builders (see `models`), because their partition structure
+//! (overlapping windows, per-time-step reuse) is the design decision the
+//! paper's Pegasus Syntax exposes to the developer.
+
+use crate::primitives::{MapFn, PrimitiveProgram, ValueId};
+use pegasus_nn::layers::{LayerSpec, NormMode};
+use pegasus_nn::{ModelSpec, Tensor};
+
+/// How to split dense-layer inputs into segments.
+#[derive(Clone, Copy, Debug)]
+pub struct LoweringOptions {
+    /// Elements per partition segment for weighted aggregation
+    /// (Figure 6's `dim` parameter). Inputs not divisible by this get a
+    /// trailing smaller segment.
+    pub segment_width: usize,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions { segment_width: 4 }
+    }
+}
+
+/// Splits `[0, n)` into consecutive segments of at most `width`.
+fn segmentation(n: usize, width: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(width >= 1);
+    let mut offsets = Vec::new();
+    let mut lens = Vec::new();
+    let mut o = 0;
+    while o < n {
+        let l = width.min(n - o);
+        offsets.push(o);
+        lens.push(l);
+        o += l;
+    }
+    (offsets, lens)
+}
+
+/// Extracts the column block `[.., c0..c0+len]` of a `[rows, cols]` tensor.
+fn col_block(w: &Tensor, r0: usize, rows: usize) -> Tensor {
+    // Rows r0..r0+rows, all columns — the weight slice a segment multiplies.
+    let cols = w.shape()[1];
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        for c in 0..cols {
+            *out.at2_mut(r, c) = w.at2(r0 + r, c);
+        }
+    }
+    out
+}
+
+/// Lowers a sequential model spec to a primitive program.
+///
+/// Supported layers: Dense, BatchNorm1d (feature mode), Relu, Tanh,
+/// Sigmoid, Softmax (only as the final layer, where it is dropped),
+/// Embedding (+ the Flatten that follows it), Flatten (no-op on 2-D
+/// values). Panics on anything else — conv/rnn models lower through their
+/// dedicated builders.
+pub fn lower_sequential(spec: &ModelSpec, opts: &LoweringOptions) -> PrimitiveProgram {
+    let in_dim = infer_input_dim(spec);
+    let mut p = PrimitiveProgram::new(in_dim);
+    let mut v = p.input;
+    for (li, layer) in spec.layers.iter().enumerate() {
+        let is_last = li == spec.layers.len() - 1;
+        v = lower_layer(&mut p, v, layer, is_last, opts);
+    }
+    p.set_output(v);
+    p
+}
+
+/// Lowers an ordered list of layer specs onto an existing program, starting
+/// from value `v`. Returns the final value. Building block for models that
+/// mix custom primitives (scaling maps, concats) with standard dense stacks.
+pub fn lower_onto(
+    p: &mut PrimitiveProgram,
+    mut v: ValueId,
+    layers: &[LayerSpec],
+    opts: &LoweringOptions,
+) -> ValueId {
+    for (li, layer) in layers.iter().enumerate() {
+        v = lower_layer(p, v, layer, li == layers.len() - 1, opts);
+    }
+    v
+}
+
+fn lower_layer(
+    p: &mut PrimitiveProgram,
+    v: ValueId,
+    layer: &LayerSpec,
+    is_last: bool,
+    opts: &LoweringOptions,
+) -> ValueId {
+    match layer {
+        LayerSpec::Dense { weight, bias } => {
+            let in_dim = p.dim(v);
+            assert_eq!(weight.shape()[0], in_dim, "dense dim mismatch");
+            let (offsets, lens) = segmentation(in_dim, opts.segment_width);
+            if offsets.len() == 1 {
+                return p.map(
+                    v,
+                    MapFn::MatVec { weight: weight.clone(), bias: bias.data().to_vec() },
+                );
+            }
+            let segs = p.partition(v, &offsets, &lens);
+            let zero_bias = vec![0.0f32; weight.shape()[1]];
+            let mapped: Vec<ValueId> = segs
+                .iter()
+                .enumerate()
+                .map(|(si, &s)| {
+                    let w = col_block(weight, offsets[si], lens[si]);
+                    let b = if si == 0 { bias.data().to_vec() } else { zero_bias.clone() };
+                    p.map(s, MapFn::MatVec { weight: w, bias: b })
+                })
+                .collect();
+            p.sum_reduce(&mapped)
+        }
+        LayerSpec::BatchNorm1d { gamma, beta, running_mean, running_var, eps, mode } => {
+            assert_eq!(*mode, NormMode::Feature, "channel-mode BN lowers via conv builders");
+            let dim = p.dim(v);
+            assert_eq!(gamma.len(), dim, "batchnorm dim mismatch");
+            let mut scale = Vec::with_capacity(dim);
+            let mut shift = Vec::with_capacity(dim);
+            for i in 0..dim {
+                let inv = 1.0 / (running_var.data()[i] + eps).sqrt();
+                let s = gamma.data()[i] * inv;
+                scale.push(s);
+                shift.push(beta.data()[i] - s * running_mean.data()[i]);
+            }
+            p.map(v, MapFn::Affine { scale, shift })
+        }
+        LayerSpec::Relu => p.map(v, MapFn::Relu),
+        LayerSpec::Tanh => p.map(v, MapFn::Tanh),
+        LayerSpec::Sigmoid => p.map(v, MapFn::Sigmoid),
+        LayerSpec::Softmax => {
+            assert!(
+                is_last,
+                "softmax only lowers as the final layer (argmax-invariant drop)"
+            );
+            v
+        }
+        LayerSpec::Embedding { table } => {
+            // One Map(Embed) per input element (Table 4: embedding lookup
+            // is a single Map) — kept whole-vector here; the compiler's
+            // exact-enumeration path turns per-element lookups into 256-entry
+            // SRAM tables after fusion partitions them.
+            p.map(v, MapFn::Embed { table: table.clone() })
+        }
+        LayerSpec::Flatten => v, // values are already flat vectors
+        other => panic!("layer {} does not lower via lower_sequential", other.name()),
+    }
+}
+
+fn infer_input_dim(spec: &ModelSpec) -> usize {
+    for layer in &spec.layers {
+        match layer {
+            LayerSpec::Dense { weight, .. } => return weight.shape()[0],
+            LayerSpec::BatchNorm1d { gamma, .. } => return gamma.len(),
+            // Embedding consumes [batch, time]; time is context-dependent —
+            // callers with embeddings should build programs explicitly.
+            _ => continue,
+        }
+    }
+    panic!("cannot infer input dim from model spec")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fuse_basic;
+    use pegasus_nn::init::rng;
+    use pegasus_nn::layers::{BatchNorm1d, Dense, Layer, NormMode, Relu, Softmax};
+    use pegasus_nn::{Sequential, Tensor};
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        let mut m = Sequential::new();
+        m.add(Box::new(BatchNorm1d::new(8, NormMode::Feature)));
+        m.add(Box::new(Dense::new(&mut r, 8, 6)));
+        m.add(Box::new(Relu::new()));
+        m.add(Box::new(Dense::new(&mut r, 6, 3)));
+        m.add(Box::new(Softmax::new()));
+        m
+    }
+
+    /// Settle BN running stats so inference-mode outputs are meaningful.
+    fn settle_bn(m: &mut Sequential, seed: u64) {
+        let mut r = rng(seed);
+        for _ in 0..50 {
+            let x = pegasus_nn::init::normal(&mut r, &[32, 8], 20.0);
+            let _ = m.forward(&x, true);
+        }
+    }
+
+    #[test]
+    fn lowered_program_matches_model_inference() {
+        let mut m = mlp(1);
+        settle_bn(&mut m, 2);
+        let spec = m.to_spec("mlp");
+        let prog = lower_sequential(&spec, &LoweringOptions::default());
+
+        let mut r = rng(3);
+        for _ in 0..20 {
+            let x = pegasus_nn::init::normal(&mut r, &[1, 8], 20.0);
+            let want = m.forward(&x, false);
+            // Model ends in softmax; program drops it — compare pre-softmax
+            // by rank order instead.
+            let got = prog.eval(x.row(0));
+            let want_arg = want.argmax_rows()[0];
+            let got_arg = got
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(want_arg, got_arg);
+        }
+    }
+
+    #[test]
+    fn lowered_values_match_exactly_without_softmax() {
+        let mut r = rng(4);
+        let mut m = Sequential::new();
+        m.add(Box::new(Dense::new(&mut r, 8, 4)));
+        m.add(Box::new(Relu::new()));
+        m.add(Box::new(Dense::new(&mut r, 4, 2)));
+        let spec = m.to_spec("m");
+        let prog = lower_sequential(&spec, &LoweringOptions { segment_width: 3 });
+        for _ in 0..10 {
+            let x = pegasus_nn::init::normal(&mut r, &[1, 8], 1.0);
+            let want = m.forward(&x, false);
+            let got = prog.eval(x.row(0));
+            for (a, b) in want.row(0).iter().zip(got.iter()) {
+                assert!((a - b).abs() < 1e-4, "{want:?} vs {got:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmentation_handles_remainders() {
+        let (offsets, lens) = segmentation(10, 4);
+        assert_eq!(offsets, vec![0, 4, 8]);
+        assert_eq!(lens, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn fusion_collapses_lowered_mlp_to_block_form() {
+        let mut m = mlp(5);
+        settle_bn(&mut m, 6);
+        let spec = m.to_spec("mlp");
+        let mut prog = lower_sequential(&spec, &LoweringOptions { segment_width: 4 });
+        let stats = fuse_basic(&mut prog);
+        // Two dense blocks, segment width 4: 8/4=2 segments + 6/4=2 segments
+        // = 4 fused maps (BN and ReLU folded into them).
+        assert_eq!(stats.maps_after, 4, "{stats:?}");
+    }
+
+    #[test]
+    fn single_segment_dense_needs_no_partition() {
+        let mut r = rng(7);
+        let mut m = Sequential::new();
+        m.add(Box::new(Dense::new(&mut r, 3, 2)));
+        let spec = m.to_spec("m");
+        let prog = lower_sequential(&spec, &LoweringOptions { segment_width: 4 });
+        assert_eq!(prog.map_count(), 1);
+        assert_eq!(prog.reduce_count(), 0);
+    }
+
+    #[test]
+    fn embedding_lowering_matches_layer() {
+        let table = Tensor::from_vec(vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0], &[3, 2]);
+        let mut emb = pegasus_nn::layers::Embedding::from_parts(table.clone());
+        let spec = ModelSpec {
+            name: "e".into(),
+            layers: vec![
+                LayerSpec::Dense {
+                    weight: Tensor::zeros(&[2, 2]),
+                    bias: Tensor::zeros(&[2]),
+                }, // only to infer input dim 2
+            ],
+        };
+        let _ = spec;
+        // Build program manually for the embed check.
+        let mut p = PrimitiveProgram::new(2);
+        let input = p.input;
+        let v = lower_layer(
+            &mut p,
+            input,
+            &LayerSpec::Embedding { table },
+            false,
+            &LoweringOptions::default(),
+        );
+        p.set_output(v);
+        let got = p.eval(&[2.0, 0.0]);
+        let want = emb.forward(&Tensor::from_vec(vec![2.0, 0.0], &[1, 2]), false);
+        assert_eq!(got, want.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not lower")]
+    fn unsupported_layers_panic() {
+        let spec = ModelSpec {
+            name: "bad".into(),
+            layers: vec![
+                LayerSpec::Dense { weight: Tensor::zeros(&[4, 4]), bias: Tensor::zeros(&[4]) },
+                LayerSpec::GlobalMaxPool1d,
+            ],
+        };
+        let _ = lower_sequential(&spec, &LoweringOptions::default());
+    }
+}

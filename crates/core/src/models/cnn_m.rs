@@ -1,0 +1,223 @@
+//! CNN-M: the medium model in Neural-Additive form — Advanced Primitive
+//! Fusion ❸ (Reduction of SumReduce, §4.3).
+//!
+//! Each input segment gets a private deep subnet; only the *final* Sum
+//! survives. The entire subnet — arbitrarily many parameters — collapses
+//! into a single mapping table per segment, which is why CNN-M is bigger
+//! than CNN-B yet uses *fewer* switch resources (the paper's Table 6
+//! observation this reproduction must preserve).
+
+use super::{dataset_rows, TrainSettings};
+use crate::compile::{compile, CompileOptions, CompileTarget, CompiledPipeline};
+use crate::fusion::{fuse_basic, is_nam_form};
+use crate::primitives::{MapFn, PrimitiveProgram, ValueId};
+use pegasus_nn::layers::{
+    BatchNorm1d, Combine, Dense, Layer, LayerSpec, NormMode, Parallel, Relu, SliceCols,
+};
+use pegasus_nn::metrics::PrRcF1;
+use pegasus_nn::optim::Adam;
+use pegasus_nn::train::{flat, predict_classes, train_classifier, TrainConfig};
+use pegasus_nn::{Dataset, Sequential};
+
+/// Sequence length.
+pub const SEQ_LEN: usize = 16;
+/// Codes per NAM segment.
+pub const SEG_WIDTH: usize = 4;
+/// Subnet hidden width (the "medium" scale).
+pub const HIDDEN: usize = 64;
+
+/// A trained CNN-M.
+pub struct CnnM {
+    /// The trained float model (NAM over 4 segments).
+    pub model: Sequential,
+    classes: usize,
+}
+
+impl CnnM {
+    /// Trains CNN-M on interleaved sequence codes.
+    pub fn train(train: &Dataset, val: Option<&Dataset>, settings: &TrainSettings) -> Self {
+        assert_eq!(train.x.cols(), SEQ_LEN, "CNN-M expects 16 sequence codes");
+        let classes = train.classes();
+        let mut rng = settings.rng();
+        let branches: Vec<Vec<Box<dyn Layer>>> = (0..SEQ_LEN / SEG_WIDTH)
+            .map(|i| {
+                let chain: Vec<Box<dyn Layer>> = vec![
+                    Box::new(SliceCols::new(i * SEG_WIDTH, SEG_WIDTH)),
+                    Box::new(BatchNorm1d::new(SEG_WIDTH, NormMode::Feature)),
+                    Box::new(Dense::new(&mut rng, SEG_WIDTH, HIDDEN)),
+                    Box::new(Relu::new()),
+                    Box::new(Dense::new(&mut rng, HIDDEN, HIDDEN)),
+                    Box::new(Relu::new()),
+                    Box::new(Dense::new(&mut rng, HIDDEN, classes)),
+                ];
+                chain
+            })
+            .collect();
+        let mut m = Sequential::new();
+        m.add(Box::new(Parallel::with_combine(branches, Combine::Sum)));
+
+        let mut opt = Adam::new(settings.lr);
+        let cfg = TrainConfig { epochs: settings.epochs, batch_size: settings.batch, verbose: false };
+        train_classifier(&mut m, train, val, &mut opt, &cfg, &mut rng, &flat);
+        CnnM { model: m, classes }
+    }
+
+    /// Full-precision macro metrics.
+    pub fn evaluate_float(&mut self, data: &Dataset) -> PrRcF1 {
+        let preds = predict_classes(&mut self.model, &data.x, &flat);
+        pegasus_nn::metrics::pr_rc_f1(&data.y, &preds, data.classes())
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Model size in kilobits — large, and it does not matter on the
+    /// switch: the subnets live inside table entries.
+    pub fn size_kilobits(&self) -> f64 {
+        self.model.to_spec("CNN-M").size_kilobits()
+    }
+
+    /// Builds the NAM-form primitive program (one Map per segment).
+    pub fn to_primitives(&self) -> PrimitiveProgram {
+        let spec = self.model.to_spec("CNN-M");
+        let branches = match &spec.layers[0] {
+            LayerSpec::Parallel { branches, .. } => branches.clone(),
+            other => panic!("expected parallel NAM, got {}", other.name()),
+        };
+        let mut p = PrimitiveProgram::new(SEQ_LEN);
+        let segs = p.partition_strided(p.input, SEG_WIDTH, SEG_WIDTH);
+        let mut mapped: Vec<ValueId> = Vec::new();
+        for (chain, &seg) in branches.iter().zip(segs.iter()) {
+            // chain = [SliceCols, BN, Dense, Relu, Dense, Relu, Dense]
+            let mut fns: Vec<MapFn> = Vec::new();
+            for layer in &chain[1..] {
+                match layer {
+                    LayerSpec::BatchNorm1d {
+                        gamma,
+                        beta,
+                        running_mean,
+                        running_var,
+                        eps,
+                        ..
+                    } => {
+                        let dim = gamma.len();
+                        let mut scale = Vec::with_capacity(dim);
+                        let mut shift = Vec::with_capacity(dim);
+                        for i in 0..dim {
+                            let inv = 1.0 / (running_var.data()[i] + eps).sqrt();
+                            let s = gamma.data()[i] * inv;
+                            scale.push(s);
+                            shift.push(beta.data()[i] - s * running_mean.data()[i]);
+                        }
+                        fns.push(MapFn::Affine { scale, shift });
+                    }
+                    LayerSpec::Dense { weight, bias } => fns.push(MapFn::MatVec {
+                        weight: weight.clone(),
+                        bias: bias.data().to_vec(),
+                    }),
+                    LayerSpec::Relu => fns.push(MapFn::Relu),
+                    other => panic!("unexpected NAM layer {}", other.name()),
+                }
+            }
+            mapped.push(p.map(seg, MapFn::Chain(fns)));
+        }
+        let out = p.sum_reduce(&mapped);
+        p.set_output(out);
+        debug_assert!(is_nam_form(&p));
+        p
+    }
+
+    /// Compiles onto the dataplane — by construction already maximally
+    /// fused (one lookup per segment).
+    pub fn compile(&self, train: &Dataset, opts: &CompileOptions) -> CompiledPipeline {
+        let mut prog = self.to_primitives();
+        fuse_basic(&mut prog); // no-op on NAM form; kept for uniformity
+        let mut pipeline =
+            compile(&prog, &dataset_rows(train), opts, CompileTarget::Classify, "cnn_m");
+        // Same per-flow window storage as CNN-B (Table 6: 72 bits).
+        pipeline.program.stateful_bits_per_flow = 72;
+        pipeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::DataplaneModel;
+    use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+    use pegasus_nn::Tensor;
+    use pegasus_switch::SwitchConfig;
+
+    fn small_data() -> (Dataset, Dataset) {
+        let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 25, seed: 8 });
+        let (train, _val, test) = split_by_flow(&trace, 4);
+        (extract_views(&train).seq, extract_views(&test).seq)
+    }
+
+    #[test]
+    fn reference_program_matches_float_model() {
+        let (train, _) = small_data();
+        let mut m = CnnM::train(&train, None, &TrainSettings::quick());
+        let prog = m.to_primitives();
+        for r in [0usize, 9] {
+            let x = train.x.row(r).to_vec();
+            let want = m
+                .model
+                .forward(&Tensor::from_vec(x.clone(), &[1, SEQ_LEN]), false);
+            let got = prog.eval(&x);
+            for (a, b) in want.row(0).iter().zip(got.iter()) {
+                assert!((a - b).abs() < 1e-2, "row {r}: {:?} vs {:?}", want.row(0), got);
+            }
+        }
+    }
+
+    #[test]
+    fn is_nam_and_uses_few_tables() {
+        let (train, _) = small_data();
+        let m = CnnM::train(&train, None, &TrainSettings::quick());
+        let prog = m.to_primitives();
+        assert!(is_nam_form(&prog));
+        assert_eq!(prog.map_count(), 4); // one lookup per segment
+        let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
+        let p = m.compile(&train, &opts);
+        assert_eq!(p.report.fuzzy_tables, 4);
+    }
+
+    #[test]
+    fn bigger_model_lower_overhead_than_cnn_b() {
+        // The Table 6 shape: CNN-M is larger in parameters but uses less
+        // TCAM/bus than CNN-B.
+        let (train, _) = small_data();
+        let mb = super::super::cnn_b::CnnB::train(&train, None, &TrainSettings::quick());
+        let mm = CnnM::train(&train, None, &TrainSettings::quick());
+        assert!(mm.size_kilobits() > mb.size_kilobits() * 5.0);
+        let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
+        let pb = mb.compile(&train, &opts);
+        let pm = mm.compile(&train, &opts);
+        let db = DataplaneModel::deploy(pb, &SwitchConfig::tofino2()).unwrap();
+        let dm = DataplaneModel::deploy(pm, &SwitchConfig::tofino2()).unwrap();
+        let rb = db.resource_report();
+        let rm = dm.resource_report();
+        assert!(
+            rm.tcam_bits < rb.tcam_bits,
+            "CNN-M TCAM {} should undercut CNN-B {}",
+            rm.tcam_bits,
+            rb.tcam_bits
+        );
+    }
+
+    #[test]
+    fn trains_and_classifies_on_switch() {
+        let (train, test) = small_data();
+        let mut m = CnnM::train(&train, None, &TrainSettings::quick());
+        let float_f1 = m.evaluate_float(&test).f1;
+        assert!(float_f1 > 0.55, "float F1 {float_f1}");
+        let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
+        let pipeline = m.compile(&train, &opts);
+        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).unwrap();
+        let dp_f1 = dp.evaluate(&test).f1;
+        assert!(dp_f1 > float_f1 - 0.25, "dataplane {dp_f1} vs float {float_f1}");
+    }
+}

@@ -1,0 +1,180 @@
+//! MLP-B: the basic multi-layer perceptron on statistical features (§6.3).
+//!
+//! Three hidden layers, each a Batch Normalization → fully connected → ReLU
+//! sandwich, on the 16-byte statistical feature vector. Compiles through
+//! the standard lowering + Basic Primitive Fusion path, with optional
+//! centroid fine-tuning of the input-layer cluster trees (§4.4).
+
+use super::{dataset_rows, TrainSettings};
+use crate::compile::{compile_with_trees, CompileOptions, CompileTarget, CompiledPipeline};
+use crate::finetune::{finetune_centroids_guarded, fit_segment_trees, FinetuneConfig};
+use crate::fusion::fuse_basic;
+use crate::lowering::{lower_sequential, LoweringOptions};
+use crate::runtime::input_partition;
+use pegasus_nn::layers::{BatchNorm1d, Dense, NormMode, Relu};
+use pegasus_nn::metrics::PrRcF1;
+use pegasus_nn::optim::Adam;
+use pegasus_nn::train::{evaluate_classifier, flat, train_classifier, TrainConfig};
+use pegasus_nn::{Dataset, Sequential};
+use std::collections::HashMap;
+
+/// Hidden width of every MLP-B layer.
+pub const HIDDEN: usize = 20;
+/// Statistical feature count (128-bit input scale).
+pub const INPUT_DIM: usize = 16;
+
+/// A trained MLP-B.
+pub struct MlpB {
+    /// The trained float model (the CPU/GPU baseline of Figure 9).
+    pub model: Sequential,
+    classes: usize,
+}
+
+impl MlpB {
+    /// Trains MLP-B on statistical-feature samples.
+    pub fn train(train: &Dataset, val: Option<&Dataset>, settings: &TrainSettings) -> Self {
+        assert_eq!(train.x.cols(), INPUT_DIM, "MLP-B expects 16 statistical features");
+        let classes = train.classes();
+        let mut rng = settings.rng();
+        let mut m = Sequential::new();
+        m.add(Box::new(BatchNorm1d::new(INPUT_DIM, NormMode::Feature)));
+        m.add(Box::new(Dense::new(&mut rng, INPUT_DIM, HIDDEN)));
+        m.add(Box::new(Relu::new()));
+        m.add(Box::new(BatchNorm1d::new(HIDDEN, NormMode::Feature)));
+        m.add(Box::new(Dense::new(&mut rng, HIDDEN, HIDDEN)));
+        m.add(Box::new(Relu::new()));
+        m.add(Box::new(BatchNorm1d::new(HIDDEN, NormMode::Feature)));
+        m.add(Box::new(Dense::new(&mut rng, HIDDEN, HIDDEN)));
+        m.add(Box::new(Relu::new()));
+        m.add(Box::new(Dense::new(&mut rng, HIDDEN, classes)));
+
+        let mut opt = Adam::new(settings.lr);
+        let cfg = TrainConfig { epochs: settings.epochs, batch_size: settings.batch, verbose: false };
+        train_classifier(&mut m, train, val, &mut opt, &cfg, &mut rng, &flat);
+        MlpB { model: m, classes }
+    }
+
+    /// Full-precision macro metrics (the control-plane baseline).
+    pub fn evaluate_float(&mut self, data: &Dataset) -> PrRcF1 {
+        evaluate_classifier(&mut self.model, data, &flat)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Model size in kilobits (Table 5 column).
+    pub fn size_kilobits(&self) -> f64 {
+        self.model.to_spec("MLP-B").size_kilobits()
+    }
+
+    /// Compiles onto the dataplane. When `finetune` is set, input-layer
+    /// centroids are fine-tuned by backpropagation before table emission.
+    pub fn compile(
+        &mut self,
+        train: &Dataset,
+        opts: &CompileOptions,
+        finetune: bool,
+    ) -> CompiledPipeline {
+        let spec = self.model.to_spec("MLP-B");
+        let mut prog = lower_sequential(&spec, &LoweringOptions { segment_width: 4 });
+        fuse_basic(&mut prog);
+
+        let mut overrides = HashMap::new();
+        if finetune {
+            if let Some((values, offsets, lens)) = input_partition(&prog) {
+                let mut trees =
+                    fit_segment_trees(&train.x, &offsets, &lens, opts.clustering_depth);
+                finetune_centroids_guarded(
+                    &mut trees,
+                    &mut self.model,
+                    train,
+                    &FinetuneConfig::default(),
+                );
+                for (vid, st) in values.into_iter().zip(trees) {
+                    overrides.insert(vid, st.tree);
+                }
+            }
+        }
+        // 10-bit activations: five segment maps each fetch hidden-width
+        // action data per stage; at 10 bits all five stay under the
+        // 1024-bit action bus and every block keeps its 3-stage budget
+        // (the paper's MLP-B is likewise the heaviest bus user, Table 6).
+        let opts = &CompileOptions { act_bits: opts.act_bits.min(10), ..opts.clone() };
+        let mut pipeline = compile_with_trees(
+            &prog,
+            &dataset_rows(train),
+            opts,
+            CompileTarget::Classify,
+            "mlp_b",
+            &overrides,
+        );
+        // Per-flow statistical features the switch must maintain: min/max
+        // packet length and IPD (4 x 16-bit running registers) plus the
+        // 16-bit previous-packet timestamp — 80 stateful bits (Table 6 row).
+        pipeline.program.stateful_bits_per_flow = 80;
+        pipeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::DataplaneModel;
+    use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+    use pegasus_switch::SwitchConfig;
+
+    fn small_data() -> (Dataset, Dataset) {
+        let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 30, seed: 5 });
+        let (train, _val, test) = split_by_flow(&trace, 1);
+        (extract_views(&train).stat, extract_views(&test).stat)
+    }
+
+    #[test]
+    fn trains_to_useful_accuracy_and_compiles() {
+        let (train, test) = small_data();
+        let mut m = MlpB::train(&train, None, &TrainSettings::quick());
+        let float_f1 = m.evaluate_float(&test).f1;
+        assert!(float_f1 > 0.6, "float F1 {float_f1}");
+
+        let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
+        let pipeline = m.compile(&train, &opts, false);
+        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
+        let dp_f1 = dp.evaluate(&test).f1;
+        // Dataplane accuracy within a reasonable envelope of float accuracy.
+        assert!(
+            dp_f1 > float_f1 - 0.2,
+            "dataplane F1 {dp_f1} too far below float {float_f1}"
+        );
+        let report = dp.resource_report();
+        assert!(report.stages_used <= 20, "stages {}", report.stages_used);
+        assert_eq!(report.stateful_bits_per_flow, 80);
+    }
+
+    #[test]
+    fn finetuned_compile_not_worse() {
+        let (train, test) = small_data();
+        let mut m = MlpB::train(&train, None, &TrainSettings::quick());
+        let opts = CompileOptions { clustering_depth: 4, ..Default::default() };
+        let base = m.compile(&train, &opts, false);
+        let tuned = m.compile(&train, &opts, true);
+        let mut dp_base = DataplaneModel::deploy(base, &SwitchConfig::tofino2()).unwrap();
+        let mut dp_tuned = DataplaneModel::deploy(tuned, &SwitchConfig::tofino2()).unwrap();
+        let f_base = dp_base.evaluate(&test).f1;
+        let f_tuned = dp_tuned.evaluate(&test).f1;
+        assert!(
+            f_tuned >= f_base - 0.05,
+            "fine-tuning collapsed accuracy: {f_base} -> {f_tuned}"
+        );
+    }
+
+    #[test]
+    fn model_size_in_expected_band() {
+        let (train, _) = small_data();
+        let m = MlpB::train(&train, None, &TrainSettings::quick());
+        let kb = m.size_kilobits();
+        // ~1.2k params x 32 bits: tens of kilobits, like the paper's 34.3 Kb.
+        assert!((10.0..100.0).contains(&kb), "size {kb} Kb");
+    }
+}

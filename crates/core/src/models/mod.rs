@@ -1,0 +1,58 @@
+//! The six neural models of §6.3, each with a training recipe and a
+//! Pegasus compilation path onto the switch simulator.
+//!
+//! | model        | features (input scale)        | fusion level          |
+//! |--------------|-------------------------------|-----------------------|
+//! | MLP-B        | statistical, 128 b            | basic                 |
+//! | RNN-B        | packet sequence, 128 b        | basic (state tables)  |
+//! | CNN-B        | packet sequence, 128 b        | basic                 |
+//! | CNN-M        | packet sequence, 128 b        | advanced (NAM form)   |
+//! | CNN-L        | raw bytes, 3840 b             | advanced + per-flow   |
+//! | AutoEncoder  | packet sequence, 128 b        | basic (Scores + MAE)  |
+
+pub mod autoencoder;
+pub mod cnn_b;
+pub mod cnn_l;
+pub mod cnn_m;
+pub mod mlp_b;
+pub mod rnn_b;
+
+use pegasus_nn::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainSettings {
+    /// Epochs over the training split.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Master seed (weights, shuffling).
+    pub seed: u64,
+}
+
+impl Default for TrainSettings {
+    fn default() -> Self {
+        TrainSettings { epochs: 30, batch: 64, lr: 0.005, seed: 7 }
+    }
+}
+
+impl TrainSettings {
+    /// A faster profile for tests and `--quick` harness runs.
+    pub fn quick() -> Self {
+        TrainSettings { epochs: 10, batch: 64, lr: 0.01, seed: 7 }
+    }
+
+    /// The RNG this run starts from.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Training-input rows as `Vec<Vec<f32>>` (the compiler's expected shape).
+pub fn dataset_rows(data: &Dataset) -> Vec<Vec<f32>> {
+    (0..data.len()).map(|r| data.x.row(r).to_vec()).collect()
+}

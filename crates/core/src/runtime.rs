@@ -1,0 +1,212 @@
+//! Deployed-model runtime: feeding feature codes through the switch.
+
+use crate::compile::CompiledPipeline;
+use crate::primitives::{Primitive, PrimitiveProgram};
+use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
+use pegasus_nn::Dataset;
+use pegasus_switch::{DeployError, FieldId, LoadedProgram, ResourceReport, SwitchConfig};
+
+/// A compiled pipeline loaded onto the switch simulator, ready to classify.
+pub struct DataplaneModel {
+    pipeline: CompiledPipeline,
+    loaded: LoadedProgram,
+}
+
+impl DataplaneModel {
+    /// Validates the pipeline against a switch configuration and loads it.
+    pub fn deploy(pipeline: CompiledPipeline, cfg: &SwitchConfig) -> Result<Self, DeployError> {
+        let loaded = pipeline.program.clone().deploy(cfg)?;
+        Ok(DataplaneModel { pipeline, loaded })
+    }
+
+    /// The compiled artifact.
+    pub fn pipeline(&self) -> &CompiledPipeline {
+        &self.pipeline
+    }
+
+    /// Switch resource utilization (the Table 6 row).
+    pub fn resource_report(&self) -> ResourceReport {
+        self.loaded.resource_report()
+    }
+
+    /// Classifies one sample of feature codes (each in `[0, 255]`).
+    pub fn classify(&mut self, codes: &[f32]) -> usize {
+        let phv = self.process(codes);
+        let f = self
+            .pipeline
+            .predicted_field
+            .expect("classify requires a Classify-target pipeline");
+        phv.get(f) as usize
+    }
+
+    /// Decoded output scores of one sample.
+    pub fn scores(&mut self, codes: &[f32]) -> Vec<f32> {
+        let phv = self.process(codes);
+        self.pipeline
+            .score_fields
+            .iter()
+            .map(|&f| self.pipeline.score_format.to_real(phv.get(f)))
+            .collect()
+    }
+
+    fn process(&mut self, codes: &[f32]) -> pegasus_switch::Phv {
+        assert_eq!(
+            codes.len(),
+            self.pipeline.input_fields.len(),
+            "feature count mismatch"
+        );
+        let inputs: Vec<(FieldId, i64)> = self
+            .pipeline
+            .input_fields
+            .iter()
+            .zip(codes.iter())
+            .map(|(&f, &v)| (f, v.round().clamp(0.0, 255.0) as i64))
+            .collect();
+        self.loaded.process(&inputs)
+    }
+
+    /// Evaluates classification quality over a dataset of code rows.
+    pub fn evaluate(&mut self, data: &Dataset) -> PrRcF1 {
+        let preds: Vec<usize> =
+            (0..data.len()).map(|r| self.classify(data.x.row(r))).collect();
+        pr_rc_f1(&data.y, &preds, data.classes())
+    }
+
+    /// Total table lookups performed so far (memory-bandwidth proxy).
+    pub fn lookup_count(&self) -> u64 {
+        self.loaded.lookup_count()
+    }
+}
+
+/// Finds the top-level input partition of a (fused) program: the segment
+/// values, offsets and lengths of the `Partition` op that consumes the
+/// program input. Returns `None` when the program maps the input whole.
+pub fn input_partition(prog: &PrimitiveProgram) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    prog.ops.iter().find_map(|op| match op {
+        Primitive::Partition { input, offsets, lens, outputs } if *input == prog.input => Some((
+            outputs.iter().map(|v| v.0).collect(),
+            offsets.clone(),
+            lens.clone(),
+        )),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions, CompileTarget};
+    use crate::fusion::fuse_basic;
+    use crate::primitives::MapFn;
+    use pegasus_nn::Tensor;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn scorer() -> PrimitiveProgram {
+        let mut p = PrimitiveProgram::new(4);
+        let segs = p.partition_strided(p.input, 2, 2);
+        let w0 = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]);
+        let w1 = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[2, 2]);
+        let m0 = p.map(segs[0], MapFn::MatVec { weight: w0, bias: vec![0.0, 0.0] });
+        let m1 = p.map(segs[1], MapFn::MatVec { weight: w1, bias: vec![0.0, 0.0] });
+        let out = p.sum_reduce(&[m0, m1]);
+        p.set_output(out);
+        p
+    }
+
+    fn inputs(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect()).collect()
+    }
+
+    #[test]
+    fn deploy_and_classify() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(1500, 1),
+            &CompileOptions { clustering_depth: 6, ..Default::default() },
+            CompileTarget::Classify,
+            "rt",
+        );
+        let mut m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        // Clearly separated sample: class 1 (x2+x3 dominates).
+        let pred = m.classify(&[10.0, 10.0, 250.0, 250.0]);
+        assert_eq!(pred, 1);
+        let pred = m.classify(&[250.0, 250.0, 10.0, 10.0]);
+        assert_eq!(pred, 0);
+        assert!(m.lookup_count() > 0);
+    }
+
+    #[test]
+    fn evaluate_reports_macro_f1() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let train = inputs(1500, 2);
+        let c = compile(
+            &prog,
+            &train,
+            &CompileOptions { clustering_depth: 6, ..Default::default() },
+            CompileTarget::Classify,
+            "rt",
+        );
+        let mut m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        // Labels from the reference program.
+        let test = inputs(300, 3);
+        let labels: Vec<usize> = test
+            .iter()
+            .map(|x| {
+                let s = prog.eval(x);
+                usize::from(s[1] > s[0])
+            })
+            .collect();
+        let flat: Vec<f32> = test.iter().flatten().copied().collect();
+        let data = Dataset::new(Tensor::from_vec(flat, &[300, 4]), labels);
+        let m1 = m.evaluate(&data);
+        assert!(m1.f1 > 0.9, "dataplane F1 {}", m1.f1);
+    }
+
+    #[test]
+    fn resource_report_nonzero() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(800, 4),
+            &CompileOptions::default(),
+            CompileTarget::Classify,
+            "rt",
+        );
+        let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let r = m.resource_report();
+        assert!(r.tcam_bits > 0, "fuzzy tables should use TCAM");
+        assert!(r.stages_used > 0);
+    }
+
+    #[test]
+    fn input_partition_found_after_fusion() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let (values, offsets, lens) = input_partition(&prog).expect("partition exists");
+        assert_eq!(offsets, vec![0, 2]);
+        assert_eq!(lens, vec![2, 2]);
+        assert_eq!(values.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_feature_count_panics() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(500, 5),
+            &CompileOptions::default(),
+            CompileTarget::Classify,
+            "rt",
+        );
+        let mut m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let _ = m.classify(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Flow-level train/validation/test splitting.
+//!
+//! The paper selects 75% of flows per class for training, 10% for
+//! validation and 15% for testing (§7.1). Splitting at flow granularity —
+//! never at packet granularity — prevents leakage of a flow's packets
+//! across splits.
+
+use pegasus_net::{FiveTuple, Trace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The paper's split ratios: 75 / 10 / 15.
+pub const TRAIN_FRAC: f64 = 0.75;
+/// Validation fraction.
+pub const VAL_FRAC: f64 = 0.10;
+
+/// Splits a labeled trace into (train, val, test) traces by flow, stratified
+/// per class.
+pub fn split_by_flow(trace: &Trace, seed: u64) -> (Trace, Trace, Trace) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group flows by class.
+    let mut per_class: HashMap<usize, Vec<FiveTuple>> = HashMap::new();
+    for (flow, label) in &trace.labels {
+        per_class.entry(*label).or_default().push(*flow);
+    }
+    let mut assignment: HashMap<FiveTuple, u8> = HashMap::new();
+    let mut classes: Vec<usize> = per_class.keys().copied().collect();
+    classes.sort_unstable();
+    for class in classes {
+        let flows = per_class.get_mut(&class).expect("class exists");
+        flows.sort_unstable(); // determinism independent of HashMap order
+        flows.shuffle(&mut rng);
+        let n = flows.len();
+        let n_train = ((n as f64) * TRAIN_FRAC).round() as usize;
+        let n_val = ((n as f64) * VAL_FRAC).round() as usize;
+        for (i, f) in flows.iter().enumerate() {
+            let bucket = if i < n_train {
+                0
+            } else if i < n_train + n_val {
+                1
+            } else {
+                2
+            };
+            assignment.insert(*f, bucket);
+        }
+    }
+    let mut out = [Trace::new(), Trace::new(), Trace::new()];
+    for pkt in &trace.packets {
+        let bucket = assignment[&pkt.flow] as usize;
+        out[bucket].push(pkt.clone());
+    }
+    for (flow, label) in &trace.labels {
+        let bucket = assignment[flow] as usize;
+        out[bucket].labels.push((*flow, *label));
+    }
+    let [train, val, test] = out;
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::peerrush;
+    use crate::generate::{generate_trace, GenConfig};
+
+    fn trace() -> Trace {
+        generate_trace(&peerrush(), &GenConfig { flows_per_class: 40, seed: 9 })
+    }
+
+    #[test]
+    fn ratios_approximately_hold_per_class() {
+        let t = trace();
+        let (train, val, test) = split_by_flow(&t, 1);
+        for class in 0..3 {
+            let n = |tr: &Trace| tr.labels.iter().filter(|(_, l)| *l == class).count();
+            assert_eq!(n(&train), 30); // 75% of 40
+            assert_eq!(n(&val), 4); // 10%
+            assert_eq!(n(&test), 6); // 15%
+        }
+    }
+
+    #[test]
+    fn no_flow_appears_in_two_splits() {
+        let t = trace();
+        let (train, val, test) = split_by_flow(&t, 2);
+        let set = |tr: &Trace| -> Vec<FiveTuple> {
+            let mut v: Vec<FiveTuple> = tr.labels.iter().map(|(f, _)| *f).collect();
+            v.sort_unstable();
+            v
+        };
+        let (a, b, c) = (set(&train), set(&val), set(&test));
+        for f in &a {
+            assert!(!b.contains(f) && !c.contains(f));
+        }
+        for f in &b {
+            assert!(!c.contains(f));
+        }
+        assert_eq!(a.len() + b.len() + c.len(), t.flow_count());
+    }
+
+    #[test]
+    fn all_packets_preserved() {
+        let t = trace();
+        let (train, val, test) = split_by_flow(&t, 3);
+        assert_eq!(train.len() + val.len() + test.len(), t.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let t = trace();
+        let (a1, _, _) = split_by_flow(&t, 4);
+        let (a2, _, _) = split_by_flow(&t, 4);
+        assert_eq!(a1.labels, a2.labels);
+    }
+
+    #[test]
+    fn different_seed_changes_assignment() {
+        let t = trace();
+        let (a1, _, _) = split_by_flow(&t, 5);
+        let (a2, _, _) = split_by_flow(&t, 6);
+        assert_ne!(a1.labels, a2.labels);
+    }
+}

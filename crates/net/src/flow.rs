@@ -1,0 +1,322 @@
+//! Five-tuple flow identification and per-flow state tracking.
+//!
+//! The paper identifies flows by five-tuple (§7.1) and keeps a small amount
+//! of per-flow state on the switch: the previous packet timestamp (for IPD)
+//! and a window of extracted per-packet features (§7.3). [`FlowTracker`] is
+//! the host-side mirror of that state used by dataset construction and by
+//! the classifier runtimes.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// A flow's five-tuple identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// A compact test/dataset constructor.
+    pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, protocol: u8) -> Self {
+        FiveTuple { src_ip, dst_ip, src_port, dst_port, protocol }
+    }
+
+    /// The reverse-direction tuple (server-to-client half of a connection).
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-agnostic key: both halves of a connection map to the
+    /// same value (canonical ordering of endpoints).
+    pub fn bidirectional_key(&self) -> FiveTuple {
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port) {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// A 32-bit hash for register indexing on the dataplane (CRC-like fold).
+    pub fn dataplane_hash(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        let mut mix = |b: u32| {
+            h ^= b;
+            h = h.wrapping_mul(0x0100_0193);
+        };
+        mix(self.src_ip);
+        mix(self.dst_ip);
+        mix(u32::from(self.src_port) << 16 | u32::from(self.dst_port));
+        mix(u32::from(self.protocol));
+        h
+    }
+}
+
+/// One packet observation within a flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketObs {
+    /// Wire length in bytes.
+    pub wire_len: u16,
+    /// Inter-packet delay from the previous packet of this flow, in
+    /// microseconds (0 for the first packet).
+    pub ipd_micros: u64,
+    /// Arrival timestamp in microseconds.
+    pub ts_micros: u64,
+}
+
+/// Running per-flow statistics and the recent-packet window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowState {
+    /// Packets seen.
+    pub packets: u64,
+    /// Bytes seen.
+    pub bytes: u64,
+    /// Timestamp of the previous packet (for IPD computation).
+    pub last_ts_micros: u64,
+    /// Minimum wire length seen.
+    pub min_len: u16,
+    /// Maximum wire length seen.
+    pub max_len: u16,
+    /// Minimum IPD seen (packets ≥ 2), microseconds.
+    pub min_ipd: u64,
+    /// Maximum IPD seen (packets ≥ 2), microseconds.
+    pub max_ipd: u64,
+    /// Most recent observations, newest last, bounded by the window size.
+    pub window: Vec<PacketObs>,
+    window_cap: usize,
+}
+
+impl FlowState {
+    fn new(window_cap: usize) -> Self {
+        FlowState {
+            packets: 0,
+            bytes: 0,
+            last_ts_micros: 0,
+            min_len: u16::MAX,
+            max_len: 0,
+            min_ipd: u64::MAX,
+            max_ipd: 0,
+            window: Vec::new(),
+            window_cap,
+        }
+    }
+
+    fn observe(&mut self, ts_micros: u64, wire_len: u16) -> PacketObs {
+        let ipd = if self.packets == 0 { 0 } else { ts_micros.saturating_sub(self.last_ts_micros) };
+        self.packets += 1;
+        self.bytes += u64::from(wire_len);
+        self.last_ts_micros = ts_micros;
+        self.min_len = self.min_len.min(wire_len);
+        self.max_len = self.max_len.max(wire_len);
+        if self.packets >= 2 {
+            self.min_ipd = self.min_ipd.min(ipd);
+            self.max_ipd = self.max_ipd.max(ipd);
+        }
+        let obs = PacketObs { wire_len, ipd_micros: ipd, ts_micros };
+        if self.window.len() == self.window_cap {
+            self.window.remove(0);
+        }
+        self.window.push(obs);
+        obs
+    }
+
+    /// True once the window holds `window_cap` packets.
+    pub fn window_full(&self) -> bool {
+        self.window.len() == self.window_cap
+    }
+}
+
+/// Host-side flow table: five-tuple → [`FlowState`].
+#[derive(Clone, Debug)]
+pub struct FlowTracker {
+    flows: HashMap<FiveTuple, FlowState>,
+    window_cap: usize,
+}
+
+impl FlowTracker {
+    /// Creates a tracker keeping per-flow windows of `window_cap` packets.
+    pub fn new(window_cap: usize) -> Self {
+        assert!(window_cap >= 1);
+        FlowTracker { flows: HashMap::new(), window_cap }
+    }
+
+    /// Records a packet, returning the observation (with computed IPD) and
+    /// a reference to the updated flow state.
+    pub fn observe(&mut self, flow: FiveTuple, ts_micros: u64, wire_len: u16) -> (PacketObs, &FlowState) {
+        let state = match self.flows.entry(flow) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(FlowState::new(self.window_cap)),
+        };
+        let obs = state.observe(ts_micros, wire_len);
+        (obs, &*state)
+    }
+
+    /// Looks up a flow's state.
+    pub fn get(&self, flow: &FiveTuple) -> Option<&FlowState> {
+        self.flows.get(flow)
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterates tracked flows.
+    pub fn iter(&self) -> impl Iterator<Item = (&FiveTuple, &FlowState)> {
+        self.flows.iter()
+    }
+}
+
+/// A thread-safe flow tracker for multi-threaded throughput harnesses.
+///
+/// Sharded by flow hash to avoid a single global lock on the hot path.
+pub struct SharedFlowTracker {
+    shards: Vec<Mutex<FlowTracker>>,
+}
+
+impl SharedFlowTracker {
+    /// Creates a sharded tracker.
+    pub fn new(shards: usize, window_cap: usize) -> Self {
+        assert!(shards >= 1);
+        SharedFlowTracker {
+            shards: (0..shards).map(|_| Mutex::new(FlowTracker::new(window_cap))).collect(),
+        }
+    }
+
+    /// Records a packet (see [`FlowTracker::observe`]); returns the
+    /// observation and whether the flow's window is now full.
+    pub fn observe(&self, flow: FiveTuple, ts_micros: u64, wire_len: u16) -> (PacketObs, bool) {
+        let shard = flow.dataplane_hash() as usize % self.shards.len();
+        let mut guard = self.shards[shard].lock();
+        let (obs, state) = guard.observe(flow, ts_micros, wire_len);
+        (obs, state.window_full())
+    }
+
+    /// Total flows across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(n: u32) -> FiveTuple {
+        FiveTuple::new(n, 99, 1000, 80, 6)
+    }
+
+    #[test]
+    fn ipd_computed_between_packets() {
+        let mut t = FlowTracker::new(4);
+        let (o1, _) = t.observe(ft(1), 1000, 100);
+        assert_eq!(o1.ipd_micros, 0);
+        let (o2, _) = t.observe(ft(1), 1500, 200);
+        assert_eq!(o2.ipd_micros, 500);
+    }
+
+    #[test]
+    fn min_max_stats_track() {
+        let mut t = FlowTracker::new(4);
+        t.observe(ft(1), 0, 100);
+        t.observe(ft(1), 10, 1500);
+        t.observe(ft(1), 1000, 40);
+        let s = t.get(&ft(1)).unwrap();
+        assert_eq!(s.min_len, 40);
+        assert_eq!(s.max_len, 1500);
+        assert_eq!(s.min_ipd, 10);
+        assert_eq!(s.max_ipd, 990);
+        assert_eq!(s.packets, 3);
+    }
+
+    #[test]
+    fn window_is_bounded_and_ordered() {
+        let mut t = FlowTracker::new(2);
+        t.observe(ft(1), 0, 1);
+        t.observe(ft(1), 1, 2);
+        t.observe(ft(1), 2, 3);
+        let s = t.get(&ft(1)).unwrap();
+        assert_eq!(s.window.len(), 2);
+        assert_eq!(s.window[0].wire_len, 2);
+        assert_eq!(s.window[1].wire_len, 3);
+        assert!(s.window_full());
+    }
+
+    #[test]
+    fn flows_are_independent() {
+        let mut t = FlowTracker::new(4);
+        t.observe(ft(1), 0, 100);
+        t.observe(ft(2), 5, 200);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&ft(1)).unwrap().packets, 1);
+        assert_eq!(t.get(&ft(2)).unwrap().max_len, 200);
+    }
+
+    #[test]
+    fn bidirectional_key_is_symmetric() {
+        let a = FiveTuple::new(10, 20, 1000, 80, 6);
+        assert_eq!(a.bidirectional_key(), a.reversed().bidirectional_key());
+    }
+
+    #[test]
+    fn dataplane_hash_differs_across_flows() {
+        assert_ne!(ft(1).dataplane_hash(), ft(2).dataplane_hash());
+    }
+
+    #[test]
+    fn shared_tracker_counts_flows() {
+        let t = SharedFlowTracker::new(4, 2);
+        let (_, full1) = t.observe(ft(1), 0, 10);
+        assert!(!full1);
+        let (_, full2) = t.observe(ft(1), 1, 20);
+        assert!(full2);
+        t.observe(ft(2), 0, 10);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shared_tracker_is_threadsafe() {
+        use std::sync::Arc;
+        let t = Arc::new(SharedFlowTracker::new(8, 4));
+        let handles: Vec<_> = (0..4u32)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        t.observe(ft(tid * 1000 + i), u64::from(i), 100);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 400);
+    }
+}

@@ -1,0 +1,25 @@
+//! # pegasus-net — packet and flow substrate
+//!
+//! Everything between raw bytes and model features:
+//!
+//! * [`packet`]: Ethernet/IPv4/TCP/UDP construction and parsing with real
+//!   checksums (the trace generator emits byte-exact frames);
+//! * [`flow`]: five-tuple flow identification and per-flow state — the
+//!   host-side mirror of the switch's stateful registers;
+//! * [`features`]: the three feature families the paper evaluates with —
+//!   128-bit statistical vectors, 128-bit packet sequences, and CNN-L's
+//!   3840-bit raw-byte windows;
+//! * [`replay`]: deterministic timestamp-ordered trace replay with optional
+//!   fault injection, standing in for the paper's tcpreplay testbed server.
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod flow;
+pub mod packet;
+pub mod replay;
+
+pub use features::{RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET, WINDOW};
+pub use flow::{FiveTuple, FlowState, FlowTracker, PacketObs, SharedFlowTracker};
+pub use packet::{build_packet, parse_packet, PacketSpec, ParseError, ParsedPacket};
+pub use replay::{PacketSink, Replayer, ReplayOptions, ReplayStats, Trace, TracePacket};

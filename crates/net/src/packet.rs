@@ -1,0 +1,349 @@
+//! Packet header parsing and construction (Ethernet / IPv4 / TCP / UDP).
+//!
+//! The replay engine feeds the switch simulator from traces of real-looking
+//! packets, so headers are built and parsed byte-exactly, including internet
+//! checksums. Buffers use [`bytes`] to avoid copies on the hot path.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// IANA protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IANA protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Errors from packet parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the header being parsed.
+    Truncated {
+        /// Which header was being parsed.
+        layer: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Unsupported EtherType (only IPv4 is parsed).
+    UnsupportedEtherType(u16),
+    /// Unsupported IP protocol (only TCP/UDP carry flows here).
+    UnsupportedProtocol(u8),
+    /// IPv4 header checksum mismatch.
+    BadChecksum,
+    /// Malformed field (e.g. IHL < 5).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { layer, needed, got } => {
+                write!(f, "{layer}: need {needed} bytes, got {got}")
+            }
+            ParseError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
+            ParseError::UnsupportedProtocol(p) => write!(f, "unsupported ip protocol {p}"),
+            ParseError::BadChecksum => write!(f, "bad IPv4 header checksum"),
+            ParseError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed packet: the headers plus the L4 payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedPacket {
+    /// Destination MAC.
+    pub dst_mac: [u8; 6],
+    /// Source MAC.
+    pub src_mac: [u8; 6],
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// IP protocol (TCP or UDP).
+    pub protocol: u8,
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// Source L4 port.
+    pub src_port: u16,
+    /// Destination L4 port.
+    pub dst_port: u16,
+    /// TCP flags (0 for UDP).
+    pub tcp_flags: u8,
+    /// L4 payload bytes.
+    pub payload: Bytes,
+    /// Total on-wire length in bytes (including Ethernet header).
+    pub wire_len: usize,
+}
+
+/// Specification for building a packet.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PacketSpec {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source L4 port.
+    pub src_port: u16,
+    /// Destination L4 port.
+    pub dst_port: u16,
+    /// TCP or UDP.
+    pub protocol: u8,
+    /// TCP flags (ignored for UDP).
+    pub tcp_flags: u8,
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// Payload content.
+    pub payload: Vec<u8>,
+}
+
+impl PacketSpec {
+    /// A plain UDP packet spec.
+    pub fn udp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        PacketSpec {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: PROTO_UDP,
+            tcp_flags: 0,
+            ttl: 64,
+            payload,
+        }
+    }
+
+    /// A plain TCP packet spec (flags default to ACK).
+    pub fn tcp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        PacketSpec {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: PROTO_TCP,
+            tcp_flags: 0x10,
+            ttl: 64,
+            payload,
+        }
+    }
+}
+
+/// RFC 1071 internet checksum over a byte slice.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Builds a full Ethernet/IPv4/{TCP,UDP} frame.
+pub fn build_packet(spec: &PacketSpec) -> Bytes {
+    assert!(
+        spec.protocol == PROTO_TCP || spec.protocol == PROTO_UDP,
+        "only TCP/UDP supported"
+    );
+    let l4_header_len = if spec.protocol == PROTO_TCP { 20 } else { 8 };
+    let ip_total = 20 + l4_header_len + spec.payload.len();
+    let mut buf = BytesMut::with_capacity(14 + ip_total);
+
+    // Ethernet.
+    buf.put_slice(&[0x02, 0, 0, 0, 0, 0x01]); // dst
+    buf.put_slice(&[0x02, 0, 0, 0, 0, 0x02]); // src
+    buf.put_u16(ETHERTYPE_IPV4);
+
+    // IPv4 header (no options).
+    let ip_start = buf.len();
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(0); // TOS
+    buf.put_u16(ip_total as u16);
+    buf.put_u16(0x1234); // identification
+    buf.put_u16(0x4000); // don't fragment
+    buf.put_u8(spec.ttl);
+    buf.put_u8(spec.protocol);
+    buf.put_u16(0); // checksum placeholder
+    buf.put_u32(spec.src_ip);
+    buf.put_u32(spec.dst_ip);
+    let csum = internet_checksum(&buf[ip_start..ip_start + 20]);
+    buf[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
+
+    // L4 header.
+    if spec.protocol == PROTO_TCP {
+        buf.put_u16(spec.src_port);
+        buf.put_u16(spec.dst_port);
+        buf.put_u32(1); // seq
+        buf.put_u32(1); // ack
+        buf.put_u8(0x50); // data offset 5
+        buf.put_u8(spec.tcp_flags);
+        buf.put_u16(0xffff); // window
+        buf.put_u16(0); // checksum left zero (not validated on replay)
+        buf.put_u16(0); // urgent
+    } else {
+        buf.put_u16(spec.src_port);
+        buf.put_u16(spec.dst_port);
+        buf.put_u16((8 + spec.payload.len()) as u16);
+        buf.put_u16(0); // checksum optional for IPv4 UDP
+    }
+    buf.put_slice(&spec.payload);
+    buf.freeze()
+}
+
+/// Parses an Ethernet/IPv4/{TCP,UDP} frame built by [`build_packet`] (or any
+/// conforming frame without IP options).
+pub fn parse_packet(data: &[u8]) -> Result<ParsedPacket, ParseError> {
+    let wire_len = data.len();
+    if data.len() < 14 {
+        return Err(ParseError::Truncated { layer: "ethernet", needed: 14, got: data.len() });
+    }
+    let mut dst_mac = [0u8; 6];
+    let mut src_mac = [0u8; 6];
+    dst_mac.copy_from_slice(&data[0..6]);
+    src_mac.copy_from_slice(&data[6..12]);
+    let ethertype = u16::from_be_bytes([data[12], data[13]]);
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::UnsupportedEtherType(ethertype));
+    }
+    let ip = &data[14..];
+    if ip.len() < 20 {
+        return Err(ParseError::Truncated { layer: "ipv4", needed: 20, got: ip.len() });
+    }
+    if ip[0] >> 4 != 4 {
+        return Err(ParseError::Malformed("ip version"));
+    }
+    let ihl = (ip[0] & 0x0f) as usize * 4;
+    if ihl < 20 {
+        return Err(ParseError::Malformed("ihl"));
+    }
+    if ip.len() < ihl {
+        return Err(ParseError::Truncated { layer: "ipv4 options", needed: ihl, got: ip.len() });
+    }
+    if internet_checksum(&ip[..ihl]) != 0 {
+        return Err(ParseError::BadChecksum);
+    }
+    let ttl = ip[8];
+    let protocol = ip[9];
+    let src_ip = u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]);
+    let dst_ip = u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]);
+    let l4 = &ip[ihl..];
+    let (src_port, dst_port, tcp_flags, payload_off) = match protocol {
+        PROTO_TCP => {
+            if l4.len() < 20 {
+                return Err(ParseError::Truncated { layer: "tcp", needed: 20, got: l4.len() });
+            }
+            let off = ((l4[12] >> 4) as usize) * 4;
+            if off < 20 || l4.len() < off {
+                return Err(ParseError::Malformed("tcp data offset"));
+            }
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                l4[13],
+                off,
+            )
+        }
+        PROTO_UDP => {
+            if l4.len() < 8 {
+                return Err(ParseError::Truncated { layer: "udp", needed: 8, got: l4.len() });
+            }
+            (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]), 0, 8)
+        }
+        other => return Err(ParseError::UnsupportedProtocol(other)),
+    };
+    Ok(ParsedPacket {
+        dst_mac,
+        src_mac,
+        src_ip,
+        dst_ip,
+        protocol,
+        ttl,
+        src_port,
+        dst_port,
+        tcp_flags,
+        payload: Bytes::copy_from_slice(&l4[payload_off..]),
+        wire_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_round_trip() {
+        let spec = PacketSpec::udp(0x0a000001, 0x0a000002, 1234, 53, b"hello".to_vec());
+        let frame = build_packet(&spec);
+        let p = parse_packet(&frame).unwrap();
+        assert_eq!(p.src_ip, 0x0a000001);
+        assert_eq!(p.dst_ip, 0x0a000002);
+        assert_eq!(p.src_port, 1234);
+        assert_eq!(p.dst_port, 53);
+        assert_eq!(p.protocol, PROTO_UDP);
+        assert_eq!(&p.payload[..], b"hello");
+        assert_eq!(p.wire_len, 14 + 20 + 8 + 5);
+    }
+
+    #[test]
+    fn tcp_round_trip_with_flags() {
+        let mut spec = PacketSpec::tcp(1, 2, 443, 50000, vec![0xab; 100]);
+        spec.tcp_flags = 0x18; // PSH|ACK
+        let frame = build_packet(&spec);
+        let p = parse_packet(&frame).unwrap();
+        assert_eq!(p.tcp_flags, 0x18);
+        assert_eq!(p.payload.len(), 100);
+        assert_eq!(p.wire_len, 14 + 20 + 20 + 100);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let spec = PacketSpec::udp(1, 2, 3, 4, vec![]);
+        let frame = build_packet(&spec);
+        let mut bad = frame.to_vec();
+        bad[14 + 8] ^= 0xff; // flip TTL
+        assert_eq!(parse_packet(&bad), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let spec = PacketSpec::udp(1, 2, 3, 4, vec![]);
+        let frame = build_packet(&spec);
+        for cut in [3usize, 20, 30] {
+            let err = parse_packet(&frame[..cut]).unwrap_err();
+            assert!(matches!(err, ParseError::Truncated { .. }), "cut={cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut frame = build_packet(&PacketSpec::udp(1, 2, 3, 4, vec![])).to_vec();
+        frame[12] = 0x86; // 0x86dd = IPv6
+        frame[13] = 0xdd;
+        assert_eq!(parse_packet(&frame), Err(ParseError::UnsupportedEtherType(0x86dd)));
+    }
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Classic example: checksum of its own complement region is 0.
+        let data = [0x45u8, 0x00, 0x00, 0x34];
+        let c = internet_checksum(&data);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(internet_checksum(&with), 0);
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        let c1 = internet_checksum(&[0xff, 0x00, 0xab]);
+        let c2 = internet_checksum(&[0xff, 0x00, 0xab, 0x00]);
+        assert_eq!(c1, c2);
+    }
+}

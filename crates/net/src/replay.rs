@@ -1,0 +1,278 @@
+//! Trace replay — the stand-in for the paper's tcpreplay server (§7.1).
+//!
+//! A [`Trace`] is an ordered sequence of timestamped packets belonging to
+//! labeled flows. [`Replayer`] feeds them to any [`PacketSink`] in timestamp
+//! order, optionally injecting faults (drops, truncation) the way the
+//! smoltcp examples do — useful for robustness tests of the classifiers.
+
+use crate::flow::FiveTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One packet in a trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracePacket {
+    /// Arrival timestamp in microseconds.
+    pub ts_micros: u64,
+    /// Flow identity.
+    pub flow: FiveTuple,
+    /// On-wire length in bytes.
+    pub wire_len: u16,
+    /// First bytes of the L4 payload (enough for raw-byte features).
+    pub payload_head: Vec<u8>,
+    /// TCP flags (0 for UDP).
+    pub tcp_flags: u8,
+    /// IP TTL.
+    pub ttl: u8,
+}
+
+/// A labeled packet trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Packets sorted by timestamp.
+    pub packets: Vec<TracePacket>,
+    /// Ground-truth class per flow (parallel maps are kept by the dataset
+    /// layer; this is the per-trace subset).
+    pub labels: Vec<(FiveTuple, usize)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a packet (caller keeps timestamps non-decreasing or calls
+    /// [`Trace::sort`] afterwards).
+    pub fn push(&mut self, pkt: TracePacket) {
+        self.packets.push(pkt);
+    }
+
+    /// Sorts packets by timestamp (stable, preserving per-flow order for
+    /// equal stamps).
+    pub fn sort(&mut self) {
+        self.packets.sort_by_key(|p| p.ts_micros);
+    }
+
+    /// Ground-truth label of a flow, if known.
+    pub fn label_of(&self, flow: &FiveTuple) -> Option<usize> {
+        self.labels.iter().find(|(f, _)| f == flow).map(|(_, l)| *l)
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Distinct flows in the trace.
+    pub fn flow_count(&self) -> usize {
+        let mut flows: Vec<FiveTuple> = self.packets.iter().map(|p| p.flow).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows.len()
+    }
+
+    /// Merges another trace into this one and re-sorts.
+    pub fn merge(&mut self, other: Trace) {
+        self.packets.extend(other.packets);
+        self.labels.extend(other.labels);
+        self.sort();
+    }
+}
+
+/// Consumer of replayed packets.
+pub trait PacketSink {
+    /// Called once per delivered packet, in timestamp order.
+    fn on_packet(&mut self, pkt: &TracePacket);
+}
+
+impl<F: FnMut(&TracePacket)> PacketSink for F {
+    fn on_packet(&mut self, pkt: &TracePacket) {
+        self(pkt)
+    }
+}
+
+/// Fault-injection knobs for replay (mirroring the smoltcp example options).
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Probability of silently dropping each packet.
+    pub drop_chance: f64,
+    /// Probability of truncating a packet's payload head to half.
+    pub truncate_chance: f64,
+    /// RNG seed for fault injection.
+    pub seed: u64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions { drop_chance: 0.0, truncate_chance: 0.0, seed: 0 }
+    }
+}
+
+/// Replays traces into sinks.
+pub struct Replayer {
+    options: ReplayOptions,
+}
+
+/// Statistics from one replay run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Packets delivered to the sink.
+    pub delivered: u64,
+    /// Packets dropped by fault injection.
+    pub dropped: u64,
+    /// Packets truncated by fault injection.
+    pub truncated: u64,
+}
+
+impl Replayer {
+    /// A replayer with no fault injection.
+    pub fn new() -> Self {
+        Replayer { options: ReplayOptions::default() }
+    }
+
+    /// A replayer with fault injection.
+    pub fn with_options(options: ReplayOptions) -> Self {
+        assert!((0.0..=1.0).contains(&options.drop_chance));
+        assert!((0.0..=1.0).contains(&options.truncate_chance));
+        Replayer { options }
+    }
+
+    /// Replays `trace` into `sink` in timestamp order.
+    pub fn replay(&self, trace: &Trace, sink: &mut dyn PacketSink) -> ReplayStats {
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut stats = ReplayStats::default();
+        debug_assert!(
+            trace.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros),
+            "trace must be sorted by timestamp"
+        );
+        for pkt in &trace.packets {
+            if self.options.drop_chance > 0.0 && rng.gen::<f64>() < self.options.drop_chance {
+                stats.dropped += 1;
+                continue;
+            }
+            if self.options.truncate_chance > 0.0
+                && rng.gen::<f64>() < self.options.truncate_chance
+            {
+                let mut cut = pkt.clone();
+                cut.payload_head.truncate(cut.payload_head.len() / 2);
+                sink.on_packet(&cut);
+                stats.truncated += 1;
+                stats.delivered += 1;
+                continue;
+            }
+            sink.on_packet(pkt);
+            stats.delivered += 1;
+        }
+        stats
+    }
+}
+
+impl Default for Replayer {
+    fn default() -> Self {
+        Replayer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(ts: u64, flow_id: u32, len: u16) -> TracePacket {
+        TracePacket {
+            ts_micros: ts,
+            flow: FiveTuple::new(flow_id, 2, 3, 4, 6),
+            wire_len: len,
+            payload_head: vec![0xaa; 16],
+            tcp_flags: 0,
+            ttl: 64,
+        }
+    }
+
+    fn trace3() -> Trace {
+        let mut t = Trace::new();
+        t.push(pkt(30, 1, 300));
+        t.push(pkt(10, 1, 100));
+        t.push(pkt(20, 2, 200));
+        t.sort();
+        t.labels.push((FiveTuple::new(1, 2, 3, 4, 6), 0));
+        t
+    }
+
+    #[test]
+    fn sort_orders_by_timestamp() {
+        let t = trace3();
+        let ts: Vec<u64> = t.packets.iter().map(|p| p.ts_micros).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn replay_delivers_in_order() {
+        let t = trace3();
+        let mut seen = Vec::new();
+        let mut sink = |p: &TracePacket| seen.push(p.ts_micros);
+        let stats = Replayer::new().replay(&t, &mut sink);
+        assert_eq!(seen, vec![10, 20, 30]);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn drop_chance_drops_packets() {
+        let mut t = Trace::new();
+        for i in 0..1000 {
+            t.push(pkt(i, 1, 100));
+        }
+        let mut count = 0u64;
+        let mut sink = |_: &TracePacket| count += 1;
+        let stats = Replayer::with_options(ReplayOptions {
+            drop_chance: 0.5,
+            truncate_chance: 0.0,
+            seed: 7,
+        })
+        .replay(&t, &mut sink);
+        assert_eq!(stats.delivered + stats.dropped, 1000);
+        assert!(stats.dropped > 350 && stats.dropped < 650, "{stats:?}");
+        assert_eq!(count, stats.delivered);
+    }
+
+    #[test]
+    fn truncation_halves_payload() {
+        let mut t = Trace::new();
+        t.push(pkt(0, 1, 100));
+        let mut got_len = None;
+        let mut sink = |p: &TracePacket| got_len = Some(p.payload_head.len());
+        let stats = Replayer::with_options(ReplayOptions {
+            drop_chance: 0.0,
+            truncate_chance: 1.0,
+            seed: 1,
+        })
+        .replay(&t, &mut sink);
+        assert_eq!(got_len, Some(8));
+        assert_eq!(stats.truncated, 1);
+    }
+
+    #[test]
+    fn flow_count_and_labels() {
+        let t = trace3();
+        assert_eq!(t.flow_count(), 2);
+        assert_eq!(t.label_of(&FiveTuple::new(1, 2, 3, 4, 6)), Some(0));
+        assert_eq!(t.label_of(&FiveTuple::new(9, 2, 3, 4, 6)), None);
+    }
+
+    #[test]
+    fn merge_resorts() {
+        let mut a = trace3();
+        let mut b = Trace::new();
+        b.push(pkt(5, 3, 50));
+        a.merge(b);
+        assert_eq!(a.packets[0].ts_micros, 5);
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Labeled datasets and batching for the training loop.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// An in-memory labeled dataset: one feature row per sample.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature matrix `[n, feat]` (or `[n, time*feat]` flattened sequences —
+    /// the consumer decides how to reshape).
+    pub x: Tensor,
+    /// Integer class label per row.
+    pub y: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating row/label parity.
+    pub fn new(x: Tensor, y: Vec<usize>) -> Self {
+        assert_eq!(x.shape()[0], y.len(), "one label per feature row required");
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Returns shuffled mini-batches of up to `batch_size` samples.
+    pub fn batches(&self, batch_size: usize, rng: &mut StdRng) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.chunks(batch_size)
+            .map(|chunk| {
+                let xb = self.x.select_rows(chunk);
+                let yb = chunk.iter().map(|&i| self.y[i]).collect();
+                (xb, yb)
+            })
+            .collect()
+    }
+
+    /// Takes a sub-dataset by row indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset { x: self.x.select_rows(idx), y: idx.iter().map(|&i| self.y[i]).collect() }
+    }
+
+    /// Per-column min/max over the features — used for fixed-point
+    /// calibration and fuzzy-tree domain bounds.
+    pub fn feature_ranges(&self) -> Vec<(f32, f32)> {
+        let cols = self.x.cols();
+        let mut ranges = vec![(f32::MAX, f32::MIN); cols];
+        for r in 0..self.x.rows() {
+            for (c, range) in ranges.iter_mut().enumerate() {
+                let v = self.x.at2(r, c);
+                range.0 = range.0.min(v);
+                range.1 = range.1.max(v);
+            }
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &[4, 2]),
+            vec![0, 1, 0, 1],
+        )
+    }
+
+    #[test]
+    fn classes_counts_labels() {
+        assert_eq!(toy().classes(), 2);
+    }
+
+    #[test]
+    fn batches_cover_all_rows() {
+        let d = toy();
+        let batches = d.batches(3, &mut rng(1));
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(batches[0].0.shape()[1], 2);
+    }
+
+    #[test]
+    fn batches_pair_rows_with_labels() {
+        let d = toy();
+        for (xb, yb) in d.batches(2, &mut rng(2)) {
+            for (r, &label) in yb.iter().enumerate() {
+                // In `toy`, label == (row_first_value / 2) % 2.
+                let first = xb.at2(r, 0);
+                assert_eq!(((first as usize) / 2) % 2, label);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_selects() {
+        let d = toy().subset(&[3, 0]);
+        assert_eq!(d.y, vec![1, 0]);
+        assert_eq!(d.x.row(0), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn feature_ranges_span_data() {
+        let r = toy().feature_ranges();
+        assert_eq!(r[0], (0.0, 6.0));
+        assert_eq!(r[1], (1.0, 7.0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Weight initialization and a deterministic RNG wrapper.
+//!
+//! All randomness in the workspace flows through seeded [`rand::rngs::StdRng`]
+//! instances so that every experiment is bit-reproducible from its `--seed`.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard seeded RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a tensor from a uniform distribution on `[-limit, limit]`.
+pub fn uniform(rng: &mut StdRng, shape: &[usize], limit: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Samples a tensor from `N(0, std^2)` using Box-Muller.
+pub fn normal(rng: &mut StdRng, shape: &[usize], std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a weight of shape
+/// `[fan_in, fan_out]` (or conv kernels where the first two axes dominate).
+pub fn xavier(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let (fan_in, fan_out) = fans(shape);
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, shape, limit)
+}
+
+/// He/Kaiming normal initialization (preferred before ReLU).
+pub fn he(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let (fan_in, _) = fans(shape);
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(rng, shape, std)
+}
+
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        1 => (shape[0], shape[0]),
+        2 => (shape[0], shape[1]),
+        // Conv1d kernels are [out_ch, in_ch, k]: fan_in = in_ch*k.
+        3 => (shape[1] * shape[2], shape[0] * shape[2]),
+        _ => {
+            let n: usize = shape.iter().product();
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = normal(&mut rng(7), &[4, 4], 1.0);
+        let b = normal(&mut rng(7), &[4, 4], 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = normal(&mut rng(7), &[4, 4], 1.0);
+        let b = normal(&mut rng(8), &[4, 4], 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let t = uniform(&mut rng(1), &[1000], 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let t = normal(&mut rng(2), &[10000], 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_width() {
+        let narrow = xavier(&mut rng(3), &[4, 4]);
+        let wide = xavier(&mut rng(3), &[400, 400]);
+        assert!(narrow.max() > wide.max());
+    }
+}

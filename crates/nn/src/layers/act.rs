@@ -1,0 +1,265 @@
+//! Element-wise activation layers (ReLU, tanh, sigmoid) and row-wise softmax.
+
+use super::{Layer, LayerSpec};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `max(0, x)`.
+#[derive(Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        grad_out.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Relu
+    }
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(f32::tanh);
+        if train {
+            self.cached_output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip_map(y, |g, t| g * (1.0 - t * t))
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Tanh
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+/// Numerically stable scalar sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = x.map(sigmoid);
+        if train {
+            self.cached_output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip_map(y, |g, s| g * s * (1.0 - s))
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Sigmoid
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+/// Row-wise softmax over a 2-D tensor.
+///
+/// For training classifiers prefer
+/// [`crate::loss::softmax_cross_entropy`], which fuses softmax with the loss
+/// for numerical stability; this standalone layer exists because the paper's
+/// operator taxonomy (Table 4) lowers Softmax to Map → SumReduce → Map on the
+/// dataplane and the compiler needs a reference implementation.
+#[derive(Default)]
+pub struct Softmax {
+    cached_output: Option<Tensor>,
+}
+
+impl Softmax {
+    /// Creates a softmax layer.
+    pub fn new() -> Self {
+        Softmax::default()
+    }
+}
+
+/// Row-wise softmax helper (max-subtracted for stability).
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().len(), 2);
+    let mut out = x.clone();
+    let cols = x.cols();
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let m = row.iter().copied().fold(f32::MIN, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        debug_assert!(sum > 0.0 && cols > 0);
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+impl Layer for Softmax {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = softmax_rows(x);
+        if train {
+            self.cached_output = Some(y.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        // dx_i = y_i * (g_i - sum_j g_j y_j), row-wise.
+        let mut out = Tensor::zeros(y.shape());
+        for r in 0..y.rows() {
+            let yr = y.row(r);
+            let gr = grad_out.row(r);
+            let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+            for (o, (&yi, &gi)) in out.row_mut(r).iter_mut().zip(yr.iter().zip(gr.iter())) {
+                *o = yi * (gi - dot);
+            }
+        }
+        out
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Softmax
+    }
+
+    fn name(&self) -> &'static str {
+        "Softmax"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut l = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]).reshape(&[1, 3]);
+        assert_eq!(l.forward(&x, false).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut l = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0]).reshape(&[1, 2]);
+        let _ = l.forward(&x, true);
+        let g = Tensor::from_slice(&[5.0, 5.0]).reshape(&[1, 2]);
+        assert_eq!(l.backward(&g).data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let mut l = Tanh::new();
+        let x = Tensor::from_slice(&[0.5]).reshape(&[1, 1]);
+        let y = l.forward(&x, false);
+        assert!((y.data()[0] - 0.5f32.tanh()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tanh_gradient() {
+        let mut l = Tanh::new();
+        let x = Tensor::from_slice(&[0.7]).reshape(&[1, 1]);
+        let _ = l.forward(&x, true);
+        let g = Tensor::ones(&[1, 1]);
+        let got = l.backward(&g).data()[0];
+        let t = 0.7f32.tanh();
+        assert!((got - (1.0 - t * t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0).abs() < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: bigger logit, bigger probability.
+        assert!(y.at2(0, 2) > y.at2(0, 1));
+    }
+
+    #[test]
+    fn softmax_backward_is_zero_for_uniform_grad() {
+        // If dL/dy is constant, dL/dx must vanish (softmax is shift-invariant).
+        let mut l = Softmax::new();
+        let x = Tensor::from_vec(vec![0.3, -1.0, 2.0], &[1, 3]);
+        let _ = l.forward(&x, true);
+        let g = Tensor::full(&[1, 3], 3.0);
+        let gx = l.backward(&g);
+        assert!(gx.data().iter().all(|&v| v.abs() < 1e-6));
+    }
+}

@@ -1,0 +1,291 @@
+//! 1-D convolution over `[batch, in_ch, len]` tensors.
+//!
+//! The paper's CNN models (CNN-B/M/L, §6.3) are 1-D textcnn-style networks
+//! over packet sequences, so only Conv1d is needed — no 2-D convolutions.
+
+use super::{Layer, LayerSpec, Param};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// 1-D convolution with kernel `[out_ch, in_ch, k]`, stride and zero padding.
+pub struct Conv1d {
+    kernel: Param,
+    bias: Param,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a Xavier-initialized convolution.
+    pub fn new(
+        rng: &mut StdRng,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        Conv1d {
+            kernel: Param::new(init::xavier(rng, &[out_ch, in_ch, k])),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Rebuilds a convolution from existing weights.
+    pub fn from_parts(kernel: Tensor, bias: Tensor, stride: usize, padding: usize) -> Self {
+        assert_eq!(kernel.shape().len(), 3, "kernel must be [out_ch, in_ch, k]");
+        assert_eq!(bias.len(), kernel.shape()[0]);
+        Conv1d { kernel: Param::new(kernel), bias: Param::new(bias), stride, padding, cached_input: None }
+    }
+
+    /// Output length for an input of length `len`.
+    pub fn out_len(&self, len: usize) -> usize {
+        let k = self.kernel.value.shape()[2];
+        let padded = len + 2 * self.padding;
+        assert!(padded >= k, "input too short for kernel: len {len}, k {k}");
+        (padded - k) / self.stride + 1
+    }
+
+    /// The `[out_ch, in_ch, k]` kernel.
+    pub fn kernel(&self) -> &Tensor {
+        &self.kernel.value
+    }
+
+    /// The `[out_ch]` bias.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// `(stride, padding)` hyper-parameters.
+    pub fn hyper(&self) -> (usize, usize) {
+        (self.stride, self.padding)
+    }
+
+    /// Input sample at a possibly-padded position (zero outside the input).
+    #[inline]
+    fn padded_at(x: &Tensor, b: usize, c: usize, pos: isize, len: usize) -> f32 {
+        if pos < 0 || pos as usize >= len {
+            0.0
+        } else {
+            x.at3(b, c, pos as usize)
+        }
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, in_ch, len]");
+        let (batch, in_ch, len) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let (out_ch, kin, k) =
+            (self.kernel.value.shape()[0], self.kernel.value.shape()[1], self.kernel.value.shape()[2]);
+        assert_eq!(in_ch, kin, "channel mismatch: input {in_ch} vs kernel {kin}");
+        let out_len = self.out_len(len);
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        let mut y = Tensor::zeros(&[batch, out_ch, out_len]);
+        for b in 0..batch {
+            for oc in 0..out_ch {
+                for ol in 0..out_len {
+                    let start = (ol * self.stride) as isize - self.padding as isize;
+                    let mut acc = self.bias.value.data()[oc];
+                    for ic in 0..in_ch {
+                        for ki in 0..k {
+                            let v = Self::padded_at(x, b, ic, start + ki as isize, len);
+                            if v != 0.0 {
+                                acc += v * self.kernel.value.at3(oc, ic, ki);
+                            }
+                        }
+                    }
+                    *y.at3_mut(b, oc, ol) = acc;
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let (batch, in_ch, len) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let (out_ch, _, k) =
+            (self.kernel.value.shape()[0], self.kernel.value.shape()[1], self.kernel.value.shape()[2]);
+        let out_len = grad_out.shape()[2];
+
+        let mut gx = Tensor::zeros(x.shape());
+        for b in 0..batch {
+            for oc in 0..out_ch {
+                for ol in 0..out_len {
+                    let g = grad_out.at3(b, oc, ol);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.bias.grad.data_mut()[oc] += g;
+                    let start = (ol * self.stride) as isize - self.padding as isize;
+                    for ic in 0..in_ch {
+                        for ki in 0..k {
+                            let pos = start + ki as isize;
+                            if pos < 0 || pos as usize >= len {
+                                continue;
+                            }
+                            let p = pos as usize;
+                            *self.kernel.grad.at3_mut(oc, ic, ki) += g * x.at3(b, ic, p);
+                            *gx.at3_mut(b, ic, p) += g * self.kernel.value.at3(oc, ic, ki);
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.kernel, &mut self.bias]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Conv1d {
+            kernel: self.kernel.value.clone(),
+            bias: self.bias.value.clone(),
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    fn fixed_conv() -> Conv1d {
+        // 1 in-ch, 1 out-ch, k=2 kernel [1, -1]: discrete difference.
+        let kernel = Tensor::from_vec(vec![1.0, -1.0], &[1, 1, 2]);
+        let bias = Tensor::zeros(&[1]);
+        Conv1d::from_parts(kernel, bias, 1, 0)
+    }
+
+    #[test]
+    fn forward_difference_kernel() {
+        let mut c = fixed_conv();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 6.0, 10.0], &[1, 1, 4]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[-2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn forward_with_padding() {
+        let mut c = Conv1d::from_parts(
+            Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 1, 3]),
+            Tensor::zeros(&[1]),
+            1,
+            1,
+        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 1, 3]);
+        let y = c.forward(&x, false);
+        // Padded input: [0,1,2,3,0]; moving window sum of width 3.
+        assert_eq!(y.data(), &[3.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    fn forward_with_stride() {
+        let mut c = Conv1d::from_parts(
+            Tensor::from_vec(vec![1.0, 0.0], &[1, 1, 2]),
+            Tensor::zeros(&[1]),
+            2,
+            0,
+        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 1, 5]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_channels() {
+        // 2 in-ch, 1 out-ch, k=1: y = x0 + 2*x1.
+        let kernel = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1]);
+        let mut c = Conv1d::from_parts(kernel, Tensor::zeros(&[1]), 1, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 2, 2]);
+        let y = c.forward(&x, false);
+        assert_eq!(y.data(), &[21.0, 42.0]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let kernel = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
+        let bias = Tensor::from_slice(&[5.0]);
+        let mut c = Conv1d::from_parts(kernel, bias, 1, 0);
+        let x = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
+        assert_eq!(c.forward(&x, false).data(), &[6.0]);
+    }
+
+    #[test]
+    fn gradcheck_kernel() {
+        let mut r = rng(5);
+        let mut c = Conv1d::new(&mut r, 2, 3, 3, 1, 1);
+        let x = init::normal(&mut r, &[2, 2, 6], 1.0);
+        let y = c.forward(&x, true);
+        let g = Tensor::ones(y.shape());
+        let _ = c.backward(&g);
+        let analytic = c.kernel.grad.clone();
+        let eps = 1e-2_f32;
+        for idx in [0usize, 7, 17] {
+            let orig = c.kernel.value.data()[idx];
+            c.kernel.value.data_mut()[idx] = orig + eps;
+            let lp = c.forward(&x, false).sum();
+            c.kernel.value.data_mut()[idx] = orig - eps;
+            let lm = c.forward(&x, false).sum();
+            c.kernel.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 0.05 * analytic.data()[idx].abs().max(1.0),
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut r = rng(6);
+        let mut c = Conv1d::new(&mut r, 1, 2, 2, 1, 0);
+        let x = init::normal(&mut r, &[1, 1, 5], 1.0);
+        let y = c.forward(&x, true);
+        let g = Tensor::ones(y.shape());
+        let gx = c.backward(&g);
+        let eps = 1e-2_f32;
+        let mut xp = x.clone();
+        for idx in 0..5 {
+            let orig = xp.data()[idx];
+            xp.data_mut()[idx] = orig + eps;
+            let lp = c.forward(&xp, false).sum();
+            xp.data_mut()[idx] = orig - eps;
+            let lm = c.forward(&xp, false).sum();
+            xp.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 0.05,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn out_len_formula() {
+        let mut r = rng(1);
+        let c = Conv1d::new(&mut r, 1, 1, 3, 2, 1);
+        // (8 + 2*1 - 3)/2 + 1 = 4
+        assert_eq!(c.out_len(8), 4);
+    }
+}

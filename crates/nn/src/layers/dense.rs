@@ -1,0 +1,252 @@
+//! Fully connected layers: full-precision [`Dense`] and sign-binarized
+//! [`BinaryDense`] (the N3IC substrate, trained with a straight-through
+//! estimator).
+
+use super::{Layer, LayerSpec, Param};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Fully connected layer: `y = x W + b` with `W: [in, out]`.
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a Xavier-initialized dense layer.
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize) -> Self {
+        Dense {
+            weight: Param::new(init::xavier(rng, &[in_dim, out_dim])),
+            bias: Param::new(Tensor::zeros(&[out_dim])),
+            cached_input: None,
+        }
+    }
+
+    /// Rebuilds a layer from existing weights.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().len(), 2);
+        assert_eq!(bias.len(), weight.shape()[1]);
+        Dense { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+    }
+
+    /// The `[in, out]` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The `[out]` bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Dense expects [batch, features]");
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        x.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        // dW = x^T g ; db = sum_rows(g) ; dx = g W^T
+        self.weight.grad.add_assign(&x.t().matmul(grad_out));
+        self.bias.grad.add_assign(&grad_out.sum_axis0());
+        grad_out.matmul(&self.weight.value.t())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Dense { weight: self.weight.value.clone(), bias: self.bias.value.clone() }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+/// Fully connected layer whose weights are binarized to `{-1, +1}` in the
+/// forward pass while latent full-precision weights receive the gradients
+/// (straight-through estimator).
+///
+/// This is the training-side counterpart of N3IC's XNOR+popcnt MatMul: once
+/// trained, the sign of each latent weight is what gets deployed, and
+/// `pegasus-baselines` proves the XNOR+popcnt evaluation bit-exact against
+/// this layer's binarized forward pass.
+pub struct BinaryDense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+/// Sign with `sign(0) = +1`, matching XNOR-net conventions.
+#[inline]
+pub fn sign_pm1(x: f32) -> f32 {
+    if x < 0.0 {
+        -1.0
+    } else {
+        1.0
+    }
+}
+
+impl BinaryDense {
+    /// Creates a binary dense layer with Xavier-initialized latent weights.
+    pub fn new(rng: &mut StdRng, in_dim: usize, out_dim: usize) -> Self {
+        BinaryDense {
+            weight: Param::new(init::xavier(rng, &[in_dim, out_dim])),
+            bias: Param::new(Tensor::zeros(&[out_dim])),
+            cached_input: None,
+        }
+    }
+
+    /// Rebuilds a layer from existing latent weights.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        BinaryDense { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+    }
+
+    /// The binarized (`{-1,+1}`) weight matrix actually used in forward.
+    pub fn binary_weight(&self) -> Tensor {
+        self.weight.value.map(sign_pm1)
+    }
+
+    /// The `[out]` bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+}
+
+impl Layer for BinaryDense {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "BinaryDense expects [batch, features]");
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        x.matmul(&self.binary_weight()).add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let wb = self.binary_weight();
+        // Straight-through estimator: gradient w.r.t. the binary weight is
+        // passed to the latent weight, clipped where |w| > 1 to keep the
+        // latent values bounded (Courbariaux et al.).
+        let raw_grad = x.t().matmul(grad_out);
+        let clip_mask = self.weight.value.map(|w| if w.abs() <= 1.0 { 1.0 } else { 0.0 });
+        self.weight.grad.add_assign(&raw_grad.mul(&clip_mask));
+        self.bias.grad.add_assign(&grad_out.sum_axis0());
+        grad_out.matmul(&wb.t())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::BinaryDense {
+            weight: self.weight.value.clone(),
+            bias: self.bias.value.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BinaryDense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_slice(&[0.5, -0.5]);
+        let mut d = Dense::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_backward_shapes_and_values() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let mut d = Dense::from_parts(w, b);
+        let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
+        let _ = d.forward(&x, true);
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let gx = d.backward(&g);
+        // dx = g W^T = [1,1] for identity W.
+        assert_eq!(gx.data(), &[1.0, 1.0]);
+        // dW = x^T g = [[2,2],[3,3]]
+        assert_eq!(d.weight.grad.data(), &[2.0, 2.0, 3.0, 3.0]);
+        assert_eq!(d.bias.grad.data(), &[1.0, 1.0]);
+    }
+
+    /// Finite-difference check of the dense layer gradient.
+    #[test]
+    fn dense_gradcheck() {
+        let mut r = rng(11);
+        let mut d = Dense::new(&mut r, 3, 2);
+        let x = init::normal(&mut r, &[4, 3], 1.0);
+        // Loss = sum(forward(x)); dL/dy = ones.
+        let y = d.forward(&x, true);
+        let g = Tensor::ones(y.shape());
+        let _ = d.backward(&g);
+        let analytic = d.weight.grad.clone();
+        let eps = 1e-3_f32;
+        for idx in [0usize, 3, 5] {
+            let orig = d.weight.value.data()[idx];
+            d.weight.value.data_mut()[idx] = orig + eps;
+            let lp = d.forward(&x, false).sum();
+            d.weight.value.data_mut()[idx] = orig - eps;
+            let lm = d.forward(&x, false).sum();
+            d.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn binary_dense_uses_sign_weights() {
+        let w = Tensor::from_vec(vec![0.3, -0.7, -0.1, 0.9], &[2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let mut d = BinaryDense::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, false);
+        // signs: [[+1,-1],[-1,+1]] -> y = [0, 0]
+        assert_eq!(y.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn binary_dense_ste_clips_large_weights() {
+        let w = Tensor::from_vec(vec![2.0, -0.5], &[1, 2]);
+        let b = Tensor::zeros(&[2]);
+        let mut d = BinaryDense::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let _ = d.forward(&x, true);
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let _ = d.backward(&g);
+        // |2.0| > 1 -> gradient zeroed; |-0.5| <= 1 -> gradient flows.
+        assert_eq!(d.weight.grad.data()[0], 0.0);
+        assert_eq!(d.weight.grad.data()[1], 1.0);
+    }
+
+    #[test]
+    fn sign_of_zero_is_positive() {
+        assert_eq!(sign_pm1(0.0), 1.0);
+        assert_eq!(sign_pm1(-0.0), 1.0);
+    }
+}

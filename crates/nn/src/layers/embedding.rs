@@ -1,0 +1,148 @@
+//! Embedding lookup: discrete indices to dense vectors.
+//!
+//! The paper's RNN-B, CNN models and AutoEncoder all start with an Emb layer
+//! (Table 4 maps it to a single Map primitive — `f(x) = E[x]`).
+
+use super::{Layer, LayerSpec, Param};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Embedding table of shape `[vocab, dim]`.
+///
+/// The forward input is a `[batch, time]` tensor whose values are
+/// non-negative integers stored as `f32` (the tensor substrate is f32-only);
+/// the output is `[batch, time, dim]`.
+pub struct Embedding {
+    table: Param,
+    cached_indices: Option<Vec<usize>>,
+    cached_in_shape: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates a normally initialized embedding with `vocab` rows of `dim`.
+    pub fn new(rng: &mut StdRng, vocab: usize, dim: usize) -> Self {
+        Embedding {
+            table: Param::new(init::normal(rng, &[vocab, dim], 0.5)),
+            cached_indices: None,
+            cached_in_shape: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an embedding from an existing table.
+    pub fn from_parts(table: Tensor) -> Self {
+        assert_eq!(table.shape().len(), 2, "embedding table must be [vocab, dim]");
+        Embedding { table: Param::new(table), cached_indices: None, cached_in_shape: Vec::new() }
+    }
+
+    /// The `[vocab, dim]` table.
+    pub fn table(&self) -> &Tensor {
+        &self.table.value
+    }
+
+    fn index_of(table_rows: usize, v: f32) -> usize {
+        let idx = v.round();
+        assert!(
+            idx >= 0.0 && (idx as usize) < table_rows,
+            "embedding index {v} out of range 0..{table_rows}"
+        );
+        idx as usize
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Embedding expects [batch, time] of indices");
+        let (b, t) = (x.shape()[0], x.shape()[1]);
+        let (vocab, dim) = (self.table.value.shape()[0], self.table.value.shape()[1]);
+        let indices: Vec<usize> =
+            x.data().iter().map(|&v| Self::index_of(vocab, v)).collect();
+        let mut y = Tensor::zeros(&[b, t, dim]);
+        for (pos, &idx) in indices.iter().enumerate() {
+            let dst = pos * dim;
+            let src = idx * dim;
+            y.data_mut()[dst..dst + dim]
+                .copy_from_slice(&self.table.value.data()[src..src + dim]);
+        }
+        if train {
+            self.cached_indices = Some(indices);
+            self.cached_in_shape = x.shape().to_vec();
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let indices = self.cached_indices.as_ref().expect("backward before forward");
+        let dim = self.table.value.shape()[1];
+        for (pos, &idx) in indices.iter().enumerate() {
+            let src = pos * dim;
+            let dst = idx * dim;
+            for d in 0..dim {
+                self.table.grad.data_mut()[dst + d] += grad_out.data()[src + d];
+            }
+        }
+        // Indices are discrete; no gradient flows to them.
+        Tensor::zeros(&self.cached_in_shape)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Embedding { table: self.table.value.clone() }
+    }
+
+    fn name(&self) -> &'static str {
+        "Embedding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_2x3() -> Embedding {
+        Embedding::from_parts(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0],
+            &[2, 3],
+        ))
+    }
+
+    #[test]
+    fn lookup_copies_rows() {
+        let mut e = table_2x3();
+        let x = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let y = e.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 3]);
+        assert_eq!(y.data(), &[10.0, 20.0, 30.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_into_rows() {
+        let mut e = table_2x3();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let _ = e.forward(&x, true);
+        let g = Tensor::ones(&[1, 2, 3]);
+        let gx = e.backward(&g);
+        assert_eq!(gx.shape(), &[1, 2]);
+        // Row 1 referenced twice -> grad 2 per element; row 0 untouched.
+        assert_eq!(e.table.grad.data(), &[0.0, 0.0, 0.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let mut e = table_2x3();
+        let x = Tensor::from_vec(vec![5.0], &[1, 1]);
+        let _ = e.forward(&x, false);
+    }
+
+    #[test]
+    fn rounds_float_indices() {
+        let mut e = table_2x3();
+        let x = Tensor::from_vec(vec![0.9], &[1, 1]);
+        let y = e.forward(&x, false);
+        assert_eq!(y.data(), &[10.0, 20.0, 30.0]);
+    }
+}

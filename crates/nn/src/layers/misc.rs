@@ -1,0 +1,283 @@
+//! Structural helper layers: flatten, axis transpose, dropout.
+
+use super::{Layer, LayerSpec};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Flattens `[batch, ...]` into `[batch, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert!(!x.shape().is_empty());
+        if train {
+            self.in_shape = x.shape().to_vec();
+        }
+        let batch = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(&self.in_shape)
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Flatten
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+/// Swaps axes 1 and 2 of a 3-D tensor: `[b, t, d] -> [b, d, t]`.
+///
+/// Needed between an [`super::Embedding`] (which produces `[batch, time,
+/// dim]`) and a [`super::Conv1d`] (which consumes `[batch, ch, len]` with
+/// channels = embedding dim) — the textcnn wiring of the paper's CNN models.
+#[derive(Default)]
+pub struct Transpose12;
+
+impl Transpose12 {
+    /// Creates the transpose layer.
+    pub fn new() -> Self {
+        Transpose12
+    }
+
+    fn apply(x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Transpose12 expects a 3-D tensor");
+        let (a, b, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut y = Tensor::zeros(&[a, c, b]);
+        for ai in 0..a {
+            for bi in 0..b {
+                for ci in 0..c {
+                    *y.at3_mut(ai, ci, bi) = x.at3(ai, bi, ci);
+                }
+            }
+        }
+        y
+    }
+}
+
+impl Layer for Transpose12 {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        Self::apply(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // The transpose is its own inverse (on swapped axes).
+        Self::apply(grad_out)
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Transpose12
+    }
+
+    fn name(&self) -> &'static str {
+        "Transpose12"
+    }
+}
+
+/// Inverted dropout: at train time zeroes each element with probability `p`
+/// and rescales survivors by `1/(1-p)`; identity at inference.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout { p, rng: StdRng::seed_from_u64(0x9e3779b97f4a7c15), mask: None }
+    }
+
+    /// Re-seeds the internal mask RNG (for reproducible training).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask_data: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.shape());
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(m) => grad_out.mul(m),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Dropout { p: self.p }
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+/// Selects columns `[offset, offset+len)` of a `[batch, cols]` tensor.
+///
+/// NAM-form models (Advanced Primitive Fusion ❸) give each parallel branch
+/// a private input segment; this layer is the trainable-graph counterpart
+/// of the Partition primitive.
+pub struct SliceCols {
+    offset: usize,
+    len: usize,
+    in_cols: usize,
+}
+
+impl SliceCols {
+    /// Creates a column slice.
+    pub fn new(offset: usize, len: usize) -> Self {
+        assert!(len >= 1);
+        SliceCols { offset, len, in_cols: 0 }
+    }
+}
+
+impl Layer for SliceCols {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "SliceCols expects [batch, cols]");
+        assert!(self.offset + self.len <= x.cols(), "slice out of range");
+        if train {
+            self.in_cols = x.cols();
+        }
+        let rows = x.rows();
+        let mut out = Tensor::zeros(&[rows, self.len]);
+        for r in 0..rows {
+            out.row_mut(r)
+                .copy_from_slice(&x.row(r)[self.offset..self.offset + self.len]);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let rows = grad_out.rows();
+        let mut gx = Tensor::zeros(&[rows, self.in_cols]);
+        for r in 0..rows {
+            gx.row_mut(r)[self.offset..self.offset + self.len]
+                .copy_from_slice(grad_out.row(r));
+        }
+        gx
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::SliceCols { offset: self.offset, len: self.len }
+    }
+
+    fn name(&self) -> &'static str {
+        "SliceCols"
+    }
+}
+
+#[cfg(test)]
+mod slice_tests {
+    use super::*;
+
+    #[test]
+    fn slice_selects_columns() {
+        let mut s = SliceCols::new(1, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = s.forward(&x, true);
+        assert_eq!(y.data(), &[2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_backward_scatters() {
+        let mut s = SliceCols::new(1, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let _ = s.forward(&x, true);
+        let g = Tensor::ones(&[2, 2]);
+        let gx = s.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 4]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn transpose12_swaps() {
+        let mut t = Transpose12::new();
+        let x = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[1, 2, 3]);
+        let y = t.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 3, 2]);
+        assert_eq!(y.at3(0, 2, 1), x.at3(0, 1, 2));
+    }
+
+    #[test]
+    fn transpose12_backward_is_inverse() {
+        let mut t = Transpose12::new();
+        let x = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[2, 2, 3]);
+        let y = t.forward(&x, true);
+        let back = t.backward(&y);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn dropout_identity_at_inference() {
+        let mut d = Dropout::new(0.5);
+        let x = Tensor::ones(&[4, 4]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let mut d = Dropout::new(0.5);
+        d.reseed(42);
+        let x = Tensor::ones(&[1, 1000]);
+        let y = d.forward(&x, true);
+        // Survivors are scaled to 2.0; mean stays near 1.0.
+        assert!(y.data().iter().all(|&v| v == 0.0 || v == 2.0));
+        assert!((y.mean() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3);
+        d.reseed(7);
+        let x = Tensor::ones(&[1, 100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[1, 100]));
+        assert_eq!(y.data(), g.data());
+    }
+}

@@ -1,0 +1,262 @@
+//! Pooling layers over `[batch, ch, len]` tensors.
+
+use super::{Layer, LayerSpec};
+use crate::tensor::Tensor;
+
+fn pool_out_len(len: usize, k: usize, stride: usize) -> usize {
+    assert!(len >= k, "input length {len} shorter than pool window {k}");
+    (len - k) / stride + 1
+}
+
+/// Max pooling with window `k` and the given stride.
+pub struct MaxPool1d {
+    k: usize,
+    stride: usize,
+    /// For each output element, the flat input index that won the max.
+    argmax: Option<Vec<usize>>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool1d {
+    /// Creates a max-pooling layer.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k >= 1 && stride >= 1);
+        MaxPool1d { k, stride, argmax: None, in_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "MaxPool1d expects [batch, ch, len]");
+        let (b, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let ol = pool_out_len(l, self.k, self.stride);
+        let mut y = Tensor::zeros(&[b, c, ol]);
+        let mut argmax = vec![0usize; b * c * ol];
+        for bi in 0..b {
+            for ci in 0..c {
+                for oi in 0..ol {
+                    let start = oi * self.stride;
+                    let mut best = f32::MIN;
+                    let mut best_idx = 0;
+                    for ki in 0..self.k {
+                        let v = x.at3(bi, ci, start + ki);
+                        if v > best {
+                            best = v;
+                            best_idx = (bi * c + ci) * l + start + ki;
+                        }
+                    }
+                    *y.at3_mut(bi, ci, oi) = best;
+                    argmax[(bi * c + ci) * ol + oi] = best_idx;
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = x.shape().to_vec();
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let mut gx = Tensor::zeros(&self.in_shape);
+        for (i, &src) in argmax.iter().enumerate() {
+            gx.data_mut()[src] += grad_out.data()[i];
+        }
+        gx
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::MaxPool1d { k: self.k, stride: self.stride }
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool1d"
+    }
+}
+
+/// Average pooling with window `k` and the given stride.
+pub struct AvgPool1d {
+    k: usize,
+    stride: usize,
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool1d {
+    /// Creates an average-pooling layer.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k >= 1 && stride >= 1);
+        AvgPool1d { k, stride, in_shape: Vec::new() }
+    }
+}
+
+impl Layer for AvgPool1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "AvgPool1d expects [batch, ch, len]");
+        let (b, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let ol = pool_out_len(l, self.k, self.stride);
+        let mut y = Tensor::zeros(&[b, c, ol]);
+        for bi in 0..b {
+            for ci in 0..c {
+                for oi in 0..ol {
+                    let start = oi * self.stride;
+                    let mut acc = 0.0;
+                    for ki in 0..self.k {
+                        acc += x.at3(bi, ci, start + ki);
+                    }
+                    *y.at3_mut(bi, ci, oi) = acc / self.k as f32;
+                }
+            }
+        }
+        if train {
+            self.in_shape = x.shape().to_vec();
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward");
+        let (b, c, _l) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
+        let ol = grad_out.shape()[2];
+        let mut gx = Tensor::zeros(&self.in_shape);
+        let inv_k = 1.0 / self.k as f32;
+        for bi in 0..b {
+            for ci in 0..c {
+                for oi in 0..ol {
+                    let g = grad_out.at3(bi, ci, oi) * inv_k;
+                    let start = oi * self.stride;
+                    for ki in 0..self.k {
+                        *gx.at3_mut(bi, ci, start + ki) += g;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::AvgPool1d { k: self.k, stride: self.stride }
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool1d"
+    }
+}
+
+/// Global max pooling: `[batch, ch, len] -> [batch, ch]` (the textcnn head).
+#[derive(Default)]
+pub struct GlobalMaxPool1d {
+    argmax: Option<Vec<usize>>,
+    in_shape: Vec<usize>,
+}
+
+impl GlobalMaxPool1d {
+    /// Creates a global max-pooling layer.
+    pub fn new() -> Self {
+        GlobalMaxPool1d::default()
+    }
+}
+
+impl Layer for GlobalMaxPool1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "GlobalMaxPool1d expects [batch, ch, len]");
+        let (b, c, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut y = Tensor::zeros(&[b, c]);
+        let mut argmax = vec![0usize; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let mut best = f32::MIN;
+                let mut best_idx = 0;
+                for li in 0..l {
+                    let v = x.at3(bi, ci, li);
+                    if v > best {
+                        best = v;
+                        best_idx = (bi * c + ci) * l + li;
+                    }
+                }
+                *y.at2_mut(bi, ci) = best;
+                argmax[bi * c + ci] = best_idx;
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = x.shape().to_vec();
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let mut gx = Tensor::zeros(&self.in_shape);
+        for (i, &src) in argmax.iter().enumerate() {
+            gx.data_mut()[src] += grad_out.data()[i];
+        }
+        gx
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::GlobalMaxPool1d
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalMaxPool1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let mut p = MaxPool1d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 1, 4]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[5.0, 3.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool1d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 1, 4]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec(vec![10.0, 20.0], &[1, 1, 2]);
+        let gx = p.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut p = AvgPool1d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 4]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_evenly() {
+        let mut p = AvgPool1d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 4]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec(vec![4.0, 8.0], &[1, 1, 2]);
+        let gx = p.backward(&g);
+        assert_eq!(gx.data(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn global_maxpool_reduces_length_axis() {
+        let mut p = GlobalMaxPool1d::new();
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, -1.0, -5.0, -2.0], &[1, 2, 3]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[9.0, -1.0]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let mut p = MaxPool1d::new(3, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], &[1, 1, 5]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[3.0, 4.0, 5.0]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Elman recurrent layer with windowed backpropagation through time.
+//!
+//! The paper's RNN-B follows BoS's *windowed* RNN design: a fixed number of
+//! time steps is processed per inference with no hidden-state write-back to
+//! switch memory (§6.3). The training-side layer here unrolls exactly that
+//! window: `h_t = tanh(x_t Wx + h_{t-1} Wh + b)`, returning the final hidden
+//! state.
+
+use super::{Layer, LayerSpec, Param};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Elman RNN over `[batch, time, feat]`, returning `[batch, hidden]`.
+pub struct Rnn {
+    wx: Param,
+    wh: Param,
+    bias: Param,
+    cache: Option<RnnCache>,
+}
+
+struct RnnCache {
+    /// Input per step: `time` tensors of `[batch, feat]`.
+    xs: Vec<Tensor>,
+    /// Hidden state per step *after* tanh: `time` tensors of `[batch, hidden]`.
+    hs: Vec<Tensor>,
+}
+
+impl Rnn {
+    /// Creates an RNN layer with Xavier-initialized weights.
+    pub fn new(rng: &mut StdRng, feat: usize, hidden: usize) -> Self {
+        Rnn {
+            wx: Param::new(init::xavier(rng, &[feat, hidden])),
+            wh: Param::new(init::xavier(rng, &[hidden, hidden])),
+            bias: Param::new(Tensor::zeros(&[hidden])),
+            cache: None,
+        }
+    }
+
+    /// Rebuilds an RNN from existing weights.
+    pub fn from_parts(wx: Tensor, wh: Tensor, bias: Tensor) -> Self {
+        assert_eq!(wx.shape().len(), 2);
+        assert_eq!(wh.shape().len(), 2);
+        assert_eq!(wh.shape()[0], wh.shape()[1], "Wh must be square");
+        assert_eq!(wx.shape()[1], wh.shape()[0], "Wx out dim must match hidden");
+        Rnn { wx: Param::new(wx), wh: Param::new(wh), bias: Param::new(bias), cache: None }
+    }
+
+    /// Input-to-hidden weights `[feat, hidden]`.
+    pub fn wx(&self) -> &Tensor {
+        &self.wx.value
+    }
+
+    /// Hidden-to-hidden weights `[hidden, hidden]`.
+    pub fn wh(&self) -> &Tensor {
+        &self.wh.value
+    }
+
+    /// Bias `[hidden]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    fn hidden(&self) -> usize {
+        self.wh.value.shape()[0]
+    }
+}
+
+impl Layer for Rnn {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 3, "Rnn expects [batch, time, feat]");
+        let (b, t, f) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert_eq!(f, self.wx.value.shape()[0], "feature dim mismatch");
+        let h_dim = self.hidden();
+
+        let mut h = Tensor::zeros(&[b, h_dim]);
+        let mut xs = Vec::with_capacity(t);
+        let mut hs = Vec::with_capacity(t);
+        for ti in 0..t {
+            // Slice step ti: [batch, feat].
+            let mut xt = Tensor::zeros(&[b, f]);
+            for bi in 0..b {
+                for fi in 0..f {
+                    *xt.at2_mut(bi, fi) = x.at3(bi, ti, fi);
+                }
+            }
+            let pre = xt
+                .matmul(&self.wx.value)
+                .add(&h.matmul(&self.wh.value))
+                .add_row_broadcast(&self.bias.value);
+            h = pre.map(f32::tanh);
+            if train {
+                xs.push(xt);
+                hs.push(h.clone());
+            }
+        }
+        if train {
+            self.cache = Some(RnnCache { xs, hs });
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let t = cache.xs.len();
+        let (b, f) = (cache.xs[0].shape()[0], cache.xs[0].shape()[1]);
+        let mut gx = Tensor::zeros(&[b, t, f]);
+        // Gradient flowing into h_t (from the output at t = T-1, then
+        // recurrently from step t+1).
+        let mut gh = grad_out.clone();
+        for ti in (0..t).rev() {
+            let h_t = &cache.hs[ti];
+            // Through tanh: g_pre = gh * (1 - h^2).
+            let g_pre = gh.zip_map(h_t, |g, h| g * (1.0 - h * h));
+            // Parameter grads.
+            self.wx.grad.add_assign(&cache.xs[ti].t().matmul(&g_pre));
+            let h_prev = if ti == 0 {
+                Tensor::zeros(&[b, self.hidden()])
+            } else {
+                cache.hs[ti - 1].clone()
+            };
+            self.wh.grad.add_assign(&h_prev.t().matmul(&g_pre));
+            self.bias.grad.add_assign(&g_pre.sum_axis0());
+            // Input grad for this step.
+            let gxt = g_pre.matmul(&self.wx.value.t());
+            for bi in 0..b {
+                for fi in 0..f {
+                    *gx.at3_mut(bi, ti, fi) = gxt.at2(bi, fi);
+                }
+            }
+            // Recurrent grad to previous hidden state.
+            gh = g_pre.matmul(&self.wh.value.t());
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.bias]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Rnn {
+            wx: self.wx.value.clone(),
+            wh: self.wh.value.clone(),
+            bias: self.bias.value.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Rnn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    #[test]
+    fn single_step_equals_dense_tanh() {
+        let wx = Tensor::from_vec(vec![1.0, 0.5], &[1, 2]);
+        let wh = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2]);
+        let mut r = Rnn::from_parts(wx, wh, b);
+        let x = Tensor::from_vec(vec![0.3], &[1, 1, 1]);
+        let y = r.forward(&x, false);
+        assert!((y.at2(0, 0) - 0.3f32.tanh()).abs() < 1e-6);
+        assert!((y.at2(0, 1) - 0.15f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hidden_state_carries_across_steps() {
+        // Wx = 1, Wh = 1, identity-ish 1-d RNN: h2 = tanh(x2 + tanh(x1)).
+        let wx = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let wh = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let mut r = Rnn::from_parts(wx, wh, b);
+        let x = Tensor::from_vec(vec![0.5, 0.2], &[1, 2, 1]);
+        let y = r.forward(&x, false);
+        let expect = (0.2f32 + 0.5f32.tanh()).tanh();
+        assert!((y.at2(0, 0) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bptt_gradcheck() {
+        let mut rr = rng(13);
+        let mut r = Rnn::new(&mut rr, 2, 3);
+        let x = init::normal(&mut rr, &[2, 4, 2], 1.0);
+        let y = r.forward(&x, true);
+        let g = Tensor::ones(y.shape());
+        let _ = r.backward(&g);
+        let analytic = r.wx.grad.clone();
+        let eps = 1e-2_f32;
+        for idx in 0..analytic.len() {
+            let orig = r.wx.value.data()[idx];
+            r.wx.value.data_mut()[idx] = orig + eps;
+            let lp = r.forward(&x, false).sum();
+            r.wx.value.data_mut()[idx] = orig - eps;
+            let lm = r.forward(&x, false).sum();
+            r.wx.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 0.03,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradcheck() {
+        let mut rr = rng(14);
+        let mut r = Rnn::new(&mut rr, 2, 2);
+        let x = init::normal(&mut rr, &[1, 3, 2], 1.0);
+        let y = r.forward(&x, true);
+        let g = Tensor::ones(y.shape());
+        let gx = r.backward(&g);
+        let eps = 1e-2_f32;
+        let mut xp = x.clone();
+        for idx in 0..x.len() {
+            let orig = xp.data()[idx];
+            xp.data_mut()[idx] = orig + eps;
+            let lp = r.forward(&xp, false).sum();
+            xp.data_mut()[idx] = orig - eps;
+            let lm = r.forward(&xp, false).sum();
+            xp.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 0.03,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # pegasus-nn — deep-learning substrate for the Pegasus reproduction
+//!
+//! A from-scratch, dependency-light neural-network library providing exactly
+//! what the Pegasus paper needs:
+//!
+//! * **Training** the six §6.3 models (MLP-B, RNN-B, CNN-B/M/L, AutoEncoder)
+//!   at full precision — see [`layers`], [`model`], [`optim`], [`train`];
+//! * **Introspection** of trained models via [`model::ModelSpec`] /
+//!   [`layers::LayerSpec`] so the Pegasus compiler (`pegasus-core`) can lower
+//!   them onto dataplane primitives;
+//! * **Binary networks** with straight-through estimators for the N3IC and
+//!   BoS baselines ([`layers::BinaryDense`]);
+//! * **Fixed-point quantization** ([`quant`]) implementing the paper's
+//!   Adaptive Fixed-Point Quantization (§4.4);
+//! * **Evaluation metrics** ([`metrics`]): macro-F1 ("macro-accuracy", §7.1),
+//!   precision/recall, ROC/AUC for Figure 8.
+//!
+//! The library is deliberately eager and single-threaded: the reproduction's
+//! training sets are small, and determinism (seeded [`init::rng`]) matters
+//! more than speed. Per the Tokio guidance for CPU-bound work, throughput
+//! experiments parallelize at the *harness* level with OS threads instead.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+
+pub use data::Dataset;
+pub use model::{ModelSpec, Sequential};
+pub use tensor::Tensor;

@@ -1,0 +1,138 @@
+//! Loss functions returning `(loss, gradient-with-respect-to-input)`.
+
+use crate::layers::softmax_rows;
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy from logits for integer class labels.
+///
+/// Returns the mean loss over the batch and the gradient w.r.t. the logits
+/// (already divided by the batch size, ready for `Sequential::backward`).
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2);
+    assert_eq!(logits.rows(), labels.len(), "one label per row required");
+    let probs = softmax_rows(logits);
+    let n = labels.len() as f32;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < logits.cols(), "label {y} out of range for {} classes", logits.cols());
+        let p = probs.at2(r, y).max(1e-12);
+        loss -= p.ln();
+        *grad.at2_mut(r, y) -= 1.0;
+    }
+    (loss / n, grad.scale(1.0 / n))
+}
+
+/// Mean squared error between prediction and target.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape());
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Mean absolute error — the reconstruction metric the paper's AutoEncoder
+/// uses for anomaly scoring (§6.3, §7.4).
+pub fn mae(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape());
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|&d| d.abs()).sum::<f32>() / n;
+    let grad = diff.map(|d| d.signum() / n);
+    (loss, grad)
+}
+
+/// Per-row mean absolute error (one anomaly score per sample).
+pub fn mae_per_row(pred: &Tensor, target: &Tensor) -> Vec<f32> {
+    assert_eq!(pred.shape(), target.shape());
+    assert_eq!(pred.shape().len(), 2);
+    let cols = pred.cols() as f32;
+    (0..pred.rows())
+        .map(|r| {
+            pred.row(r)
+                .iter()
+                .zip(target.row(r).iter())
+                .map(|(&a, &b)| (a - b).abs())
+                .sum::<f32>()
+                / cols
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_is_low_for_confident_correct() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_is_high_for_confident_wrong() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss > 5.0, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_grad_points_toward_target() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]);
+        // grad = p - onehot = [0.5-1, 0.5] = [-0.5, 0.5]
+        assert!((grad.at2(0, 0) + 0.5).abs() < 1e-6);
+        assert!((grad.at2(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.9, 1.0, 0.0, -1.0], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3_f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &labels);
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mae_basics() {
+        let p = Tensor::from_slice(&[1.0, -3.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mae(&p, &t);
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn mae_per_row_scores() {
+        let p = Tensor::from_vec(vec![1.0, 1.0, 0.0, 4.0], &[2, 2]);
+        let t = Tensor::zeros(&[2, 2]);
+        let scores = mae_per_row(&p, &t);
+        assert_eq!(scores, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Classification and detection metrics.
+//!
+//! The paper evaluates with packet-level *macro-accuracy* — the average
+//! F1-score across classes (§7.1) — plus overall precision/recall (Table 5)
+//! and AUC/ROC for the unsupervised detector (Figure 8). All of those are
+//! implemented here, from the confusion matrix up.
+
+/// Confusion matrix over `k` classes; `m[t][p]` counts samples of true class
+/// `t` predicted as class `p`.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel true/predicted label slices.
+    pub fn from_labels(truth: &[usize], pred: &[usize], classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len());
+        let mut counts = vec![vec![0u64; classes]; classes];
+        for (&t, &p) in truth.iter().zip(pred.iter()) {
+            assert!(t < classes && p < classes, "label out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> u64 {
+        self.counts[t][p]
+    }
+
+    /// Per-class precision (0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.counts[c][c] as f64;
+        let predicted: u64 = (0..self.classes()).map(|t| self.counts[t][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp / predicted as f64
+        }
+    }
+
+    /// Per-class recall (0 when the class has no samples).
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.counts[c][c] as f64;
+        let actual: u64 = self.counts[c].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp / actual as f64
+        }
+    }
+
+    /// Per-class F1.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged precision.
+    pub fn macro_precision(&self) -> f64 {
+        (0..self.classes()).map(|c| self.precision(c)).sum::<f64>() / self.classes() as f64
+    }
+
+    /// Macro-averaged recall.
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.classes()).map(|c| self.recall(c)).sum::<f64>() / self.classes() as f64
+    }
+
+    /// Macro-averaged F1 — the paper's "macro-accuracy" (§7.1).
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.classes()).map(|c| self.f1(c)).sum::<f64>() / self.classes() as f64
+    }
+
+    /// Plain accuracy (trace over total).
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes()).map(|c| self.counts[c][c]).sum();
+        let total: u64 = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// The PR / RC / F1 triple that each cell block of Table 5 reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrRcF1 {
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Macro F1.
+    pub f1: f64,
+}
+
+/// Computes the Table 5 metric triple from labels.
+pub fn pr_rc_f1(truth: &[usize], pred: &[usize], classes: usize) -> PrRcF1 {
+    let cm = ConfusionMatrix::from_labels(truth, pred, classes);
+    PrRcF1 { precision: cm.macro_precision(), recall: cm.macro_recall(), f1: cm.macro_f1() }
+}
+
+/// One point on a ROC curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+    /// The score threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Computes the full ROC curve for anomaly `scores` (higher = more anomalous)
+/// against boolean ground truth (`true` = positive/attack).
+pub fn roc_curve(scores: &[f64], is_positive: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), is_positive.len());
+    let pos = is_positive.iter().filter(|&&p| p).count() as f64;
+    let neg = is_positive.len() as f64 - pos;
+    assert!(pos > 0.0 && neg > 0.0, "ROC requires both classes present");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let (mut tp, mut fp) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < order.len() {
+        // Process ties as a block so the curve is threshold-consistent.
+        let thresh = scores[order[i]];
+        while i < order.len() && scores[order[i]] == thresh {
+            if is_positive[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push(RocPoint { fpr: fp / neg, tpr: tp / pos, threshold: thresh });
+    }
+    points
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+pub fn auc(scores: &[f64], is_positive: &[bool]) -> f64 {
+    let curve = roc_curve(scores, is_positive);
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = [0, 1, 2, 0, 1, 2];
+        let m = pr_rc_f1(&truth, &truth, 3);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let truth = [0, 0, 1, 1];
+        let pred = [1, 1, 0, 0];
+        let m = pr_rc_f1(&truth, &pred, 2);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn macro_f1_weights_classes_equally() {
+        // Class 1 is rare (1 sample) and always wrong; class 0 perfect.
+        let truth = [0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let cm = ConfusionMatrix::from_labels(&truth, &pred, 2);
+        assert!(cm.accuracy() > 0.85);
+        assert!(cm.macro_f1() < 0.55, "macro F1 {}", cm.macro_f1());
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let cm = ConfusionMatrix::from_labels(&[0, 1, 1], &[1, 1, 0], 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(0, 0), 0);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Interleaved scores: exactly chance-level ranking.
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        let labels = [true, false, true, false];
+        let a = auc(&scores, &labels);
+        assert!((a - 0.75).abs() < 1e-9, "auc {a}"); // 3 of 4 pairs ordered
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_handles_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roc_curve_endpoints() {
+        let scores = [0.9, 0.1];
+        let labels = [true, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Gradient-descent optimizers.
+
+use crate::layers::Param;
+use crate::tensor::Tensor;
+
+/// An optimizer steps parameters using their accumulated gradients.
+///
+/// Optimizers keep per-parameter state (momentum buffers, Adam moments) keyed
+/// by position in the parameter list, so the same list order must be used on
+/// every call — which `Sequential::params_mut` guarantees.
+pub trait Optimizer {
+    /// Applies one update step and leaves gradients untouched
+    /// (call `zero_grad` separately).
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed size");
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            if self.momentum > 0.0 {
+                // v = mu*v + g ; w -= lr*v
+                for (vi, &gi) in v.data_mut().iter_mut().zip(p.grad.data().iter()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                p.value.sub_scaled_assign(v, self.lr);
+            } else {
+                let grad = p.grad.clone();
+                p.value.sub_scaled_assign(&grad, self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed size");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i];
+                let mi = &mut m.data_mut()[i];
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                let vi = &mut v.data_mut()[i];
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = m.data()[i] / bc1;
+                let v_hat = v.data()[i] / bc2;
+                p.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_param(x0: f32) -> Param {
+        Param::new(Tensor::from_slice(&[x0]))
+    }
+
+    /// Minimizes f(x) = x^2 with the given optimizer; returns the final x.
+    fn run<O: Optimizer>(opt: &mut O, steps: usize, x0: f32) -> f32 {
+        let mut p = quad_param(x0);
+        for _ in 0..steps {
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * x;
+            let mut ps = [&mut p];
+            opt.step(&mut ps);
+            p.zero_grad();
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run(&mut Sgd::new(0.1, 0.0), 100, 5.0);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = run(&mut Sgd::new(0.05, 0.9), 200, 5.0);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run(&mut Adam::new(0.2), 300, 5.0);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction the very first Adam step is ~lr in magnitude.
+        let mut opt = Adam::new(0.1);
+        let mut p = quad_param(1.0);
+        p.grad.data_mut()[0] = 2.0;
+        let mut ps = [&mut p];
+        opt.step(&mut ps);
+        assert!((p.value.data()[0] - 0.9).abs() < 1e-4, "{}", p.value.data()[0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # pegasus-switch — a PISA programmable-switch simulator
+//!
+//! This crate is the execution substrate standing in for the paper's
+//! Barefoot Tofino 2 testbed. It models the match-action pipeline exactly as
+//! the paper characterizes it (§2):
+//!
+//! * 20 match-action stages per pipeline, each with **10 Mb SRAM**,
+//!   **0.5 Mb TCAM** and a **1024-bit action data bus**;
+//! * a **4096-bit packet header vector** ([`phv`]);
+//! * integer-only ALUs — add/sub/shift/compare/bitwise, *no* multiply,
+//!   divide, float or exponential ([`action`]);
+//! * exact (SRAM), ternary and range (TCAM) match tables ([`mat`]), with
+//!   numeric ranges compiled to ternary rules via Consecutive Range Coding
+//!   ([`ternary`], §6.1);
+//! * stateful 8/16/32-bit register arrays ([`register`]) — no 4-bit
+//!   registers, per the paper's footnote 2.
+//!
+//! [`program::SwitchProgram::deploy`] plays the role of the P4 compiler's
+//! resource allocator: it assigns tables to stages honoring data
+//! dependencies and rejects programs that exceed any physical limit, which
+//! is what makes "fits on the switch" a falsifiable claim in this
+//! reproduction. [`program::LoadedProgram::resource_report`] yields the
+//! SRAM/TCAM/bus utilization percentages reported in the paper's Table 6.
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod config;
+pub mod mat;
+pub mod phv;
+pub mod program;
+pub mod register;
+pub mod ternary;
+
+pub use action::{Action, AluOp, Operand, RegId};
+pub use config::SwitchConfig;
+pub use mat::{KeyPart, MatchKind, Table, TableEntry};
+pub use phv::{FieldId, Phv, PhvLayout};
+pub use program::{DeployError, LoadedProgram, PhvRemap, ResourceReport, SwitchProgram};
+pub use register::{RegFile, RegisterArray};
+pub use ternary::{range_to_ternary, TernaryKey};

@@ -1,0 +1,189 @@
+//! Ternary keys and range-to-ternary encoding.
+//!
+//! TCAM matches `(value, mask)` pairs: a packet field `x` matches when
+//! `x & mask == value & mask`. Numeric range predicates — which is what the
+//! fuzzy-matching clustering tree produces — must be compiled to sets of
+//! ternary rules. The paper uses the Consecutive Range Coding (CRC)
+//! algorithm from NetBeacon \[58\] for this (§6.1); the classic form
+//! implemented here decomposes `[lo, hi]` into maximal aligned power-of-two
+//! blocks, which is optimal for prefix-style expansions.
+
+use serde::{Deserialize, Serialize};
+
+/// A single ternary match: `x` matches when `x & mask == value`.
+///
+/// Invariant: `value & !mask == 0` (don't-care bits are zeroed in `value`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TernaryKey {
+    /// Care-bit pattern.
+    pub value: u64,
+    /// Set bits participate in the comparison.
+    pub mask: u64,
+}
+
+impl TernaryKey {
+    /// An exact-match key over `bits` bits.
+    pub fn exact(value: u64, bits: u8) -> Self {
+        let mask = mask_of(bits);
+        TernaryKey { value: value & mask, mask }
+    }
+
+    /// A wildcard key (matches anything).
+    pub fn any() -> Self {
+        TernaryKey { value: 0, mask: 0 }
+    }
+
+    /// True when `x` matches this key.
+    #[inline]
+    pub fn matches(&self, x: u64) -> bool {
+        x & self.mask == self.value
+    }
+
+    /// Number of wildcard (don't-care) bits within a `bits`-wide field.
+    pub fn wildcard_bits(&self, bits: u8) -> u32 {
+        (!self.mask & mask_of(bits)).count_ones()
+    }
+}
+
+/// All-ones mask of the low `bits` bits.
+pub fn mask_of(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Consecutive Range Coding: encodes the inclusive integer range `[lo, hi]`
+/// over a `bits`-wide field as a minimal set of prefix-style ternary keys.
+///
+/// The decomposition walks the range greedily from `lo`, at each step taking
+/// the largest aligned power-of-two block that still fits — the standard
+/// optimal prefix cover, worst case `2*bits - 2` keys.
+pub fn range_to_ternary(lo: u64, hi: u64, bits: u8) -> Vec<TernaryKey> {
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    assert!(bits <= 48, "range coding supports fields up to 48 bits");
+    let field_mask = mask_of(bits);
+    assert!(hi <= field_mask, "range end {hi} exceeds {bits}-bit field");
+
+    let mut keys = Vec::new();
+    let mut cur = lo;
+    loop {
+        // Largest block size aligned at `cur`:
+        let align_block = if cur == 0 { 1u64 << bits.min(63) } else { 1u64 << cur.trailing_zeros() };
+        // Largest block that does not overshoot hi:
+        let remaining = hi - cur + 1;
+        let mut block = align_block.min(prev_power_of_two(remaining));
+        // Guard for the bits==64 edge (align_block could be 1<<63 twice).
+        if block == 0 {
+            block = 1;
+        }
+        let prefix_bits = block.trailing_zeros() as u8;
+        keys.push(TernaryKey { value: cur & field_mask, mask: field_mask & !mask_of(prefix_bits) });
+        let next = cur.checked_add(block);
+        match next {
+            Some(n) if n <= hi => cur = n,
+            _ => break,
+        }
+    }
+    keys
+}
+
+fn prev_power_of_two(x: u64) -> u64 {
+    assert!(x > 0);
+    1u64 << (63 - x.leading_zeros())
+}
+
+/// Counts how many `bits`-wide values match any key in `keys`
+/// (test helper for exhaustive verification of small fields).
+pub fn count_matching(keys: &[TernaryKey], bits: u8) -> u64 {
+    assert!(bits <= 20, "exhaustive count only for small fields");
+    (0..=mask_of(bits)).filter(|&x| keys.iter().any(|k| k.matches(x))).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_exact_cover(lo: u64, hi: u64, bits: u8) {
+        let keys = range_to_ternary(lo, hi, bits);
+        for x in 0..=mask_of(bits) {
+            let should = (lo..=hi).contains(&x);
+            let does = keys.iter().any(|k| k.matches(x));
+            assert_eq!(should, does, "x={x} lo={lo} hi={hi} keys={keys:?}");
+        }
+    }
+
+    #[test]
+    fn single_value_is_exact() {
+        let keys = range_to_ternary(5, 5, 8);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0], TernaryKey::exact(5, 8));
+    }
+
+    #[test]
+    fn full_range_is_wildcard() {
+        let keys = range_to_ternary(0, 255, 8);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].mask, 0);
+    }
+
+    #[test]
+    fn paper_style_threshold_ranges() {
+        // Fuzzy tree thresholds produce [0, t] and [t+1, max] ranges.
+        assert_exact_cover(0, 5, 4);
+        assert_exact_cover(6, 15, 4);
+        assert_exact_cover(0, 127, 8);
+        assert_exact_cover(128, 255, 8);
+    }
+
+    #[test]
+    fn awkward_ranges() {
+        assert_exact_cover(1, 254, 8);
+        assert_exact_cover(3, 3, 8);
+        assert_exact_cover(100, 101, 8);
+        assert_exact_cover(0, 0, 8);
+        assert_exact_cover(255, 255, 8);
+    }
+
+    #[test]
+    fn rule_count_is_bounded() {
+        // Classic worst case [1, 2^n - 2] needs at most 2n-2 rules.
+        for bits in [4u8, 8, 12] {
+            let keys = range_to_ternary(1, mask_of(bits) - 1, bits);
+            assert!(
+                keys.len() <= 2 * bits as usize - 2,
+                "bits={bits}: {} rules",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_bit_counts() {
+        let k = TernaryKey { value: 0b1000, mask: 0b1100 };
+        assert_eq!(k.wildcard_bits(4), 2);
+        assert_eq!(TernaryKey::any().wildcard_bits(8), 8);
+        assert_eq!(TernaryKey::exact(7, 8).wildcard_bits(8), 0);
+    }
+
+    proptest! {
+        /// CRC covers exactly [lo, hi]: no value outside matches, every
+        /// value inside matches (the DESIGN.md §6 property).
+        #[test]
+        fn prop_range_cover_exact(lo in 0u64..256, width in 0u64..256) {
+            let hi = (lo + width).min(255);
+            assert_exact_cover(lo, hi, 8);
+        }
+
+        /// Keys within one range decomposition never overlap.
+        #[test]
+        fn prop_keys_disjoint(lo in 0u64..4096, width in 0u64..4096) {
+            let hi = (lo + width).min(4095);
+            let keys = range_to_ternary(lo, hi, 12);
+            let total: u64 = count_matching(&keys, 12);
+            prop_assert_eq!(total, hi - lo + 1); // disjoint => counts add up
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: train a model, compile it onto the switch simulator, and
+//! classify packets — the whole Pegasus pipeline in ~40 lines of API.
+//!
+//! Run: `cargo run --example quickstart --release`
+
+use pegasus::core::compile::CompileOptions;
+use pegasus::core::models::mlp_b::MlpB;
+use pegasus::core::models::TrainSettings;
+use pegasus::core::runtime::DataplaneModel;
+use pegasus::datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+use pegasus::switch::SwitchConfig;
+
+fn main() {
+    // 1. A synthetic PeerRush-like workload: three P2P applications.
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 60, seed: 42 });
+    let (train, val, test) = split_by_flow(&trace, 42);
+    let (train, val, test) =
+        (extract_views(&train), extract_views(&val), extract_views(&test));
+    println!("dataset: {} train / {} test samples", train.stat.len(), test.stat.len());
+
+    // 2. Train MLP-B on statistical features (full precision, offline).
+    let mut model = MlpB::train(&train.stat, Some(&val.stat), &TrainSettings::default());
+    let float_f1 = model.evaluate_float(&test.stat).f1;
+    println!("full-precision macro-F1: {float_f1:.4}");
+
+    // 3. Compile: fuzzy matching + primitive fusion + fixed-point tables.
+    let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
+    let pipeline = model.compile(&train.stat, &opts, true);
+    println!(
+        "compiled: {} tables, {} entries, {} lookups/packet",
+        pipeline.report.tables, pipeline.report.entries, pipeline.report.lookups_per_input
+    );
+
+    // 4. Deploy onto the Tofino-2 resource model — this validates every
+    //    hardware limit (stages, SRAM, TCAM, PHV, action bus).
+    let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2())
+        .expect("program fits the switch");
+    let report = dp.resource_report();
+    println!(
+        "deployed: {} stages, SRAM {:.2}%, TCAM {:.2}%, bus {:.2}%",
+        report.stages_used,
+        report.sram_frac * 100.0,
+        report.tcam_frac * 100.0,
+        report.bus_frac * 100.0
+    );
+
+    // 5. Classify at "line rate".
+    let dp_f1 = dp.evaluate(&test.stat).f1;
+    println!("on-switch macro-F1: {dp_f1:.4} (Δ {:+.4} vs full precision)", dp_f1 - float_f1);
+}

@@ -1,0 +1,24 @@
+//! # pegasus — umbrella crate
+//!
+//! Re-exports every crate of the Pegasus reproduction under one roof so the
+//! examples and integration tests read naturally:
+//!
+//! ```
+//! use pegasus::switch::SwitchConfig;
+//!
+//! let tofino = SwitchConfig::tofino2();
+//! assert_eq!(tofino.stages, 20);
+//! ```
+//!
+//! See the repository README for the full map; the interesting entry points
+//! are [`core::models`] (the six paper models), [`core::compile`] (the
+//! Pegasus compiler) and [`switch`] (the Tofino-2 resource model).
+
+#![warn(missing_docs)]
+
+pub use pegasus_baselines as baselines;
+pub use pegasus_core as core;
+pub use pegasus_datasets as datasets;
+pub use pegasus_net as net;
+pub use pegasus_nn as nn;
+pub use pegasus_switch as switch;

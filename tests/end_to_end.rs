@@ -1,0 +1,63 @@
+//! Cross-crate integration tests: the full train → compile → deploy →
+//! classify path for the Pegasus models, on all three synthetic datasets.
+
+use pegasus::core::compile::CompileOptions;
+use pegasus::core::models::mlp_b::MlpB;
+use pegasus::core::models::rnn_b::RnnB;
+use pegasus::core::models::TrainSettings;
+use pegasus::core::runtime::DataplaneModel;
+use pegasus::datasets::{
+    all_datasets, extract_views, generate_trace, split_by_flow, GenConfig,
+};
+use pegasus::switch::SwitchConfig;
+
+#[test]
+fn mlp_b_deploys_on_every_dataset() {
+    for spec in all_datasets() {
+        let trace = generate_trace(&spec, &GenConfig { flows_per_class: 15, seed: 31 });
+        let (train, _val, test) = split_by_flow(&trace, 31);
+        let (train, test) = (extract_views(&train).stat, extract_views(&test).stat);
+        let mut m = MlpB::train(&train, None, &TrainSettings::quick());
+        let pipeline = m.compile(&train, &CompileOptions::default(), false);
+        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2())
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let r = dp.resource_report();
+        assert!(r.stages_used <= 20, "{}: {} stages", spec.name, r.stages_used);
+        let f1 = dp.evaluate(&test).f1;
+        let chance = 1.0 / spec.num_classes() as f64;
+        assert!(f1 > chance, "{}: F1 {f1} at/below chance {chance}", spec.name);
+    }
+}
+
+#[test]
+fn rnn_b_transition_tables_deploy_and_classify() {
+    let spec = &all_datasets()[0];
+    let trace = generate_trace(spec, &GenConfig { flows_per_class: 20, seed: 32 });
+    let (train, _val, test) = split_by_flow(&trace, 32);
+    let (train, test) = (extract_views(&train).seq, extract_views(&test).seq);
+    let m = RnnB::train(&train, &TrainSettings::quick());
+    let pipeline = m.compile(&train, &CompileOptions { clustering_depth: 4, ..Default::default() });
+    let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
+    let f1 = dp.evaluate(&test).f1;
+    assert!(f1 > 0.4, "RNN-B dataplane F1 {f1}");
+}
+
+#[test]
+fn compiled_predictions_deterministic_across_deploys() {
+    let spec = &all_datasets()[0];
+    let trace = generate_trace(spec, &GenConfig { flows_per_class: 12, seed: 33 });
+    let (train, _val, test) = split_by_flow(&trace, 33);
+    let (train, test) = (extract_views(&train).stat, extract_views(&test).stat);
+    let mut m = MlpB::train(&train, None, &TrainSettings::quick());
+    let p1 = m.compile(&train, &CompileOptions::default(), false);
+    let p2 = m.compile(&train, &CompileOptions::default(), false);
+    let mut d1 = DataplaneModel::deploy(p1, &SwitchConfig::tofino2()).unwrap();
+    let mut d2 = DataplaneModel::deploy(p2, &SwitchConfig::tofino2()).unwrap();
+    for r in 0..test.len().min(100) {
+        assert_eq!(
+            d1.classify(test.x.row(r)),
+            d2.classify(test.x.row(r)),
+            "row {r} diverged between identical compiles"
+        );
+    }
+}
