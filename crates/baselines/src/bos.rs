@@ -13,14 +13,20 @@
 //! mirroring our RNN-B pipeline but with enumeration instead of clustering
 //! — the head-to-head the paper's Table 5 makes.
 
+use crate::report_for;
+use pegasus_core::compile::CompileOptions;
+use pegasus_core::compile::CompiledPipeline;
+use pegasus_core::error::PegasusError;
+use pegasus_core::models::{DataplaneNet, Lowered, ModelData, TrainSettings};
+use pegasus_core::numformat::NumFormat;
 use pegasus_nn::layers::{sign_pm1, Param};
 use pegasus_nn::loss::softmax_cross_entropy;
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::optim::{Adam, Optimizer};
 use pegasus_nn::{Dataset, Tensor};
 use pegasus_switch::{
-    Action, AluOp, DeployError, FieldId, KeyPart, MatchKind, Operand, PhvLayout, SwitchConfig,
-    SwitchProgram, Table, TableEntry,
+    Action, AluOp, FieldId, KeyPart, MatchKind, Operand, PhvLayout, SwitchProgram, Table,
+    TableEntry,
 };
 
 /// Packets per window.
@@ -29,6 +35,10 @@ pub const WINDOW: usize = 8;
 pub const IN_BITS: usize = 2;
 /// Binary hidden-state width.
 pub const HIDDEN: usize = 8;
+
+/// Per-sample BPTT cache: pre-activations, binarized states, and inputs of
+/// each window step.
+type StepCache = (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<[f32; 2]>);
 
 /// Thresholds splitting codes into sign bits (learned as medians).
 #[derive(Clone, Copy, Debug)]
@@ -52,16 +62,14 @@ pub struct Bos {
 
 impl Bos {
     /// Trains on interleaved `[len, ipd] x 8` code rows.
-    pub fn train(train: &Dataset, epochs: usize, lr: f32, seed: u64) -> Self {
+    pub fn fit(train: &Dataset, epochs: usize, lr: f32, seed: u64) -> Self {
         assert_eq!(train.x.cols(), 2 * WINDOW, "BoS expects 16 sequence codes");
         let classes = train.classes();
         let mut rng = pegasus_nn::init::rng(seed);
         // Median thresholds for input binarization.
         let median = |col_stride: usize| -> f32 {
             let mut v: Vec<f32> = (0..train.len())
-                .flat_map(|r| {
-                    (0..WINDOW).map(move |t| train.x.at2(r, 2 * t + col_stride))
-                })
+                .flat_map(|r| (0..WINDOW).map(move |t| train.x.at2(r, 2 * t + col_stride)))
                 .collect();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v[v.len() / 2]
@@ -145,7 +153,10 @@ impl Bos {
 
     /// Training-time forward with straight-through sign gradients.
     #[allow(clippy::type_complexity)]
-    fn forward_train(&self, x: &Tensor) -> (Tensor, Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<[f32; 2]>)>) {
+    fn forward_train(
+        &self,
+        x: &Tensor,
+    ) -> (Tensor, Vec<(Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<[f32; 2]>)>) {
         let rows = x.rows();
         let mut logits = Tensor::zeros(&[rows, self.classes]);
         let mut caches = Vec::with_capacity(rows);
@@ -176,11 +187,8 @@ impl Bos {
     }
 
     /// BPTT with straight-through sign estimators.
-    fn backward(
-        &mut self,
-        grad_logits: &Tensor,
-        caches: &[(Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<[f32; 2]>)],
-    ) {
+    #[allow(clippy::needless_range_loop)] // dense index math over parallel arrays
+    fn backward(&mut self, grad_logits: &Tensor, caches: &[StepCache]) {
         for (r, (pres, hs, xs)) in caches.iter().enumerate() {
             // Head grads + grad into final h.
             let mut gh = vec![0.0f32; HIDDEN];
@@ -204,11 +212,7 @@ impl Bos {
                         ste * (1.0 - p.tanh() * p.tanh())
                     })
                     .collect();
-                let h_prev: Vec<f32> = if t == 0 {
-                    vec![-1.0; HIDDEN]
-                } else {
-                    hs[t - 1].clone()
-                };
+                let h_prev: Vec<f32> = if t == 0 { vec![-1.0; HIDDEN] } else { hs[t - 1].clone() };
                 for o in 0..HIDDEN {
                     self.bias.grad.data_mut()[o] += g_pre[o];
                     for i in 0..IN_BITS {
@@ -263,8 +267,9 @@ impl Bos {
 
     /// Emits the exhaustive mapping-table switch program: one input
     /// binarization table, `WINDOW` chained state tables of
-    /// `2^(HIDDEN + IN_BITS)` entries, a head table and an argmax chain.
-    pub fn compile(&self) -> BosPipeline {
+    /// `2^(HIDDEN + IN_BITS)` entries, and a head table holding the
+    /// precomputed verdicts.
+    fn emit_pipeline(&self) -> CompiledPipeline {
         let mut layout = PhvLayout::new();
         let input_fields: Vec<FieldId> =
             (0..2 * WINDOW).map(|i| layout.add_field(&format!("in{i}"), 8)).collect();
@@ -299,25 +304,23 @@ impl Bos {
         {
             // Initial hidden state: all -1 -> bit pattern 0.
             let mut t = Table::new("bos_init", vec![]);
-            let act = Action::new("h0")
-                .with(AluOp::Set { dst: h_field, a: Operand::Const(0) });
+            let act = Action::new("h0").with(AluOp::Set { dst: h_field, a: Operand::Const(0) });
             t.default_action = Some((t.add_action(act), vec![]));
             tables.push(t);
         }
-        for step in 0..WINDOW {
+        for (step, &step_bits) in bit_fields.iter().enumerate() {
             let next = layout.add_field(&format!("bos_h{}", step + 1), HIDDEN as u8);
             let mut t = Table::new(
                 &format!("bos_step{step}"),
-                vec![(h_field, MatchKind::Exact), (bit_fields[step], MatchKind::Exact)],
+                vec![(h_field, MatchKind::Exact), (step_bits, MatchKind::Exact)],
             );
             let set = t.add_action(
                 Action::new("next").with(AluOp::Set { dst: next, a: Operand::Param(0) }),
             );
             t.param_widths = vec![HIDDEN as u8];
             for h_pat in 0..(1u64 << HIDDEN) {
-                let h_pm1: Vec<f32> = (0..HIDDEN)
-                    .map(|i| if (h_pat >> i) & 1 == 1 { 1.0 } else { -1.0 })
-                    .collect();
+                let h_pm1: Vec<f32> =
+                    (0..HIDDEN).map(|i| if (h_pat >> i) & 1 == 1 { 1.0 } else { -1.0 }).collect();
                 for x_pat in 0..(1u64 << IN_BITS) {
                     let xin = [
                         if x_pat & 1 == 1 { 1.0 } else { -1.0 },
@@ -352,9 +355,8 @@ impl Bos {
             );
             t.param_widths = vec![8];
             for h_pat in 0..(1u64 << HIDDEN) {
-                let h_pm1: Vec<f32> = (0..HIDDEN)
-                    .map(|i| if (h_pat >> i) & 1 == 1 { 1.0 } else { -1.0 })
-                    .collect();
+                let h_pm1: Vec<f32> =
+                    (0..HIDDEN).map(|i| if (h_pat >> i) & 1 == 1 { 1.0 } else { -1.0 }).collect();
                 let mut best = (0usize, f32::MIN);
                 for o in 0..self.classes {
                     let mut acc = self.head_b.value.data()[o];
@@ -381,69 +383,55 @@ impl Bos {
         program.stateful_bits_per_flow = (WINDOW * IN_BITS + 16) as u64;
         program.keep_alive = vec![pred_field];
         let (_, remap) = program.compact_phv(&input_fields);
-        BosPipeline {
+        let input_fields: Vec<FieldId> = input_fields.iter().map(|&f| remap.get(f)).collect();
+        let pred_field = remap.get(pred_field);
+        let report = report_for(&program);
+        CompiledPipeline {
             program,
-            input_fields: input_fields.iter().map(|&f| remap.get(f)).collect(),
-            pred_field: remap.get(pred_field),
+            input_fields,
+            score_fields: vec![],
+            score_format: NumFormat::code8(),
+            predicted_field: Some(pred_field),
+            report,
         }
     }
 }
 
-/// The deployable BoS program.
-pub struct BosPipeline {
-    /// Switch program (exact mapping tables).
-    pub program: SwitchProgram,
-    /// Input code fields.
-    pub input_fields: Vec<FieldId>,
-    /// Predicted-class field.
-    pub pred_field: FieldId,
-}
-
-impl BosPipeline {
-    /// Deploys and wraps into a classifier.
-    pub fn deploy(self, cfg: &SwitchConfig) -> Result<DeployedBos, DeployError> {
-        let loaded = self.program.clone().deploy(cfg)?;
-        Ok(DeployedBos { pipeline: self, loaded })
-    }
-}
-
-/// A deployed BoS classifier.
-pub struct DeployedBos {
-    pipeline: BosPipeline,
-    loaded: pegasus_switch::LoadedProgram,
-}
-
-impl DeployedBos {
-    /// Classifies one 16-code sequence row.
-    pub fn classify(&mut self, codes: &[f32]) -> usize {
-        let inputs: Vec<(FieldId, i64)> = self
-            .pipeline
-            .input_fields
-            .iter()
-            .zip(codes.iter())
-            .map(|(&f, &v)| (f, v.round().clamp(0.0, 255.0) as i64))
-            .collect();
-        let phv = self.loaded.process(&inputs);
-        phv.get(self.pipeline.pred_field) as usize
+impl DataplaneNet for Bos {
+    fn name(&self) -> &'static str {
+        "BoS (binary RNN)"
     }
 
-    /// Macro metrics on the switch.
-    pub fn evaluate(&mut self, data: &Dataset) -> PrRcF1 {
-        let preds: Vec<usize> =
-            (0..data.len()).map(|r| self.classify(data.x.row(r))).collect();
-        pr_rc_f1(&data.y, &preds, data.classes())
+    fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(Bos::fit(data.seq("BoS")?, settings.epochs, settings.lr, settings.seed))
     }
 
-    /// Resource report (Table 6 row).
-    pub fn resource_report(&self) -> pegasus_switch::ResourceReport {
-        self.loaded.resource_report()
+    /// BoS's "float" path already uses deployed (binarized) semantics.
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.evaluate(data.seq("BoS")?))
+    }
+
+    /// Lowers to exhaustively enumerated mapping tables — computation
+    /// bypassing with no clustering, the `2^n` wall of §2.
+    fn lower(
+        &mut self,
+        _data: &ModelData<'_>,
+        _opts: &CompileOptions,
+    ) -> Result<Lowered, PegasusError> {
+        Ok(Lowered::Pipeline(Box::new(self.emit_pipeline())))
+    }
+
+    fn size_kilobits(&mut self) -> f64 {
+        Bos::size_kilobits(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pegasus_core::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+    use pegasus_switch::SwitchConfig;
 
     fn data() -> (Dataset, Dataset) {
         let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 25, seed: 22 });
@@ -454,7 +442,7 @@ mod tests {
     #[test]
     fn trains_above_chance() {
         let (train, test) = data();
-        let m = Bos::train(&train, 15, 0.01, 7);
+        let m = Bos::fit(&train, 15, 0.01, 7);
         let f1 = m.evaluate(&test).f1;
         assert!(f1 > 0.45, "BoS F1 {f1}");
     }
@@ -462,12 +450,17 @@ mod tests {
     #[test]
     fn switch_program_matches_host_semantics() {
         let (train, test) = data();
-        let m = Bos::train(&train, 8, 0.01, 8);
+        let m = Bos::fit(&train, 8, 0.01, 8);
         let host_preds = m.forward(&test.x).argmax_rows();
-        let mut dp = m.compile().deploy(&SwitchConfig::tofino2()).expect("BoS fits");
+        let bundle = ModelData::new().with_seq(&train);
+        let dp = Pegasus::new(m)
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .expect("BoS fits");
         let mut agree = 0;
-        for r in 0..test.len() {
-            if dp.classify(test.x.row(r)) == host_preds[r] {
+        for (r, &host) in host_preds.iter().enumerate() {
+            if dp.classify(test.x.row(r)).expect("classifies") == host {
                 agree += 1;
             }
         }
@@ -477,11 +470,16 @@ mod tests {
     #[test]
     fn table_entries_grow_exponentially() {
         let (train, _) = data();
-        let m = Bos::train(&train, 1, 0.01, 9);
+        let m = Bos::fit(&train, 1, 0.01, 9);
         // 2^(8+2) = 1024 entries per step — the scalability wall Pegasus
         // removes (a 21-bit input would already need 2M entries, §2).
         assert_eq!(m.entries_per_step(), 1024);
-        let dp = m.compile().deploy(&SwitchConfig::tofino2()).unwrap();
+        let bundle = ModelData::new().with_seq(&train);
+        let dp = Pegasus::new(m)
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
         let report = dp.resource_report();
         assert!(report.entries >= 8 * 1024);
     }

@@ -8,11 +8,16 @@
 //! machinery Pegasus uses for fuzzy matching, with the class verdict stored
 //! directly in the entry.
 
+use crate::report_for;
+use pegasus_core::compile::{CompileOptions, CompiledPipeline};
+use pegasus_core::error::PegasusError;
+use pegasus_core::models::{DataplaneNet, Lowered, ModelData, TrainSettings};
+use pegasus_core::numformat::NumFormat;
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::Dataset;
 use pegasus_switch::{
-    Action, AluOp, DeployError, FieldId, KeyPart, MatchKind, Operand, PhvLayout, SwitchConfig,
-    SwitchProgram, Table, TableEntry,
+    Action, AluOp, FieldId, KeyPart, MatchKind, Operand, PhvLayout, SwitchProgram, Table,
+    TableEntry,
 };
 
 /// CART hyper-parameters.
@@ -57,7 +62,7 @@ fn gini(counts: &[usize]) -> f64 {
 
 impl Leo {
     /// Trains a CART tree on statistical features.
-    pub fn train(train: &Dataset, cfg: &LeoConfig) -> Self {
+    pub fn fit(train: &Dataset, cfg: &LeoConfig) -> Self {
         let classes = train.classes();
         let features = train.x.cols();
         let mut nodes: Vec<Node> = Vec::new();
@@ -74,12 +79,8 @@ impl Leo {
             for &i in &idx {
                 counts[train.y[i]] += 1;
             }
-            let majority = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .map(|(c, _)| c)
-                .unwrap_or(0);
+            let majority =
+                counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(c, _)| c).unwrap_or(0);
             nodes[slot] = Node::Leaf { class: majority };
             if idx.len() < cfg.min_samples
                 || counts.iter().filter(|&&c| c > 0).count() <= 1
@@ -93,9 +94,7 @@ impl Leo {
             let mut best: Option<(usize, f32, f64)> = None;
             let mut sorted = idx.clone();
             for f in 0..features {
-                sorted.sort_by(|&a, &b| {
-                    train.x.at2(a, f).partial_cmp(&train.x.at2(b, f)).unwrap()
-                });
+                sorted.sort_by(|&a, &b| train.x.at2(a, f).partial_cmp(&train.x.at2(b, f)).unwrap());
                 let mut left_counts = vec![0usize; classes];
                 for cut in 1..sorted.len() {
                     left_counts[train.y[sorted[cut - 1]]] += 1;
@@ -104,16 +103,13 @@ impl Leo {
                     if a == b {
                         continue;
                     }
-                    let right_counts: Vec<usize> = counts
-                        .iter()
-                        .zip(left_counts.iter())
-                        .map(|(&t, &l)| t - l)
-                        .collect();
+                    let right_counts: Vec<usize> =
+                        counts.iter().zip(left_counts.iter()).map(|(&t, &l)| t - l).collect();
                     let nl = cut as f64;
                     let nr = (sorted.len() - cut) as f64;
                     let n = sorted.len() as f64;
                     let w = (nl / n) * gini(&left_counts) + (nr / n) * gini(&right_counts);
-                    if best.map_or(true, |(_, _, bw)| w < bw) {
+                    if best.is_none_or(|(_, _, bw)| w < bw) {
                         // Snap to x*8 - 1 boundaries when the snapped value
                         // still separates the two sides: boundary-aligned
                         // thresholds expand to far fewer TCAM rules once
@@ -188,12 +184,12 @@ impl Leo {
         level
     }
 
-    /// Compiles the tree level by level — Leo's actual dataplane encoding:
+    /// Emits the tree level by level — Leo's actual dataplane encoding:
     /// one MAT per tree depth, keyed on the current node id plus ranges
     /// over the features (wildcard except the node's split feature, so each
     /// entry expands to a handful of TCAM rules instead of a cross
     /// product), then a final node-id → verdict table.
-    pub fn compile(&self) -> LeoPipeline {
+    fn emit_pipeline(&self) -> CompiledPipeline {
         let mut layout = PhvLayout::new();
         let input_fields: Vec<FieldId> =
             (0..self.features).map(|i| layout.add_field(&format!("in{i}"), 8)).collect();
@@ -273,69 +269,53 @@ impl Leo {
         program.stateful_bits_per_flow = 80;
         program.keep_alive = vec![pred_field, node_field];
         let (_, remap) = program.compact_phv(&input_fields);
-        LeoPipeline {
+        let input_fields: Vec<FieldId> = input_fields.iter().map(|&f| remap.get(f)).collect();
+        let pred_field = remap.get(pred_field);
+        let report = report_for(&program);
+        CompiledPipeline {
             program,
-            input_fields: input_fields.iter().map(|&f| remap.get(f)).collect(),
-            pred_field: remap.get(pred_field),
+            input_fields,
+            score_fields: vec![],
+            score_format: NumFormat::code8(),
+            predicted_field: Some(pred_field),
+            report,
         }
     }
 }
 
-/// The deployable Leo program.
-pub struct LeoPipeline {
-    /// Switch program (one verdict table).
-    pub program: SwitchProgram,
-    /// Input feature fields.
-    pub input_fields: Vec<FieldId>,
-    /// Predicted-class field.
-    pub pred_field: FieldId,
-}
-
-impl LeoPipeline {
-    /// Deploys onto a switch configuration.
-    pub fn deploy(self, cfg: &SwitchConfig) -> Result<DeployedLeo, DeployError> {
-        let loaded = self.program.clone().deploy(cfg)?;
-        Ok(DeployedLeo { pipeline: self, loaded })
-    }
-}
-
-/// A deployed Leo classifier.
-pub struct DeployedLeo {
-    pipeline: LeoPipeline,
-    loaded: pegasus_switch::LoadedProgram,
-}
-
-impl DeployedLeo {
-    /// Classifies one statistical feature row.
-    pub fn classify(&mut self, codes: &[f32]) -> usize {
-        let inputs: Vec<(FieldId, i64)> = self
-            .pipeline
-            .input_fields
-            .iter()
-            .zip(codes.iter())
-            .map(|(&f, &v)| (f, v.round().clamp(0.0, 255.0) as i64))
-            .collect();
-        let phv = self.loaded.process(&inputs);
-        phv.get(self.pipeline.pred_field) as usize
+impl DataplaneNet for Leo {
+    fn name(&self) -> &'static str {
+        "Leo (Decision Tree)"
     }
 
-    /// Macro metrics on the switch.
-    pub fn evaluate(&mut self, data: &Dataset) -> PrRcF1 {
-        let preds: Vec<usize> =
-            (0..data.len()).map(|r| self.classify(data.x.row(r))).collect();
-        pr_rc_f1(&data.y, &preds, data.classes())
+    /// Trains with [`LeoConfig::default`]; use [`Leo::fit`] for custom tree
+    /// budgets.
+    fn train(data: &ModelData<'_>, _settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(Leo::fit(data.stat("Leo")?, &LeoConfig::default()))
     }
 
-    /// Resource report (Table 6 row).
-    pub fn resource_report(&self) -> pegasus_switch::ResourceReport {
-        self.loaded.resource_report()
+    /// Decision trees have no float/deployed gap: the host-side tree walk
+    /// is the reference.
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.evaluate(data.stat("Leo")?))
+    }
+
+    /// Lowers to one MAT per tree level plus a verdict table.
+    fn lower(
+        &mut self,
+        _data: &ModelData<'_>,
+        _opts: &CompileOptions,
+    ) -> Result<Lowered, PegasusError> {
+        Ok(Lowered::Pipeline(Box::new(self.emit_pipeline())))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pegasus_core::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+    use pegasus_switch::SwitchConfig;
 
     fn data() -> (Dataset, Dataset) {
         let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 25, seed: 23 });
@@ -346,7 +326,7 @@ mod tests {
     #[test]
     fn cart_learns_separable_data() {
         let (train, test) = data();
-        let leo = Leo::train(&train, &LeoConfig::default());
+        let leo = Leo::fit(&train, &LeoConfig::default());
         let f1 = leo.evaluate(&test).f1;
         assert!(f1 > 0.7, "Leo F1 {f1}");
         assert!(leo.node_count() <= 1024);
@@ -355,12 +335,18 @@ mod tests {
     #[test]
     fn switch_table_matches_host_tree() {
         let (train, test) = data();
-        let leo = Leo::train(&train, &LeoConfig { max_nodes: 127, min_samples: 8, ..Default::default() });
-        let mut dp = leo.compile().deploy(&SwitchConfig::tofino2()).expect("Leo fits");
+        let leo =
+            Leo::fit(&train, &LeoConfig { max_nodes: 127, min_samples: 8, ..Default::default() });
+        let bundle = ModelData::new().with_stat(&train);
+        let dp = Pegasus::new(leo)
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .expect("Leo fits");
         for r in 0..test.len().min(200) {
             assert_eq!(
-                dp.classify(test.x.row(r)),
-                leo.predict(test.x.row(r)),
+                dp.classify(test.x.row(r)).expect("classifies"),
+                dp.model().predict(test.x.row(r)),
                 "row {r} diverged"
             );
         }
@@ -369,15 +355,22 @@ mod tests {
     #[test]
     fn node_budget_respected() {
         let (train, _) = data();
-        let leo = Leo::train(&train, &LeoConfig { max_nodes: 15, min_samples: 2, ..Default::default() });
+        let leo =
+            Leo::fit(&train, &LeoConfig { max_nodes: 15, min_samples: 2, ..Default::default() });
         assert!(leo.node_count() <= 15);
     }
 
     #[test]
     fn resource_report_uses_tcam() {
         let (train, _) = data();
-        let leo = Leo::train(&train, &LeoConfig { max_nodes: 255, min_samples: 4, ..Default::default() });
-        let dp = leo.compile().deploy(&SwitchConfig::tofino2()).unwrap();
+        let leo =
+            Leo::fit(&train, &LeoConfig { max_nodes: 255, min_samples: 4, ..Default::default() });
+        let bundle = ModelData::new().with_stat(&train);
+        let dp = Pegasus::new(leo)
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
         let r = dp.resource_report();
         assert!(r.tcam_bits > 0);
         assert_eq!(r.stateful_bits_per_flow, 80);

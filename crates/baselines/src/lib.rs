@@ -1,11 +1,15 @@
 //! # pegasus-baselines — the paper's comparison systems
 //!
 //! From-scratch implementations of the three baselines Pegasus is evaluated
-//! against (§7.1):
+//! against (§7.1), each behind the same
+//! [`DataplaneNet`](pegasus_core::models::DataplaneNet) trait and
+//! [`Pegasus`](pegasus_core::pipeline::Pegasus) builder as the paper's own
+//! models:
 //!
 //! * [`n3ic`] — binary MLP with XNOR+popcount MatMul (computation
 //!   simplification). Bit-exact packed inference plus the 14-stage-per-
-//!   popcount deployment cost model showing why it cannot fit the switch.
+//!   popcount deployment cost model: deploying it through the builder
+//!   fails `OutOfStages`, exactly as the paper describes.
 //! * [`bos`] — binary RNN with exhaustive input→output mapping tables
 //!   (computation bypassing). Fully deployable; its `2^n`-entry tables are
 //!   the input-scale wall fuzzy matching removes.
@@ -18,6 +22,29 @@ pub mod bos;
 pub mod leo;
 pub mod n3ic;
 
-pub use bos::{Bos, BosPipeline, DeployedBos};
-pub use leo::{DeployedLeo, Leo, LeoConfig, LeoPipeline};
+pub use bos::Bos;
+pub use leo::{Leo, LeoConfig};
 pub use n3ic::{binarize_features, N3ic, PackedBinaryMlp};
+
+use pegasus_core::compile::CompileReport;
+use pegasus_switch::SwitchProgram;
+
+/// Builds a [`CompileReport`] for a hand-emitted switch program: table,
+/// entry, and keyed-lookup counts, with keyed tables split into exact
+/// (all-exact keys) and fuzzy (range/ternary) groups.
+pub(crate) fn report_for(program: &SwitchProgram) -> CompileReport {
+    let mut report = CompileReport { tables: program.tables.len(), ..Default::default() };
+    for t in &program.tables {
+        report.entries += t.entries.len() as u64;
+        if t.keys.is_empty() {
+            continue; // action-only table
+        }
+        report.lookups_per_input += 1;
+        if t.is_exact() {
+            report.exact_tables += 1;
+        } else {
+            report.fuzzy_tables += 1;
+        }
+    }
+    report
+}

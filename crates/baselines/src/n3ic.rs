@@ -11,12 +11,16 @@
 //!   evaluate its largest N3IC configuration in software — the deploy check
 //!   here fails with `OutOfStages` exactly as the paper describes.
 
+use pegasus_core::compile::{CompileOptions, CompiledPipeline};
+use pegasus_core::error::PegasusError;
+use pegasus_core::models::{DataplaneNet, Lowered, ModelData, TrainSettings};
+use pegasus_core::numformat::NumFormat;
 use pegasus_nn::layers::{sign_pm1, BinaryDense, Layer, LayerSpec, Param};
 use pegasus_nn::loss::softmax_cross_entropy;
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::optim::{Adam, Optimizer};
 use pegasus_nn::{Dataset, Tensor};
-use pegasus_switch::{DeployError, PhvLayout, SwitchConfig, SwitchProgram};
+use pegasus_switch::{PhvLayout, SwitchProgram};
 
 /// Binary input width: the 16 statistical feature bytes as 128 sign bits.
 pub const INPUT_BITS: usize = 128;
@@ -75,7 +79,7 @@ pub struct N3ic {
 impl N3ic {
     /// Trains on statistical features (16 byte codes per row, binarized to
     /// 128 ±1 bits internally).
-    pub fn train(train: &Dataset, epochs: usize, lr: f32, seed: u64) -> Self {
+    pub fn fit(train: &Dataset, epochs: usize, lr: f32, seed: u64) -> Self {
         assert_eq!(train.x.cols(), 16, "N3IC expects 16 statistical feature bytes");
         let classes = train.classes();
         let mut rng = pegasus_nn::init::rng(seed);
@@ -170,20 +174,51 @@ impl N3ic {
             ],
         }
     }
+}
 
-    /// The deployment cost check: builds the switch cost model and tries to
-    /// deploy. Expected to fail `OutOfStages` for this configuration — the
-    /// reason the paper evaluated large N3IC in software.
-    pub fn try_deploy(&self, cfg: &SwitchConfig) -> Result<(), DeployError> {
-        // One popcount chain per neuron of the widest layer must execute
-        // sequentially within a stage budget of 14 stages per popcnt (§2);
-        // neurons of one layer run in parallel banks, layers serialize.
+impl DataplaneNet for N3ic {
+    fn name(&self) -> &'static str {
+        "N3IC (binary MLP)"
+    }
+
+    fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(N3ic::fit(data.stat("N3IC")?, settings.epochs, settings.lr, settings.seed))
+    }
+
+    /// The binarized-weights/activations path (N3IC has no full-precision
+    /// variant; this is also its deployed semantics, bit-exactly).
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.evaluate(data.stat("N3IC")?))
+    }
+
+    /// Lowers to the deployment *cost model* of §2: one popcount chain per
+    /// layer at 14 MAT stages each. Deploying the result on a Tofino-class
+    /// configuration fails with `OutOfStages` — by design; that is the
+    /// paper's point, and the reason its largest N3IC was evaluated in
+    /// software (use [`N3ic::pack`] for the bit-exact packed path).
+    fn lower(
+        &mut self,
+        _data: &ModelData<'_>,
+        _opts: &CompileOptions,
+    ) -> Result<Lowered, PegasusError> {
+        // Neurons of one layer run in parallel banks, layers serialize.
         let popcnt_stage_cost = 14;
         let layer_count = 3;
         let mut program = SwitchProgram::new("n3ic", PhvLayout::new());
         program.extra_stages = popcnt_stage_cost * layer_count;
         program.stateful_bits_per_flow = 80;
-        program.deploy(cfg).map(|_| ())
+        Ok(Lowered::Pipeline(Box::new(CompiledPipeline {
+            program,
+            input_fields: vec![],
+            score_fields: vec![],
+            score_format: NumFormat::code8(),
+            predicted_field: None,
+            report: Default::default(),
+        })))
+    }
+
+    fn size_kilobits(&mut self) -> f64 {
+        N3ic::size_kilobits(self)
     }
 }
 
@@ -202,10 +237,10 @@ impl PackedLayer {
         let (in_bits, out) = (weight_pm1.shape()[0], weight_pm1.shape()[1]);
         let blocks = in_bits.div_ceil(128);
         let mut masks = vec![vec![0u128; blocks]; out];
-        for o in 0..out {
+        for (o, mask) in masks.iter_mut().enumerate() {
             for i in 0..in_bits {
                 if weight_pm1.at2(i, o) > 0.0 {
-                    masks[o][i / 128] |= 1u128 << (i % 128);
+                    mask[i / 128] |= 1u128 << (i % 128);
                 }
             }
         }
@@ -225,7 +260,7 @@ impl PackedLayer {
             for b in 0..blocks {
                 let mut xnor = !(x[b] ^ mask[b]);
                 // Mask out padding bits beyond in_bits in the last block.
-                if b == blocks - 1 && self.in_bits % 128 != 0 {
+                if b == blocks - 1 && !self.in_bits.is_multiple_of(128) {
                     xnor &= (1u128 << (self.in_bits % 128)) - 1;
                 }
                 cnt += xnor.count_ones();
@@ -282,7 +317,9 @@ impl PackedBinaryMlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pegasus_core::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+    use pegasus_switch::{DeployError, SwitchConfig};
 
     fn data() -> (Dataset, Dataset) {
         let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 25, seed: 21 });
@@ -292,7 +329,7 @@ mod tests {
 
     #[test]
     fn binarize_is_sign_of_bits() {
-        let bits = binarize_features(&[0b1010_0001 as u8 as f32]);
+        let bits = binarize_features(&[0b1010_0001_u8 as f32]);
         assert_eq!(bits.len(), 8);
         assert_eq!(bits[0], 1.0); // MSB
         assert_eq!(bits[1], -1.0);
@@ -302,7 +339,7 @@ mod tests {
     #[test]
     fn trains_above_chance_and_packed_matches_float() {
         let (train, test) = data();
-        let mut m = N3ic::train(&train, 12, 0.01, 3);
+        let mut m = N3ic::fit(&train, 12, 0.01, 3);
         let f1 = m.evaluate(&test).f1;
         assert!(f1 > 0.45, "N3IC F1 {f1}");
         // Packed XNOR/popcnt must agree with the float binary path exactly.
@@ -310,8 +347,8 @@ mod tests {
         let logits = m.forward(&test.x);
         let float_preds = logits.argmax_rows();
         let mut agree = 0;
-        for r in 0..test.len() {
-            if packed.classify_codes(test.x.row(r)) == float_preds[r] {
+        for (r, &want) in float_preds.iter().enumerate() {
+            if packed.classify_codes(test.x.row(r)) == want {
                 agree += 1;
             }
         }
@@ -321,16 +358,22 @@ mod tests {
     #[test]
     fn does_not_fit_the_switch() {
         let (train, _) = data();
-        let m = N3ic::train(&train, 1, 0.01, 4);
-        let err = m.try_deploy(&SwitchConfig::tofino2()).unwrap_err();
-        assert!(matches!(err, DeployError::OutOfStages { .. }), "{err:?}");
+        let m = N3ic::fit(&train, 1, 0.01, 4);
+        let bundle = ModelData::new().with_stat(&train);
+        let err = Pegasus::new(m)
+            .compile(&bundle)
+            .expect("cost model compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, PegasusError::Deploy(DeployError::OutOfStages { .. })), "{err:?}");
     }
 
     #[test]
     fn size_matches_paper_ballpark() {
         let (train, _) = data();
-        let m = N3ic::train(&train, 1, 0.01, 5);
-        let kb = m.size_kilobits();
+        let m = N3ic::fit(&train, 1, 0.01, 5);
+        let kb = N3ic::size_kilobits(&m);
         assert!((5.0..30.0).contains(&kb), "{kb} Kb");
     }
 }

@@ -14,7 +14,8 @@ use pegasus_core::compile::{compile, CompileOptions, CompileTarget};
 use pegasus_core::fusion::{fuse_basic, strip_nonlinear};
 use pegasus_core::lowering::{lower_sequential, LoweringOptions};
 use pegasus_core::models::mlp_b::MlpB;
-use pegasus_core::models::TrainSettings;
+use pegasus_core::models::{ModelData, TrainSettings};
+use pegasus_core::pipeline::Pegasus;
 use pegasus_core::runtime::DataplaneModel;
 use pegasus_datasets::peerrush;
 use pegasus_switch::SwitchConfig;
@@ -27,8 +28,9 @@ fn main() {
     let mut out = String::new();
 
     eprintln!("[ablations] training MLP-B once ...");
-    let mut model = MlpB::train(&data.train.stat, Some(&data.val.stat), &settings);
-    let float_f1 = model.evaluate_float(&data.test.stat).f1;
+    let bundle = ModelData::new().with_stat(&data.train.stat);
+    let mut model = MlpB::fit(&data.train.stat, Some(&data.val.stat), &settings);
+    let float_f1 = model.float_metrics(&data.test.stat).f1;
     out.push_str(&format!("MLP-B float macro-F1: {float_f1:.4}\n\n"));
 
     // ---- 1. Tree depth sweep. -------------------------------------------
@@ -36,12 +38,17 @@ fn main() {
     out.push_str(&format!("{:<8} {:>10} {:>12} {:>10}\n", "depth", "F1", "TCAM bits", "entries"));
     for depth in [2usize, 3, 4, 5, 6, 7] {
         let opts = CompileOptions { clustering_depth: depth, ..Default::default() };
-        let p = model.compile(&data.train.stat, &opts, false);
-        let mut dp = DataplaneModel::deploy(p, &switch).expect("fits");
-        let f1 = dp.evaluate(&data.test.stat).f1;
+        let dp = Pegasus::new(model)
+            .options(opts)
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&switch)
+            .expect("fits");
+        let f1 = dp.evaluate(&data.test.stat).expect("evaluates").f1;
         let r = dp.resource_report();
         out.push_str(&format!("{depth:<8} {f1:>10.4} {:>12} {:>10}\n", r.tcam_bits, r.entries));
         eprintln!("[ablations] depth {depth} done");
+        model = dp.into_model();
     }
     out.push('\n');
 
@@ -66,12 +73,12 @@ fn main() {
     let opts = CompileOptions::default();
     let rows: Vec<Vec<f32>> =
         (0..data.train.stat.len()).map(|r| data.train.stat.x.row(r).to_vec()).collect();
-    let pl = compile(&linearized, &rows, &opts, CompileTarget::Classify, "lin");
-    let mut dpl = DataplaneModel::deploy(pl, &switch).expect("fits");
-    let lin_f1 = dpl.evaluate(&data.test.stat).f1;
-    let pb = compile(&basic, &rows, &opts, CompileTarget::Classify, "bas");
-    let mut dpb = DataplaneModel::deploy(pb, &switch).expect("fits");
-    let bas_f1 = dpb.evaluate(&data.test.stat).f1;
+    let pl = compile(&linearized, &rows, &opts, CompileTarget::Classify, "lin").expect("compiles");
+    let dpl = DataplaneModel::deploy(pl, &switch).expect("fits");
+    let lin_f1 = dpl.evaluate(&data.test.stat).expect("evaluates").f1;
+    let pb = compile(&basic, &rows, &opts, CompileTarget::Classify, "bas").expect("compiles");
+    let dpb = DataplaneModel::deploy(pb, &switch).expect("fits");
+    let bas_f1 = dpb.evaluate(&data.test.stat).expect("evaluates").f1;
     out.push_str(&format!(
         "  accuracy: basic {bas_f1:.4} vs fully-linearized {lin_f1:.4} \
          (the paper's accuracy-for-lookups trade, §4.3)\n\n"
@@ -82,10 +89,18 @@ fn main() {
     out.push_str(&format!("{:<8} {:>10}\n", "bits", "F1"));
     for bits in [6u8, 8, 10, 12, 16] {
         let opts = CompileOptions { act_bits: bits, ..Default::default() };
-        let p = model.compile(&data.train.stat, &opts, false);
-        let mut dp = DataplaneModel::deploy(p, &switch).expect("fits");
-        out.push_str(&format!("{bits:<8} {:>10.4}\n", dp.evaluate(&data.test.stat).f1));
+        let dp = Pegasus::new(model)
+            .options(opts)
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&switch)
+            .expect("fits");
+        out.push_str(&format!(
+            "{bits:<8} {:>10.4}\n",
+            dp.evaluate(&data.test.stat).expect("evaluates").f1
+        ));
         eprintln!("[ablations] act_bits {bits} done");
+        model = dp.into_model();
     }
     out.push('\n');
 
@@ -93,16 +108,23 @@ fn main() {
     out.push_str("Ablation 4: centroid fine-tuning (guarded, §4.4)\n");
     for depth in [2usize, 3, 4] {
         let opts = CompileOptions { clustering_depth: depth, ..Default::default() };
-        let p0 = model.compile(&data.train.stat, &opts, false);
-        let p1 = model.compile(&data.train.stat, &opts, true);
-        let mut d0 = DataplaneModel::deploy(p0, &switch).expect("fits");
-        let mut d1 = DataplaneModel::deploy(p1, &switch).expect("fits");
-        out.push_str(&format!(
-            "  depth {depth}: off {:.4} -> on {:.4}\n",
-            d0.evaluate(&data.test.stat).f1,
-            d1.evaluate(&data.test.stat).f1
-        ));
+        let d0 = Pegasus::new(model)
+            .options(opts.clone())
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&switch)
+            .expect("fits");
+        let f_off = d0.evaluate(&data.test.stat).expect("evaluates").f1;
+        let d1 = Pegasus::new(d0.into_model())
+            .options(CompileOptions { finetune_centroids: true, ..opts })
+            .compile(&bundle)
+            .expect("compiles")
+            .deploy(&switch)
+            .expect("fits");
+        let f_on = d1.evaluate(&data.test.stat).expect("evaluates").f1;
+        out.push_str(&format!("  depth {depth}: off {f_off:.4} -> on {f_on:.4}\n"));
         eprintln!("[ablations] finetune depth {depth} done");
+        model = d1.into_model();
     }
     out.push('\n');
 
@@ -115,14 +137,14 @@ fn main() {
         // Narrow activations like the MLP-B production path, so the sweep
         // isolates the partition width.
         let opts = CompileOptions { act_bits: 10, ..Default::default() };
-        let p = compile(&prog, &rows, &opts, CompileTarget::Classify, "pw");
+        let p = compile(&prog, &rows, &opts, CompileTarget::Classify, "pw").expect("compiles");
         let lookups = p.report.lookups_per_input;
         match DataplaneModel::deploy(p, &switch) {
-            Ok(mut dp) => {
+            Ok(dp) => {
                 let r = dp.resource_report();
                 out.push_str(&format!(
                     "{width:<8} {:>10.4} {lookups:>10} {:>10}\n",
-                    dp.evaluate(&data.test.stat).f1,
+                    dp.evaluate(&data.test.stat).expect("evaluates").f1,
                     r.stages_used
                 ));
             }

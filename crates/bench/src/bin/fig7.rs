@@ -8,14 +8,19 @@ use pegasus_bench::harness::prepare;
 use pegasus_bench::{parse_args, write_report};
 use pegasus_core::compile::CompileOptions;
 use pegasus_core::models::cnn_l::{CnnL, CnnLVariant};
+use pegasus_core::models::ModelData;
+use pegasus_core::pipeline::Pegasus;
 use pegasus_datasets::all_datasets;
 use pegasus_switch::SwitchConfig;
 
 fn main() {
     let cfg = parse_args();
     let switch = SwitchConfig::tofino2();
-    let variants =
-        [("28-bit", CnnLVariant::v28()), ("44-bit", CnnLVariant::v44()), ("72-bit", CnnLVariant::v72())];
+    let variants = [
+        ("28-bit", CnnLVariant::v28()),
+        ("44-bit", CnnLVariant::v44()),
+        ("72-bit", CnnLVariant::v72()),
+    ];
 
     let mut out = String::new();
     out.push_str("Figure 7: accuracy vs per-flow storage (CNN-L variants)\n\n");
@@ -28,17 +33,24 @@ fn main() {
 
     let datasets: Vec<_> = all_datasets().iter().map(|s| prepare(s, &cfg)).collect();
     let settings = cfg.train_settings();
-    let opts = CompileOptions { clustering_depth: if cfg.quick { 5 } else { 6 }, ..Default::default() };
+    let opts =
+        CompileOptions { clustering_depth: if cfg.quick { 5 } else { 6 }, ..Default::default() };
 
     for (name, variant) in variants {
         let mut f1s = Vec::new();
         for data in &datasets {
             eprintln!("[fig7] CNN-L {name} on {} ...", data.name);
-            let mut m = CnnL::train(&data.train.raw, &data.train.seq, variant, &settings);
-            let mut dp = m
-                .deploy(&data.train.raw, &data.train.seq, &opts, &switch)
+            let m = CnnL::fit(&data.train.raw, &data.train.seq, variant, &settings);
+            let bundle = ModelData::new().with_raw(&data.train.raw).with_seq(&data.train.seq);
+            let mut dp = Pegasus::new(m)
+                .options(opts.clone())
+                .compile(&bundle)
+                .expect("compiles")
+                .deploy(&switch)
                 .expect("CNN-L variant deploys");
-            let f1 = CnnL::evaluate_on_trace(&mut dp, &data.test_trace).f1;
+            let f1 = CnnL::evaluate_on_trace(dp.flow_mut().expect("per-flow"), &data.test_trace)
+                .expect("replays")
+                .f1;
             f1s.push(f1);
         }
         // Physical register bits at 1M flows (packing per footnote 2).

@@ -31,13 +31,12 @@ fn main() {
 
     for kind in AttackKind::all() {
         out.push_str(&format!("{:<10}", kind.name()));
-        for (data, (_, dp)) in datasets.iter().zip(detectors.iter_mut()) {
+        for (data, dp) in datasets.iter().zip(detectors.iter()) {
             let mixed = inject_attack(&data.test_trace, kind, cfg.seed ^ 0x5eed);
             let views = extract_views(&mixed);
-            let labels: Vec<bool> =
-                views.seq.y.iter().map(|&l| l == ATTACK_LABEL).collect();
+            let labels: Vec<bool> = views.seq.y.iter().map(|&l| l == ATTACK_LABEL).collect();
             let scores: Vec<f64> = (0..views.seq.len())
-                .map(|r| f64::from(dp.scores(views.seq.x.row(r))[0]))
+                .map(|r| f64::from(dp.scores(views.seq.x.row(r)).expect("scores")[0]))
                 .collect();
             let a = auc(&scores, &labels);
             out.push_str(&format!(" {:>10.4}", a));

@@ -16,10 +16,7 @@ fn main() {
     out.push_str("Figure 9a-c: Pegasus (switch) vs full-precision CPU/GPU macro-F1\n\n");
     for data in &datasets {
         out.push_str(&format!("--- {} ---\n", data.name));
-        out.push_str(&format!(
-            "{:<8} {:>10} {:>10} {:>8}\n",
-            "Model", "Pegasus", "CPU/GPU", "Δ"
-        ));
+        out.push_str(&format!("{:<8} {:>10} {:>10} {:>8}\n", "Model", "Pegasus", "CPU/GPU", "Δ"));
         for m in models {
             eprintln!("[fig9a-c] {} on {} ...", m.name(), data.name);
             let r = run_method(m, data, &cfg);

@@ -8,7 +8,8 @@ use pegasus_bench::harness::prepare;
 use pegasus_bench::throughput::{cpu_throughput, parallel_throughput, switch_line_rate};
 use pegasus_bench::{parse_args, write_report};
 use pegasus_core::models::mlp_b::MlpB;
-use pegasus_core::models::TrainSettings;
+use pegasus_core::models::{ModelData, TrainSettings};
+use pegasus_core::pipeline::Pegasus;
 use pegasus_datasets::peerrush;
 use pegasus_nn::init::rng;
 use pegasus_nn::layers::{Dense, Embedding, Flatten, Relu};
@@ -72,12 +73,7 @@ fn main() {
     let switch = SwitchConfig::tofino2();
     // Average packet size from the synthetic PeerRush mix.
     let data = prepare(&peerrush(), &cfg);
-    let avg_pkt: f64 = data
-        .test_trace
-        .packets
-        .iter()
-        .map(|p| p.wire_len as f64)
-        .sum::<f64>()
+    let avg_pkt: f64 = data.test_trace.packets.iter().map(|p| p.wire_len as f64).sum::<f64>()
         / data.test_trace.packets.len().max(1) as f64;
     let line_rate = switch_line_rate(&switch, avg_pkt);
 
@@ -114,15 +110,13 @@ fn main() {
 
     // Transparency: the simulator's own processing rate (not a hardware claim).
     let settings = TrainSettings::quick();
-    let mut m = MlpB::train(&data.train.stat, None, &settings);
-    let opts = pegasus_core::compile::CompileOptions::default();
-    let pipeline = m.compile(&data.train.stat, &opts, false);
-    let mut dp =
-        pegasus_core::runtime::DataplaneModel::deploy(pipeline, &switch).expect("deploys");
+    let m = MlpB::fit(&data.train.stat, None, &settings);
+    let bundle = ModelData::new().with_stat(&data.train.stat);
+    let dp = Pegasus::new(m).compile(&bundle).expect("compiles").deploy(&switch).expect("deploys");
     let n = data.test.stat.len().min(2000);
     let start = std::time::Instant::now();
     for r in 0..n {
-        let _ = dp.classify(data.test.stat.x.row(r));
+        let _ = dp.classify(data.test.stat.x.row(r)).expect("classifies");
     }
     let sim_rate = n as f64 / start.elapsed().as_secs_f64();
     out.push_str(&format!(

@@ -9,8 +9,7 @@ use pegasus_datasets::all_datasets;
 
 fn main() {
     let cfg = parse_args();
-    let datasets: Vec<_> =
-        all_datasets().iter().map(|spec| prepare(spec, &cfg)).collect();
+    let datasets: Vec<_> = all_datasets().iter().map(|spec| prepare(spec, &cfg)).collect();
 
     // CNN-L is "Pegasus" in this table; baselines per the paper's rows.
     eprintln!("[table2] running CNN-L ...");
@@ -37,7 +36,8 @@ fn main() {
         } else {
             format!("{:.0}x", ours[0].size_kb / theirs[0].size_kb)
         };
-        let input_ratio = format!("{:.0}x", ours[0].input_bits as f64 / theirs[0].input_bits as f64);
+        let input_ratio =
+            format!("{:.0}x", ours[0].input_bits as f64 / theirs[0].input_bits as f64);
         out.push_str(&format!(
             "{:<24} {:>11.1}% {:>12} {:>12}\n",
             b.name(),

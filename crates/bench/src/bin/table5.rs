@@ -16,15 +16,18 @@ fn main() {
     ));
     out.push_str(&format!(
         "{:<22} {:>9} {:>10} | {:>23} | {:>23} | {:>23}\n",
-        "Method", "Input(b)", "Size(Kb)", "PeerRush  PR/RC/F1", "CICIOT  PR/RC/F1", "ISCXVPN  PR/RC/F1"
+        "Method",
+        "Input(b)",
+        "Size(Kb)",
+        "PeerRush  PR/RC/F1",
+        "CICIOT  PR/RC/F1",
+        "ISCXVPN  PR/RC/F1"
     ));
     out.push_str(&"-".repeat(122));
     out.push('\n');
 
-    let datasets: Vec<_> = all_datasets()
-        .iter()
-        .map(|spec| pegasus_bench::harness::prepare(spec, &cfg))
-        .collect();
+    let datasets: Vec<_> =
+        all_datasets().iter().map(|spec| pegasus_bench::harness::prepare(spec, &cfg)).collect();
 
     for method in Method::all() {
         eprintln!("[table5] running {} ...", method.name());

@@ -46,7 +46,7 @@ fn main() {
     }
     // AutoEncoder row.
     eprintln!("[table6] running AutoEncoder ...");
-    let (_ae, dp) = train_autoencoder(&data, &cfg);
+    let dp = train_autoencoder(&data, &cfg);
     let res = dp.resource_report();
     out.push_str(&format!(
         "{:<22} {:>14} {:>8.2}% {:>8.2}% {:>8.2}% {:>8}\n",

@@ -2,7 +2,9 @@
 //! report output.
 
 use pegasus_core::models::TrainSettings;
-use pegasus_datasets::{extract_views, generate_trace, split_by_flow, DatasetSpec, GenConfig, SampleViews};
+use pegasus_datasets::{
+    extract_views, generate_trace, split_by_flow, DatasetSpec, GenConfig, SampleViews,
+};
 use pegasus_net::Trace;
 use std::fs;
 use std::io::Write;
@@ -76,10 +78,8 @@ pub struct Prepared {
 
 /// Generates, splits and featurizes one dataset.
 pub fn prepare(spec: &DatasetSpec, cfg: &BenchConfig) -> Prepared {
-    let trace = generate_trace(
-        spec,
-        &GenConfig { flows_per_class: cfg.flows_per_class, seed: cfg.seed },
-    );
+    let trace =
+        generate_trace(spec, &GenConfig { flows_per_class: cfg.flows_per_class, seed: cfg.seed });
     let (train, val, test) = split_by_flow(&trace, cfg.seed);
     Prepared {
         name: spec.name.clone(),

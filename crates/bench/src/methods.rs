@@ -1,17 +1,21 @@
 //! Uniform train → compile → deploy → evaluate drivers for all eight
-//! methods of Table 5.
+//! methods of Table 5, all through the one `DataplaneNet` trait and
+//! `Pegasus` builder.
 
 use crate::harness::{BenchConfig, Prepared};
-use pegasus_baselines::{Bos, Leo, LeoConfig, N3ic};
+use pegasus_baselines::{Bos, Leo, N3ic};
 use pegasus_core::compile::CompileOptions;
+use pegasus_core::error::PegasusError;
 use pegasus_core::models::autoencoder::AutoEncoder;
 use pegasus_core::models::cnn_b::CnnB;
-use pegasus_core::models::cnn_l::{CnnL, CnnLVariant};
+use pegasus_core::models::cnn_l::CnnL;
 use pegasus_core::models::cnn_m::CnnM;
 use pegasus_core::models::mlp_b::MlpB;
 use pegasus_core::models::rnn_b::RnnB;
-use pegasus_core::runtime::DataplaneModel;
+use pegasus_core::models::{DataplaneNet, ModelData};
+use pegasus_core::pipeline::{Deployment, Pegasus};
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
+use pegasus_nn::Dataset;
 use pegasus_switch::{ResourceReport, SwitchConfig};
 
 /// The eight evaluated methods, in the paper's Table 5 row order.
@@ -63,6 +67,16 @@ impl Method {
             Method::CnnL => "CNN-L",
         }
     }
+
+    /// Input scale in bits (Table 5 column).
+    pub fn input_bits(&self) -> usize {
+        match self {
+            Method::Leo | Method::MlpB | Method::RnnB | Method::CnnB | Method::CnnM => 128,
+            Method::N3ic => N3ic::input_bits(),
+            Method::Bos => Bos::input_bits(),
+            Method::CnnL => CnnL::input_bits(),
+        }
+    }
 }
 
 /// One Table 5 row: metrics for a single (method, dataset) pair.
@@ -82,34 +96,60 @@ pub struct MethodResult {
     pub resources: Option<ResourceReport>,
 }
 
+/// The generic train → compile → deploy → evaluate path every deployable
+/// method flows through. `train` drives training and compilation; `test`
+/// provides the held-out views for both the full-precision reference and
+/// the dataplane evaluation (`eval` names the test view this method's
+/// verdicts are scored on).
+fn drive<M: DataplaneNet>(
+    train: &ModelData<'_>,
+    test: &ModelData<'_>,
+    eval: &Dataset,
+    opts: &CompileOptions,
+    cfg: &BenchConfig,
+    switch: &SwitchConfig,
+) -> Result<MethodResult, PegasusError> {
+    let settings = cfg.train_settings();
+    let mut model = M::train(train, &settings)?;
+    let float = model.evaluate_float(test)?;
+    let size_kb = model.size_kilobits();
+    let dp = Pegasus::new(model).options(opts.clone()).compile(train)?.deploy(switch)?;
+    let dataplane = dp.evaluate(eval)?;
+    Ok(MethodResult {
+        method: dp.model().name(),
+        input_bits: 0, // stamped once by run_method from Method::input_bits
+        size_kb,
+        dataplane,
+        float,
+        resources: Some(dp.resource_report()),
+    })
+}
+
 /// Trains, deploys and evaluates one method on one prepared dataset.
 pub fn run_method(method: Method, data: &Prepared, cfg: &BenchConfig) -> MethodResult {
     let settings = cfg.train_settings();
-    let opts = CompileOptions {
-        clustering_depth: if cfg.quick { 5 } else { 6 },
-        ..Default::default()
-    };
+    let opts =
+        CompileOptions { clustering_depth: if cfg.quick { 5 } else { 6 }, ..Default::default() };
     let switch = SwitchConfig::tofino2();
-    match method {
-        Method::Leo => {
-            let leo = Leo::train(&data.train.stat, &LeoConfig::default());
-            let float = leo.evaluate(&data.test.stat);
-            let mut dp = leo.compile().deploy(&switch).expect("Leo deploys");
-            let dataplane = dp.evaluate(&data.test.stat);
-            MethodResult {
-                method: method.name(),
-                input_bits: 128,
-                size_kb: f64::NAN, // trees have no weight matrix (paper: "-")
-                dataplane,
-                float,
-                resources: Some(dp.resource_report()),
-            }
-        }
+    let bundle = ModelData::new()
+        .with_stat(&data.train.stat)
+        .with_seq(&data.train.seq)
+        .with_raw(&data.train.raw)
+        .with_validation(&data.val.stat, &data.val.seq);
+    let test_bundle = ModelData::new()
+        .with_stat(&data.test.stat)
+        .with_seq(&data.test.seq)
+        .with_raw(&data.test.raw);
+    let mut result = match method {
+        Method::Leo => drive::<Leo>(&bundle, &test_bundle, &data.test.stat, &opts, cfg, &switch)
+            .expect("Leo deploys"),
         Method::N3ic => {
-            let mut m = N3ic::train(&data.train.stat, settings.epochs, settings.lr, settings.seed);
-            let float = m.evaluate(&data.test.stat);
-            // Deployed semantics: bit-exact packed XNOR/popcnt (software,
-            // like the paper's evaluation of its largest configuration).
+            // N3IC does not fit the switch (OutOfStages by §2's cost
+            // model); deployed semantics are the bit-exact packed
+            // XNOR/popcnt path in software, like the paper's evaluation of
+            // its largest configuration.
+            let mut m = N3ic::train(&bundle, &settings).expect("stat view present");
+            let float = m.evaluate_float(&test_bundle).expect("evaluates");
             let packed = m.pack();
             let preds: Vec<usize> = (0..data.test.stat.len())
                 .map(|r| packed.classify_codes(data.test.stat.x.row(r)))
@@ -117,124 +157,68 @@ pub fn run_method(method: Method, data: &Prepared, cfg: &BenchConfig) -> MethodR
             let dataplane = pr_rc_f1(&data.test.stat.y, &preds, data.classes);
             MethodResult {
                 method: method.name(),
-                input_bits: N3ic::input_bits(),
+                input_bits: 0,
                 size_kb: m.size_kilobits(),
                 dataplane,
                 float,
-                resources: None, // does not fit (see n3ic::try_deploy)
+                resources: None,
             }
         }
         Method::MlpB => {
-            let mut m = MlpB::train(&data.train.stat, Some(&data.val.stat), &settings);
-            let float = m.evaluate_float(&data.test.stat);
-            let pipeline = m.compile(&data.train.stat, &opts, !cfg.quick);
-            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("MLP-B deploys");
-            let dataplane = dp.evaluate(&data.test.stat);
-            MethodResult {
-                method: method.name(),
-                input_bits: 128,
-                size_kb: m.size_kilobits(),
-                dataplane,
-                float,
-                resources: Some(dp.resource_report()),
-            }
+            let opts = CompileOptions { finetune_centroids: !cfg.quick, ..opts };
+            drive::<MlpB>(&bundle, &test_bundle, &data.test.stat, &opts, cfg, &switch)
+                .expect("MLP-B deploys")
         }
-        Method::Bos => {
-            let m = Bos::train(&data.train.seq, settings.epochs, settings.lr, settings.seed);
-            let float = m.evaluate(&data.test.seq);
-            let mut dp = m.compile().deploy(&switch).expect("BoS deploys");
-            let dataplane = dp.evaluate(&data.test.seq);
-            MethodResult {
-                method: method.name(),
-                input_bits: Bos::input_bits(),
-                size_kb: m.size_kilobits(),
-                dataplane,
-                float,
-                resources: Some(dp.resource_report()),
-            }
-        }
-        Method::RnnB => {
-            let mut m = RnnB::train(&data.train.seq, &settings);
-            let float = m.evaluate_float(&data.test.seq);
-            let pipeline = m.compile(&data.train.seq, &opts);
-            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("RNN-B deploys");
-            let dataplane = dp.evaluate(&data.test.seq);
-            MethodResult {
-                method: method.name(),
-                input_bits: 128,
-                size_kb: m.size_kilobits(),
-                dataplane,
-                float,
-                resources: Some(dp.resource_report()),
-            }
-        }
-        Method::CnnB => {
-            let mut m = CnnB::train(&data.train.seq, Some(&data.val.seq), &settings);
-            let float = m.evaluate_float(&data.test.seq);
-            let pipeline = m.compile(&data.train.seq, &opts);
-            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("CNN-B deploys");
-            let dataplane = dp.evaluate(&data.test.seq);
-            MethodResult {
-                method: method.name(),
-                input_bits: 128,
-                size_kb: m.size_kilobits(),
-                dataplane,
-                float,
-                resources: Some(dp.resource_report()),
-            }
-        }
-        Method::CnnM => {
-            let mut m = CnnM::train(&data.train.seq, Some(&data.val.seq), &settings);
-            let float = m.evaluate_float(&data.test.seq);
-            let pipeline = m.compile(&data.train.seq, &opts);
-            let mut dp = DataplaneModel::deploy(pipeline, &switch).expect("CNN-M deploys");
-            let dataplane = dp.evaluate(&data.test.seq);
-            MethodResult {
-                method: method.name(),
-                input_bits: 128,
-                size_kb: m.size_kilobits(),
-                dataplane,
-                float,
-                resources: Some(dp.resource_report()),
-            }
-        }
+        Method::Bos => drive::<Bos>(&bundle, &test_bundle, &data.test.seq, &opts, cfg, &switch)
+            .expect("BoS deploys"),
+        Method::RnnB => drive::<RnnB>(&bundle, &test_bundle, &data.test.seq, &opts, cfg, &switch)
+            .expect("RNN-B deploys"),
+        Method::CnnB => drive::<CnnB>(&bundle, &test_bundle, &data.test.seq, &opts, cfg, &switch)
+            .expect("CNN-B deploys"),
+        Method::CnnM => drive::<CnnM>(&bundle, &test_bundle, &data.test.seq, &opts, cfg, &switch)
+            .expect("CNN-M deploys"),
         Method::CnnL => {
-            let mut m = CnnL::train(
-                &data.train.raw,
-                &data.train.seq,
-                CnnLVariant::v44(),
-                &settings,
-            );
-            let float = m.evaluate_float(&data.test.raw, &data.test.seq);
-            let mut dp = m
-                .deploy(&data.train.raw, &data.train.seq, &opts, &switch)
+            // Per-flow pipeline: trace replay, not row evaluation.
+            let mut model = CnnL::train(&bundle, &settings).expect("views present");
+            let float = model.evaluate_float(&test_bundle).expect("evaluates");
+            let size_kb = model.size_kilobits();
+            let mut dp = Pegasus::new(model)
+                .options(opts.clone())
+                .compile(&bundle)
+                .expect("compiles")
+                .deploy(&switch)
                 .expect("CNN-L deploys");
             let resources = dp.resource_report();
-            let dataplane = CnnL::evaluate_on_trace(&mut dp, &data.test_trace);
+            let dataplane =
+                CnnL::evaluate_on_trace(dp.flow_mut().expect("per-flow"), &data.test_trace)
+                    .expect("replays");
             MethodResult {
                 method: method.name(),
-                input_bits: CnnL::input_bits(),
-                size_kb: m.size_kilobits(),
+                input_bits: 0,
+                size_kb,
                 dataplane,
                 float,
                 resources: Some(resources),
             }
         }
-    }
+    };
+    result.input_bits = method.input_bits();
+    result
 }
 
-/// Trains + compiles the AutoEncoder (Table 6 / Figure 8 driver).
-pub fn train_autoencoder(
-    data: &Prepared,
-    cfg: &BenchConfig,
-) -> (AutoEncoder, DataplaneModel) {
+/// Trains + compiles the AutoEncoder (Table 6 / Figure 8 driver). Returns
+/// the deployment, which keeps the trained detector accessible via
+/// [`Deployment::model_mut`].
+pub fn train_autoencoder(data: &Prepared, cfg: &BenchConfig) -> Deployment<AutoEncoder> {
     let mut settings = cfg.train_settings();
     settings.epochs = settings.epochs.max(30);
-    let ae = AutoEncoder::train(&data.train.seq, &settings);
-    let opts = CompileOptions::default();
-    let pipeline = ae.compile(&data.train.seq, &opts);
-    let dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("AE deploys");
-    (ae, dp)
+    let bundle = ModelData::new().with_seq(&data.train.seq);
+    let ae = AutoEncoder::train(&bundle, &settings).expect("seq view present");
+    Pegasus::new(ae)
+        .compile(&bundle)
+        .expect("AE compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("AE deploys")
 }
 
 #[cfg(test)]

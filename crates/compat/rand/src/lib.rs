@@ -1,0 +1,275 @@
+//! Deterministic stand-in for the subset of the `rand` API this workspace
+//! uses, vendored for offline builds.
+//!
+//! All randomness in the Pegasus reproduction flows through seeded
+//! [`rngs::StdRng`] instances, so the only contract that matters is
+//! *determinism per seed*, not any particular stream. The generator here is
+//! xoshiro256++ seeded via SplitMix64 — fast, well distributed, and entirely
+//! self-contained. The API mirrors `rand 0.8` for the calls the workspace
+//! makes: `StdRng::seed_from_u64`, `Rng::gen_range` over integer and float
+//! ranges (half-open and inclusive), `Rng::gen::<T>()`, and
+//! `seq::SliceRandom::shuffle`.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce.
+pub trait StandardSample {
+    /// Converts 64 random bits into a sample.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn from_bits(bits: u64) -> Self {
+        // 24 explicit mantissa bits -> uniform in [0, 1).
+        (bits >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl StandardSample for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for u8 {
+    fn from_bits(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+impl StandardSample for u32 {
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl StandardSample for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl StandardSample for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Types `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]` from 64 random bits.
+    fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self;
+    /// The value immediately below `hi` (to turn `lo..hi` into `[lo, hi-ulp]`
+    /// for integers; floats treat both range kinds identically).
+    fn dec(hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                debug_assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                // Widening multiply keeps the mapping effectively unbiased.
+                let off = ((bits as u128).wrapping_mul(span as u128) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+            fn dec(hi: Self) -> Self {
+                hi - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                let f = <$t as StandardSample>::from_bits(bits);
+                lo + f * (hi - lo)
+            }
+            fn dec(hi: Self) -> Self {
+                hi // half-open and closed float ranges sample identically
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Range forms `gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Samples the range using the given bit source.
+    fn sample(self, bits: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, bits: u64) -> T {
+        T::sample_inclusive(self.start, T::dec(self.end), bits)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, bits: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, bits)
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// A sample of the "standard" distribution for `T` (floats in `[0, 1)`,
+    /// integers over their full range).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A biased coin flip.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace-standard deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: usize = (0..100)
+            .filter(|_| {
+                let mut a2 = a.clone();
+                a2.gen_range(0..u64::MAX) == c.gen_range(0..u64::MAX)
+            })
+            .count();
+        assert!(same < 100, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = r.gen_range(5..=5);
+            assert_eq!(i, 5);
+            let u = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..32).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>(), "32! makes identity vanishingly unlikely");
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal stand-in for the `serde` facade, vendored for offline builds.
+//!
+//! The workspace annotates its data structures with
+//! `#[derive(Serialize, Deserialize)]` but never serializes at runtime, so
+//! this crate only has to make the annotations compile: the derive macros
+//! (re-exported from the sibling `serde_derive` stub) expand to nothing, and
+//! the marker traits below exist so `use serde::{Serialize, Deserialize}`
+//! keeps resolving in type position. Swapping in the real `serde` is a
+//! one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

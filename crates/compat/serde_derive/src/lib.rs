@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! This workspace builds in a hermetic environment without access to
+//! crates.io, so `serde` is vendored as a minimal stand-in (see
+//! `crates/compat/serde`). Nothing in the workspace serializes at runtime —
+//! the derives exist so data structures stay annotated for the day a real
+//! serialization backend is swapped in. The macros accept (and ignore)
+//! `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

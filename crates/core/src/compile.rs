@@ -14,6 +14,7 @@
 //! ([`NumFormat`]); formats are calibrated per value group from training
 //! activations — the paper's Adaptive Fixed-Point Quantization (§4.4).
 
+use crate::error::PegasusError;
 use crate::fuzzy::ClusterTree;
 use crate::numformat::NumFormat;
 use crate::primitives::{MapFn, Primitive, PrimitiveProgram, ReduceKind};
@@ -49,6 +50,11 @@ pub struct CompileOptions {
     /// tables of one pipeline level share a stage's 0.5 Mb TCAM, so the
     /// default leaves room for four neighbors.
     pub table_tcam_budget: u64,
+    /// Fine-tune input-layer cluster centroids by backpropagation before
+    /// table emission (§4.4), for models that support it (MLP-B). Off by
+    /// default: it multiplies compile time by the fine-tuning epochs and
+    /// §7.5 shows it matters mainly at shallow clustering depths.
+    pub finetune_centroids: bool,
 }
 
 impl Default for CompileOptions {
@@ -61,6 +67,7 @@ impl Default for CompileOptions {
             max_tree_samples: 4096,
             snap_keep_bits: 5,
             table_tcam_budget: 128 * 1024,
+            finetune_centroids: false,
         }
     }
 }
@@ -136,13 +143,17 @@ impl Groups {
 /// `train_inputs` are feature-code vectors (each element in `[0, 255]`)
 /// drawn from the training split; they drive cluster fitting and
 /// fixed-point calibration and are never needed at inference time.
+///
+/// Fails with [`PegasusError::EmptyTrainingSet`] when no calibration rows
+/// are provided and [`PegasusError::CalibrationRange`] when they are not
+/// 8-bit feature codes.
 pub fn compile(
     prog: &PrimitiveProgram,
     train_inputs: &[Vec<f32>],
     opts: &CompileOptions,
     target: CompileTarget,
     name: &str,
-) -> CompiledPipeline {
+) -> Result<CompiledPipeline, PegasusError> {
     compile_with_trees(prog, train_inputs, opts, target, name, &std::collections::HashMap::new())
 }
 
@@ -156,7 +167,7 @@ pub fn compile_with_trees(
     target: CompileTarget,
     name: &str,
     tree_overrides: &std::collections::HashMap<usize, ClusterTree>,
-) -> CompiledPipeline {
+) -> Result<CompiledPipeline, PegasusError> {
     let mut layout = PhvLayout::new();
     let in_dim = prog.dim(prog.input);
     let input_fields: Vec<FieldId> =
@@ -174,7 +185,7 @@ pub fn compile_with_trees(
         &mut tables,
         &mut uniq,
         &input_fields,
-    );
+    )?;
     let mut program = SwitchProgram::new(name, layout);
     program.tables = tables;
     let mut report = emitted.report;
@@ -184,14 +195,14 @@ pub fn compile_with_trees(
         program.keep_alive.push(f);
     }
     let (_, remap) = program.compact_phv(&input_fields);
-    CompiledPipeline {
+    Ok(CompiledPipeline {
         program,
         input_fields: input_fields.iter().map(|&f| remap.get(f)).collect(),
         score_fields: emitted.score_fields.iter().map(|&f| remap.get(f)).collect(),
         score_format: emitted.score_format,
         predicted_field: emitted.predicted_field.map(|f| remap.get(f)),
         report,
-    }
+    })
 }
 
 /// Result of emitting one primitive program into a shared layout.
@@ -223,9 +234,16 @@ pub fn emit_into(
     tables: &mut Vec<Table>,
     uniq: &mut usize,
     input_fields: &[FieldId],
-) -> EmittedProgram {
-    assert!(!train_inputs.is_empty(), "compilation requires training inputs");
-    assert_eq!(input_fields.len(), prog.dim(prog.input), "input field arity");
+) -> Result<EmittedProgram, PegasusError> {
+    if train_inputs.is_empty() {
+        return Err(PegasusError::EmptyTrainingSet);
+    }
+    if input_fields.len() != prog.dim(prog.input) {
+        return Err(PegasusError::FeatureCount {
+            expected: prog.dim(prog.input),
+            got: input_fields.len(),
+        });
+    }
     let n_values = prog.dims.len();
 
     // ---- 1. Activation trace (sampled). -------------------------------
@@ -265,6 +283,7 @@ pub fn emit_into(
     }
     // Pool ranges per group root.
     let mut group_range: Vec<Option<(f32, f32)>> = vec![None; n_values];
+    #[allow(clippy::needless_range_loop)] // vid indexes acts and the union-find
     for vid in 0..n_values {
         if acts[vid].is_empty() {
             continue;
@@ -281,14 +300,14 @@ pub fn emit_into(
     }
     let input_root = groups.find(prog.input.0);
     let mut formats: Vec<Option<NumFormat>> = vec![None; n_values];
+    #[allow(clippy::needless_range_loop)] // vid indexes formats and the union-find
     for vid in 0..n_values {
         let root = groups.find(vid);
         let fmt = if root == input_root {
             let (lo, hi) = group_range[root].expect("input has activations");
-            assert!(
-                (0.0..=255.0).contains(&lo) && (0.0..=255.0).contains(&hi),
-                "program inputs must be 8-bit feature codes, saw range [{lo}, {hi}]"
-            );
+            if !(0.0..=255.0).contains(&lo) || !(0.0..=255.0).contains(&hi) {
+                return Err(PegasusError::CalibrationRange { lo, hi });
+            }
             NumFormat::code8()
         } else {
             match group_range[root] {
@@ -312,8 +331,7 @@ pub fn emit_into(
     for op in &prog.ops {
         match op {
             Primitive::Partition { input, offsets, lens, outputs } => {
-                let parent =
-                    value_fields[input.0].clone().expect("partition input materialized");
+                let parent = value_fields[input.0].clone().expect("partition input materialized");
                 for ((&o, &l), out) in offsets.iter().zip(lens.iter()).zip(outputs.iter()) {
                     value_fields[out.0] = Some(parent[o..o + l].to_vec());
                 }
@@ -333,23 +351,19 @@ pub fn emit_into(
                 value_fields[output.0] = Some(fields);
             }
             Primitive::Map { input, f, output } => {
-                let in_fields =
-                    value_fields[input.0].clone().expect("map input materialized");
+                let in_fields = value_fields[input.0].clone().expect("map input materialized");
                 let in_fmt = formats[input.0].expect("live map input");
                 let out_fmt = formats[output.0].expect("live map output");
                 let out_dim = prog.dim(*output);
-                let out_fields: Vec<FieldId> = (0..out_dim)
-                    .map(|_| fresh(layout, "m", out_fmt.bits, uniq))
-                    .collect();
+                let out_fields: Vec<FieldId> =
+                    (0..out_dim).map(|_| fresh(layout, "m", out_fmt.bits, uniq)).collect();
                 value_fields[output.0] = Some(out_fields.clone());
 
                 let in_acts = &acts[input.0];
                 assert!(!in_acts.is_empty(), "no activations for map input");
                 let domain_points = match f {
                     // Explicit tables declare their own (small) domains.
-                    MapFn::Table { domains, .. } => {
-                        domains.iter().map(|&d| d as u64).product()
-                    }
+                    MapFn::Table { domains, .. } => domains.iter().map(|&d| d as u64).product(),
                     _ => (1u64 << in_fmt.bits).saturating_pow(in_fields.len() as u32),
                 };
                 let tname = format!("{name}_t{}", tables.len());
@@ -387,9 +401,8 @@ pub fn emit_into(
             Primitive::Reduce { inputs, kind, output } => {
                 let fmt = formats[output.0].expect("live reduce");
                 let dim = prog.dim(*output);
-                let out_fields: Vec<FieldId> = (0..dim)
-                    .map(|_| fresh(layout, "r", fmt.bits, uniq))
-                    .collect();
+                let out_fields: Vec<FieldId> =
+                    (0..dim).map(|_| fresh(layout, "r", fmt.bits, uniq)).collect();
                 value_fields[output.0] = Some(out_fields.clone());
                 let in_field_sets: Vec<Vec<FieldId>> = inputs
                     .iter()
@@ -416,18 +429,12 @@ pub fn emit_into(
     let score_format = formats[prog.output.0].expect("output format");
     let predicted_field = match target {
         CompileTarget::Scores => None,
-        CompileTarget::Classify => Some(emit_argmax(
-            tables,
-            &mut report,
-            layout,
-            uniq,
-            &score_fields,
-            score_format,
-            name,
-        )),
+        CompileTarget::Classify => {
+            Some(emit_argmax(tables, &mut report, layout, uniq, &score_fields, score_format, name))
+        }
     };
 
-    EmittedProgram { score_fields, score_format, predicted_field, report }
+    Ok(EmittedProgram { score_fields, score_format, predicted_field, report })
 }
 
 /// Emits an exactly enumerated map table (computation bypassing for small
@@ -443,10 +450,7 @@ fn emit_exact_map(
     out_fmt: NumFormat,
     name: &str,
 ) {
-    let mut t = Table::new(
-        name,
-        in_fields.iter().map(|&fld| (fld, MatchKind::Exact)).collect(),
-    );
+    let mut t = Table::new(name, in_fields.iter().map(|&fld| (fld, MatchKind::Exact)).collect());
     let mut act = Action::new("set_out");
     for (j, &of) in out_fields.iter().enumerate() {
         act.ops.push(AluOp::Set { dst: of, a: Operand::Param(j) });
@@ -528,16 +532,13 @@ fn emit_fuzzy_map(
         if stored_probe.is_empty() {
             return 0.0;
         }
-        let n = stored_probe
-            .iter()
-            .filter(|s| exact_tree.index_of(s) != candidate.index_of(s))
-            .count();
+        let n =
+            stored_probe.iter().filter(|s| exact_tree.index_of(s) != candidate.index_of(s)).count();
         n as f64 / stored_probe.len() as f64
     };
     // Estimated TCAM bits of a candidate tree (CRC cross-product expansion
     // over its leaf boxes).
-    let domain_for_cost: Vec<(u64, u64)> =
-        vec![(0, in_fmt.max_stored() as u64); in_fields.len()];
+    let domain_for_cost: Vec<(u64, u64)> = vec![(0, in_fmt.max_stored() as u64); in_fields.len()];
     let key_bits = in_fmt.bits as u64 * in_fields.len() as u64;
     let tcam_cost = |t: &ClusterTree| -> u64 {
         let mut rules: u64 = 0;
@@ -579,11 +580,7 @@ fn emit_fuzzy_map(
         let chosen = candidates
             .iter()
             .find(|(frac, cost, _)| *cost <= budget && *frac <= 0.02)
-            .or_else(|| {
-                candidates
-                    .iter()
-                    .find(|(frac, cost, _)| *cost <= budget && *frac <= 0.05)
-            })
+            .or_else(|| candidates.iter().find(|(frac, cost, _)| *cost <= budget && *frac <= 0.05))
             .or_else(|| {
                 candidates
                     .iter()
@@ -595,8 +592,7 @@ fn emit_fuzzy_map(
             stored_tree = t.clone();
         }
     }
-    let domain: Vec<(u64, u64)> =
-        vec![(0, in_fmt.max_stored() as u64); in_fields.len()];
+    let domain: Vec<(u64, u64)> = vec![(0, in_fmt.max_stored() as u64); in_fields.len()];
     let boxes = stored_tree.leaf_boxes(&domain);
 
     // Per-leaf output words.
@@ -618,8 +614,9 @@ fn emit_fuzzy_map(
             &format!("{name}_fuzzy"),
             in_fields.iter().map(|&fld| (fld, MatchKind::Range)).collect(),
         );
-        let set_idx =
-            ta.add_action(Action::new("set_idx").with(AluOp::Set { dst: idx_field, a: Operand::Param(0) }));
+        let set_idx = ta.add_action(
+            Action::new("set_idx").with(AluOp::Set { dst: idx_field, a: Operand::Param(0) }),
+        );
         ta.param_widths = vec![idx_bits];
         for b in &boxes {
             ta.add_entry(TableEntry {
@@ -658,10 +655,8 @@ fn emit_fuzzy_map(
         tables.push(tb);
     } else {
         // Direct: ranges -> output words.
-        let mut t = Table::new(
-            name,
-            in_fields.iter().map(|&fld| (fld, MatchKind::Range)).collect(),
-        );
+        let mut t =
+            Table::new(name, in_fields.iter().map(|&fld| (fld, MatchKind::Range)).collect());
         let mut act = Action::new("set_out");
         for (j, &of) in out_fields.iter().enumerate() {
             act.ops.push(AluOp::Set { dst: of, a: Operand::Param(j) });
@@ -820,11 +815,8 @@ pub(crate) fn emit_argmax(
         Const(i64),
         Field(FieldId),
     }
-    let mut candidates: Vec<(FieldId, Idx)> = score_fields
-        .iter()
-        .enumerate()
-        .map(|(i, &fld)| (fld, Idx::Const(i as i64)))
-        .collect();
+    let mut candidates: Vec<(FieldId, Idx)> =
+        score_fields.iter().enumerate().map(|(i, &fld)| (fld, Idx::Const(i as i64))).collect();
     let diff_bits = fmt.bits + 1;
     let mut round = 0;
     while candidates.len() > 1 {
@@ -900,8 +892,7 @@ pub(crate) fn emit_argmax(
                         Idx::Const(c) => {
                             *uniq += 1;
                             let idx_f = layout.add_field(&format!("amxi_{uniq}"), 8);
-                            let mut t =
-                                Table::new(&format!("{name}_amx_p{round}"), vec![]);
+                            let mut t = Table::new(&format!("{name}_amx_p{round}"), vec![]);
                             let act = Action::new("pass")
                                 .with(AluOp::Set { dst: idx_f, a: Operand::Const(*c) });
                             t.default_action = Some((t.add_action(act), vec![]));
@@ -957,9 +948,7 @@ mod tests {
 
     fn toy_inputs(n: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect())
-            .collect()
+        (0..n).map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect()).collect()
     }
 
     #[test]
@@ -968,20 +957,16 @@ mod tests {
         fuse_basic(&mut prog);
         let train = toy_inputs(2000, 1);
         let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-        let c = compile(&prog, &train, &opts, CompileTarget::Classify, "toy");
-        let mut loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).expect("deploys");
+        let c = compile(&prog, &train, &opts, CompileTarget::Classify, "toy").expect("compiles");
+        let loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).expect("deploys");
 
         let test = toy_inputs(300, 2);
         let mut agree = 0;
         for x in &test {
             let reference = prog.eval(x);
             let ref_class = if reference[0] >= reference[1] { 0 } else { 1 };
-            let inputs: Vec<(FieldId, i64)> = c
-                .input_fields
-                .iter()
-                .zip(x.iter())
-                .map(|(&f, &v)| (f, v as i64))
-                .collect();
+            let inputs: Vec<(FieldId, i64)> =
+                c.input_fields.iter().zip(x.iter()).map(|(&f, &v)| (f, v as i64)).collect();
             let phv = loaded.process(&inputs);
             let pred = phv.get(c.predicted_field.expect("classify target"));
             if pred == ref_class {
@@ -998,19 +983,15 @@ mod tests {
         fuse_basic(&mut prog);
         let train = toy_inputs(2000, 3);
         let opts = CompileOptions { clustering_depth: 7, ..Default::default() };
-        let c = compile(&prog, &train, &opts, CompileTarget::Scores, "toy");
+        let c = compile(&prog, &train, &opts, CompileTarget::Scores, "toy").expect("compiles");
         assert!(c.predicted_field.is_none());
-        let mut loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).unwrap();
+        let loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).unwrap();
         let test = toy_inputs(100, 4);
         let mut total_err = 0.0f32;
         for x in &test {
             let reference = prog.eval(x);
-            let inputs: Vec<(FieldId, i64)> = c
-                .input_fields
-                .iter()
-                .zip(x.iter())
-                .map(|(&f, &v)| (f, v as i64))
-                .collect();
+            let inputs: Vec<(FieldId, i64)> =
+                c.input_fields.iter().zip(x.iter()).map(|(&f, &v)| (f, v as i64)).collect();
             let phv = loaded.process(&inputs);
             for (j, &sf) in c.score_fields.iter().enumerate() {
                 let got = c.score_format.to_real(phv.get(sf));
@@ -1032,19 +1013,16 @@ mod tests {
         p.set_output(out);
         let train: Vec<Vec<f32>> =
             (0..512).map(|i| vec![(i % 256) as f32, ((i * 7) % 256) as f32]).collect();
-        let c = compile(&p, &train, &CompileOptions::default(), CompileTarget::Scores, "ex");
+        let c = compile(&p, &train, &CompileOptions::default(), CompileTarget::Scores, "ex")
+            .expect("compiles");
         assert_eq!(c.report.exact_tables, 2);
         assert_eq!(c.report.fuzzy_tables, 0);
         // Exact tables make the pipeline error bounded by quantization only.
-        let mut loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).unwrap();
+        let loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).unwrap();
         for x in [[0.0f32, 0.0], [255.0, 255.0], [13.0, 200.0]] {
             let reference = p.eval(&x);
-            let inputs: Vec<(FieldId, i64)> = c
-                .input_fields
-                .iter()
-                .zip(x.iter())
-                .map(|(&f, &v)| (f, v as i64))
-                .collect();
+            let inputs: Vec<(FieldId, i64)> =
+                c.input_fields.iter().zip(x.iter()).map(|(&f, &v)| (f, v as i64)).collect();
             let phv = loaded.process(&inputs);
             let got = c.score_format.to_real(phv.get(c.score_fields[0]));
             assert!(
@@ -1060,20 +1038,16 @@ mod tests {
         let mut prog = toy_program();
         fuse_basic(&mut prog);
         let train = toy_inputs(1000, 5);
-        let direct = compile(
-            &prog,
-            &train,
-            &CompileOptions::default(),
-            CompileTarget::Scores,
-            "d",
-        );
+        let direct = compile(&prog, &train, &CompileOptions::default(), CompileTarget::Scores, "d")
+            .expect("compiles");
         let indirect = compile(
             &prog,
             &train,
             &CompileOptions { indirect_index: true, ..Default::default() },
             CompileTarget::Scores,
             "i",
-        );
+        )
+        .expect("compiles");
         assert!(indirect.report.tables > direct.report.tables);
         assert!(indirect.report.lookups_per_input > direct.report.lookups_per_input);
     }
@@ -1087,17 +1061,14 @@ mod tests {
         let mut errs = Vec::new();
         for depth in [2usize, 5, 8] {
             let opts = CompileOptions { clustering_depth: depth, ..Default::default() };
-            let c = compile(&prog, &train, &opts, CompileTarget::Scores, "depth");
-            let mut loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).unwrap();
+            let c =
+                compile(&prog, &train, &opts, CompileTarget::Scores, "depth").expect("compiles");
+            let loaded = c.program.clone().deploy(&SwitchConfig::tofino2()).unwrap();
             let mut err = 0.0f64;
             for x in &test {
                 let reference = prog.eval(x);
-                let inputs: Vec<(FieldId, i64)> = c
-                    .input_fields
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(&f, &v)| (f, v as i64))
-                    .collect();
+                let inputs: Vec<(FieldId, i64)> =
+                    c.input_fields.iter().zip(x.iter()).map(|(&f, &v)| (f, v as i64)).collect();
                 let phv = loaded.process(&inputs);
                 for (j, &sf) in c.score_fields.iter().enumerate() {
                     err += (c.score_format.to_real(phv.get(sf)) - reference[j]).abs() as f64;
@@ -1113,7 +1084,8 @@ mod tests {
         let mut prog = toy_program();
         fuse_basic(&mut prog);
         let train = toy_inputs(1000, 8);
-        let c = compile(&prog, &train, &CompileOptions::default(), CompileTarget::Classify, "r");
+        let c = compile(&prog, &train, &CompileOptions::default(), CompileTarget::Classify, "r")
+            .expect("compiles");
         assert_eq!(c.report.tables, c.program.tables.len());
         assert!(c.report.entries > 0);
         assert!(c.report.fuzzy_tables + c.report.exact_tables >= 2);

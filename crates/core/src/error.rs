@@ -1,0 +1,143 @@
+//! The one error type of the public Pegasus API.
+//!
+//! Every fallible step of the train → compile → deploy → serve pipeline
+//! returns [`PegasusError`]: compilation rejects bad calibration data,
+//! deployment surfaces the switch resource model's [`DeployError`], and the
+//! runtime reports misuse (wrong feature arity, class queries against a
+//! score pipeline) instead of panicking. The old surface `expect`ed or
+//! `assert!`ed its way through all of these.
+
+use pegasus_switch::DeployError;
+use std::fmt;
+
+/// Everything that can go wrong between a trained model and a serving
+/// dataplane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PegasusError {
+    /// The switch resource model rejected the program.
+    Deploy(DeployError),
+    /// A sample's feature count does not match the compiled pipeline.
+    FeatureCount {
+        /// Features the pipeline was compiled for.
+        expected: usize,
+        /// Features the caller supplied.
+        got: usize,
+    },
+    /// A class verdict was requested from a pipeline compiled with the
+    /// `Scores` target (no argmax head, e.g. the AutoEncoder).
+    NotAClassifier {
+        /// The offending pipeline's name.
+        pipeline: String,
+    },
+    /// Scores were requested from a pipeline that carries no score fields
+    /// (verdict-only tables — Leo's and BoS's heads store the class
+    /// directly, never a score vector).
+    NoScores {
+        /// The offending pipeline's name.
+        pipeline: String,
+    },
+    /// Compilation needs a non-empty calibration set (cluster fitting and
+    /// fixed-point format selection are data-driven).
+    EmptyTrainingSet,
+    /// Calibration inputs fall outside the 8-bit feature-code domain the
+    /// dataplane parsers produce.
+    CalibrationRange {
+        /// Smallest value observed.
+        lo: f32,
+        /// Largest value observed.
+        hi: f32,
+    },
+    /// A model was driven with data missing the feature view it consumes.
+    MissingView {
+        /// The view the model needs (`"stat"`, `"seq"`, or `"raw"`).
+        view: &'static str,
+        /// The model asking for it.
+        model: &'static str,
+    },
+    /// The requested operation needs the per-flow (stateful) runtime — use
+    /// [`Deployment::flow_mut`](crate::pipeline::Deployment::flow_mut) and
+    /// feed packets, not feature rows.
+    FlowStateRequired {
+        /// The per-flow pipeline's name.
+        pipeline: String,
+    },
+    /// The operation is not defined for this model family (e.g. macro-F1 of
+    /// an unsupervised detector).
+    Unsupported {
+        /// The model.
+        model: &'static str,
+        /// What was asked of it.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for PegasusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PegasusError::Deploy(e) => write!(f, "deployment rejected: {e}"),
+            PegasusError::FeatureCount { expected, got } => {
+                write!(f, "feature count mismatch: pipeline expects {expected}, got {got}")
+            }
+            PegasusError::NotAClassifier { pipeline } => {
+                write!(f, "pipeline '{pipeline}' has a Scores target; it produces no class verdict")
+            }
+            PegasusError::NoScores { pipeline } => {
+                write!(f, "pipeline '{pipeline}' stores verdicts directly; it has no score fields")
+            }
+            PegasusError::EmptyTrainingSet => {
+                write!(f, "compilation requires a non-empty calibration set")
+            }
+            PegasusError::CalibrationRange { lo, hi } => {
+                write!(f, "calibration inputs must be 8-bit feature codes, saw range [{lo}, {hi}]")
+            }
+            PegasusError::MissingView { view, model } => {
+                write!(f, "{model} needs the '{view}' feature view, which was not provided")
+            }
+            PegasusError::FlowStateRequired { pipeline } => {
+                write!(
+                    f,
+                    "pipeline '{pipeline}' keeps per-flow state; drive it packet-by-packet via flow_mut()"
+                )
+            }
+            PegasusError::Unsupported { model, what } => {
+                write!(f, "{model} does not support {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PegasusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PegasusError::Deploy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeployError> for PegasusError {
+    fn from(e: DeployError) -> Self {
+        PegasusError::Deploy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_errors_convert_and_display() {
+        let e: PegasusError = DeployError::OutOfStages { needed: 25, available: 20 }.into();
+        assert!(matches!(e, PegasusError::Deploy(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("25"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn messages_name_the_numbers() {
+        let e = PegasusError::FeatureCount { expected: 16, got: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("16") && msg.contains('2'), "{msg}");
+    }
+}

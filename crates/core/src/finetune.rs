@@ -131,11 +131,10 @@ pub fn finetune_centroids(
                 let dim = st.len;
                 let mut gsum = vec![vec![0.0f32; dim]; leaves];
                 let mut count = vec![0u32; leaves];
-                for r in 0..rows {
-                    let leaf = assign[ti][r];
+                for (r, &leaf) in assign[ti].iter().enumerate().take(rows) {
                     count[leaf] += 1;
-                    for d in 0..dim {
-                        gsum[leaf][d] += grad_input.at2(r, st.offset + d);
+                    for (d, g) in gsum[leaf].iter_mut().enumerate() {
+                        *g += grad_input.at2(r, st.offset + d);
                     }
                 }
                 let centroids = st.tree.centroids_mut();
@@ -186,11 +185,7 @@ pub fn finetune_centroids_guarded(
 
 /// Convenience: accuracy of a model on centroid-substituted inputs — the
 /// float-level estimate of dataplane accuracy before compilation.
-pub fn substituted_macro_f1(
-    trees: &[SegmentTree],
-    model: &mut Sequential,
-    data: &Dataset,
-) -> f64 {
+pub fn substituted_macro_f1(trees: &[SegmentTree], model: &mut Sequential, data: &Dataset) -> f64 {
     let rows = data.len();
     let cols = data.x.cols();
     let mut sub = Tensor::zeros(&[rows, cols]);
@@ -283,18 +278,12 @@ mod tests {
     fn model_weights_stay_frozen() {
         let data = code_data(300, 7);
         let mut model = trained_model(&data, 8);
-        let before: Vec<f32> = model
-            .params_mut()
-            .iter()
-            .flat_map(|p| p.value.data().to_vec())
-            .collect();
+        let before: Vec<f32> =
+            model.params_mut().iter().flat_map(|p| p.value.data().to_vec()).collect();
         let mut trees = fit_segment_trees(&data.x, &[0, 2], &[2, 2], 2);
         finetune_centroids(&mut trees, &mut model, &data, &FinetuneConfig::default());
-        let after: Vec<f32> = model
-            .params_mut()
-            .iter()
-            .flat_map(|p| p.value.data().to_vec())
-            .collect();
+        let after: Vec<f32> =
+            model.params_mut().iter().flat_map(|p| p.value.data().to_vec()).collect();
         assert_eq!(before, after);
     }
 

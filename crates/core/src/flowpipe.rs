@@ -22,13 +22,13 @@
 //! 6. the compiled window model over the `W * streams` unpacked codes.
 
 use crate::compile::{emit_into, CompileOptions, CompileReport, CompileTarget, EmittedProgram};
+use crate::error::PegasusError;
 use crate::fuzzy::ClusterTree;
 use crate::numformat::NumFormat;
 use crate::primitives::PrimitiveProgram;
 use pegasus_switch::{
-    Action, AluOp, DeployError, FieldId, KeyPart, LoadedProgram, MatchKind, Operand, PhvLayout,
-    RegId, RegisterArray, ResourceReport, SwitchConfig, SwitchProgram, Table, TableEntry,
-    TernaryKey,
+    Action, AluOp, FieldId, KeyPart, LoadedProgram, MatchKind, Operand, PhvLayout, RegId,
+    RegisterArray, ResourceReport, SwitchConfig, SwitchProgram, Table, TableEntry, TernaryKey,
 };
 use std::collections::HashMap;
 
@@ -121,7 +121,7 @@ fn stream_info(codes: &PacketCodes) -> (usize, u8, bool) {
 }
 
 /// Builds the switch program for a windowed flow pipeline.
-pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
+pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> Result<FlowPipeline, PegasusError> {
     let w = spec.window;
     assert!(w >= 2, "window must hold at least two packets");
     let (streams, code_bits, needs_ipd) = stream_info(&spec.codes);
@@ -171,8 +171,11 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
     let len_code_field = layout.add_field("len_code", 8);
     {
         let mut t = Table::new("len_quant", vec![]);
-        let act = Action::new("shr3")
-            .with(AluOp::Shr { dst: len_code_field, a: Operand::Field(len_field), amount: 3 });
+        let act = Action::new("shr3").with(AluOp::Shr {
+            dst: len_code_field,
+            a: Operand::Field(len_field),
+            amount: 3,
+        });
         t.default_action = Some((t.add_action(act), vec![]));
         tables.push(t);
     }
@@ -201,7 +204,7 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
                 &mut tables,
                 &mut uniq,
                 &ext_inputs,
-            );
+            )?;
             accumulate(&mut report, &emitted.report);
             // Fuzzy table: extractor scores -> packet index.
             let idx_field = layout.add_field("pkt_idx", *code_bits);
@@ -239,11 +242,7 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
             } else {
                 codes_per_reg
             };
-            registers.push(RegisterArray::new(
-                &format!("hist_s{s}_r{r}"),
-                32,
-                slots,
-            ));
+            registers.push(RegisterArray::new(&format!("hist_s{s}_r{r}"), 32, slots));
             let old = layout.add_field(&format!("hold_s{s}_r{r}"), 32);
             let mask = if (codes_here * code_bits as usize) >= 64 {
                 u64::MAX
@@ -341,10 +340,9 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
         tables.push(t);
 
         let mut v = Table::new("win_validity", vec![(count_field, MatchKind::Range)]);
-        let set1 = v.add_action(Action::new("valid").with(AluOp::Set {
-            dst: valid_field,
-            a: Operand::Const(1),
-        }));
+        let set1 = v.add_action(
+            Action::new("valid").with(AluOp::Set { dst: valid_field, a: Operand::Const(1) }),
+        );
         v.add_entry(TableEntry {
             keys: vec![KeyPart::Range { lo: (w - 1) as u64, hi: 255 }],
             priority: 0,
@@ -368,7 +366,7 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
         &mut tables,
         &mut uniq,
         &window_fields,
-    );
+    )?;
     accumulate(&mut report, &emitted.report);
 
     let mut program = SwitchProgram::new(&spec.name, layout);
@@ -389,7 +387,7 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
     inputs.extend(extractor_fields.iter().copied());
     let (_, remap) = program.compact_phv(&inputs);
 
-    FlowPipeline {
+    Ok(FlowPipeline {
         program,
         len_field: remap.get(len_field),
         ts_field: remap.get(ts_field),
@@ -401,7 +399,7 @@ pub fn build_flow_pipeline(spec: &FlowPipelineSpec) -> FlowPipeline {
         valid_field: remap.get(valid_field),
         stateful_bits_per_flow: stateful,
         report,
-    }
+    })
 }
 
 fn accumulate(total: &mut CompileReport, part: &CompileReport) {
@@ -421,14 +419,19 @@ fn emit_ipd_quantizer(
 ) {
     let mut t = Table::new("ipd_quant", vec![(ipd_raw, MatchKind::Ternary)]);
     // Default: ipd < 8 -> code = ipd.
-    let small =
-        t.add_action(Action::new("small").with(AluOp::Set { dst: ipd_code, a: Operand::Field(ipd_raw) }));
+    let small = t.add_action(
+        Action::new("small").with(AluOp::Set { dst: ipd_code, a: Operand::Field(ipd_raw) }),
+    );
     t.default_action = Some((small, vec![]));
     for e in 3u8..32 {
         let mut act = Action::new(&format!("exp{e}"));
         // mant = (ipd >> (e-3)) & 7 ; code = min(255, 8e + mant)
         act.ops.push(AluOp::Shr { dst: ipd_code, a: Operand::Field(ipd_raw), amount: e - 3 });
-        act.ops.push(AluOp::And { dst: ipd_code, a: Operand::Field(ipd_code), b: Operand::Const(7) });
+        act.ops.push(AluOp::And {
+            dst: ipd_code,
+            a: Operand::Field(ipd_code),
+            b: Operand::Const(7),
+        });
         act.ops.push(AluOp::Add {
             dst: ipd_code,
             a: Operand::Field(ipd_code),
@@ -477,13 +480,10 @@ fn emit_index_table(
         let stored = ((t / fmt.step).round() as i64 + fmt.bias).clamp(0, fmt.max_stored());
         crate::compile::snap_threshold(stored, fmt.bits, 4) as f32
     });
-    let domain: Vec<(u64, u64)> =
-        vec![(0, fmt.max_stored() as u64); scores.score_fields.len()];
+    let domain: Vec<(u64, u64)> = vec![(0, fmt.max_stored() as u64); scores.score_fields.len()];
     let boxes = stored_tree.leaf_boxes(&domain);
-    let mut t = Table::new(
-        name,
-        scores.score_fields.iter().map(|&f| (f, MatchKind::Range)).collect(),
-    );
+    let mut t =
+        Table::new(name, scores.score_fields.iter().map(|&f| (f, MatchKind::Range)).collect());
     let set_idx = t.add_action(
         Action::new("set_idx").with(AluOp::Set { dst: idx_field, a: Operand::Param(0) }),
     );
@@ -523,14 +523,10 @@ pub struct FlowVerdict {
 
 impl FlowClassifier {
     /// Deploys a flow pipeline on a switch configuration.
-    pub fn deploy(pipeline: FlowPipeline, cfg: &SwitchConfig) -> Result<Self, DeployError> {
+    pub fn deploy(pipeline: FlowPipeline, cfg: &SwitchConfig) -> Result<Self, PegasusError> {
         let loaded = pipeline.program.clone().deploy(cfg)?;
         let hash_bits = pipeline.program.layout.def(pipeline.hash_field).bits;
-        Ok(FlowClassifier {
-            pipeline,
-            loaded,
-            hash_mask: ((1u64 << hash_bits) - 1) as u32,
-        })
+        Ok(FlowClassifier { pipeline, loaded, hash_mask: ((1u64 << hash_bits) - 1) as u32 })
     }
 
     /// The underlying pipeline description.
@@ -552,18 +548,23 @@ impl FlowClassifier {
     ///
     /// `extractor_codes` must match the spec's extractor input arity (empty
     /// for `LenIpd` pipelines). Timestamps are absolute microseconds.
+    ///
+    /// Takes `&self`: the per-flow registers live behind the loaded
+    /// program's per-packet lock, so concurrent callers keep each packet's
+    /// read-modify-writes atomic.
     pub fn on_packet(
-        &mut self,
+        &self,
         flow_hash: u32,
         ts_micros: u64,
         wire_len: u16,
         extractor_codes: &[f32],
-    ) -> FlowVerdict {
-        assert_eq!(
-            extractor_codes.len(),
-            self.pipeline.extractor_fields.len(),
-            "extractor code arity mismatch"
-        );
+    ) -> Result<FlowVerdict, PegasusError> {
+        if extractor_codes.len() != self.pipeline.extractor_fields.len() {
+            return Err(PegasusError::FeatureCount {
+                expected: self.pipeline.extractor_fields.len(),
+                got: extractor_codes.len(),
+            });
+        }
         let mut inputs: Vec<(FieldId, i64)> = vec![
             (self.pipeline.len_field, wire_len as i64),
             (self.pipeline.ts_field, (ts_micros >> 6) as i64), // 64 µs units
@@ -584,7 +585,7 @@ impl FlowClassifier {
             Some(f) if window_full => Some(phv.get(f) as usize),
             _ => None,
         };
-        FlowVerdict { predicted, scores, window_full }
+        Ok(FlowVerdict { predicted, scores, window_full })
     }
 }
 
@@ -616,9 +617,7 @@ mod tests {
 
     fn window_train(n: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..8).map(|_| rng.gen_range(0..200) as f32).collect())
-            .collect()
+        (0..n).map(|_| (0..8).map(|_| rng.gen_range(0..200) as f32).collect()).collect()
     }
 
     fn spec() -> FlowPipelineSpec {
@@ -640,7 +639,7 @@ mod tests {
 
     #[test]
     fn pipeline_builds_and_deploys() {
-        let p = build_flow_pipeline(&spec());
+        let p = build_flow_pipeline(&spec()).expect("builds");
         assert!(p.stateful_bits_per_flow > 0);
         // (W-1) * 8 bits * 2 streams + 16 ts = 3*16+16 = 64.
         assert_eq!(p.stateful_bits_per_flow, 64);
@@ -651,60 +650,60 @@ mod tests {
 
     #[test]
     fn window_warms_up_then_classifies() {
-        let p = build_flow_pipeline(&spec());
-        let mut c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
+        let p = build_flow_pipeline(&spec()).expect("builds");
+        let c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
         // First W-1 packets: not valid. From packet W on: valid.
         for i in 0..3 {
-            let v = c.on_packet(7, i * 100_000, 100, &[]);
+            let v = c.on_packet(7, i * 100_000, 100, &[]).expect("packet");
             assert!(!v.window_full, "packet {i} should not complete a window");
             assert_eq!(v.predicted, None);
         }
-        let v = c.on_packet(7, 300_000, 100, &[]);
+        let v = c.on_packet(7, 300_000, 100, &[]).expect("packet");
         assert!(v.window_full);
         assert!(v.predicted.is_some());
     }
 
     #[test]
     fn classification_tracks_packet_sizes() {
-        let p = build_flow_pipeline(&spec());
-        let mut c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
+        let p = build_flow_pipeline(&spec()).expect("builds");
+        let c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
         // Small packets & tiny IPDs -> small codes -> class 0.
         let mut last = FlowVerdict { predicted: None, scores: vec![], window_full: false };
         for i in 0..6 {
-            last = c.on_packet(1, i * 1000, 64, &[]);
+            last = c.on_packet(1, i * 1000, 64, &[]).expect("packet");
         }
         assert_eq!(last.predicted, Some(0), "{last:?}");
         // Large packets & long IPDs -> large codes -> class 1.
         for i in 0..6 {
-            last = c.on_packet(2, i * 60_000_000, 1500, &[]);
+            last = c.on_packet(2, i * 60_000_000, 1500, &[]).expect("packet");
         }
         assert_eq!(last.predicted, Some(1), "{last:?}");
     }
 
     #[test]
     fn flows_do_not_interfere() {
-        let p = build_flow_pipeline(&spec());
-        let mut c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
+        let p = build_flow_pipeline(&spec()).expect("builds");
+        let c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
         // Interleave two flows; each still needs W packets of its own.
         for i in 0..3 {
-            c.on_packet(100, i * 1000, 100, &[]);
-            c.on_packet(200, i * 1000 + 7, 1500, &[]);
+            c.on_packet(100, i * 1000, 100, &[]).expect("packet");
+            c.on_packet(200, i * 1000 + 7, 1500, &[]).expect("packet");
         }
-        let va = c.on_packet(100, 3000, 100, &[]);
-        let vb = c.on_packet(200, 3007, 1500, &[]);
+        let va = c.on_packet(100, 3000, 100, &[]).expect("packet");
+        let vb = c.on_packet(200, 3007, 1500, &[]).expect("packet");
         assert!(va.window_full && vb.window_full);
         assert_ne!(va.predicted, vb.predicted);
     }
 
     #[test]
     fn reset_clears_windows() {
-        let p = build_flow_pipeline(&spec());
+        let p = build_flow_pipeline(&spec()).expect("builds");
         let mut c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
         for i in 0..5 {
-            c.on_packet(3, i * 1000, 100, &[]);
+            c.on_packet(3, i * 1000, 100, &[]).expect("packet");
         }
         c.reset();
-        let v = c.on_packet(3, 99_000, 100, &[]);
+        let v = c.on_packet(3, 99_000, 100, &[]).expect("packet");
         assert!(!v.window_full, "reset must clear the warm-up counter");
     }
 
@@ -717,9 +716,8 @@ mod tests {
         let m = ext.map(input, MapFn::MatVec { weight: w, bias: vec![0.0, 0.0] });
         ext.set_output(m);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let ext_train: Vec<Vec<f32>> = (0..800)
-            .map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect())
-            .collect();
+        let ext_train: Vec<Vec<f32>> =
+            (0..800).map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect()).collect();
         let score_samples: Vec<Vec<f32>> = ext_train.iter().map(|x| ext.eval(x)).collect();
         let tree = ClusterTree::fit(&score_samples, 4);
 
@@ -732,9 +730,8 @@ mod tests {
             .collect();
         let out = wp.sum_reduce(&mapped);
         wp.set_output(out);
-        let win_train: Vec<Vec<f32>> = (0..500)
-            .map(|_| (0..4).map(|_| rng.gen_range(0..16) as f32).collect())
-            .collect();
+        let win_train: Vec<Vec<f32>> =
+            (0..500).map(|_| (0..4).map(|_| rng.gen_range(0..16) as f32).collect()).collect();
 
         let spec = FlowPipelineSpec {
             name: "ext_test".to_string(),
@@ -754,14 +751,14 @@ mod tests {
             flow_slots_log2: 8,
             ts_bits: 0,
         };
-        let p = build_flow_pipeline(&spec);
+        let p = build_flow_pipeline(&spec).expect("builds");
         // 3 history codes x 4 bits, no timestamp.
         assert_eq!(p.stateful_bits_per_flow, 12);
         assert_eq!(p.extractor_fields.len(), 4);
-        let mut c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
+        let c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
         let mut v = FlowVerdict { predicted: None, scores: vec![], window_full: false };
         for i in 0..5 {
-            v = c.on_packet(1, i * 1000, 100, &[10.0, 20.0, 30.0, 40.0]);
+            v = c.on_packet(1, i * 1000, 100, &[10.0, 20.0, 30.0, 40.0]).expect("packet");
         }
         assert!(v.window_full);
         assert_eq!(v.scores.len(), 1);

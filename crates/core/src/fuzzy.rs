@@ -52,6 +52,7 @@ fn sse(data: &[Vec<f32>], idx: &[usize]) -> f64 {
     let dim = data[idx[0]].len();
     let n = idx.len() as f64;
     let mut total = 0.0;
+    #[allow(clippy::needless_range_loop)] // d indexes into every row of `data`
     for d in 0..dim {
         let (mut s, mut s2) = (0.0f64, 0.0f64);
         for &i in idx {
@@ -123,7 +124,7 @@ fn best_split(data: &[Vec<f32>], idx: &[usize]) -> Option<(usize, f32, f64)> {
                 continue;
             }
             let children = part_sse(0, cut) + part_sse(cut, n);
-            if best.map_or(true, |(_, _, s)| children < s) {
+            if best.is_none_or(|(_, _, s)| children < s) {
                 best = Some((d, threshold, children));
             }
         }
@@ -162,8 +163,7 @@ impl ClusterTree {
             nodes.push(Node::Leaf { index: 0 });
             let right_slot = nodes.len();
             nodes.push(Node::Leaf { index: 0 });
-            nodes[slot] =
-                Node::Internal { feature, threshold, left: left_slot, right: right_slot };
+            nodes[slot] = Node::Internal { feature, threshold, left: left_slot, right: right_slot };
             frontier.push((left_slot, left_idx, depth_left - 1));
             frontier.push((right_slot, right_idx, depth_left - 1));
         }
@@ -206,8 +206,7 @@ impl ClusterTree {
             nodes.push(Node::Leaf { index: 0 });
             let right_slot = nodes.len();
             nodes.push(Node::Leaf { index: 0 });
-            nodes[slot] =
-                Node::Internal { feature, threshold, left: left_slot, right: right_slot };
+            nodes[slot] = Node::Internal { feature, threshold, left: left_slot, right: right_slot };
             let ls = sse(data, &left_idx);
             let rs = sse(data, &right_idx);
             members.push((left_slot, left_idx, ls));
@@ -339,11 +338,7 @@ impl ClusterTree {
         let mut total = 0.0;
         for p in data {
             let c = self.centroid_of(p);
-            total += p
-                .iter()
-                .zip(c.iter())
-                .map(|(&a, &b)| ((a - b) as f64).powi(2))
-                .sum::<f64>();
+            total += p.iter().zip(c.iter()).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>();
         }
         total / data.len() as f64
     }
@@ -352,7 +347,6 @@ impl ClusterTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     /// The paper's Figure 3 dataset.
     fn figure3_data() -> Vec<Vec<f32>> {
@@ -461,46 +455,55 @@ mod tests {
         assert_eq!(t5.index_bits(), 3);
     }
 
-    proptest! {
-        /// Every input maps to exactly one leaf and index_of agrees with the
-        /// box cover (the DESIGN.md partition property).
-        #[test]
-        fn prop_tree_partitions_space(
-            points in proptest::collection::vec(
-                proptest::collection::vec(0u8..=63, 3), 8..60),
-            depth in 1usize..4,
-        ) {
+    /// Every input maps to exactly one leaf and index_of agrees with the
+    /// box cover (the DESIGN.md partition property).
+    #[test]
+    fn tree_partitions_space_randomized() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0u64..24 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(8..60usize);
+            let depth = rng.gen_range(1..4usize);
             let data: Vec<Vec<f32>> =
-                points.iter().map(|p| p.iter().map(|&b| b as f32).collect()).collect();
+                (0..n).map(|_| (0..3).map(|_| rng.gen_range(0..=63) as f32).collect()).collect();
             let tree = ClusterTree::fit(&data, depth);
             let boxes = tree.leaf_boxes(&[(0, 63), (0, 63), (0, 63)]);
-            // Probe a grid of points.
             for probe in data.iter().take(20) {
                 let idx = tree.index_of(probe);
-                prop_assert!(idx < tree.leaves());
-                let hits = boxes.iter().filter(|b| {
-                    b.ranges.iter().zip(probe.iter())
-                        .all(|(&(lo, hi), &v)| (lo..=hi).contains(&(v as u64)))
-                }).count();
-                prop_assert_eq!(hits, 1);
+                assert!(idx < tree.leaves(), "seed {seed}");
+                let hits = boxes
+                    .iter()
+                    .filter(|b| {
+                        b.ranges
+                            .iter()
+                            .zip(probe.iter())
+                            .all(|(&(lo, hi), &v)| (lo..=hi).contains(&(v as u64)))
+                    })
+                    .count();
+                assert_eq!(hits, 1, "seed {seed}: probe {probe:?}");
             }
         }
+    }
 
-        /// Centroids lie within their leaf's box.
-        #[test]
-        fn prop_centroids_inside_boxes(
-            points in proptest::collection::vec(
-                proptest::collection::vec(0u8..=31, 2), 8..40),
-            depth in 1usize..3,
-        ) {
+    /// Centroids lie within their leaf's box.
+    #[test]
+    fn centroids_inside_boxes_randomized() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0u64..24 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xc0ffee);
+            let n = rng.gen_range(8..40usize);
+            let depth = rng.gen_range(1..3usize);
             let data: Vec<Vec<f32>> =
-                points.iter().map(|p| p.iter().map(|&b| b as f32).collect()).collect();
+                (0..n).map(|_| (0..2).map(|_| rng.gen_range(0..=31) as f32).collect()).collect();
             let tree = ClusterTree::fit(&data, depth);
             for b in tree.leaf_boxes(&[(0, 31), (0, 31)]) {
                 let c = tree.centroid(b.index);
                 for (d, &(lo, hi)) in b.ranges.iter().enumerate() {
-                    prop_assert!(c[d] >= lo as f32 - 1e-3 && c[d] <= hi as f32 + 1e-3,
-                        "centroid {:?} outside box {:?}", c, b.ranges);
+                    assert!(
+                        c[d] >= lo as f32 - 1e-3 && c[d] <= hi as f32 + 1e-3,
+                        "seed {seed}: centroid {c:?} outside box {:?}",
+                        b.ranges
+                    );
                 }
             }
         }

@@ -15,12 +15,42 @@
 //!   reduction trees, tournament argmax);
 //! * [`flowpipe`] — per-flow windowed pipelines: per-packet extractors,
 //!   register-packed index windows, on-switch quantizers (§7.3);
-//! * [`runtime`] — deployed-model wrappers;
-//! * [`models`] — MLP-B, RNN-B, CNN-B/M/L and the AutoEncoder (§6.3).
+//! * [`runtime`] — the concurrency-ready deployed-model runtime (`&self`
+//!   inference, batched classification);
+//! * [`models`] — MLP-B, RNN-B, CNN-B/M/L and the AutoEncoder (§6.3), all
+//!   behind the [`models::DataplaneNet`] trait;
+//! * [`pipeline`] — the staged [`Pegasus`](pipeline::Pegasus) builder, the
+//!   one compile-and-deploy path for every model and baseline;
+//! * [`error`] — [`PegasusError`](error::PegasusError), the API's single
+//!   error type.
+//!
+//! The intended entry point:
+//!
+//! ```no_run
+//! use pegasus_core::models::{DataplaneNet, ModelData, TrainSettings};
+//! use pegasus_core::models::mlp_b::MlpB;
+//! use pegasus_core::pipeline::Pegasus;
+//! use pegasus_core::compile::{CompileOptions, CompileTarget};
+//! use pegasus_switch::SwitchConfig;
+//!
+//! # fn run(train: pegasus_nn::Dataset) -> Result<(), pegasus_core::error::PegasusError> {
+//! let data = ModelData::new().with_stat(&train);
+//! let model = MlpB::train(&data, &TrainSettings::default())?;
+//! let deployed = Pegasus::new(model)
+//!     .options(CompileOptions::default())
+//!     .target(CompileTarget::Classify)
+//!     .compile(&data)?
+//!     .deploy(&SwitchConfig::tofino2())?;
+//! let class = deployed.classify(&[0.0; 16])?;
+//! # let _ = class;
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod error;
 pub mod finetune;
 pub mod flowpipe;
 pub mod fusion;
@@ -28,5 +58,10 @@ pub mod fuzzy;
 pub mod lowering;
 pub mod models;
 pub mod numformat;
+pub mod pipeline;
 pub mod primitives;
 pub mod runtime;
+
+pub use error::PegasusError;
+pub use models::{DataplaneNet, Lowered, ModelData, TrainSettings};
+pub use pipeline::{Artifact, Compiled, Deployment, Pegasus};

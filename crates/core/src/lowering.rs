@@ -110,10 +110,8 @@ fn lower_layer(
             assert_eq!(weight.shape()[0], in_dim, "dense dim mismatch");
             let (offsets, lens) = segmentation(in_dim, opts.segment_width);
             if offsets.len() == 1 {
-                return p.map(
-                    v,
-                    MapFn::MatVec { weight: weight.clone(), bias: bias.data().to_vec() },
-                );
+                return p
+                    .map(v, MapFn::MatVec { weight: weight.clone(), bias: bias.data().to_vec() });
             }
             let segs = p.partition(v, &offsets, &lens);
             let zero_bias = vec![0.0f32; weight.shape()[1]];
@@ -146,10 +144,7 @@ fn lower_layer(
         LayerSpec::Tanh => p.map(v, MapFn::Tanh),
         LayerSpec::Sigmoid => p.map(v, MapFn::Sigmoid),
         LayerSpec::Softmax => {
-            assert!(
-                is_last,
-                "softmax only lowers as the final layer (argmax-invariant drop)"
-            );
+            assert!(is_last, "softmax only lowers as the final layer (argmax-invariant drop)");
             v
         }
         LayerSpec::Embedding { table } => {
@@ -286,10 +281,7 @@ mod tests {
         let spec = ModelSpec {
             name: "e".into(),
             layers: vec![
-                LayerSpec::Dense {
-                    weight: Tensor::zeros(&[2, 2]),
-                    bias: Tensor::zeros(&[2]),
-                }, // only to infer input dim 2
+                LayerSpec::Dense { weight: Tensor::zeros(&[2, 2]), bias: Tensor::zeros(&[2]) }, // only to infer input dim 2
             ],
         };
         let _ = spec;

@@ -17,11 +17,10 @@
 //! | 44-bit  | 4        | yes (16b ts)  | 7 x 4 + 16 = 44    |
 //! | 72-bit  | 8        | yes (16b ts)  | 7 x 8 + 16 = 72    |
 
-use super::TrainSettings;
+use super::{DataplaneNet, Lowered, ModelData, TrainSettings};
 use crate::compile::{CompileOptions, CompileTarget};
-use crate::flowpipe::{
-    build_flow_pipeline, FlowClassifier, FlowPipelineSpec, PacketCodes,
-};
+use crate::error::PegasusError;
+use crate::flowpipe::{build_flow_pipeline, FlowClassifier, FlowPipelineSpec, PacketCodes};
 use crate::fuzzy::ClusterTree;
 use crate::primitives::{MapFn, PrimitiveProgram, ValueId};
 use pegasus_net::{FiveTuple, Trace, WINDOW};
@@ -30,7 +29,6 @@ use pegasus_nn::loss::softmax_cross_entropy;
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::optim::{Adam, Optimizer};
 use pegasus_nn::{Dataset, Sequential, Tensor};
-use pegasus_switch::{DeployError, SwitchConfig};
 use std::collections::HashMap;
 
 /// Raw bytes per packet.
@@ -112,7 +110,7 @@ impl CnnL {
     ///
     /// `raw` holds `[n, 480]` byte rows; `seq` holds the aligned `[n, 16]`
     /// len/IPD code rows (IPD codes sit at odd columns).
-    pub fn train(
+    pub fn fit(
         raw: &Dataset,
         seq: &Dataset,
         variant: CnnLVariant,
@@ -146,16 +144,9 @@ impl CnnL {
 
         let d = variant.head_dim();
         for _ in 0..settings.epochs {
-            for (xb, yb) in raw.batches(settings.batch, &mut rng) {
-                let b = xb.rows();
-                // Row indices of this batch within `raw` are lost after
-                // `batches`; re-derive IPD codes by matching row data is
-                // wasteful — instead we shuffle manually below.
-                let _ = (&xb, &yb);
-                let _ = b;
-                break;
-            }
-            // Manual batching keeping raw/seq alignment.
+            // Manual batching (not `Dataset::batches`): row indices must
+            // survive so each raw row pairs with its aligned seq row for
+            // the IPD codes.
             let mut idx: Vec<usize> = (0..raw.len()).collect();
             use rand::seq::SliceRandom;
             idx.shuffle(&mut rng);
@@ -186,8 +177,7 @@ impl CnnL {
                     let mut t = Tensor::zeros(&[b * WINDOW, 1]);
                     for (bi, &row) in chunk.iter().enumerate() {
                         for p in 0..WINDOW {
-                            *t.at2_mut(bi * WINDOW + p, 0) =
-                                seq.x.at2(row, 2 * p + 1) / 255.0;
+                            *t.at2_mut(bi * WINDOW + p, 0) = seq.x.at2(row, 2 * p + 1) / 255.0;
                         }
                     }
                     feats.add_assign(&net.forward(&t, true));
@@ -307,7 +297,7 @@ impl CnnL {
     }
 
     /// Full-precision macro metrics over aligned views.
-    pub fn evaluate_float(&mut self, raw: &Dataset, seq: &Dataset) -> PrRcF1 {
+    pub fn float_metrics(&mut self, raw: &Dataset, seq: &Dataset) -> PrRcF1 {
         let preds: Vec<usize> = (0..raw.len())
             .map(|r| {
                 let l = self.forward(raw.x.row(r), seq.x.row(r));
@@ -332,7 +322,7 @@ impl CnnL {
     }
 
     /// Model size in kilobits (encoder + head weights).
-    pub fn size_kilobits(&mut self) -> f64 {
+    fn weight_kilobits(&mut self) -> f64 {
         let enc = self.encoder.param_count();
         let heads: usize = self.head_branches.iter_mut().map(|h| h.param_count()).sum();
         ((enc + heads) * 32) as f64 / 1000.0
@@ -383,12 +373,8 @@ impl CnnL {
                         }
                         fns.push(MapFn::Affine { scale, shift });
                     }
-                    pegasus_nn::layers::LayerSpec::Dense { weight, bias } => {
-                        fns.push(MapFn::MatVec {
-                            weight: weight.clone(),
-                            bias: bias.data().to_vec(),
-                        })
-                    }
+                    pegasus_nn::layers::LayerSpec::Dense { weight, bias } => fns
+                        .push(MapFn::MatVec { weight: weight.clone(), bias: bias.data().to_vec() }),
                     pegasus_nn::layers::LayerSpec::Relu => fns.push(MapFn::Relu),
                     other => panic!("unexpected encoder layer {}", other.name()),
                 }
@@ -401,12 +387,8 @@ impl CnnL {
             let mut fns = vec![MapFn::Affine { scale: vec![1.0 / 255.0], shift: vec![0.0] }];
             for layer in layers {
                 match layer {
-                    pegasus_nn::layers::LayerSpec::Dense { weight, bias } => {
-                        fns.push(MapFn::MatVec {
-                            weight: weight.clone(),
-                            bias: bias.data().to_vec(),
-                        })
-                    }
+                    pegasus_nn::layers::LayerSpec::Dense { weight, bias } => fns
+                        .push(MapFn::MatVec { weight: weight.clone(), bias: bias.data().to_vec() }),
                     pegasus_nn::layers::LayerSpec::Relu => fns.push(MapFn::Relu),
                     other => panic!("unexpected ipd layer {}", other.name()),
                 }
@@ -418,16 +400,16 @@ impl CnnL {
         p
     }
 
-    /// Compiles the full per-flow pipeline and deploys it.
+    /// Builds the full per-flow pipeline (extractor, registers, window
+    /// head) ready for deployment.
     ///
     /// `raw_train` / `seq_train` are the aligned training views.
-    pub fn deploy(
+    fn build_pipeline(
         &mut self,
         raw_train: &Dataset,
         seq_train: &Dataset,
         opts: &CompileOptions,
-        cfg: &SwitchConfig,
-    ) -> Result<FlowClassifier, DeployError> {
+    ) -> Result<crate::flowpipe::FlowPipeline, PegasusError> {
         let encoder_prog = self.encoder_primitives();
         // Per-packet training rows for the extractor compile (bytes + ipd).
         let mut ext_train: Vec<Vec<f32>> = Vec::new();
@@ -510,15 +492,18 @@ impl CnnL {
             flow_slots_log2: 14,
             ts_bits: if self.variant.with_ipd { 16 } else { 0 },
         };
-        let mut pipeline = build_flow_pipeline(&spec);
+        let mut pipeline = build_flow_pipeline(&spec)?;
         pipeline.program.stateful_bits_per_flow = self.variant.stateful_bits();
         pipeline.stateful_bits_per_flow = self.variant.stateful_bits();
-        FlowClassifier::deploy(pipeline, cfg)
+        Ok(pipeline)
     }
 
     /// Replays a labeled trace through a deployed classifier, scoring every
     /// full-window packet (the paper's packet-level evaluation).
-    pub fn evaluate_on_trace(classifier: &mut FlowClassifier, trace: &Trace) -> PrRcF1 {
+    pub fn evaluate_on_trace(
+        classifier: &mut FlowClassifier,
+        trace: &Trace,
+    ) -> Result<PrRcF1, PegasusError> {
         classifier.reset();
         let mut truth = Vec::new();
         let mut preds = Vec::new();
@@ -534,18 +519,49 @@ impl CnnL {
                 .chain(std::iter::repeat(0.0))
                 .take(BYTES)
                 .collect();
-            let v = classifier.on_packet(
-                flow_hash(&pkt.flow),
-                pkt.ts_micros,
-                pkt.wire_len,
-                &codes,
-            );
+            let v =
+                classifier.on_packet(flow_hash(&pkt.flow), pkt.ts_micros, pkt.wire_len, &codes)?;
             if let Some(p) = v.predicted {
                 truth.push(label);
                 preds.push(p.min(classes.saturating_sub(1)));
             }
         }
-        pr_rc_f1(&truth, &preds, classes)
+        Ok(pr_rc_f1(&truth, &preds, classes))
+    }
+}
+
+impl DataplaneNet for CnnL {
+    fn name(&self) -> &'static str {
+        "CNN-L"
+    }
+
+    /// Trains the paper's default 44-bit variant; use
+    /// [`CnnL::fit`] directly for the 28/72-bit Figure 7 variants.
+    fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(CnnL::fit(data.raw("CNN-L")?, data.seq("CNN-L")?, CnnLVariant::v44(), settings))
+    }
+
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.float_metrics(data.raw("CNN-L")?, data.seq("CNN-L")?))
+    }
+
+    /// Lowers to the distributed per-flow pipeline of §7.3 — per-packet
+    /// extractor, register-packed index window, window head.
+    fn lower(
+        &mut self,
+        data: &ModelData<'_>,
+        opts: &CompileOptions,
+    ) -> Result<Lowered, PegasusError> {
+        let raw = data.raw("CNN-L")?;
+        let seq = data.seq("CNN-L")?;
+        if raw.is_empty() || seq.is_empty() {
+            return Err(PegasusError::EmptyTrainingSet);
+        }
+        Ok(Lowered::Flow(Box::new(self.build_pipeline(raw, seq, opts)?)))
+    }
+
+    fn size_kilobits(&mut self) -> f64 {
+        self.weight_kilobits()
     }
 }
 
@@ -557,7 +573,9 @@ pub fn flow_hash(flow: &FiveTuple) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+    use pegasus_switch::SwitchConfig;
 
     #[test]
     fn input_scale_matches_paper() {
@@ -576,24 +594,29 @@ mod tests {
         let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 20, seed: 9 });
         let (train, _val, test) = split_by_flow(&trace, 5);
         let tv = extract_views(&train);
-        let mut m = CnnL::train(
+        let mut m = CnnL::fit(
             &tv.raw,
             &tv.seq,
             CnnLVariant::v28(),
             &TrainSettings { epochs: 6, ..TrainSettings::quick() },
         );
         let test_views = extract_views(&test);
-        let float_f1 = m.evaluate_float(&test_views.raw, &test_views.seq).f1;
+        let float_f1 = m.float_metrics(&test_views.raw, &test_views.seq).f1;
         assert!(float_f1 > 0.5, "float F1 {float_f1}");
 
+        let data = ModelData::new().with_raw(&tv.raw).with_seq(&tv.seq);
         let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
-        let mut dp = m
-            .deploy(&tv.raw, &tv.seq, &opts, &SwitchConfig::tofino2())
+        let mut dp = Pegasus::new(m)
+            .options(opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
             .expect("CNN-L fits the switch");
         let report = dp.resource_report();
         assert!(report.stages_used <= 20, "stages {}", report.stages_used);
 
-        let dp_f1 = CnnL::evaluate_on_trace(&mut dp, &test).f1;
+        let dp_f1 =
+            CnnL::evaluate_on_trace(dp.flow_mut().expect("per-flow"), &test).expect("replays").f1;
         assert!(dp_f1 > 0.4, "dataplane F1 {dp_f1} (float {float_f1})");
     }
 }

@@ -7,8 +7,9 @@
 //! than CNN-B yet uses *fewer* switch resources (the paper's Table 6
 //! observation this reproduction must preserve).
 
-use super::{dataset_rows, TrainSettings};
-use crate::compile::{compile, CompileOptions, CompileTarget, CompiledPipeline};
+use super::{dataset_rows, DataplaneNet, Lowered, ModelData, TrainSettings};
+use crate::compile::CompileOptions;
+use crate::error::PegasusError;
 use crate::fusion::{fuse_basic, is_nam_form};
 use crate::primitives::{MapFn, PrimitiveProgram, ValueId};
 use pegasus_nn::layers::{
@@ -35,7 +36,7 @@ pub struct CnnM {
 
 impl CnnM {
     /// Trains CNN-M on interleaved sequence codes.
-    pub fn train(train: &Dataset, val: Option<&Dataset>, settings: &TrainSettings) -> Self {
+    pub fn fit(train: &Dataset, val: Option<&Dataset>, settings: &TrainSettings) -> Self {
         assert_eq!(train.x.cols(), SEQ_LEN, "CNN-M expects 16 sequence codes");
         let classes = train.classes();
         let mut rng = settings.rng();
@@ -57,13 +58,14 @@ impl CnnM {
         m.add(Box::new(Parallel::with_combine(branches, Combine::Sum)));
 
         let mut opt = Adam::new(settings.lr);
-        let cfg = TrainConfig { epochs: settings.epochs, batch_size: settings.batch, verbose: false };
+        let cfg =
+            TrainConfig { epochs: settings.epochs, batch_size: settings.batch, verbose: false };
         train_classifier(&mut m, train, val, &mut opt, &cfg, &mut rng, &flat);
         CnnM { model: m, classes }
     }
 
     /// Full-precision macro metrics.
-    pub fn evaluate_float(&mut self, data: &Dataset) -> PrRcF1 {
+    pub fn float_metrics(&mut self, data: &Dataset) -> PrRcF1 {
         let preds = predict_classes(&mut self.model, &data.x, &flat);
         pegasus_nn::metrics::pr_rc_f1(&data.y, &preds, data.classes())
     }
@@ -71,12 +73,6 @@ impl CnnM {
     /// Number of classes.
     pub fn classes(&self) -> usize {
         self.classes
-    }
-
-    /// Model size in kilobits — large, and it does not matter on the
-    /// switch: the subnets live inside table entries.
-    pub fn size_kilobits(&self) -> f64 {
-        self.model.to_spec("CNN-M").size_kilobits()
     }
 
     /// Builds the NAM-form primitive program (one Map per segment).
@@ -95,12 +91,7 @@ impl CnnM {
             for layer in &chain[1..] {
                 match layer {
                     LayerSpec::BatchNorm1d {
-                        gamma,
-                        beta,
-                        running_mean,
-                        running_var,
-                        eps,
-                        ..
+                        gamma, beta, running_mean, running_var, eps, ..
                     } => {
                         let dim = gamma.len();
                         let mut scale = Vec::with_capacity(dim);
@@ -113,10 +104,8 @@ impl CnnM {
                         }
                         fns.push(MapFn::Affine { scale, shift });
                     }
-                    LayerSpec::Dense { weight, bias } => fns.push(MapFn::MatVec {
-                        weight: weight.clone(),
-                        bias: bias.data().to_vec(),
-                    }),
+                    LayerSpec::Dense { weight, bias } => fns
+                        .push(MapFn::MatVec { weight: weight.clone(), bias: bias.data().to_vec() }),
                     LayerSpec::Relu => fns.push(MapFn::Relu),
                     other => panic!("unexpected NAM layer {}", other.name()),
                 }
@@ -128,24 +117,54 @@ impl CnnM {
         debug_assert!(is_nam_form(&p));
         p
     }
+}
 
-    /// Compiles onto the dataplane — by construction already maximally
-    /// fused (one lookup per segment).
-    pub fn compile(&self, train: &Dataset, opts: &CompileOptions) -> CompiledPipeline {
+impl DataplaneNet for CnnM {
+    fn name(&self) -> &'static str {
+        "CNN-M"
+    }
+
+    fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(CnnM::fit(data.seq("CNN-M")?, data.val_seq(), settings))
+    }
+
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.float_metrics(data.seq("CNN-M")?))
+    }
+
+    fn calibration_inputs(&self, data: &ModelData<'_>) -> Result<Vec<Vec<f32>>, PegasusError> {
+        Ok(dataset_rows(data.seq("CNN-M")?))
+    }
+
+    /// Lowers the NAM form — by construction already maximally fused (one
+    /// lookup per segment).
+    fn lower(
+        &mut self,
+        _data: &ModelData<'_>,
+        opts: &CompileOptions,
+    ) -> Result<Lowered, PegasusError> {
         let mut prog = self.to_primitives();
         fuse_basic(&mut prog); // no-op on NAM form; kept for uniformity
-        let mut pipeline =
-            compile(&prog, &dataset_rows(train), opts, CompileTarget::Classify, "cnn_m");
-        // Same per-flow window storage as CNN-B (Table 6: 72 bits).
-        pipeline.program.stateful_bits_per_flow = 72;
-        pipeline
+        Ok(Lowered::Primitives {
+            program: prog,
+            tree_overrides: std::collections::HashMap::new(),
+            opts: opts.clone(),
+            // Same per-flow window storage as CNN-B (Table 6: 72 bits).
+            stateful_bits_per_flow: 72,
+        })
+    }
+
+    /// Model size in kilobits — large, and it does not matter on the
+    /// switch: the subnets live inside table entries.
+    fn size_kilobits(&mut self) -> f64 {
+        self.model.to_spec("CNN-M").size_kilobits()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::DataplaneModel;
+    use crate::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
     use pegasus_nn::Tensor;
     use pegasus_switch::SwitchConfig;
@@ -159,13 +178,11 @@ mod tests {
     #[test]
     fn reference_program_matches_float_model() {
         let (train, _) = small_data();
-        let mut m = CnnM::train(&train, None, &TrainSettings::quick());
+        let mut m = CnnM::fit(&train, None, &TrainSettings::quick());
         let prog = m.to_primitives();
         for r in [0usize, 9] {
             let x = train.x.row(r).to_vec();
-            let want = m
-                .model
-                .forward(&Tensor::from_vec(x.clone(), &[1, SEQ_LEN]), false);
+            let want = m.model.forward(&Tensor::from_vec(x.clone(), &[1, SEQ_LEN]), false);
             let got = prog.eval(&x);
             for (a, b) in want.row(0).iter().zip(got.iter()) {
                 assert!((a - b).abs() < 1e-2, "row {r}: {:?} vs {:?}", want.row(0), got);
@@ -176,13 +193,14 @@ mod tests {
     #[test]
     fn is_nam_and_uses_few_tables() {
         let (train, _) = small_data();
-        let m = CnnM::train(&train, None, &TrainSettings::quick());
+        let m = CnnM::fit(&train, None, &TrainSettings::quick());
         let prog = m.to_primitives();
         assert!(is_nam_form(&prog));
         assert_eq!(prog.map_count(), 4); // one lookup per segment
+        let data = ModelData::new().with_seq(&train);
         let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-        let p = m.compile(&train, &opts);
-        assert_eq!(p.report.fuzzy_tables, 4);
+        let compiled = Pegasus::new(m).options(opts).compile(&data).expect("compiles");
+        assert_eq!(compiled.report().fuzzy_tables, 4);
     }
 
     #[test]
@@ -190,14 +208,23 @@ mod tests {
         // The Table 6 shape: CNN-M is larger in parameters but uses less
         // TCAM/bus than CNN-B.
         let (train, _) = small_data();
-        let mb = super::super::cnn_b::CnnB::train(&train, None, &TrainSettings::quick());
-        let mm = CnnM::train(&train, None, &TrainSettings::quick());
+        let mut mb = super::super::cnn_b::CnnB::fit(&train, None, &TrainSettings::quick());
+        let mut mm = CnnM::fit(&train, None, &TrainSettings::quick());
         assert!(mm.size_kilobits() > mb.size_kilobits() * 5.0);
+        let data = ModelData::new().with_seq(&train);
         let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
-        let pb = mb.compile(&train, &opts);
-        let pm = mm.compile(&train, &opts);
-        let db = DataplaneModel::deploy(pb, &SwitchConfig::tofino2()).unwrap();
-        let dm = DataplaneModel::deploy(pm, &SwitchConfig::tofino2()).unwrap();
+        let db = Pegasus::new(mb)
+            .options(opts.clone())
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
+        let dm = Pegasus::new(mm)
+            .options(opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
         let rb = db.resource_report();
         let rm = dm.resource_report();
         assert!(
@@ -211,13 +238,18 @@ mod tests {
     #[test]
     fn trains_and_classifies_on_switch() {
         let (train, test) = small_data();
-        let mut m = CnnM::train(&train, None, &TrainSettings::quick());
-        let float_f1 = m.evaluate_float(&test).f1;
+        let mut m = CnnM::fit(&train, None, &TrainSettings::quick());
+        let float_f1 = m.float_metrics(&test).f1;
         assert!(float_f1 > 0.55, "float F1 {float_f1}");
+        let data = ModelData::new().with_seq(&train);
         let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-        let pipeline = m.compile(&train, &opts);
-        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).unwrap();
-        let dp_f1 = dp.evaluate(&test).f1;
+        let dp = Pegasus::new(m)
+            .options(opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
+        let dp_f1 = dp.evaluate(&test).expect("evaluates").f1;
         assert!(dp_f1 > float_f1 - 0.25, "dataplane {dp_f1} vs float {float_f1}");
     }
 }

@@ -1,12 +1,14 @@
 //! MLP-B: the basic multi-layer perceptron on statistical features (§6.3).
 //!
 //! Three hidden layers, each a Batch Normalization → fully connected → ReLU
-//! sandwich, on the 16-byte statistical feature vector. Compiles through
-//! the standard lowering + Basic Primitive Fusion path, with optional
-//! centroid fine-tuning of the input-layer cluster trees (§4.4).
+//! sandwich, on the 16-byte statistical feature vector. Lowers through the
+//! standard lowering + Basic Primitive Fusion path, with optional centroid
+//! fine-tuning of the input-layer cluster trees (§4.4) via
+//! [`CompileOptions::finetune_centroids`].
 
-use super::{dataset_rows, TrainSettings};
-use crate::compile::{compile_with_trees, CompileOptions, CompileTarget, CompiledPipeline};
+use super::{dataset_rows, DataplaneNet, Lowered, ModelData, TrainSettings};
+use crate::compile::CompileOptions;
+use crate::error::PegasusError;
 use crate::finetune::{finetune_centroids_guarded, fit_segment_trees, FinetuneConfig};
 use crate::fusion::fuse_basic;
 use crate::lowering::{lower_sequential, LoweringOptions};
@@ -32,7 +34,7 @@ pub struct MlpB {
 
 impl MlpB {
     /// Trains MLP-B on statistical-feature samples.
-    pub fn train(train: &Dataset, val: Option<&Dataset>, settings: &TrainSettings) -> Self {
+    pub fn fit(train: &Dataset, val: Option<&Dataset>, settings: &TrainSettings) -> Self {
         assert_eq!(train.x.cols(), INPUT_DIM, "MLP-B expects 16 statistical features");
         let classes = train.classes();
         let mut rng = settings.rng();
@@ -49,13 +51,14 @@ impl MlpB {
         m.add(Box::new(Dense::new(&mut rng, HIDDEN, classes)));
 
         let mut opt = Adam::new(settings.lr);
-        let cfg = TrainConfig { epochs: settings.epochs, batch_size: settings.batch, verbose: false };
+        let cfg =
+            TrainConfig { epochs: settings.epochs, batch_size: settings.batch, verbose: false };
         train_classifier(&mut m, train, val, &mut opt, &cfg, &mut rng, &flat);
         MlpB { model: m, classes }
     }
 
     /// Full-precision macro metrics (the control-plane baseline).
-    pub fn evaluate_float(&mut self, data: &Dataset) -> PrRcF1 {
+    pub fn float_metrics(&mut self, data: &Dataset) -> PrRcF1 {
         evaluate_classifier(&mut self.model, data, &flat)
     }
 
@@ -63,29 +66,42 @@ impl MlpB {
     pub fn classes(&self) -> usize {
         self.classes
     }
+}
 
-    /// Model size in kilobits (Table 5 column).
-    pub fn size_kilobits(&self) -> f64 {
-        self.model.to_spec("MLP-B").size_kilobits()
+impl DataplaneNet for MlpB {
+    fn name(&self) -> &'static str {
+        "MLP-B"
     }
 
-    /// Compiles onto the dataplane. When `finetune` is set, input-layer
-    /// centroids are fine-tuned by backpropagation before table emission.
-    pub fn compile(
+    fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(MlpB::fit(data.stat("MLP-B")?, data.val_stat(), settings))
+    }
+
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.float_metrics(data.stat("MLP-B")?))
+    }
+
+    fn calibration_inputs(&self, data: &ModelData<'_>) -> Result<Vec<Vec<f32>>, PegasusError> {
+        Ok(dataset_rows(data.stat("MLP-B")?))
+    }
+
+    /// Lowers through standard lowering + Basic Primitive Fusion. When
+    /// [`CompileOptions::finetune_centroids`] is set, input-layer centroids
+    /// are fine-tuned by backpropagation before table emission.
+    fn lower(
         &mut self,
-        train: &Dataset,
+        data: &ModelData<'_>,
         opts: &CompileOptions,
-        finetune: bool,
-    ) -> CompiledPipeline {
+    ) -> Result<Lowered, PegasusError> {
+        let train = data.stat("MLP-B")?;
         let spec = self.model.to_spec("MLP-B");
         let mut prog = lower_sequential(&spec, &LoweringOptions { segment_width: 4 });
         fuse_basic(&mut prog);
 
         let mut overrides = HashMap::new();
-        if finetune {
+        if opts.finetune_centroids {
             if let Some((values, offsets, lens)) = input_partition(&prog) {
-                let mut trees =
-                    fit_segment_trees(&train.x, &offsets, &lens, opts.clustering_depth);
+                let mut trees = fit_segment_trees(&train.x, &offsets, &lens, opts.clustering_depth);
                 finetune_centroids_guarded(
                     &mut trees,
                     &mut self.model,
@@ -101,27 +117,29 @@ impl MlpB {
         // action data per stage; at 10 bits all five stay under the
         // 1024-bit action bus and every block keeps its 3-stage budget
         // (the paper's MLP-B is likewise the heaviest bus user, Table 6).
-        let opts = &CompileOptions { act_bits: opts.act_bits.min(10), ..opts.clone() };
-        let mut pipeline = compile_with_trees(
-            &prog,
-            &dataset_rows(train),
+        let opts = CompileOptions { act_bits: opts.act_bits.min(10), ..opts.clone() };
+        Ok(Lowered::Primitives {
+            program: prog,
+            tree_overrides: overrides,
             opts,
-            CompileTarget::Classify,
-            "mlp_b",
-            &overrides,
-        );
-        // Per-flow statistical features the switch must maintain: min/max
-        // packet length and IPD (4 x 16-bit running registers) plus the
-        // 16-bit previous-packet timestamp — 80 stateful bits (Table 6 row).
-        pipeline.program.stateful_bits_per_flow = 80;
-        pipeline
+            // Per-flow statistical features the switch must maintain:
+            // min/max packet length and IPD (4 x 16-bit running registers)
+            // plus the 16-bit previous-packet timestamp — 80 stateful bits
+            // (Table 6 row).
+            stateful_bits_per_flow: 80,
+        })
+    }
+
+    fn size_kilobits(&mut self) -> f64 {
+        self.model.to_spec("MLP-B").size_kilobits()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::DataplaneModel;
+    use crate::compile::CompileOptions;
+    use crate::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
     use pegasus_switch::SwitchConfig;
 
@@ -134,19 +152,21 @@ mod tests {
     #[test]
     fn trains_to_useful_accuracy_and_compiles() {
         let (train, test) = small_data();
-        let mut m = MlpB::train(&train, None, &TrainSettings::quick());
-        let float_f1 = m.evaluate_float(&test).f1;
+        let data = ModelData::new().with_stat(&train);
+        let mut m = MlpB::train(&data, &TrainSettings::quick()).expect("trains");
+        let float_f1 = m.float_metrics(&test).f1;
         assert!(float_f1 > 0.6, "float F1 {float_f1}");
 
         let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
-        let pipeline = m.compile(&train, &opts, false);
-        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
-        let dp_f1 = dp.evaluate(&test).f1;
+        let dp = Pegasus::new(m)
+            .options(opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .expect("fits");
+        let dp_f1 = dp.evaluate(&test).expect("evaluates").f1;
         // Dataplane accuracy within a reasonable envelope of float accuracy.
-        assert!(
-            dp_f1 > float_f1 - 0.2,
-            "dataplane F1 {dp_f1} too far below float {float_f1}"
-        );
+        assert!(dp_f1 > float_f1 - 0.2, "dataplane F1 {dp_f1} too far below float {float_f1}");
         let report = dp.resource_report();
         assert!(report.stages_used <= 20, "stages {}", report.stages_used);
         assert_eq!(report.stateful_bits_per_flow, 80);
@@ -155,24 +175,32 @@ mod tests {
     #[test]
     fn finetuned_compile_not_worse() {
         let (train, test) = small_data();
-        let mut m = MlpB::train(&train, None, &TrainSettings::quick());
+        let data = ModelData::new().with_stat(&train);
+        let m = MlpB::train(&data, &TrainSettings::quick()).expect("trains");
         let opts = CompileOptions { clustering_depth: 4, ..Default::default() };
-        let base = m.compile(&train, &opts, false);
-        let tuned = m.compile(&train, &opts, true);
-        let mut dp_base = DataplaneModel::deploy(base, &SwitchConfig::tofino2()).unwrap();
-        let mut dp_tuned = DataplaneModel::deploy(tuned, &SwitchConfig::tofino2()).unwrap();
-        let f_base = dp_base.evaluate(&test).f1;
-        let f_tuned = dp_tuned.evaluate(&test).f1;
-        assert!(
-            f_tuned >= f_base - 0.05,
-            "fine-tuning collapsed accuracy: {f_base} -> {f_tuned}"
-        );
+        let tuned_opts = CompileOptions { finetune_centroids: true, ..opts.clone() };
+        let dp_base = Pegasus::new(m)
+            .options(opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
+        let m2 = MlpB::train(&data, &TrainSettings::quick()).expect("trains");
+        let dp_tuned = Pegasus::new(m2)
+            .options(tuned_opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .unwrap();
+        let f_base = dp_base.evaluate(&test).unwrap().f1;
+        let f_tuned = dp_tuned.evaluate(&test).unwrap().f1;
+        assert!(f_tuned >= f_base - 0.05, "fine-tuning collapsed accuracy: {f_base} -> {f_tuned}");
     }
 
     #[test]
     fn model_size_in_expected_band() {
         let (train, _) = small_data();
-        let m = MlpB::train(&train, None, &TrainSettings::quick());
+        let mut m = MlpB::fit(&train, None, &TrainSettings::quick());
         let kb = m.size_kilobits();
         // ~1.2k params x 32 bits: tens of kilobits, like the paper's 34.3 Kb.
         assert!((10.0..100.0).contains(&kb), "size {kb} Kb");

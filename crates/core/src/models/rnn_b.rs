@@ -14,8 +14,9 @@
 //! `|H| × leaves(x)` entries. The final index feeds a head table of class
 //! scores and the tournament argmax.
 
-use super::TrainSettings;
-use crate::compile::{emit_argmax, CompileOptions, CompileReport, CompileTarget, CompiledPipeline};
+use super::{DataplaneNet, Lowered, ModelData, TrainSettings};
+use crate::compile::{emit_argmax, CompileOptions, CompileReport, CompiledPipeline};
+use crate::error::PegasusError;
 use crate::fuzzy::ClusterTree;
 use crate::numformat::NumFormat;
 use pegasus_nn::layers::{Dense, Embedding, Layer, Rnn};
@@ -44,7 +45,7 @@ pub struct RnnB {
 
 impl RnnB {
     /// Trains RNN-B on interleaved `[len, ipd] x 8` code rows (16 columns).
-    pub fn train(train: &Dataset, settings: &TrainSettings) -> Self {
+    pub fn fit(train: &Dataset, settings: &TrainSettings) -> Self {
         assert_eq!(train.x.cols(), 2 * WINDOW, "RNN-B expects 16 sequence codes");
         let classes = train.classes();
         let mut rng = settings.rng();
@@ -90,7 +91,7 @@ impl RnnB {
     }
 
     /// Full-precision macro metrics.
-    pub fn evaluate_float(&mut self, data: &Dataset) -> PrRcF1 {
+    pub fn float_metrics(&mut self, data: &Dataset) -> PrRcF1 {
         let preds = self.forward(&data.x).argmax_rows();
         pr_rc_f1(&data.y, &preds, data.classes())
     }
@@ -101,7 +102,7 @@ impl RnnB {
     }
 
     /// Model size in kilobits (embedding + recurrent + head weights).
-    pub fn size_kilobits(&self) -> f64 {
+    fn weight_kilobits(&self) -> f64 {
         let params = self.emb.table().len()
             + self.rnn.wx().len()
             + self.rnn.wh().len()
@@ -133,12 +134,12 @@ impl RnnB {
         out.iter().map(|&v| v.tanh()).collect()
     }
 
-    /// Compiles the state-transition pipeline.
+    /// Emits the state-transition pipeline.
     ///
     /// `opts.clustering_depth` sizes the hidden-state tree; the per-step
     /// packet codes are clustered one level shallower (they are only two
     /// dimensions wide).
-    pub fn compile(&self, train: &Dataset, opts: &CompileOptions) -> CompiledPipeline {
+    fn emit_pipeline(&self, train: &Dataset, opts: &CompileOptions) -> CompiledPipeline {
         // ---- 1. Sample hidden states along training trajectories. -------
         let n = train.len().min(opts.max_tree_samples);
         let mut h_samples: Vec<Vec<f32>> = Vec::with_capacity(n * WINDOW);
@@ -159,9 +160,7 @@ impl RnnB {
         // sequentially — spilling a table across stages would blow the
         // stage budget).
         let tree_x = ClusterTree::fit(&x_samples, opts.clustering_depth)
-            .map_thresholds(|_, t| {
-                crate::compile::snap_threshold(t.round() as i64, 8, 4) as f32
-            });
+            .map_thresholds(|_, t| crate::compile::snap_threshold(t.round() as i64, 8, 4) as f32);
         let h_states = tree_h.leaves();
         let h_bits = tree_h.index_bits();
 
@@ -173,20 +172,43 @@ impl RnnB {
         let mut report = CompileReport::default();
         let mut uniq = 0usize;
 
-        // Initial state index: h = 0.
-        let h0 = tree_h.index_of(&vec![0.0; HIDDEN]);
-        let mut h_field = layout.add_field("h_idx0", h_bits);
+        // Step 0 transitions from the *exact* zero state (every window
+        // starts at h = 0; snapping it to a fitted leaf's centroid would
+        // corrupt all trajectories from the first step), so its table is
+        // keyed on the first packet's codes alone.
+        let boxes = tree_x.leaf_boxes(&[(0, 255), (0, 255)]);
+        let mut h_field = layout.add_field("h_idx1", h_bits);
         {
-            let mut t = Table::new("rnn_init", vec![]);
-            let act = Action::new("h0")
-                .with(AluOp::Set { dst: h_field, a: Operand::Const(h0 as i64) });
-            t.default_action = Some((t.add_action(act), vec![]));
+            let mut t = Table::new(
+                "rnn_step0",
+                vec![(input_fields[0], MatchKind::Range), (input_fields[1], MatchKind::Range)],
+            );
+            let set_next = t.add_action(
+                Action::new("next_h").with(AluOp::Set { dst: h_field, a: Operand::Param(0) }),
+            );
+            t.param_widths = vec![h_bits];
+            let zero_h = vec![0.0f32; HIDDEN];
+            for b in &boxes {
+                let xc = tree_x.centroid(b.index);
+                let h_next = self.step(&zero_h, xc[0], xc[1]);
+                t.add_entry(TableEntry {
+                    keys: vec![
+                        KeyPart::Range { lo: b.ranges[0].0, hi: b.ranges[0].1 },
+                        KeyPart::Range { lo: b.ranges[1].0, hi: b.ranges[1].1 },
+                    ],
+                    priority: 0,
+                    action_idx: set_next,
+                    action_data: vec![tree_h.index_of(&h_next) as i64],
+                });
+            }
+            report.entries += boxes.len() as u64;
+            report.fuzzy_tables += 1;
+            report.lookups_per_input += 1;
             tables.push(t);
         }
 
-        // One transition table per step: (h_idx, len, ipd) -> h_idx'.
-        let boxes = tree_x.leaf_boxes(&[(0, 255), (0, 255)]);
-        for t_step in 0..WINDOW {
+        // Later steps: one transition table each, (h_idx, len, ipd) -> h_idx'.
+        for t_step in 1..WINDOW {
             let next_h = layout.add_field(&format!("h_idx{}", t_step + 1), h_bits);
             let mut t = Table::new(
                 &format!("rnn_step{t_step}"),
@@ -284,7 +306,6 @@ impl RnnB {
         // previous-packet timestamp.
         program.stateful_bits_per_flow = (2 * WINDOW * 8 + 16) as u64;
         report.tables = program.tables.len();
-        let _ = CompileTarget::Classify;
 
         program.keep_alive = score_fields.clone();
         program.keep_alive.push(predicted);
@@ -301,10 +322,42 @@ impl RnnB {
     }
 }
 
+impl DataplaneNet for RnnB {
+    fn name(&self) -> &'static str {
+        "RNN-B"
+    }
+
+    fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(RnnB::fit(data.seq("RNN-B")?, settings))
+    }
+
+    fn evaluate_float(&mut self, data: &ModelData<'_>) -> Result<PrRcF1, PegasusError> {
+        Ok(self.float_metrics(data.seq("RNN-B")?))
+    }
+
+    /// Lowers to the chained state-transition tables of §4.2/§7.3 — a
+    /// bespoke pipeline, not a feed-forward primitive program.
+    fn lower(
+        &mut self,
+        data: &ModelData<'_>,
+        opts: &CompileOptions,
+    ) -> Result<Lowered, PegasusError> {
+        let train = data.seq("RNN-B")?;
+        if train.is_empty() {
+            return Err(PegasusError::EmptyTrainingSet);
+        }
+        Ok(Lowered::Pipeline(Box::new(self.emit_pipeline(train, opts))))
+    }
+
+    fn size_kilobits(&mut self) -> f64 {
+        self.weight_kilobits()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::DataplaneModel;
+    use crate::pipeline::Pegasus;
     use pegasus_datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
     use pegasus_switch::SwitchConfig;
 
@@ -317,28 +370,30 @@ mod tests {
     #[test]
     fn trains_and_compiles_within_stage_budget() {
         let (train, test) = small_data();
-        let mut m = RnnB::train(&train, &TrainSettings::quick());
-        let float_f1 = m.evaluate_float(&test).f1;
+        let mut m = RnnB::fit(&train, &TrainSettings::quick());
+        let float_f1 = m.float_metrics(&test).f1;
         assert!(float_f1 > 0.55, "float F1 {float_f1}");
 
+        let data = ModelData::new().with_seq(&train);
         let opts = CompileOptions { clustering_depth: 4, ..Default::default() };
-        let pipeline = m.compile(&train, &opts);
-        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
+        let dp = Pegasus::new(m)
+            .options(opts)
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .expect("fits");
         let report = dp.resource_report();
         assert!(report.stages_used <= 20, "stages {}", report.stages_used);
-        let dp_f1 = dp.evaluate(&test).f1;
-        assert!(
-            dp_f1 > float_f1 - 0.25,
-            "dataplane F1 {dp_f1} too far below float {float_f1}"
-        );
+        let dp_f1 = dp.evaluate(&test).expect("evaluates").f1;
+        assert!(dp_f1 > float_f1 - 0.25, "dataplane F1 {dp_f1} too far below float {float_f1}");
     }
 
     #[test]
     fn transition_tables_have_expected_shape() {
         let (train, _) = small_data();
-        let m = RnnB::train(&train, &TrainSettings::quick());
+        let m = RnnB::fit(&train, &TrainSettings::quick());
         let opts = CompileOptions { clustering_depth: 3, ..Default::default() };
-        let p = m.compile(&train, &opts);
+        let p = m.emit_pipeline(&train, &opts);
         // 1 init + 8 steps + 1 head + argmax tables.
         assert!(p.report.fuzzy_tables == 8, "{:?}", p.report);
         assert!(p.report.exact_tables == 1);

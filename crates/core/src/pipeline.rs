@@ -1,0 +1,302 @@
+//! The staged `Pegasus` builder — the one way from a trained model to a
+//! serving dataplane.
+//!
+//! ```text
+//! Pegasus::new(model)            // configure
+//!     .options(opts)
+//!     .target(CompileTarget::Classify)
+//!     .compile(&data)?           // -> Compiled (artifact + metrics)
+//!     .deploy(&SwitchConfig::tofino2())?   // -> Deployment (serving)
+//! ```
+//!
+//! The stages are separate types, so invalid orderings (deploying before
+//! compiling, classifying before deploying) do not typecheck, and every
+//! fallible edge returns [`PegasusError`]. One builder serves all six paper
+//! models and all three baselines: whatever a model
+//! [`lower`](DataplaneNet::lower)s to — a primitive program, a bespoke
+//! table pipeline, or a per-flow windowed pipeline — compiles and deploys
+//! through the same two calls.
+
+use crate::compile::{
+    compile_with_trees, CompileOptions, CompileReport, CompileTarget, CompiledPipeline,
+};
+use crate::error::PegasusError;
+use crate::flowpipe::{FlowClassifier, FlowPipeline};
+use crate::models::{DataplaneNet, Lowered, ModelData, TrainSettings};
+use crate::runtime::DataplaneModel;
+use pegasus_nn::metrics::PrRcF1;
+use pegasus_nn::Dataset;
+use pegasus_switch::{ResourceReport, SwitchConfig};
+
+/// Stage 1: a trained model plus compile configuration.
+pub struct Pegasus<M: DataplaneNet> {
+    model: M,
+    opts: CompileOptions,
+    target: Option<CompileTarget>,
+}
+
+impl<M: DataplaneNet> Pegasus<M> {
+    /// Wraps a trained model with default compile options.
+    pub fn new(model: M) -> Self {
+        Pegasus { model, opts: CompileOptions::default(), target: None }
+    }
+
+    /// Trains a fresh model and wraps it in one step.
+    pub fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
+        Ok(Pegasus::new(M::train(data, settings)?))
+    }
+
+    /// Sets the compiler options (models may further tune them — e.g.
+    /// activation-width clamps — during lowering).
+    pub fn options(mut self, opts: CompileOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Overrides the pipeline head. Defaults to the model's
+    /// [`default_target`](DataplaneNet::default_target) (`Classify` for
+    /// classifiers, `Scores` for the AutoEncoder).
+    ///
+    /// Models that lower to bespoke pipelines (RNN-B, CNN-L, the
+    /// baselines, the AutoEncoder) fix their own head; asking them for the
+    /// other target fails at [`compile`](Pegasus::compile) with
+    /// [`PegasusError::Unsupported`] rather than being silently ignored.
+    pub fn target(mut self, target: CompileTarget) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Lowers and compiles the model against the bundle's training views.
+    pub fn compile(mut self, data: &ModelData<'_>) -> Result<Compiled<M>, PegasusError> {
+        let target = self.target.unwrap_or_else(|| self.model.default_target());
+        let artifact = match self.model.lower(data, &self.opts)? {
+            Lowered::Primitives { program, tree_overrides, opts, stateful_bits_per_flow } => {
+                let rows = self.model.calibration_inputs(data)?;
+                let name = table_prefix(self.model.name());
+                let mut pipeline =
+                    compile_with_trees(&program, &rows, &opts, target, &name, &tree_overrides)?;
+                pipeline.program.stateful_bits_per_flow = stateful_bits_per_flow;
+                Artifact::Single(Box::new(pipeline))
+            }
+            Lowered::Pipeline(pipeline) => Artifact::Single(pipeline),
+            Lowered::Flow(flow) => Artifact::Flow(flow),
+        };
+        // Bespoke pipelines carry their own head; an explicit override that
+        // contradicts it must fail loudly, not be dropped.
+        if let Some(requested) = self.target {
+            let actual = match &artifact {
+                Artifact::Single(p) => head_of(p.predicted_field.is_some()),
+                Artifact::Flow(p) => head_of(p.predicted_field.is_some()),
+            };
+            if requested != actual {
+                return Err(PegasusError::Unsupported {
+                    model: self.model.name(),
+                    what: "overriding the pipeline head of a bespoke lowering",
+                });
+            }
+        }
+        Ok(Compiled { model: self.model, artifact })
+    }
+}
+
+/// The head an emitted artifact actually has.
+fn head_of(has_predicted_field: bool) -> CompileTarget {
+    if has_predicted_field {
+        CompileTarget::Classify
+    } else {
+        CompileTarget::Scores
+    }
+}
+
+/// Sanitizes a display name into a table-name prefix ("MLP-B" → "mlp_b").
+fn table_prefix(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    while out.contains("__") {
+        out = out.replace("__", "_");
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// A compiled artifact: stateless single-pass or per-flow windowed.
+pub enum Artifact {
+    /// One feature row in, one verdict out; no cross-packet state.
+    Single(Box<CompiledPipeline>),
+    /// Per-flow registers; driven packet-by-packet after deployment.
+    Flow(Box<FlowPipeline>),
+}
+
+impl Artifact {
+    /// Compilation metrics.
+    pub fn report(&self) -> &CompileReport {
+        match self {
+            Artifact::Single(p) => &p.report,
+            Artifact::Flow(p) => &p.report,
+        }
+    }
+}
+
+/// Stage 2: a compiled (not yet deployed) model.
+pub struct Compiled<M: DataplaneNet> {
+    model: M,
+    artifact: Artifact,
+}
+
+impl<M: DataplaneNet> Compiled<M> {
+    /// Compilation metrics (tables, entries, lookups per input).
+    pub fn report(&self) -> &CompileReport {
+        self.artifact.report()
+    }
+
+    /// The compiled artifact.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Unwraps the compiled stage, returning the trained model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Validates the artifact against a switch configuration and loads it.
+    pub fn deploy(self, cfg: &SwitchConfig) -> Result<Deployment<M>, PegasusError> {
+        let plane = match self.artifact {
+            Artifact::Single(pipeline) => {
+                Plane::Single(Box::new(DataplaneModel::deploy(*pipeline, cfg)?))
+            }
+            Artifact::Flow(flow) => Plane::Flow(Box::new(FlowClassifier::deploy(*flow, cfg)?)),
+        };
+        Ok(Deployment { model: self.model, plane })
+    }
+}
+
+enum Plane {
+    Single(Box<DataplaneModel>),
+    Flow(Box<FlowClassifier>),
+}
+
+/// Stage 3: a model loaded onto the switch simulator and serving.
+///
+/// Inference goes through the shared [`DataplaneModel`] runtime (stateless
+/// pipelines) or, for per-flow pipelines, through
+/// [`flow_mut`](Deployment::flow_mut) packet-by-packet. The trained float
+/// model stays accessible for side-by-side evaluation.
+pub struct Deployment<M: DataplaneNet> {
+    model: M,
+    plane: Plane,
+}
+
+impl<M: DataplaneNet> Deployment<M> {
+    /// The wrapped model (float reference, Figure 9 comparisons).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Switch resource utilization (the Table 6 row).
+    pub fn resource_report(&self) -> ResourceReport {
+        match &self.plane {
+            Plane::Single(dp) => dp.resource_report(),
+            Plane::Flow(fc) => fc.resource_report(),
+        }
+    }
+
+    /// Classifies one sample of feature codes (stateless pipelines).
+    pub fn classify(&self, codes: &[f32]) -> Result<usize, PegasusError> {
+        match &self.plane {
+            Plane::Single(dp) => dp.classify(codes),
+            Plane::Flow(fc) => Err(flow_state_err(fc)),
+        }
+    }
+
+    /// Classifies a batch of samples (see [`DataplaneModel::classify_batch`]).
+    pub fn classify_batch(&self, rows: &[Vec<f32>]) -> Vec<Result<usize, PegasusError>> {
+        match &self.plane {
+            Plane::Single(dp) => dp.classify_batch(rows),
+            Plane::Flow(fc) => {
+                let err = flow_state_err(fc);
+                rows.iter().map(|_| Err(err.clone())).collect()
+            }
+        }
+    }
+
+    /// Decoded output scores of one sample (stateless pipelines).
+    pub fn scores(&self, codes: &[f32]) -> Result<Vec<f32>, PegasusError> {
+        match &self.plane {
+            Plane::Single(dp) => dp.scores(codes),
+            Plane::Flow(fc) => Err(flow_state_err(fc)),
+        }
+    }
+
+    /// Evaluates classification quality over a dataset of code rows.
+    pub fn evaluate(&self, data: &Dataset) -> Result<PrRcF1, PegasusError> {
+        match &self.plane {
+            Plane::Single(dp) => dp.evaluate(data),
+            Plane::Flow(fc) => Err(flow_state_err(fc)),
+        }
+    }
+
+    /// The shared stateless runtime, when this deployment has one.
+    pub fn dataplane(&self) -> Option<&DataplaneModel> {
+        match &self.plane {
+            Plane::Single(dp) => Some(dp),
+            Plane::Flow(_) => None,
+        }
+    }
+
+    /// Unwraps the deployment, returning the trained model (e.g. to
+    /// recompile it with different options).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// The per-flow classifier for windowed pipelines (packet-by-packet
+    /// serving and trace replay).
+    pub fn flow_mut(&mut self) -> Result<&mut FlowClassifier, PegasusError> {
+        match &mut self.plane {
+            Plane::Flow(fc) => Ok(fc),
+            Plane::Single(_) => Err(PegasusError::Unsupported {
+                model: "stateless pipelines",
+                what: "per-flow packet processing",
+            }),
+        }
+    }
+}
+
+/// The error every stateless entry point returns for per-flow pipelines.
+fn flow_state_err(fc: &FlowClassifier) -> PegasusError {
+    PegasusError::FlowStateRequired { pipeline: fc.pipeline().program.name.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prefix_sanitizes() {
+        assert_eq!(table_prefix("MLP-B"), "mlp_b");
+        assert_eq!(table_prefix("Leo (Decision Tree)"), "leo_decision_tree");
+        assert_eq!(table_prefix("CNN-L"), "cnn_l");
+    }
+}

@@ -102,7 +102,10 @@ impl MapFn {
         match self {
             MapFn::Affine { scale, shift } => {
                 assert_eq!(x.len(), scale.len());
-                x.iter().zip(scale.iter().zip(shift.iter())).map(|(&v, (&s, &b))| s * v + b).collect()
+                x.iter()
+                    .zip(scale.iter().zip(shift.iter()))
+                    .map(|(&v, (&s, &b))| s * v + b)
+                    .collect()
             }
             MapFn::MatVec { weight, bias } => {
                 let (in_dim, out_dim) = (weight.shape()[0], weight.shape()[1]);
@@ -282,7 +285,12 @@ impl PrimitiveProgram {
 
     /// Appends a Partition into consecutive windows of `width` advancing by
     /// `stride` (the Figure 6 `Partition(input, dim, stride)` form).
-    pub fn partition_strided(&mut self, input: ValueId, width: usize, stride: usize) -> Vec<ValueId> {
+    pub fn partition_strided(
+        &mut self,
+        input: ValueId,
+        width: usize,
+        stride: usize,
+    ) -> Vec<ValueId> {
         let in_dim = self.dim(input);
         assert!(width >= 1 && stride >= 1 && width <= in_dim);
         let mut offsets = Vec::new();
@@ -459,9 +467,7 @@ mod tests {
 
     #[test]
     fn embed_map_concatenates_rows() {
-        let f = MapFn::Embed {
-            table: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
-        };
+        let f = MapFn::Embed { table: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]) };
         assert_eq!(f.apply(&[1.0, 0.0]), vec![3.0, 4.0, 1.0, 2.0]);
         assert_eq!(f.out_dim(2), 4);
     }
@@ -477,10 +483,8 @@ mod tests {
 
     #[test]
     fn chain_composes_left_to_right() {
-        let f = MapFn::Chain(vec![
-            MapFn::Affine { scale: vec![2.0], shift: vec![0.0] },
-            MapFn::Relu,
-        ]);
+        let f =
+            MapFn::Chain(vec![MapFn::Affine { scale: vec![2.0], shift: vec![0.0] }, MapFn::Relu]);
         assert_eq!(f.apply(&[-3.0]), vec![0.0]);
         assert_eq!(f.apply(&[3.0]), vec![6.0]);
     }

@@ -1,10 +1,23 @@
 //! Deployed-model runtime: feeding feature codes through the switch.
+//!
+//! [`DataplaneModel`] is concurrency-ready: every inference method takes
+//! `&self` (lookup accounting is atomic, register state lives behind a
+//! per-packet lock inside the loaded program), so one deployed model can be
+//! shared across threads — [`classify_batch`](DataplaneModel::classify_batch)
+//! fans a batch out over std threads and is the hook future sharded or
+//! replicated serving builds on. Misuse returns [`PegasusError`] instead of
+//! panicking.
 
 use crate::compile::CompiledPipeline;
+use crate::error::PegasusError;
 use crate::primitives::{Primitive, PrimitiveProgram};
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::Dataset;
-use pegasus_switch::{DeployError, FieldId, LoadedProgram, ResourceReport, SwitchConfig};
+use pegasus_switch::{FieldId, LoadedProgram, ResourceReport, SwitchConfig};
+
+/// Rows below this count are classified on the calling thread; larger
+/// batches fan out across available cores.
+const BATCH_PARALLEL_THRESHOLD: usize = 256;
 
 /// A compiled pipeline loaded onto the switch simulator, ready to classify.
 pub struct DataplaneModel {
@@ -14,7 +27,7 @@ pub struct DataplaneModel {
 
 impl DataplaneModel {
     /// Validates the pipeline against a switch configuration and loads it.
-    pub fn deploy(pipeline: CompiledPipeline, cfg: &SwitchConfig) -> Result<Self, DeployError> {
+    pub fn deploy(pipeline: CompiledPipeline, cfg: &SwitchConfig) -> Result<Self, PegasusError> {
         let loaded = pipeline.program.clone().deploy(cfg)?;
         Ok(DataplaneModel { pipeline, loaded })
     }
@@ -30,31 +43,57 @@ impl DataplaneModel {
     }
 
     /// Classifies one sample of feature codes (each in `[0, 255]`).
-    pub fn classify(&mut self, codes: &[f32]) -> usize {
-        let phv = self.process(codes);
-        let f = self
-            .pipeline
-            .predicted_field
-            .expect("classify requires a Classify-target pipeline");
-        phv.get(f) as usize
+    pub fn classify(&self, codes: &[f32]) -> Result<usize, PegasusError> {
+        let phv = self.process(codes)?;
+        let f = self.pipeline.predicted_field.ok_or_else(|| PegasusError::NotAClassifier {
+            pipeline: self.pipeline.program.name.clone(),
+        })?;
+        Ok(phv.get(f) as usize)
+    }
+
+    /// Classifies a batch of samples, one verdict per row.
+    ///
+    /// Large batches are split across OS threads — the deployed model is
+    /// shared by reference, which is exactly the sharing contract future
+    /// replicated/sharded serving relies on.
+    pub fn classify_batch(&self, rows: &[Vec<f32>]) -> Vec<Result<usize, PegasusError>> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if rows.len() < BATCH_PARALLEL_THRESHOLD || threads < 2 {
+            return rows.iter().map(|r| self.classify(r)).collect();
+        }
+        let chunk = rows.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || part.iter().map(|r| self.classify(r)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("batch worker panicked")).collect()
+        })
     }
 
     /// Decoded output scores of one sample.
-    pub fn scores(&mut self, codes: &[f32]) -> Vec<f32> {
-        let phv = self.process(codes);
-        self.pipeline
+    pub fn scores(&self, codes: &[f32]) -> Result<Vec<f32>, PegasusError> {
+        if self.pipeline.score_fields.is_empty() {
+            return Err(PegasusError::NoScores { pipeline: self.pipeline.program.name.clone() });
+        }
+        let phv = self.process(codes)?;
+        Ok(self
+            .pipeline
             .score_fields
             .iter()
             .map(|&f| self.pipeline.score_format.to_real(phv.get(f)))
-            .collect()
+            .collect())
     }
 
-    fn process(&mut self, codes: &[f32]) -> pegasus_switch::Phv {
-        assert_eq!(
-            codes.len(),
-            self.pipeline.input_fields.len(),
-            "feature count mismatch"
-        );
+    fn process(&self, codes: &[f32]) -> Result<pegasus_switch::Phv, PegasusError> {
+        if codes.len() != self.pipeline.input_fields.len() {
+            return Err(PegasusError::FeatureCount {
+                expected: self.pipeline.input_fields.len(),
+                got: codes.len(),
+            });
+        }
         let inputs: Vec<(FieldId, i64)> = self
             .pipeline
             .input_fields
@@ -62,14 +101,38 @@ impl DataplaneModel {
             .zip(codes.iter())
             .map(|(&f, &v)| (f, v.round().clamp(0.0, 255.0) as i64))
             .collect();
-        self.loaded.process(&inputs)
+        Ok(self.loaded.process(&inputs))
     }
 
     /// Evaluates classification quality over a dataset of code rows.
-    pub fn evaluate(&mut self, data: &Dataset) -> PrRcF1 {
-        let preds: Vec<usize> =
-            (0..data.len()).map(|r| self.classify(data.x.row(r))).collect();
-        pr_rc_f1(&data.y, &preds, data.classes())
+    ///
+    /// Parallelizes like [`classify_batch`](DataplaneModel::classify_batch)
+    /// but chunks row-index ranges, so no copy of the dataset is made.
+    pub fn evaluate(&self, data: &Dataset) -> Result<PrRcF1, PegasusError> {
+        let n = data.len();
+        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        let preds: Vec<usize> = if n < BATCH_PARALLEL_THRESHOLD || threads < 2 {
+            (0..n).map(|r| self.classify(data.x.row(r))).collect::<Result<_, _>>()?
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .step_by(chunk)
+                    .map(|start| {
+                        scope.spawn(move || {
+                            (start..(start + chunk).min(n))
+                                .map(|r| self.classify(data.x.row(r)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluate worker panicked"))
+                    .collect::<Result<_, _>>()
+            })?
+        };
+        Ok(pr_rc_f1(&data.y, &preds, data.classes()))
     }
 
     /// Total table lookups performed so far (memory-bandwidth proxy).
@@ -83,11 +146,9 @@ impl DataplaneModel {
 /// program input. Returns `None` when the program maps the input whole.
 pub fn input_partition(prog: &PrimitiveProgram) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
     prog.ops.iter().find_map(|op| match op {
-        Primitive::Partition { input, offsets, lens, outputs } if *input == prog.input => Some((
-            outputs.iter().map(|v| v.0).collect(),
-            offsets.clone(),
-            lens.clone(),
-        )),
+        Primitive::Partition { input, offsets, lens, outputs } if *input == prog.input => {
+            Some((outputs.iter().map(|v| v.0).collect(), offsets.clone(), lens.clone()))
+        }
         _ => None,
     })
 }
@@ -129,12 +190,13 @@ mod tests {
             &CompileOptions { clustering_depth: 6, ..Default::default() },
             CompileTarget::Classify,
             "rt",
-        );
-        let mut m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        )
+        .expect("compiles");
+        let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
         // Clearly separated sample: class 1 (x2+x3 dominates).
-        let pred = m.classify(&[10.0, 10.0, 250.0, 250.0]);
+        let pred = m.classify(&[10.0, 10.0, 250.0, 250.0]).expect("classifies");
         assert_eq!(pred, 1);
-        let pred = m.classify(&[250.0, 250.0, 10.0, 10.0]);
+        let pred = m.classify(&[250.0, 250.0, 10.0, 10.0]).expect("classifies");
         assert_eq!(pred, 0);
         assert!(m.lookup_count() > 0);
     }
@@ -150,8 +212,9 @@ mod tests {
             &CompileOptions { clustering_depth: 6, ..Default::default() },
             CompileTarget::Classify,
             "rt",
-        );
-        let mut m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        )
+        .expect("compiles");
+        let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
         // Labels from the reference program.
         let test = inputs(300, 3);
         let labels: Vec<usize> = test
@@ -163,7 +226,7 @@ mod tests {
             .collect();
         let flat: Vec<f32> = test.iter().flatten().copied().collect();
         let data = Dataset::new(Tensor::from_vec(flat, &[300, 4]), labels);
-        let m1 = m.evaluate(&data);
+        let m1 = m.evaluate(&data).expect("evaluates");
         assert!(m1.f1 > 0.9, "dataplane F1 {}", m1.f1);
     }
 
@@ -177,7 +240,8 @@ mod tests {
             &CompileOptions::default(),
             CompileTarget::Classify,
             "rt",
-        );
+        )
+        .expect("compiles");
         let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
         let r = m.resource_report();
         assert!(r.tcam_bits > 0, "fuzzy tables should use TCAM");
@@ -195,8 +259,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "feature count mismatch")]
-    fn wrong_feature_count_panics() {
+    fn wrong_feature_count_is_an_error_not_a_panic() {
         let mut prog = scorer();
         fuse_basic(&mut prog);
         let c = compile(
@@ -205,8 +268,57 @@ mod tests {
             &CompileOptions::default(),
             CompileTarget::Classify,
             "rt",
-        );
-        let mut m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
-        let _ = m.classify(&[1.0, 2.0]);
+        )
+        .expect("compiles");
+        let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let err = m.classify(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, PegasusError::FeatureCount { expected: 4, got: 2 });
+    }
+
+    #[test]
+    fn scores_pipeline_rejects_class_queries() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(500, 6),
+            &CompileOptions::default(),
+            CompileTarget::Scores,
+            "rt",
+        )
+        .expect("compiles");
+        let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let err = m.classify(&[1.0, 2.0, 3.0, 4.0]).unwrap_err();
+        assert!(matches!(err, PegasusError::NotAClassifier { .. }), "{err:?}");
+        // Scores still work.
+        assert_eq!(m.scores(&[1.0, 2.0, 3.0, 4.0]).expect("scores").len(), 2);
+    }
+
+    #[test]
+    fn classify_batch_matches_sequential_and_shares_across_threads() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(1500, 7),
+            &CompileOptions { clustering_depth: 6, ..Default::default() },
+            CompileTarget::Classify,
+            "rt",
+        )
+        .expect("compiles");
+        let m = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        // Above the parallel threshold so the threaded path actually runs.
+        let rows = inputs(600, 8);
+        let batch: Vec<usize> =
+            m.classify_batch(&rows).into_iter().map(|r| r.expect("classifies")).collect();
+        for (row, &b) in rows.iter().zip(batch.iter()) {
+            assert_eq!(m.classify(row).unwrap(), b);
+        }
+        // A bad row yields an error without poisoning the rest.
+        let mut mixed = rows[..10].to_vec();
+        mixed.push(vec![1.0]);
+        let verdicts = m.classify_batch(&mixed);
+        assert!(verdicts[..10].iter().all(|v| v.is_ok()));
+        assert!(verdicts[10].is_err());
     }
 }

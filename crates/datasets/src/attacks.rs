@@ -169,6 +169,7 @@ pub fn generate_attack_trace(kind: AttackKind, flows: usize, seed: u64) -> Trace
     let mut rng = StdRng::seed_from_u64(seed ^ 0xa77ac);
     let mut trace = Trace::new();
     let mut next_ip: u32 = 0xac10_0001; // 172.16/12 — distinct from benign space
+    #[allow(clippy::explicit_counter_loop)] // next_ip also advances inside the body
     for _ in 0..flows {
         let flow = pegasus_net::FiveTuple::new(
             next_ip,

@@ -167,8 +167,8 @@ pub fn iscxvpn() -> DatasetSpec {
     // Everything shares the tunnel endpoint: same protocol, same port.
     let port_range = (443, 443);
     let proto = 17; // VPN over UDP
-    // Encrypted record framing: a short, partially stable prefix (record
-    // type + version-like bytes) then uniformly noisy ciphertext.
+                    // Encrypted record framing: a short, partially stable prefix (record
+                    // type + version-like bytes) then uniformly noisy ciphertext.
     let sig = |a: u8, b: u8| vec![0x17, 0x03, a, b, 0x00, 0x00];
     let mk = |name: &str,
               states: Vec<LenState>,

@@ -118,10 +118,7 @@ mod tests {
         let spec = peerrush();
         let t = generate_trace(&spec, &GenConfig { flows_per_class: 3, seed: 4 });
         assert!(t.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
-        assert!(t
-            .packets
-            .iter()
-            .all(|p| p.payload_head.len() == RAW_BYTES_PER_PACKET));
+        assert!(t.packets.iter().all(|p| p.payload_head.len() == RAW_BYTES_PER_PACKET));
     }
 
     #[test]

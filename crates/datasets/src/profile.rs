@@ -77,23 +77,22 @@ impl ClassProfile {
     pub fn sample_payload(&self, rng: &mut StdRng, n: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            let byte = if i < self.payload_signature.len()
-                && rng.gen::<f64>() >= self.signature_noise
-            {
-                self.payload_signature[i]
-            } else if self.signature_noise >= 1.0 {
-                // Fully encrypted payloads: uniform noise.
-                rng.gen::<u8>()
-            } else {
-                // Filler correlated with the signature (checksum-like mix),
-                // so deeper bytes still carry class signal.
-                let base = self
-                    .payload_signature
-                    .get(i % self.payload_signature.len().max(1))
-                    .copied()
-                    .unwrap_or(0);
-                base.wrapping_add(rng.gen_range(0..32))
-            };
+            let byte =
+                if i < self.payload_signature.len() && rng.gen::<f64>() >= self.signature_noise {
+                    self.payload_signature[i]
+                } else if self.signature_noise >= 1.0 {
+                    // Fully encrypted payloads: uniform noise.
+                    rng.gen::<u8>()
+                } else {
+                    // Filler correlated with the signature (checksum-like mix),
+                    // so deeper bytes still carry class signal.
+                    let base = self
+                        .payload_signature
+                        .get(i % self.payload_signature.len().max(1))
+                        .copied()
+                        .unwrap_or(0);
+                    base.wrapping_add(rng.gen_range(0..32))
+                };
             out.push(byte);
         }
         out
@@ -166,10 +165,7 @@ mod tests {
     fn ipd_lognormal_moments() {
         let p = profile();
         let mut rng = StdRng::seed_from_u64(3);
-        let mean_ln = (0..2000)
-            .map(|_| (p.sample_ipd(&mut rng) as f64).ln())
-            .sum::<f64>()
-            / 2000.0;
+        let mean_ln = (0..2000).map(|_| (p.sample_ipd(&mut rng) as f64).ln()).sum::<f64>() / 2000.0;
         assert!((mean_ln - 7.0).abs() < 0.1, "mean ln {mean_ln}");
     }
 

@@ -11,9 +11,7 @@
 //!   BoS, AutoEncoder);
 //! * `raw`  — 8 × 60 payload bytes (CNN-L).
 
-use pegasus_net::{
-    FlowTracker, RawBytesFeatures, SeqFeatures, StatFeatures, Trace, WINDOW,
-};
+use pegasus_net::{FlowTracker, RawBytesFeatures, SeqFeatures, StatFeatures, Trace, WINDOW};
 use pegasus_nn::{Dataset, Tensor};
 use std::collections::HashMap;
 

@@ -6,10 +6,10 @@
 //! the host-side mirror of that state used by dataset construction and by
 //! the classifier runtimes.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A flow's five-tuple identity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -158,7 +158,12 @@ impl FlowTracker {
 
     /// Records a packet, returning the observation (with computed IPD) and
     /// a reference to the updated flow state.
-    pub fn observe(&mut self, flow: FiveTuple, ts_micros: u64, wire_len: u16) -> (PacketObs, &FlowState) {
+    pub fn observe(
+        &mut self,
+        flow: FiveTuple,
+        ts_micros: u64,
+        wire_len: u16,
+    ) -> (PacketObs, &FlowState) {
         let state = match self.flows.entry(flow) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => e.insert(FlowState::new(self.window_cap)),
@@ -208,14 +213,14 @@ impl SharedFlowTracker {
     /// observation and whether the flow's window is now full.
     pub fn observe(&self, flow: FiveTuple, ts_micros: u64, wire_len: u16) -> (PacketObs, bool) {
         let shard = flow.dataplane_hash() as usize % self.shards.len();
-        let mut guard = self.shards[shard].lock();
+        let mut guard = self.shards[shard].lock().expect("tracker shard poisoned");
         let (obs, state) = guard.observe(flow, ts_micros, wire_len);
         (obs, state.window_full())
     }
 
     /// Total flows across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().expect("tracker shard poisoned").len()).sum()
     }
 
     /// True when no flows are tracked.

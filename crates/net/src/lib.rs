@@ -22,4 +22,4 @@ pub mod replay;
 pub use features::{RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET, WINDOW};
 pub use flow::{FiveTuple, FlowState, FlowTracker, PacketObs, SharedFlowTracker};
 pub use packet::{build_packet, parse_packet, PacketSpec, ParseError, ParsedPacket};
-pub use replay::{PacketSink, Replayer, ReplayOptions, ReplayStats, Trace, TracePacket};
+pub use replay::{PacketSink, ReplayOptions, ReplayStats, Replayer, Trace, TracePacket};

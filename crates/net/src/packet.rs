@@ -149,10 +149,7 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 
 /// Builds a full Ethernet/IPv4/{TCP,UDP} frame.
 pub fn build_packet(spec: &PacketSpec) -> Bytes {
-    assert!(
-        spec.protocol == PROTO_TCP || spec.protocol == PROTO_UDP,
-        "only TCP/UDP supported"
-    );
+    assert!(spec.protocol == PROTO_TCP || spec.protocol == PROTO_UDP, "only TCP/UDP supported");
     let l4_header_len = if spec.protocol == PROTO_TCP { 20 } else { 8 };
     let ip_total = 20 + l4_header_len + spec.payload.len();
     let mut buf = BytesMut::with_capacity(14 + ip_total);
@@ -244,12 +241,7 @@ pub fn parse_packet(data: &[u8]) -> Result<ParsedPacket, ParseError> {
             if off < 20 || l4.len() < off {
                 return Err(ParseError::Malformed("tcp data offset"));
             }
-            (
-                u16::from_be_bytes([l4[0], l4[1]]),
-                u16::from_be_bytes([l4[2], l4[3]]),
-                l4[13],
-                off,
-            )
+            (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]), l4[13], off)
         }
         PROTO_UDP => {
             if l4.len() < 8 {

@@ -157,8 +157,7 @@ impl Replayer {
                 stats.dropped += 1;
                 continue;
             }
-            if self.options.truncate_chance > 0.0
-                && rng.gen::<f64>() < self.options.truncate_chance
+            if self.options.truncate_chance > 0.0 && rng.gen::<f64>() < self.options.truncate_chance
             {
                 let mut cut = pkt.clone();
                 cut.payload_head.truncate(cut.payload_head.len() / 2);

@@ -92,8 +92,7 @@ mod tests {
     fn normal_has_reasonable_moments() {
         let t = normal(&mut rng(2), &[10000], 2.0);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / t.len() as f32;
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -41,7 +41,13 @@ impl Conv1d {
     pub fn from_parts(kernel: Tensor, bias: Tensor, stride: usize, padding: usize) -> Self {
         assert_eq!(kernel.shape().len(), 3, "kernel must be [out_ch, in_ch, k]");
         assert_eq!(bias.len(), kernel.shape()[0]);
-        Conv1d { kernel: Param::new(kernel), bias: Param::new(bias), stride, padding, cached_input: None }
+        Conv1d {
+            kernel: Param::new(kernel),
+            bias: Param::new(bias),
+            stride,
+            padding,
+            cached_input: None,
+        }
     }
 
     /// Output length for an input of length `len`.
@@ -82,8 +88,11 @@ impl Layer for Conv1d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.shape().len(), 3, "Conv1d expects [batch, in_ch, len]");
         let (batch, in_ch, len) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let (out_ch, kin, k) =
-            (self.kernel.value.shape()[0], self.kernel.value.shape()[1], self.kernel.value.shape()[2]);
+        let (out_ch, kin, k) = (
+            self.kernel.value.shape()[0],
+            self.kernel.value.shape()[1],
+            self.kernel.value.shape()[2],
+        );
         assert_eq!(in_ch, kin, "channel mismatch: input {in_ch} vs kernel {kin}");
         let out_len = self.out_len(len);
         if train {
@@ -113,8 +122,11 @@ impl Layer for Conv1d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("backward before forward");
         let (batch, in_ch, len) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let (out_ch, _, k) =
-            (self.kernel.value.shape()[0], self.kernel.value.shape()[1], self.kernel.value.shape()[2]);
+        let (out_ch, _, k) = (
+            self.kernel.value.shape()[0],
+            self.kernel.value.shape()[1],
+            self.kernel.value.shape()[2],
+        );
         let out_len = grad_out.shape()[2];
 
         let mut gx = Tensor::zeros(x.shape());

@@ -149,10 +149,7 @@ impl Layer for BinaryDense {
     }
 
     fn spec(&self) -> LayerSpec {
-        LayerSpec::BinaryDense {
-            weight: self.weight.value.clone(),
-            bias: self.bias.value.clone(),
-        }
+        LayerSpec::BinaryDense { weight: self.weight.value.clone(), bias: self.bias.value.clone() }
     }
 
     fn name(&self) -> &'static str {

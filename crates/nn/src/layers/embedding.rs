@@ -55,14 +55,12 @@ impl Layer for Embedding {
         assert_eq!(x.shape().len(), 2, "Embedding expects [batch, time] of indices");
         let (b, t) = (x.shape()[0], x.shape()[1]);
         let (vocab, dim) = (self.table.value.shape()[0], self.table.value.shape()[1]);
-        let indices: Vec<usize> =
-            x.data().iter().map(|&v| Self::index_of(vocab, v)).collect();
+        let indices: Vec<usize> = x.data().iter().map(|&v| Self::index_of(vocab, v)).collect();
         let mut y = Tensor::zeros(&[b, t, dim]);
         for (pos, &idx) in indices.iter().enumerate() {
             let dst = pos * dim;
             let src = idx * dim;
-            y.data_mut()[dst..dst + dim]
-                .copy_from_slice(&self.table.value.data()[src..src + dim]);
+            y.data_mut()[dst..dst + dim].copy_from_slice(&self.table.value.data()[src..src + dim]);
         }
         if train {
             self.cached_indices = Some(indices);
@@ -103,10 +101,7 @@ mod tests {
     use super::*;
 
     fn table_2x3() -> Embedding {
-        Embedding::from_parts(Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0],
-            &[2, 3],
-        ))
+        Embedding::from_parts(Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], &[2, 3]))
     }
 
     #[test]

@@ -172,8 +172,7 @@ impl Layer for SliceCols {
         let rows = x.rows();
         let mut out = Tensor::zeros(&[rows, self.len]);
         for r in 0..rows {
-            out.row_mut(r)
-                .copy_from_slice(&x.row(r)[self.offset..self.offset + self.len]);
+            out.row_mut(r).copy_from_slice(&x.row(r)[self.offset..self.offset + self.len]);
         }
         out
     }
@@ -182,8 +181,7 @@ impl Layer for SliceCols {
         let rows = grad_out.rows();
         let mut gx = Tensor::zeros(&[rows, self.in_cols]);
         for r in 0..rows {
-            gx.row_mut(r)[self.offset..self.offset + self.len]
-                .copy_from_slice(grad_out.row(r));
+            gx.row_mut(r)[self.offset..self.offset + self.len].copy_from_slice(grad_out.row(r));
         }
         gx
     }

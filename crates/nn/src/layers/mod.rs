@@ -25,9 +25,9 @@ pub use act::{sigmoid, softmax_rows, Relu, Sigmoid, Softmax, Tanh};
 pub use conv::Conv1d;
 pub use dense::{sign_pm1, BinaryDense, Dense};
 pub use embedding::Embedding;
+pub use misc::SliceCols;
 pub use misc::{Dropout, Flatten, Transpose12};
 pub use norm::{BatchNorm1d, NormMode};
-pub use misc::SliceCols;
 pub use parallel::{Combine, Parallel};
 pub use pool::{AvgPool1d, GlobalMaxPool1d, MaxPool1d};
 pub use rnn::Rnn;
@@ -205,9 +205,7 @@ impl LayerSpec {
 pub fn build_layer(spec: &LayerSpec) -> Box<dyn Layer> {
     match spec.clone() {
         LayerSpec::Dense { weight, bias } => Box::new(Dense::from_parts(weight, bias)),
-        LayerSpec::BinaryDense { weight, bias } => {
-            Box::new(BinaryDense::from_parts(weight, bias))
-        }
+        LayerSpec::BinaryDense { weight, bias } => Box::new(BinaryDense::from_parts(weight, bias)),
         LayerSpec::Conv1d { kernel, bias, stride, padding } => {
             Box::new(Conv1d::from_parts(kernel, bias, stride, padding))
         }

@@ -32,9 +32,15 @@ pub struct BatchNorm1d {
 }
 
 enum BnCache {
-    Batch { x_hat: Tensor, inv_std: Vec<f32>, batch_per_feature: usize },
+    Batch {
+        x_hat: Tensor,
+        inv_std: Vec<f32>,
+        batch_per_feature: usize,
+    },
     /// Frozen forward: the layer acted as a fixed affine map.
-    Frozen { scale: Vec<f32> },
+    Frozen {
+        scale: Vec<f32>,
+    },
 }
 
 impl BatchNorm1d {
@@ -142,8 +148,7 @@ impl Layer for BatchNorm1d {
                 sum_sq[fi] += (v as f64) * (v as f64);
                 count[fi] += 1;
             }
-            let mean: Vec<f32> =
-                (0..f).map(|i| (sum[i] / count[i] as f64) as f32).collect();
+            let mean: Vec<f32> = (0..f).map(|i| (sum[i] / count[i] as f64) as f32).collect();
             let var: Vec<f32> = (0..f)
                 .map(|i| {
                     let m = sum[i] / count[i] as f64;

@@ -42,10 +42,7 @@ impl Parallel {
 
     /// Rebuilds a parallel block from specs.
     pub fn from_specs(branches: &[Vec<LayerSpec>], combine: Combine) -> Self {
-        let built = branches
-            .iter()
-            .map(|chain| chain.iter().map(build_layer).collect())
-            .collect();
+        let built = branches.iter().map(|chain| chain.iter().map(build_layer).collect()).collect();
         Parallel::with_combine(built, combine)
     }
 
@@ -94,7 +91,7 @@ impl Layer for Parallel {
             Combine::Sum => vec![grad_out.clone(); self.branches.len()],
         };
         let mut grad_in: Option<Tensor> = None;
-        for (chain, g) in self.branches.iter_mut().zip(parts.into_iter()) {
+        for (chain, g) in self.branches.iter_mut().zip(parts) {
             let mut gb = g;
             for layer in chain.iter_mut().rev() {
                 gb = layer.backward(&gb);
@@ -151,10 +148,7 @@ mod tests {
             Tensor::zeros(&[1]),
         ))];
         let b: Vec<Box<dyn Layer>> = vec![
-            Box::new(Dense::from_parts(
-                Tensor::from_vec(vec![-1.0], &[1, 1]),
-                Tensor::zeros(&[1]),
-            )),
+            Box::new(Dense::from_parts(Tensor::from_vec(vec![-1.0], &[1, 1]), Tensor::zeros(&[1]))),
             Box::new(Relu::new()),
         ];
         Parallel::new(vec![a, b])

@@ -114,11 +114,8 @@ impl Layer for Rnn {
             let g_pre = gh.zip_map(h_t, |g, h| g * (1.0 - h * h));
             // Parameter grads.
             self.wx.grad.add_assign(&cache.xs[ti].t().matmul(&g_pre));
-            let h_prev = if ti == 0 {
-                Tensor::zeros(&[b, self.hidden()])
-            } else {
-                cache.hs[ti - 1].clone()
-            };
+            let h_prev =
+                if ti == 0 { Tensor::zeros(&[b, self.hidden()]) } else { cache.hs[ti - 1].clone() };
             self.wh.grad.add_assign(&h_prev.t().matmul(&g_pre));
             self.bias.grad.add_assign(&g_pre.sum_axis0());
             // Input grad for this step.

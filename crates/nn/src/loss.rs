@@ -51,11 +51,7 @@ pub fn mae_per_row(pred: &Tensor, target: &Tensor) -> Vec<f32> {
     let cols = pred.cols() as f32;
     (0..pred.rows())
         .map(|r| {
-            pred.row(r)
-                .iter()
-                .zip(target.row(r).iter())
-                .map(|(&a, &b)| (a - b).abs())
-                .sum::<f32>()
+            pred.row(r).iter().zip(target.row(r).iter()).map(|(&a, &b)| (a - b).abs()).sum::<f32>()
                 / cols
         })
         .collect()

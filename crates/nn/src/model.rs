@@ -101,10 +101,7 @@ impl Sequential {
 
     /// Extracts the serializable description (structure + weights).
     pub fn to_spec(&self, name: &str) -> ModelSpec {
-        ModelSpec {
-            name: name.to_string(),
-            layers: self.layers.iter().map(|l| l.spec()).collect(),
-        }
+        ModelSpec { name: name.to_string(), layers: self.layers.iter().map(|l| l.spec()).collect() }
     }
 
     /// Rebuilds a live model from a spec.

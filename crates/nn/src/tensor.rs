@@ -279,8 +279,8 @@ impl Tensor {
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; n];
         for r in 0..m {
-            for c in 0..n {
-                out[c] += self.data[r * n + c];
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.data[r * n + c];
             }
         }
         Tensor { data: out, shape: vec![n] }
@@ -345,8 +345,7 @@ impl Tensor {
             let mut off = 0;
             for p in parts {
                 let pc = p.shape[1];
-                out.data[r * total_cols + off..r * total_cols + off + pc]
-                    .copy_from_slice(p.row(r));
+                out.data[r * total_cols + off..r * total_cols + off + pc].copy_from_slice(p.row(r));
                 off += pc;
             }
         }

@@ -65,11 +65,7 @@ pub fn train_classifier(
             batches += 1;
         }
         let val_f1 = val.map(|v| evaluate_classifier(model, v, reshape).f1);
-        let stats = EpochStats {
-            epoch,
-            train_loss: loss_sum / batches.max(1) as f32,
-            val_f1,
-        };
+        let stats = EpochStats { epoch, train_loss: loss_sum / batches.max(1) as f32, val_f1 };
         if cfg.verbose {
             match stats.val_f1 {
                 Some(f1) => {

@@ -232,11 +232,7 @@ impl Action {
 
     /// Highest referenced action-data slot + 1 (0 when none).
     pub fn param_arity(&self) -> usize {
-        self.ops
-            .iter()
-            .flat_map(|o| o.param_slots())
-            .max()
-            .map_or(0, |m| m + 1)
+        self.ops.iter().flat_map(|o| o.param_slots()).max().map_or(0, |m| m + 1)
     }
 
     /// Executes the action against a PHV with the matched entry's
@@ -353,8 +349,11 @@ mod tests {
         let mut phv = l.instantiate();
         phv.set(a, 7);
         phv.set(b, -3);
-        let act = Action::new("t")
-            .with(AluOp::Add { dst: c, a: Operand::Field(a), b: Operand::Field(b) });
+        let act = Action::new("t").with(AluOp::Add {
+            dst: c,
+            a: Operand::Field(a),
+            b: Operand::Field(b),
+        });
         let mut regs = RegFile::new(vec![]);
         act.execute(&mut phv, &[], &mut regs);
         assert_eq!(phv.get(c), 4);
@@ -472,8 +471,11 @@ mod tests {
         let a = l.add_field("a", 8);
         let mut phv = l.instantiate();
         phv.set(a, 200);
-        let act = Action::new("t")
-            .with(AluOp::Add { dst: a, a: Operand::Field(a), b: Operand::Const(100) });
+        let act = Action::new("t").with(AluOp::Add {
+            dst: a,
+            a: Operand::Field(a),
+            b: Operand::Const(100),
+        });
         let mut regs = RegFile::new(vec![]);
         act.execute(&mut phv, &[], &mut regs);
         assert_eq!(phv.get(a), 44); // 300 mod 256

@@ -192,10 +192,9 @@ impl Table {
                 let e = &self.entries[i];
                 Some((&self.actions[e.action_idx], &e.action_data[..]))
             }
-            None => self
-                .default_action
-                .as_ref()
-                .map(|(idx, data)| (&self.actions[*idx], &data[..])),
+            None => {
+                self.default_action.as_ref().map(|(idx, data)| (&self.actions[*idx], &data[..]))
+            }
         }
     }
 
@@ -217,8 +216,7 @@ impl Table {
             for e in &self.entries {
                 let mut per_entry: u64 = 1;
                 for (part, (f, _)) in e.keys.iter().zip(self.keys.iter()) {
-                    per_entry =
-                        per_entry.saturating_mul(part.tcam_expansion(layout.def(*f).bits));
+                    per_entry = per_entry.saturating_mul(part.tcam_expansion(layout.def(*f).bits));
                 }
                 rules = rules.saturating_add(per_entry);
             }
@@ -351,8 +349,7 @@ mod tests {
     #[test]
     fn multi_field_keys_all_must_match() {
         let (l, x, y, out) = layout();
-        let mut t =
-            Table::new("t", vec![(x, MatchKind::Range), (y, MatchKind::Range)]);
+        let mut t = Table::new("t", vec![(x, MatchKind::Range), (y, MatchKind::Range)]);
         let a = t.add_action(set_out(out));
         t.param_widths = vec![16];
         t.add_entry(TableEntry {
@@ -430,10 +427,11 @@ mod tests {
     fn reads_and_writes_introspection() {
         let (_, x, y, out) = layout();
         let mut t = Table::new("t", vec![(x, MatchKind::Exact)]);
-        t.add_action(
-            Action::new("a")
-                .with(AluOp::Add { dst: out, a: Operand::Field(y), b: Operand::Const(1) }),
-        );
+        t.add_action(Action::new("a").with(AluOp::Add {
+            dst: out,
+            a: Operand::Field(y),
+            b: Operand::Const(1),
+        }));
         assert_eq!(t.reads(), vec![x, y]);
         assert_eq!(t.writes(), vec![out]);
     }

@@ -49,10 +49,7 @@ impl PhvLayout {
 
     fn add(&mut self, name: &str, bits: u8, signed: bool) -> FieldId {
         assert!((1..=64).contains(&bits), "field width must be 1..=64, got {bits}");
-        assert!(
-            !self.fields.iter().any(|f| f.name == name),
-            "duplicate PHV field name: {name}"
-        );
+        assert!(!self.fields.iter().any(|f| f.name == name), "duplicate PHV field name: {name}");
         self.fields.push(FieldDef { name: name.to_string(), bits, signed });
         FieldId(self.fields.len() - 1)
     }

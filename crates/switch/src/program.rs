@@ -15,6 +15,8 @@ use crate::phv::{FieldId, Phv, PhvLayout};
 use crate::register::{RegFile, RegisterArray};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A deployable dataplane program.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -98,12 +100,12 @@ impl SwitchProgram {
         let mut last: Vec<(usize, usize)> = vec![(0, 0); n];
         let mut first_is_uncond_write: Vec<bool> = vec![false; n];
         let touch = |f: usize,
-                         lv: usize,
-                         li: usize,
-                         is_uncond_write: bool,
-                         first: &mut Vec<Option<(usize, usize)>>,
-                         last: &mut Vec<(usize, usize)>,
-                         fiuw: &mut Vec<bool>| {
+                     lv: usize,
+                     li: usize,
+                     is_uncond_write: bool,
+                     first: &mut Vec<Option<(usize, usize)>>,
+                     last: &mut Vec<(usize, usize)>,
+                     fiuw: &mut Vec<bool>| {
             if first[f].is_none() {
                 first[f] = Some((lv, li));
                 fiuw[f] = is_uncond_write;
@@ -169,7 +171,8 @@ impl SwitchProgram {
         // Pools of freed containers keyed by (bits, signed):
         // (container_field, (last_level, last_list)).
         use std::collections::HashMap;
-        let mut pools: HashMap<(u8, bool), Vec<(usize, (usize, usize))>> = HashMap::new();
+        type FreedPool = Vec<(usize, (usize, usize))>;
+        let mut pools: HashMap<(u8, bool), FreedPool> = HashMap::new();
         let mut assignment: Vec<usize> = (0..n).collect();
         let mut is_container: Vec<bool> = vec![false; n];
         for &f in &order {
@@ -182,9 +185,10 @@ impl SwitchProgram {
                     // Reusable when the container's last reference precedes
                     // this def in BOTH dependency level (stage safety) and
                     // list position (sequential-execution safety).
-                    if let Some(pos) = pool.iter().position(|&(_, (l_lv, l_li))| {
-                        l_lv < start_lv && l_li < start_li
-                    }) {
+                    if let Some(pos) = pool
+                        .iter()
+                        .position(|&(_, (l_lv, l_li))| l_lv < start_lv && l_li < start_li)
+                    {
                         let (container, _) = pool.swap_remove(pos);
                         assigned = Some(container);
                     }
@@ -210,9 +214,7 @@ impl SwitchProgram {
                 new_id[fid.0] = Some(id);
             }
         }
-        let remap = |f: FieldId| -> FieldId {
-            new_id[assignment[f.0]].expect("container exists")
-        };
+        let remap = |f: FieldId| -> FieldId { new_id[assignment[f.0]].expect("container exists") };
         for table in &mut self.tables {
             for (f, _) in &mut table.keys {
                 *f = remap(*f);
@@ -226,8 +228,7 @@ impl SwitchProgram {
         self.keep_alive = self.keep_alive.iter().map(|&f| remap(f)).collect();
         let saved = self.layout.total_bits().saturating_sub(new_layout.total_bits());
         self.layout = new_layout;
-        let map: Vec<Option<FieldId>> =
-            (0..n).map(|f| new_id[assignment[f]]).collect();
+        let map: Vec<Option<FieldId>> = (0..n).map(|f| new_id[assignment[f]]).collect();
         (saved, PhvRemap { map })
     }
 }
@@ -358,17 +359,36 @@ pub struct ResourceReport {
 }
 
 /// A validated, runnable program instance.
-#[derive(Clone)]
+///
+/// Processing takes `&self`: the lookup counter is atomic and the stateful
+/// registers sit behind a lock (taken once per packet, so register
+/// read-modify-writes stay atomic per packet — the same guarantee the
+/// hardware gives a packet traversing the pipeline). A loaded program can
+/// therefore be shared across threads and serve concurrently.
 pub struct LoadedProgram {
     program: SwitchProgram,
     config: SwitchConfig,
     /// `stage_of[i]` = last stage occupied by table `i`.
     stage_of: Vec<usize>,
     stages_used: usize,
-    regs: RegFile,
+    regs: Mutex<RegFile>,
     usages: Vec<TableUsage>,
     /// Cumulative table lookups executed (for bandwidth accounting).
-    lookups: u64,
+    lookups: AtomicU64,
+}
+
+impl Clone for LoadedProgram {
+    fn clone(&self) -> Self {
+        LoadedProgram {
+            program: self.program.clone(),
+            config: self.config.clone(),
+            stage_of: self.stage_of.clone(),
+            stages_used: self.stages_used,
+            regs: Mutex::new(self.regs.lock().expect("register lock poisoned").clone()),
+            usages: self.usages.clone(),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl fmt::Debug for LoadedProgram {
@@ -449,9 +469,9 @@ impl SwitchProgram {
             config: config.clone(),
             stage_of,
             stages_used: total_stages,
-            regs,
+            regs: Mutex::new(regs),
             usages,
-            lookups: 0,
+            lookups: AtomicU64::new(0),
         })
     }
 }
@@ -475,16 +495,14 @@ fn allocate_stages(
     let mut free_sram: Vec<u64> = Vec::new();
     let mut free_tcam: Vec<u64> = Vec::new();
     let mut free_bus: Vec<u64> = Vec::new();
-    let ensure_stage = |s: usize,
-                        free_sram: &mut Vec<u64>,
-                        free_tcam: &mut Vec<u64>,
-                        free_bus: &mut Vec<u64>| {
-        while free_sram.len() <= s {
-            free_sram.push(config.sram_bits_per_stage);
-            free_tcam.push(config.tcam_bits_per_stage);
-            free_bus.push(config.action_bus_bits_per_stage);
-        }
-    };
+    let ensure_stage =
+        |s: usize, free_sram: &mut Vec<u64>, free_tcam: &mut Vec<u64>, free_bus: &mut Vec<u64>| {
+            while free_sram.len() <= s {
+                free_sram.push(config.sram_bits_per_stage);
+                free_tcam.push(config.tcam_bits_per_stage);
+                free_bus.push(config.action_bus_bits_per_stage);
+            }
+        };
 
     let reads: Vec<Vec<FieldId>> = tables.iter().map(|t| t.reads()).collect();
     let writes: Vec<Vec<FieldId>> = tables.iter().map(|t| t.writes()).collect();
@@ -521,10 +539,7 @@ fn allocate_stages(
             s += 1;
             if s > 4 * config.stages {
                 // Pathological demand; bail out with a stage-count error.
-                return Err(DeployError::OutOfStages {
-                    needed: s,
-                    available: config.stages,
-                });
+                return Err(DeployError::OutOfStages { needed: s, available: config.stages });
             }
         }
         stage_of[i] = s;
@@ -551,7 +566,10 @@ impl LoadedProgram {
 
     /// Processes one packet: sets the given input fields on a fresh PHV,
     /// runs every table in order, and returns the final PHV.
-    pub fn process(&mut self, inputs: &[(FieldId, i64)]) -> Phv {
+    ///
+    /// Takes `&self` — safe for concurrent callers; each packet's register
+    /// read-modify-writes happen atomically under the register lock.
+    pub fn process(&self, inputs: &[(FieldId, i64)]) -> Phv {
         let mut phv = self.program.layout.instantiate();
         for &(f, v) in inputs {
             phv.set(f, v);
@@ -561,38 +579,55 @@ impl LoadedProgram {
     }
 
     /// Runs the pipeline over an existing PHV (for multi-pass scenarios).
-    pub fn run_on(&mut self, phv: &mut Phv) {
+    ///
+    /// Stateless programs (no register arrays — every classifier pipeline)
+    /// skip the register lock entirely, so concurrent callers proceed fully
+    /// in parallel; stateful programs serialize per packet, matching the
+    /// per-packet atomicity of hardware register RMWs.
+    pub fn run_on(&self, phv: &mut Phv) {
+        self.lookups.fetch_add(self.program.tables.len() as u64, Ordering::Relaxed);
+        if self.program.registers.is_empty() {
+            // No register ops can reference a non-existent array; a local
+            // scratch RegFile keeps the hot path lock-free.
+            let mut regs = RegFile::default();
+            self.exec_tables(phv, &mut regs);
+        } else {
+            let mut regs = self.regs.lock().expect("register lock poisoned");
+            self.exec_tables(phv, &mut regs);
+        }
+    }
+
+    fn exec_tables(&self, phv: &mut Phv, regs: &mut RegFile) {
         for t in &self.program.tables {
-            self.lookups += 1;
             if let Some((action, data)) = t.lookup(phv) {
                 // Clone-free execution needs split borrows; actions never
                 // touch tables so this is safe by construction.
                 let action = action.clone();
                 let data = data.to_vec();
-                action.execute(phv, &data, &mut self.regs);
+                action.execute(phv, &data, regs);
             }
         }
     }
 
     /// Total table lookups performed so far.
     pub fn lookup_count(&self) -> u64 {
-        self.lookups
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Mutable access to the stateful registers (trace replay setup).
     pub fn registers_mut(&mut self) -> &mut RegFile {
-        &mut self.regs
+        self.regs.get_mut().expect("register lock poisoned")
     }
 
-    /// Read access to the stateful registers.
-    pub fn registers(&self) -> &RegFile {
-        &self.regs
+    /// Runs a closure over the stateful registers (read access).
+    pub fn with_registers<T>(&self, f: impl FnOnce(&RegFile) -> T) -> T {
+        f(&self.regs.lock().expect("register lock poisoned"))
     }
 
     /// Resets stateful registers and counters.
     pub fn reset_state(&mut self) {
-        self.regs.clear();
-        self.lookups = 0;
+        self.regs.get_mut().expect("register lock poisoned").clear();
+        self.lookups.store(0, Ordering::Relaxed);
     }
 
     /// The Table 6 resource row for this program.
@@ -629,7 +664,8 @@ mod tests {
         let acc = layout.add_signed_field("acc", 16);
 
         let mut t0 = Table::new("map_x", vec![(x, MatchKind::Exact)]);
-        let a0 = t0.add_action(Action::new("set").with(AluOp::Set { dst: tmp, a: Operand::Param(0) }));
+        let a0 =
+            t0.add_action(Action::new("set").with(AluOp::Set { dst: tmp, a: Operand::Param(0) }));
         t0.param_widths = vec![16];
         for v in 0..10u64 {
             t0.add_entry(TableEntry {
@@ -641,10 +677,11 @@ mod tests {
         }
 
         let mut t1 = Table::new("accumulate", vec![]);
-        let a1 = t1.add_action(
-            Action::new("add")
-                .with(AluOp::Add { dst: acc, a: Operand::Field(acc), b: Operand::Field(tmp) }),
-        );
+        let a1 = t1.add_action(Action::new("add").with(AluOp::Add {
+            dst: acc,
+            a: Operand::Field(acc),
+            b: Operand::Field(tmp),
+        }));
         t1.default_action = Some((a1, vec![]));
 
         let mut p = SwitchProgram::new("chain", layout);
@@ -656,7 +693,7 @@ mod tests {
     #[test]
     fn deploy_and_process() {
         let (p, x, acc) = chain_program();
-        let mut loaded = p.deploy(&SwitchConfig::tofino2()).expect("deploys");
+        let loaded = p.deploy(&SwitchConfig::tofino2()).expect("deploys");
         let phv = loaded.process(&[(x, 7)]);
         assert_eq!(phv.get(acc), 49);
     }
@@ -687,10 +724,7 @@ mod tests {
         let mut p = SwitchProgram::new("regs", layout);
         p.registers.push(RegisterArray::new("r4", 4, 16));
         let err = p.deploy(&SwitchConfig::tofino2()).unwrap_err();
-        assert_eq!(
-            err,
-            DeployError::BadRegisterWidth { register: "r4".to_string(), width: 4 }
-        );
+        assert_eq!(err, DeployError::BadRegisterWidth { register: "r4".to_string(), width: 4 });
     }
 
     #[test]
@@ -706,8 +740,7 @@ mod tests {
     fn bus_overflow_rejected() {
         let mut layout = PhvLayout::new();
         let x = layout.add_field("x", 8);
-        let dsts: Vec<FieldId> =
-            (0..40).map(|i| layout.add_field(&format!("d{i}"), 8)).collect();
+        let dsts: Vec<FieldId> = (0..40).map(|i| layout.add_field(&format!("d{i}"), 8)).collect();
         let mut t = Table::new("wide", vec![(x, MatchKind::Exact)]);
         let mut act = Action::new("fanout");
         for (i, d) in dsts.iter().enumerate() {
@@ -753,7 +786,8 @@ mod tests {
         let x = layout.add_field("x", 16);
         let out = layout.add_field("out", 16);
         let mut t = Table::new("big", vec![(x, MatchKind::Exact)]);
-        let a = t.add_action(Action::new("set").with(AluOp::Set { dst: out, a: Operand::Param(0) }));
+        let a =
+            t.add_action(Action::new("set").with(AluOp::Set { dst: out, a: Operand::Param(0) }));
         t.param_widths = vec![16];
         // 3000 entries * (16 + 8 + 16) bits = 120_000 bits > 64k per stage.
         for v in 0..3000u64 {

@@ -134,10 +134,7 @@ mod tests {
     fn total_bits() {
         let r = RegisterArray::new("r", 32, 1024);
         assert_eq!(r.total_bits(), 32 * 1024);
-        let f = RegFile::new(vec![
-            RegisterArray::new("a", 8, 10),
-            RegisterArray::new("b", 16, 10),
-        ]);
+        let f = RegFile::new(vec![RegisterArray::new("a", 8, 10), RegisterArray::new("b", 16, 10)]);
         assert_eq!(f.total_bits(), 80 + 160);
     }
 

@@ -1,21 +1,20 @@
 //! Unsupervised malicious-traffic detection (§7.4): train an AutoEncoder on
 //! benign traffic only, deploy it with on-switch MAE scoring, and detect
-//! attack families it has never seen.
+//! attack families it has never seen — all through the `Pegasus` builder.
 //!
 //! Run: `cargo run --example anomaly_detection --release`
 
-use pegasus::core::compile::CompileOptions;
 use pegasus::core::models::autoencoder::AutoEncoder;
-use pegasus::core::models::TrainSettings;
-use pegasus::core::runtime::DataplaneModel;
+use pegasus::core::models::{DataplaneNet, ModelData, TrainSettings};
+use pegasus::core::{Pegasus, PegasusError};
 use pegasus::datasets::{
-    extract_views, generate_trace, inject_attack, peerrush, split_by_flow, AttackKind,
-    GenConfig, ATTACK_LABEL,
+    extract_views, generate_trace, inject_attack, peerrush, split_by_flow, AttackKind, GenConfig,
+    ATTACK_LABEL,
 };
 use pegasus::nn::metrics::auc;
 use pegasus::switch::SwitchConfig;
 
-fn main() {
+fn main() -> Result<(), PegasusError> {
     // Benign-only training (the zero-day setting: attacks are unknown).
     let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 50, seed: 99 });
     let (train, _val, test) = split_by_flow(&trace, 99);
@@ -23,12 +22,13 @@ fn main() {
     println!("training on {} benign windows (no attack traffic seen)", benign.len());
 
     let settings = TrainSettings { epochs: 60, ..TrainSettings::default() };
-    let ae = AutoEncoder::train(&benign, &settings);
+    let data = ModelData::new().with_seq(&benign);
+    let ae = AutoEncoder::train(&data, &settings)?;
 
-    // Compile: reconstruction pipeline + on-switch |x - x̂| MAE tables.
-    let pipeline = ae.compile(&benign, &CompileOptions::default());
-    let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2())
-        .expect("AutoEncoder fits the switch");
+    // Compile + deploy: reconstruction pipeline + on-switch |x - x̂| MAE
+    // tables. The AutoEncoder's default target is `Scores`, so no argmax
+    // head is emitted — the anomaly score is one fixed-point PHV field.
+    let dp = Pegasus::new(ae).compile(&data)?.deploy(&SwitchConfig::tofino2())?;
     println!(
         "deployed: {} stages; anomaly score = one fixed-point PHV field",
         dp.resource_report().stages_used
@@ -41,9 +41,10 @@ fn main() {
         let views = extract_views(&mixed);
         let labels: Vec<bool> = views.seq.y.iter().map(|&l| l == ATTACK_LABEL).collect();
         let scores: Vec<f64> = (0..views.seq.len())
-            .map(|r| f64::from(dp.scores(views.seq.x.row(r))[0]))
-            .collect();
+            .map(|r| Ok(f64::from(dp.scores(views.seq.x.row(r))?[0])))
+            .collect::<Result<_, PegasusError>>()?;
         println!("{:<8} {:>8.4}", kind.name(), auc(&scores, &labels));
     }
     println!("\n(higher MAE = more anomalous; switches can rate-limit or mirror on threshold)");
+    Ok(())
 }

@@ -54,7 +54,8 @@ fn main() {
         .map(|i| (0..8).map(|d| ((i.wrapping_mul(2654435761) >> (d * 3)) % 256) as f32).collect())
         .collect();
     let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-    let pipeline = compile(&program, &train, &opts, CompileTarget::Classify, "custom");
+    let pipeline = compile(&program, &train, &opts, CompileTarget::Classify, "custom")
+        .expect("training inputs are valid 8-bit codes");
     println!(
         "compiled: {} tables ({} fuzzy / {} exact), {} entries",
         pipeline.report.tables,
@@ -66,7 +67,7 @@ fn main() {
         println!("  table {:<18} {} entries", t.name, t.entries.len());
     }
 
-    let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
+    let dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
     let r = dp.resource_report();
     println!(
         "deployed in {} stages; TCAM {:.3}%, SRAM {:.3}%",
@@ -78,7 +79,7 @@ fn main() {
     // Sanity: the switch agrees with the float reference on easy inputs.
     let probe = vec![250.0, 5.0, 250.0, 5.0, 250.0, 5.0, 250.0, 5.0];
     let reference = program.eval(&probe);
-    let predicted = dp.classify(&probe);
+    let predicted = dp.classify(&probe).expect("probe has the right arity");
     println!(
         "probe scores (float): {reference:?} -> class {} | switch says {}",
         if reference[0] >= reference[1] { 0 } else { 1 },

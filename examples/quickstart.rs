@@ -1,40 +1,45 @@
 //! Quickstart: train a model, compile it onto the switch simulator, and
-//! classify packets — the whole Pegasus pipeline in ~40 lines of API.
+//! classify packets — the whole Pegasus pipeline through the staged
+//! builder: train → `Pegasus::new` → `compile` → `deploy` → serve.
 //!
 //! Run: `cargo run --example quickstart --release`
 
-use pegasus::core::compile::CompileOptions;
+use pegasus::core::compile::{CompileOptions, CompileTarget};
 use pegasus::core::models::mlp_b::MlpB;
-use pegasus::core::models::TrainSettings;
-use pegasus::core::runtime::DataplaneModel;
+use pegasus::core::models::{DataplaneNet, ModelData, TrainSettings};
+use pegasus::core::{Pegasus, PegasusError};
 use pegasus::datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
 use pegasus::switch::SwitchConfig;
 
-fn main() {
+fn main() -> Result<(), PegasusError> {
     // 1. A synthetic PeerRush-like workload: three P2P applications.
     let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 60, seed: 42 });
     let (train, val, test) = split_by_flow(&trace, 42);
-    let (train, val, test) =
-        (extract_views(&train), extract_views(&val), extract_views(&test));
+    let (train, val, test) = (extract_views(&train), extract_views(&val), extract_views(&test));
     println!("dataset: {} train / {} test samples", train.stat.len(), test.stat.len());
 
     // 2. Train MLP-B on statistical features (full precision, offline).
-    let mut model = MlpB::train(&train.stat, Some(&val.stat), &TrainSettings::default());
-    let float_f1 = model.evaluate_float(&test.stat).f1;
-    println!("full-precision macro-F1: {float_f1:.4}");
+    //    One ModelData bundle serves every model; MLP-B pulls the stat view.
+    let data = ModelData::new().with_stat(&train.stat).with_validation(&val.stat, &val.seq);
+    let mut model = MlpB::train(&data, &TrainSettings::default())?;
+    let float_f1 = model.evaluate_float(&data)?.f1;
+    println!("full-precision macro-F1 (train split): {float_f1:.4}");
 
-    // 3. Compile: fuzzy matching + primitive fusion + fixed-point tables.
-    let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-    let pipeline = model.compile(&train.stat, &opts, true);
+    // 3+4. Compile (fuzzy matching + primitive fusion + fixed-point tables,
+    //    with centroid fine-tuning) and deploy onto the Tofino-2 resource
+    //    model — deployment validates every hardware limit (stages, SRAM,
+    //    TCAM, PHV, action bus).
+    let opts =
+        CompileOptions { clustering_depth: 6, finetune_centroids: true, ..Default::default() };
+    let compiled =
+        Pegasus::new(model).options(opts).target(CompileTarget::Classify).compile(&data)?;
     println!(
         "compiled: {} tables, {} entries, {} lookups/packet",
-        pipeline.report.tables, pipeline.report.entries, pipeline.report.lookups_per_input
+        compiled.report().tables,
+        compiled.report().entries,
+        compiled.report().lookups_per_input
     );
-
-    // 4. Deploy onto the Tofino-2 resource model — this validates every
-    //    hardware limit (stages, SRAM, TCAM, PHV, action bus).
-    let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2())
-        .expect("program fits the switch");
+    let dp = compiled.deploy(&SwitchConfig::tofino2())?;
     let report = dp.resource_report();
     println!(
         "deployed: {} stages, SRAM {:.2}%, TCAM {:.2}%, bus {:.2}%",
@@ -44,7 +49,21 @@ fn main() {
         report.bus_frac * 100.0
     );
 
-    // 5. Classify at "line rate".
-    let dp_f1 = dp.evaluate(&test.stat).f1;
-    println!("on-switch macro-F1: {dp_f1:.4} (Δ {:+.4} vs full precision)", dp_f1 - float_f1);
+    // 5. Classify at "line rate". The deployment is `&self`-shareable; the
+    //    batched call fans out across cores.
+    let rows: Vec<Vec<f32>> =
+        (0..test.stat.len().min(8)).map(|r| test.stat.x.row(r).to_vec()).collect();
+    let verdicts: Vec<usize> = dp.classify_batch(&rows).into_iter().collect::<Result<_, _>>()?;
+    println!("first verdicts: {verdicts:?}");
+    let dp_f1 = dp.evaluate(&test.stat)?.f1;
+
+    // The trained float model stays available inside the deployment for
+    // side-by-side comparison on the held-out split.
+    let mut dp = dp;
+    let float_test_f1 = dp.model_mut().evaluate_float(&ModelData::new().with_stat(&test.stat))?.f1;
+    println!(
+        "on-switch macro-F1: {dp_f1:.4} (Δ {:+.4} vs full precision {float_test_f1:.4})",
+        dp_f1 - float_test_f1
+    );
+    Ok(())
 }

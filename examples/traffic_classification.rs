@@ -10,12 +10,13 @@
 
 use pegasus::core::compile::CompileOptions;
 use pegasus::core::models::cnn_l::{flow_hash, CnnL, CnnLVariant, BYTES};
-use pegasus::core::models::TrainSettings;
+use pegasus::core::models::{ModelData, TrainSettings};
+use pegasus::core::{Pegasus, PegasusError};
 use pegasus::datasets::{extract_views, generate_trace, iscxvpn, split_by_flow, GenConfig};
 use pegasus::net::{Replayer, TracePacket};
 use pegasus::switch::SwitchConfig;
 
-fn main() {
+fn main() -> Result<(), PegasusError> {
     // Seven service classes inside one encrypted VPN tunnel.
     let spec = iscxvpn();
     let trace = generate_trace(&spec, &GenConfig { flows_per_class: 40, seed: 7 });
@@ -29,16 +30,17 @@ fn main() {
     );
 
     // Train the two-part model: per-packet byte encoder + window head.
+    // `fit` picks the Figure 7 storage variant; the trait default is 44-bit.
     let settings = TrainSettings { epochs: 20, ..TrainSettings::default() };
-    let mut model =
-        CnnL::train(&train_views.raw, &train_views.seq, CnnLVariant::v44(), &settings);
+    let model = CnnL::fit(&train_views.raw, &train_views.seq, CnnLVariant::v44(), &settings);
 
-    // Compile + deploy the distributed per-flow pipeline.
+    // Compile + deploy the distributed per-flow pipeline through the
+    // builder; it lowers to a `Flow` artifact with register state.
+    let data = ModelData::new().with_raw(&train_views.raw).with_seq(&train_views.seq);
     let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-    let mut classifier = model
-        .deploy(&train_views.raw, &train_views.seq, &opts, &SwitchConfig::tofino2())
-        .expect("CNN-L fits the switch");
-    let report = classifier.resource_report();
+    let mut deployment =
+        Pegasus::new(model).options(opts).compile(&data)?.deploy(&SwitchConfig::tofino2())?;
+    let report = deployment.resource_report();
     println!(
         "deployed: {} stages, {} stateful bits/flow, SRAM {:.2}%, TCAM {:.2}%",
         report.stages_used,
@@ -47,7 +49,8 @@ fn main() {
         report.tcam_frac * 100.0
     );
 
-    // Replay the test trace packet by packet.
+    // Replay the test trace packet by packet through the per-flow runtime.
+    let classifier = deployment.flow_mut()?;
     let mut correct = 0u64;
     let mut scored = 0u64;
     let mut sink = |pkt: &TracePacket| {
@@ -59,8 +62,9 @@ fn main() {
             .chain(std::iter::repeat(0.0))
             .take(BYTES)
             .collect();
-        let verdict =
-            classifier.on_packet(flow_hash(&pkt.flow), pkt.ts_micros, pkt.wire_len, &codes);
+        let verdict = classifier
+            .on_packet(flow_hash(&pkt.flow), pkt.ts_micros, pkt.wire_len, &codes)
+            .expect("extractor arity matches");
         if let (Some(pred), Some(label)) = (verdict.predicted, test.label_of(&pkt.flow)) {
             scored += 1;
             if pred == label {
@@ -75,4 +79,5 @@ fn main() {
         scored,
         100.0 * correct as f64 / scored.max(1) as f64
     );
+    Ok(())
 }

@@ -10,9 +10,37 @@
 //! assert_eq!(tofino.stages, 20);
 //! ```
 //!
+//! The public API is the one trait + one builder of [`core`]: every model
+//! (and baseline) implements [`core::models::DataplaneNet`], and the staged
+//! [`core::Pegasus`] builder is the single path from trained weights to a
+//! serving dataplane:
+//!
+//! ```no_run
+//! use pegasus::core::compile::{CompileOptions, CompileTarget};
+//! use pegasus::core::models::mlp_b::MlpB;
+//! use pegasus::core::models::{DataplaneNet, ModelData, TrainSettings};
+//! use pegasus::core::{Pegasus, PegasusError};
+//! use pegasus::switch::SwitchConfig;
+//!
+//! fn serve(train: &pegasus::nn::Dataset) -> Result<(), PegasusError> {
+//!     let data = ModelData::new().with_stat(train);
+//!     let model = MlpB::train(&data, &TrainSettings::default())?;
+//!     let deployed = Pegasus::new(model)
+//!         .options(CompileOptions::default())
+//!         .target(CompileTarget::Classify)
+//!         .compile(&data)?
+//!         .deploy(&SwitchConfig::tofino2())?;
+//!     // `&self` inference: share the deployment across threads.
+//!     let class = deployed.classify(&[0.0; 16])?;
+//!     let _ = class;
+//!     Ok(())
+//! }
+//! ```
+//!
 //! See the repository README for the full map; the interesting entry points
-//! are [`core::models`] (the six paper models), [`core::compile`] (the
-//! Pegasus compiler) and [`switch`] (the Tofino-2 resource model).
+//! are [`core::models`] (the six paper models behind `DataplaneNet`),
+//! [`core::compile`] (the Pegasus compiler), [`core::pipeline`] (the
+//! builder) and [`switch`] (the Tofino-2 resource model).
 
 #![warn(missing_docs)]
 

@@ -1,20 +1,28 @@
 //! Baseline-parity integration tests: each baseline's deployed form must
 //! agree with its host-side reference semantics (the DESIGN.md §6 parity
-//! requirement).
+//! requirement), driven through the shared `Pegasus` builder.
 
 use pegasus::baselines::{Bos, Leo, LeoConfig, N3ic};
+use pegasus::core::models::ModelData;
+use pegasus::core::{Pegasus, PegasusError};
 use pegasus::datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
-use pegasus::switch::SwitchConfig;
+use pegasus::switch::{DeployError, SwitchConfig};
 
 #[test]
 fn leo_switch_table_is_exact() {
     let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 20, seed: 41 });
     let (train, _v, test) = split_by_flow(&trace, 41);
     let (train, test) = (extract_views(&train).stat, extract_views(&test).stat);
-    let leo = Leo::train(&train, &LeoConfig { max_nodes: 255, min_samples: 4, ..Default::default() });
-    let mut dp = leo.compile().deploy(&SwitchConfig::tofino2()).expect("Leo fits");
+    let leo = Leo::fit(&train, &LeoConfig { max_nodes: 255, min_samples: 4, ..Default::default() });
+    let data = ModelData::new().with_stat(&train);
+    let dp = Pegasus::new(leo)
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("Leo fits");
     for r in 0..test.len() {
-        assert_eq!(dp.classify(test.x.row(r)), leo.predict(test.x.row(r)), "row {r}");
+        let got = dp.classify(test.x.row(r)).expect("classifies");
+        assert_eq!(got, dp.model().predict(test.x.row(r)), "row {r}");
     }
 }
 
@@ -23,11 +31,16 @@ fn bos_exhaustive_tables_are_exact() {
     let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 15, seed: 42 });
     let (train, _v, test) = split_by_flow(&trace, 42);
     let (train, test) = (extract_views(&train).seq, extract_views(&test).seq);
-    let bos = Bos::train(&train, 6, 0.01, 42);
+    let bos = Bos::fit(&train, 6, 0.01, 42);
     let host = bos.forward(&test.x).argmax_rows();
-    let mut dp = bos.compile().deploy(&SwitchConfig::tofino2()).expect("BoS fits");
-    for r in 0..test.len() {
-        assert_eq!(dp.classify(test.x.row(r)), host[r], "row {r}");
+    let data = ModelData::new().with_seq(&train);
+    let dp = Pegasus::new(bos)
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("BoS fits");
+    for (r, &want) in host.iter().enumerate() {
+        assert_eq!(dp.classify(test.x.row(r)).expect("classifies"), want, "row {r}");
     }
 }
 
@@ -36,13 +49,13 @@ fn n3ic_packed_matches_float_binary_path() {
     let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 15, seed: 43 });
     let (train, _v, test) = split_by_flow(&trace, 43);
     let (train, test) = (extract_views(&train).stat, extract_views(&test).stat);
-    let mut m = N3ic::train(&train, 6, 0.01, 43);
+    let mut m = N3ic::fit(&train, 6, 0.01, 43);
     let float_preds = m.forward(&test.x).argmax_rows();
     let packed = m.pack();
-    for r in 0..test.len() {
+    for (r, &want) in float_preds.iter().enumerate() {
         assert_eq!(
             packed.classify_codes(test.x.row(r)),
-            float_preds[r],
+            want,
             "row {r}: packed XNOR/popcnt diverged from the float binary path"
         );
     }
@@ -53,10 +66,29 @@ fn n3ic_cannot_deploy_but_bos_and_leo_can() {
     let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 44 });
     let (train, _v, _t) = split_by_flow(&trace, 44);
     let views = extract_views(&train);
-    let n3ic = N3ic::train(&views.stat, 1, 0.01, 44);
-    assert!(n3ic.try_deploy(&SwitchConfig::tofino2()).is_err(), "N3IC should not fit");
-    let bos = Bos::train(&views.seq, 1, 0.01, 44);
-    assert!(bos.compile().deploy(&SwitchConfig::tofino2()).is_ok(), "BoS should fit");
-    let leo = Leo::train(&views.stat, &LeoConfig::default());
-    assert!(leo.compile().deploy(&SwitchConfig::tofino2()).is_ok(), "Leo should fit");
+    let data = ModelData::new().with_stat(&views.stat).with_seq(&views.seq);
+    let switch = SwitchConfig::tofino2();
+
+    let n3ic = N3ic::fit(&views.stat, 1, 0.01, 44);
+    let err = Pegasus::new(n3ic)
+        .compile(&data)
+        .expect("cost model compiles")
+        .deploy(&switch)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(err, PegasusError::Deploy(DeployError::OutOfStages { .. })),
+        "N3IC should hit the stage wall, got {err:?}"
+    );
+
+    let bos = Bos::fit(&views.seq, 1, 0.01, 44);
+    assert!(
+        Pegasus::new(bos).compile(&data).expect("compiles").deploy(&switch).is_ok(),
+        "BoS should fit"
+    );
+    let leo = Leo::fit(&views.stat, &LeoConfig::default());
+    assert!(
+        Pegasus::new(leo).compile(&data).expect("compiles").deploy(&switch).is_ok(),
+        "Leo should fit"
+    );
 }

@@ -1,14 +1,13 @@
 //! Cross-crate integration tests: the full train → compile → deploy →
-//! classify path for the Pegasus models, on all three synthetic datasets.
+//! classify path for the Pegasus models, on all three synthetic datasets —
+//! everything through the `DataplaneNet` trait and the `Pegasus` builder.
 
 use pegasus::core::compile::CompileOptions;
 use pegasus::core::models::mlp_b::MlpB;
 use pegasus::core::models::rnn_b::RnnB;
-use pegasus::core::models::TrainSettings;
-use pegasus::core::runtime::DataplaneModel;
-use pegasus::datasets::{
-    all_datasets, extract_views, generate_trace, split_by_flow, GenConfig,
-};
+use pegasus::core::models::{DataplaneNet, ModelData, TrainSettings};
+use pegasus::core::Pegasus;
+use pegasus::datasets::{all_datasets, extract_views, generate_trace, split_by_flow, GenConfig};
 use pegasus::switch::SwitchConfig;
 
 #[test]
@@ -17,13 +16,16 @@ fn mlp_b_deploys_on_every_dataset() {
         let trace = generate_trace(&spec, &GenConfig { flows_per_class: 15, seed: 31 });
         let (train, _val, test) = split_by_flow(&trace, 31);
         let (train, test) = (extract_views(&train).stat, extract_views(&test).stat);
-        let mut m = MlpB::train(&train, None, &TrainSettings::quick());
-        let pipeline = m.compile(&train, &CompileOptions::default(), false);
-        let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2())
+        let data = ModelData::new().with_stat(&train);
+        let m = MlpB::train(&data, &TrainSettings::quick()).expect("trains");
+        let dp = Pegasus::new(m)
+            .compile(&data)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name))
+            .deploy(&SwitchConfig::tofino2())
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let r = dp.resource_report();
         assert!(r.stages_used <= 20, "{}: {} stages", spec.name, r.stages_used);
-        let f1 = dp.evaluate(&test).f1;
+        let f1 = dp.evaluate(&test).expect("evaluates").f1;
         let chance = 1.0 / spec.num_classes() as f64;
         assert!(f1 > chance, "{}: F1 {f1} at/below chance {chance}", spec.name);
     }
@@ -35,10 +37,15 @@ fn rnn_b_transition_tables_deploy_and_classify() {
     let trace = generate_trace(spec, &GenConfig { flows_per_class: 20, seed: 32 });
     let (train, _val, test) = split_by_flow(&trace, 32);
     let (train, test) = (extract_views(&train).seq, extract_views(&test).seq);
-    let m = RnnB::train(&train, &TrainSettings::quick());
-    let pipeline = m.compile(&train, &CompileOptions { clustering_depth: 4, ..Default::default() });
-    let mut dp = DataplaneModel::deploy(pipeline, &SwitchConfig::tofino2()).expect("fits");
-    let f1 = dp.evaluate(&test).f1;
+    let data = ModelData::new().with_seq(&train);
+    let m = RnnB::train(&data, &TrainSettings::quick()).expect("trains");
+    let dp = Pegasus::new(m)
+        .options(CompileOptions { clustering_depth: 4, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("fits");
+    let f1 = dp.evaluate(&test).expect("evaluates").f1;
     assert!(f1 > 0.4, "RNN-B dataplane F1 {f1}");
 }
 
@@ -48,15 +55,23 @@ fn compiled_predictions_deterministic_across_deploys() {
     let trace = generate_trace(spec, &GenConfig { flows_per_class: 12, seed: 33 });
     let (train, _val, test) = split_by_flow(&trace, 33);
     let (train, test) = (extract_views(&train).stat, extract_views(&test).stat);
-    let mut m = MlpB::train(&train, None, &TrainSettings::quick());
-    let p1 = m.compile(&train, &CompileOptions::default(), false);
-    let p2 = m.compile(&train, &CompileOptions::default(), false);
-    let mut d1 = DataplaneModel::deploy(p1, &SwitchConfig::tofino2()).unwrap();
-    let mut d2 = DataplaneModel::deploy(p2, &SwitchConfig::tofino2()).unwrap();
-    for r in 0..test.len().min(100) {
+    let data = ModelData::new().with_stat(&train);
+    let m = MlpB::train(&data, &TrainSettings::quick()).expect("trains");
+    let d1 =
+        Pegasus::new(m).compile(&data).expect("compiles").deploy(&SwitchConfig::tofino2()).unwrap();
+    let rows: Vec<Vec<f32>> = (0..test.len().min(100)).map(|r| test.x.row(r).to_vec()).collect();
+    let a = d1.classify_batch(&rows);
+    // Rebuild an identical deployment from the same trained weights.
+    let d2 = Pegasus::new(d1.into_model())
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .unwrap();
+    let b = d2.classify_batch(&rows);
+    for (r, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert_eq!(
-            d1.classify(test.x.row(r)),
-            d2.classify(test.x.row(r)),
+            x.as_ref().expect("classifies"),
+            y.as_ref().expect("classifies"),
             "row {r} diverged between identical compiles"
         );
     }

@@ -1,0 +1,107 @@
+//! The "universal framework" contract, as one parameterized test: every
+//! paper model and every baseline flows through the same
+//! `DataplaneNet::train` → `Pegasus` builder → `deploy` path on the
+//! Tofino-2 configuration, from one shared `ModelData` bundle.
+//!
+//! Eight of the nine implementations must deploy with a non-empty
+//! `ResourceReport`; N3IC must fail with `OutOfStages` — the §2 cost-model
+//! result the paper leans on — through the very same path.
+
+use pegasus::baselines::{Bos, Leo, N3ic};
+use pegasus::core::models::autoencoder::AutoEncoder;
+use pegasus::core::models::cnn_b::CnnB;
+use pegasus::core::models::cnn_l::CnnL;
+use pegasus::core::models::cnn_m::CnnM;
+use pegasus::core::models::mlp_b::MlpB;
+use pegasus::core::models::rnn_b::RnnB;
+use pegasus::core::models::{DataplaneNet, ModelData, TrainSettings};
+use pegasus::core::{Pegasus, PegasusError};
+use pegasus::datasets::{extract_views, generate_trace, peerrush, split_by_flow, GenConfig};
+use pegasus::switch::{DeployError, ResourceReport, SwitchConfig};
+
+/// The one generic path: train from the shared bundle, compile with the
+/// builder, deploy on Tofino-2, return the resource report.
+fn drive<M: DataplaneNet>(
+    data: &ModelData<'_>,
+    settings: &TrainSettings,
+) -> Result<ResourceReport, PegasusError> {
+    let model = M::train(data, settings)?;
+    let deployed = Pegasus::new(model).compile(data)?.deploy(&SwitchConfig::tofino2())?;
+    Ok(deployed.resource_report())
+}
+
+#[test]
+fn all_models_and_baselines_share_one_pipeline() {
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 61 });
+    let (train, val, _test) = split_by_flow(&trace, 61);
+    let tv = extract_views(&train);
+    let vv = extract_views(&val);
+    let bundle = ModelData::new()
+        .with_stat(&tv.stat)
+        .with_seq(&tv.seq)
+        .with_raw(&tv.raw)
+        .with_validation(&vv.stat, &vv.seq);
+    let settings = TrainSettings { epochs: 4, ..TrainSettings::quick() };
+
+    type Driver = fn(&ModelData<'_>, &TrainSettings) -> Result<ResourceReport, PegasusError>;
+    let deployable: [(&str, Driver); 8] = [
+        ("MLP-B", drive::<MlpB>),
+        ("RNN-B", drive::<RnnB>),
+        ("CNN-B", drive::<CnnB>),
+        ("CNN-M", drive::<CnnM>),
+        ("CNN-L", drive::<CnnL>),
+        ("AutoEncoder", drive::<AutoEncoder>),
+        ("BoS", drive::<Bos>),
+        ("Leo", drive::<Leo>),
+    ];
+
+    for (name, driver) in deployable {
+        let report = driver(&bundle, &settings)
+            .unwrap_or_else(|e| panic!("{name} failed the unified path: {e}"));
+        assert!(report.entries > 0, "{name}: report has no table entries");
+        assert!(report.stages_used > 0, "{name}: report shows no stages");
+        assert!(report.stages_used <= 20, "{name}: {} stages exceed Tofino-2", report.stages_used);
+        assert!(report.sram_bits + report.tcam_bits > 0, "{name}: report shows no memory use");
+    }
+
+    // N3IC goes through the same path and must hit the stage wall (§2).
+    let err = drive::<N3ic>(&bundle, &settings).unwrap_err();
+    assert!(
+        matches!(err, PegasusError::Deploy(DeployError::OutOfStages { .. })),
+        "N3IC should fail OutOfStages through the unified path, got {err:?}"
+    );
+}
+
+#[test]
+fn bespoke_pipelines_reject_contradicting_target_overrides() {
+    use pegasus::core::compile::CompileTarget;
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 10, seed: 63 });
+    let (train, _val, _test) = split_by_flow(&trace, 63);
+    let tv = extract_views(&train);
+    let bundle = ModelData::new().with_seq(&tv.seq);
+    let settings = TrainSettings { epochs: 2, ..TrainSettings::quick() };
+    // The AutoEncoder emits a Scores pipeline; demanding Classify must fail
+    // loudly instead of being silently dropped.
+    let ae = AutoEncoder::train(&bundle, &settings).expect("trains");
+    let err =
+        Pegasus::new(ae).target(CompileTarget::Classify).compile(&bundle).map(|_| ()).unwrap_err();
+    assert!(matches!(err, PegasusError::Unsupported { .. }), "{err:?}");
+    // Asking for the head it already has is fine.
+    let ae = AutoEncoder::train(&bundle, &settings).expect("trains");
+    assert!(Pegasus::new(ae).target(CompileTarget::Scores).compile(&bundle).is_ok());
+}
+
+#[test]
+fn missing_views_error_cleanly() {
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 10, seed: 62 });
+    let (train, _val, _test) = split_by_flow(&trace, 62);
+    let tv = extract_views(&train);
+    // Bundle with only the stat view: sequence models must refuse with
+    // MissingView, not panic.
+    let bundle = ModelData::new().with_stat(&tv.stat);
+    let settings = TrainSettings { epochs: 1, ..TrainSettings::quick() };
+    let err = drive::<CnnB>(&bundle, &settings).unwrap_err();
+    assert!(matches!(err, PegasusError::MissingView { view: "seq", .. }), "{err:?}");
+    let err = drive::<CnnL>(&bundle, &settings).unwrap_err();
+    assert!(matches!(err, PegasusError::MissingView { .. }), "{err:?}");
+}
