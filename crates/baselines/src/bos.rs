@@ -424,6 +424,10 @@ impl DataplaneNet for Bos {
     fn size_kilobits(&mut self) -> f64 {
         Bos::size_kilobits(self)
     }
+
+    fn stream_features(&self) -> pegasus_core::models::StreamFeatures {
+        pegasus_core::models::StreamFeatures::Seq
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,345 @@
+//! Streaming throughput of the sharded packet engine → `BENCH_throughput.json`.
+//!
+//! Trains MLP-B (statistical features) and RNN-B (windowed sequence
+//! features), deploys both, then streams a synthetic packet workload
+//! through [`Deployment::stream`] at 1, 2 and 4 shards, reporting
+//! aggregate packets/s and per-packet latency. A sequential run through
+//! the *simulator* runtime (the pre-engine serving path: per-packet PHV
+//! instantiation, dynamic table dispatch) is measured on the same workload
+//! as the baseline the flattened-LUT hot path replaces.
+//!
+//! Run: `cargo run --release -p pegasus-bench --bin throughput_stream`
+//! (add `--quick` for a CI-scale run). Results land in
+//! `BENCH_throughput.json` in the working directory and
+//! `target/experiments/throughput_stream.txt`.
+
+use pegasus_bench::{parse_args, write_report};
+use pegasus_core::compile::CompileOptions;
+use pegasus_core::models::mlp_b::MlpB;
+use pegasus_core::models::rnn_b::RnnB;
+use pegasus_core::models::{DataplaneNet, ModelData, StreamFeatures, TrainSettings};
+use pegasus_core::pipeline::{Deployment, Pegasus};
+use pegasus_core::StreamReport;
+use pegasus_datasets::{
+    extract_views, generate_trace, peerrush, GenConfig, SyntheticConfig, SyntheticSource,
+};
+use pegasus_net::{
+    FlowState, FlowTracker, PacketObs, PacketSource, SeqFeatures, StatFeatures, TracePacket, WINDOW,
+};
+use pegasus_switch::SwitchConfig;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct ModelRow {
+    model: &'static str,
+    features: &'static str,
+    stateful_bits_per_flow: u64,
+    simulator_pps: f64,
+    locked_shared_pps: f64,
+    runs: Vec<(usize, StreamReport)>,
+}
+
+/// Per-packet feature codes, shared by every reference path.
+fn codes_for(
+    features: StreamFeatures,
+    state: &FlowState,
+    obs: &PacketObs,
+    pkt: &TracePacket,
+) -> Vec<f32> {
+    match features {
+        StreamFeatures::Stat => StatFeatures::extract(
+            state,
+            obs,
+            pkt.flow.protocol,
+            pkt.tcp_flags,
+            pkt.flow.src_port,
+            pkt.flow.dst_port,
+            pkt.ttl,
+            pkt.payload_head.len() as u16,
+        )
+        .to_f32(),
+        StreamFeatures::Seq => {
+            SeqFeatures::extract(state).expect("window full").to_f32_interleaved()
+        }
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let settings = if cfg.quick {
+        TrainSettings::quick()
+    } else {
+        TrainSettings { seed: cfg.seed, ..TrainSettings::default() }
+    };
+    let spec = peerrush();
+
+    // Training data: a moderate materialized trace.
+    let train_trace = generate_trace(&spec, &GenConfig { flows_per_class: 30, seed: cfg.seed });
+    let views = extract_views(&train_trace);
+
+    // Streaming workload: generated on the fly, payloads disabled. RNN-B
+    // never reads them; MLP-B sees a zeroed payload-length code in every
+    // path alike, which is fine for a pure throughput measurement (this
+    // bench reports pps, not accuracy). Same seed per run -> identical
+    // packet stream.
+    let stream_flows = cfg.flows_per_class * 10;
+    let source_cfg = SyntheticConfig {
+        flows_per_class: stream_flows,
+        seed: cfg.seed ^ 0x5eed,
+        payload_bytes: 0,
+        ..SyntheticConfig::default()
+    };
+    let workload_packets = SyntheticSource::new(&spec, &source_cfg).packets_hint().unwrap();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "workload: {workload_packets} packets over {} flows ({} classes), host cores: {cores}",
+        stream_flows * spec.num_classes(),
+        spec.num_classes()
+    );
+
+    let mut rows: Vec<ModelRow> = Vec::new();
+
+    {
+        println!("== MLP-B (statistical features) ==");
+        let data = ModelData::new().with_stat(&views.stat);
+        let deployment = Pegasus::<MlpB>::train(&data, &settings)
+            .expect("trains")
+            .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .expect("deploys");
+        rows.push(bench_model(&deployment, "MLP-B", "stat", &spec, &source_cfg));
+    }
+    {
+        println!("== RNN-B (windowed sequence features) ==");
+        let data = ModelData::new().with_seq(&views.seq);
+        let deployment = Pegasus::<RnnB>::train(&data, &settings)
+            .expect("trains")
+            .options(CompileOptions { clustering_depth: 4, ..Default::default() })
+            .compile(&data)
+            .expect("compiles")
+            .deploy(&SwitchConfig::tofino2())
+            .expect("deploys");
+        rows.push(bench_model(&deployment, "RNN-B", "seq", &spec, &source_cfg));
+    }
+
+    let json = render_json(&rows, workload_packets, cores);
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+
+    let mut txt = String::new();
+    for row in &rows {
+        let _ = writeln!(
+            txt,
+            "{}: simulator(seq) {:.0} pps | engine {}",
+            row.model,
+            row.simulator_pps,
+            row.runs
+                .iter()
+                .map(|(s, r)| format!("{s} shard(s): {:.0} pps", r.pps()))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+    }
+    if let Some(path) = write_report("throughput_stream", &txt) {
+        println!("wrote {}", path.display());
+    }
+    print!("{txt}");
+}
+
+fn bench_model<M: DataplaneNet>(
+    deployment: &Deployment<M>,
+    model: &'static str,
+    features: &'static str,
+    spec: &pegasus_datasets::DatasetSpec,
+    source_cfg: &SyntheticConfig,
+) -> ModelRow {
+    // Warm-up pass (page in tables, stabilize branch predictors).
+    let mut warm = SyntheticSource::new(
+        spec,
+        &SyntheticConfig { flows_per_class: source_cfg.flows_per_class / 10 + 1, ..*source_cfg },
+    );
+    deployment.stream(&mut warm, 1).expect("warm-up streams");
+
+    let simulator_pps = simulator_sequential_pps(deployment, spec, source_cfg);
+    println!("  simulator sequential: {simulator_pps:.0} pps");
+    let locked_shared_pps = locked_shared_pps(deployment, spec, source_cfg, 4);
+    println!("  4 threads, one shared locked flow table: {locked_shared_pps:.0} pps");
+
+    let mut runs = Vec::new();
+    for shards in SHARD_COUNTS {
+        // Median of three runs over the identical packet stream — one
+        // run's wall clock on a shared host is too noisy to compare shard
+        // counts against each other.
+        let stream_cfg = pegasus_core::StreamConfig {
+            shards,
+            // Large batches: on few-core hosts, dispatch context switches
+            // are the engine's main overhead.
+            batch: 1024,
+            ..Default::default()
+        };
+        let mut reps: Vec<StreamReport> = (0..3)
+            .map(|_| {
+                let mut source = SyntheticSource::new(spec, source_cfg);
+                deployment.stream_with(&mut source, &stream_cfg).expect("streams")
+            })
+            .collect();
+        reps.sort_by(|a, b| a.pps().total_cmp(&b.pps()));
+        let report = reps.swap_remove(1);
+        println!(
+            "  {shards} shard(s): {:.0} pps, mean {:.0} ns, p99 {} ns, {} flows",
+            report.pps(),
+            report.latency.mean_nanos(),
+            report.latency.quantile_nanos(0.99),
+            report.flows
+        );
+        runs.push((shards, report));
+    }
+    ModelRow {
+        model,
+        features,
+        stateful_bits_per_flow: deployment.resource_report().stateful_bits_per_flow,
+        simulator_pps,
+        locked_shared_pps,
+        runs,
+    }
+}
+
+/// The design the engine's sharding removes: N worker threads over ONE
+/// shared, mutex-guarded flow-state table (what a naive multithreaded port
+/// of the PR-1 runtime looks like — the per-packet state lock serializes
+/// every flow update). Packets are pre-partitioned by the same RSS hash
+/// and pre-materialized, so relative to the engine this path is *favored*:
+/// it pays no generation or dispatch cost inside the timed region. Any
+/// deficit against the engine's shard-owned state is the lock.
+fn locked_shared_pps<M: DataplaneNet>(
+    deployment: &Deployment<M>,
+    spec: &pegasus_datasets::DatasetSpec,
+    source_cfg: &SyntheticConfig,
+    threads: usize,
+) -> f64 {
+    let features = deployment.model().stream_features();
+    let flat = deployment
+        .dataplane()
+        .expect("stateless plane")
+        .flat()
+        .expect("register-free pipelines flatten");
+    let mut shares: Vec<Vec<TracePacket>> = vec![Vec::new(); threads];
+    let mut source = SyntheticSource::new(spec, source_cfg);
+    while let Some(pkt) = source.next_packet() {
+        shares[pkt.flow.shard_of(threads)].push(pkt);
+    }
+    let total: u64 = shares.iter().map(|s| s.len() as u64).sum();
+    let tracker = Mutex::new(FlowTracker::new(WINDOW));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let tracker = &tracker;
+        for share in &shares {
+            scope.spawn(move || {
+                let mut scratch = flat.scratch();
+                for pkt in share {
+                    let codes = {
+                        let mut guard = tracker.lock().expect("tracker lock");
+                        let (obs, state) = guard.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+                        if !state.window_full() {
+                            continue;
+                        }
+                        codes_for(features, state, &obs, pkt)
+                    };
+                    let _ = flat.classify(&codes, &mut scratch).expect("classifies");
+                }
+            });
+        }
+    });
+    total as f64 * 1e9 / start.elapsed().as_nanos() as f64
+}
+
+/// The pre-engine serving path on the same workload: one thread, per-flow
+/// windows, `Deployment::classify` through the switch simulator.
+fn simulator_sequential_pps<M: DataplaneNet>(
+    deployment: &Deployment<M>,
+    spec: &pegasus_datasets::DatasetSpec,
+    source_cfg: &SyntheticConfig,
+) -> f64 {
+    let features = deployment.model().stream_features();
+    let mut source = SyntheticSource::new(spec, source_cfg);
+    let mut tracker = FlowTracker::new(WINDOW);
+    let mut packets = 0u64;
+    let start = Instant::now();
+    while let Some(pkt) = source.next_packet() {
+        packets += 1;
+        let (obs, state) = tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        if !state.window_full() {
+            continue;
+        }
+        let codes = codes_for(features, state, &obs, &pkt);
+        let _ = deployment.classify(&codes).expect("classifies");
+    }
+    packets as f64 * 1e9 / start.elapsed().as_nanos() as f64
+}
+
+fn render_json(rows: &[ModelRow], packets: u64, cores: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"throughput_stream\",");
+    let _ = writeln!(out, "  \"dataset\": \"peerrush-like\",");
+    let _ = writeln!(out, "  \"workload_packets\": {packets},");
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales.\",");
+    let _ = writeln!(out, "  \"models\": [");
+    for (mi, row) in rows.iter().enumerate() {
+        let pps_of = |shards: usize| {
+            row.runs.iter().find(|(s, _)| *s == shards).map(|(_, r)| r.pps()).unwrap_or(0.0)
+        };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"model\": \"{}\",", row.model);
+        let _ = writeln!(out, "      \"features\": \"{}\",", row.features);
+        let _ = writeln!(out, "      \"stateful_bits_per_flow\": {},", row.stateful_bits_per_flow);
+        let _ = writeln!(out, "      \"simulator_sequential_pps\": {:.1},", row.simulator_pps);
+        let _ = writeln!(
+            out,
+            "      \"flat_engine_speedup_over_simulator\": {:.2},",
+            pps_of(1) / row.simulator_pps.max(1e-9)
+        );
+        let _ = writeln!(
+            out,
+            "      \"reference_locked_shared_4threads_pps\": {:.1},",
+            row.locked_shared_pps
+        );
+        let _ = writeln!(
+            out,
+            "      \"shard_speedup_4_over_1\": {:.3},",
+            pps_of(4) / pps_of(1).max(1e-9)
+        );
+        let _ = writeln!(out, "      \"runs\": [");
+        for (ri, (shards, r)) in row.runs.iter().enumerate() {
+            let busy: Vec<String> =
+                r.shards.iter().map(|s| format!("{:.1}", s.busy_pps())).collect();
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"shards\": {shards},");
+            let _ = writeln!(out, "          \"pps\": {:.1},", r.pps());
+            let _ = writeln!(out, "          \"packets\": {},", r.packets);
+            let _ = writeln!(out, "          \"classified\": {},", r.classified);
+            let _ = writeln!(out, "          \"flows\": {},", r.flows);
+            let _ = writeln!(out, "          \"mean_latency_ns\": {:.1},", r.latency.mean_nanos());
+            let _ =
+                writeln!(out, "          \"p50_latency_ns\": {},", r.latency.quantile_nanos(0.5));
+            let _ =
+                writeln!(out, "          \"p99_latency_ns\": {},", r.latency.quantile_nanos(0.99));
+            let _ = writeln!(out, "          \"per_shard_busy_pps\": [{}]", busy.join(", "));
+            let _ = write!(out, "        }}");
+            let _ = writeln!(out, "{}", if ri + 1 < row.runs.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = write!(out, "    }}");
+        let _ = writeln!(out, "{}", if mi + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,575 @@
+//! The flattened-LUT inference path: a compiled pipeline baked into
+//! contiguous arrays for the streaming hot loop.
+//!
+//! The switch simulator ([`LoadedProgram`](pegasus_switch::LoadedProgram))
+//! is built for *fidelity*: per packet it instantiates a fresh PHV (cloning
+//! the named layout), walks heap-allocated table objects and dispatches
+//! boxed match kinds — exactly what you want for resource modeling, and
+//! exactly what you do not want between two packets of a 10 Gb/s stream.
+//!
+//! [`FlatProgram`] is the same pipeline flattened at deploy time:
+//!
+//! * the PHV becomes a plain `Vec<i64>` scratch with a parallel
+//!   `(bits, signed)` table — no names, no per-packet allocation;
+//! * every fused Partition/Map table whose key domain is small (≤ 2¹⁶
+//!   points — the input-segment and index tables fuzzy matching produces)
+//!   is **enumerated into a dense LUT**: one contiguous `Vec<u32>` indexed
+//!   by the packed quantized feature codes, one load per lookup;
+//! * wider fuzzy tables keep their range boxes, but flattened into
+//!   contiguous bound arrays scanned without pointer chasing (with an
+//!   early-exit for the common uniform-priority case the simulator's
+//!   generic `max_by_key` scan cannot take);
+//! * actions become fixed micro-op arrays over scratch indices, executed
+//!   without cloning.
+//!
+//! The flattening is **semantics-preserving by construction**: entries,
+//! match order, priority resolution, ALU wrapping and field truncation are
+//! reproduced bit for bit, and the engine's determinism test asserts
+//! equality against the simulator over whole traces. Programs with
+//! stateful registers do not flatten (their per-flow state lives in the
+//! register file); [`FlatProgram::from_pipeline`] returns `None` and the
+//! engine falls back to the simulator path.
+
+use crate::compile::CompiledPipeline;
+use crate::error::PegasusError;
+use crate::numformat::NumFormat;
+use pegasus_switch::{mask_of, truncate, AluOp, KeyPart, Operand, Table};
+
+/// Largest key domain (in points) enumerated into a dense LUT. 2¹⁶ `u32`
+/// slots = 256 KiB per table, comfortably cache-resident.
+const DENSE_MAX_POINTS: u64 = 1 << 16;
+
+#[derive(Clone, Copy)]
+struct FieldMeta {
+    bits: u8,
+    signed: bool,
+}
+
+/// A flattened ALU operand.
+#[derive(Clone, Copy)]
+enum Src {
+    Field(usize),
+    Const(i64),
+    Param(usize),
+}
+
+/// A flattened ALU op over scratch indices (stateless subset of
+/// [`AluOp`]).
+#[derive(Clone, Copy)]
+enum FlatOp {
+    Set { dst: usize, a: Src },
+    Add { dst: usize, a: Src, b: Src },
+    Sub { dst: usize, a: Src, b: Src },
+    Shl { dst: usize, a: Src, amount: u8 },
+    Shr { dst: usize, a: Src, amount: u8 },
+    Min { dst: usize, a: Src, b: Src },
+    Max { dst: usize, a: Src, b: Src },
+    And { dst: usize, a: Src, b: Src },
+    Or { dst: usize, a: Src, b: Src },
+    Xor { dst: usize, a: Src, b: Src },
+    Popcnt { dst: usize, a: Src },
+}
+
+/// One flattened key pattern (mirrors [`KeyPart`] without heap layout).
+#[derive(Clone, Copy)]
+enum FlatPart {
+    Exact(u64),
+    Mask { value: u64, mask: u64 },
+    Range { lo: u64, hi: u64 },
+}
+
+impl FlatPart {
+    #[inline]
+    fn matches(&self, raw: u64) -> bool {
+        match *self {
+            FlatPart::Exact(v) => raw == v,
+            FlatPart::Mask { value, mask } => raw & mask == value,
+            FlatPart::Range { lo, hi } => raw >= lo && raw <= hi,
+        }
+    }
+}
+
+/// How a flattened table finds its winning entry.
+enum Matcher {
+    /// No keys: the default action always runs.
+    Always,
+    /// Dense LUT over the packed key codes; slot = entry index + 1, 0 = no
+    /// entry (default).
+    Dense(Vec<u32>),
+    /// Flattened linear scan: `parts` holds `entries × keys` patterns
+    /// row-major; `uniform_priority` enables first-match early exit.
+    Scan { parts: Vec<FlatPart>, priorities: Vec<i32>, uniform_priority: bool },
+}
+
+struct FlatTable {
+    /// Key fields as `(scratch index, bits)`.
+    keys: Vec<(usize, u8)>,
+    matcher: Matcher,
+    /// Per-entry action index / slice into `data`.
+    entry_action: Vec<u32>,
+    entry_data: Vec<(u32, u32)>, // (offset, len)
+    /// Contiguous action-data pool (entries first, then the default's).
+    data: Vec<i64>,
+    default_entry: Option<(u32, (u32, u32))>,
+    /// Flattened micro-ops per action.
+    actions: Vec<Vec<FlatOp>>,
+}
+
+/// Reusable per-worker scratch for [`FlatProgram`] execution.
+///
+/// One per thread: the engine allocates it once per shard, so the per-packet
+/// path performs no heap allocation at all.
+pub struct FlatScratch {
+    vals: Vec<i64>,
+}
+
+/// A stateless compiled pipeline flattened for the streaming hot path.
+///
+/// Built by [`FlatProgram::from_pipeline`] (the runtime does this at deploy
+/// time); executed via [`classify`](FlatProgram::classify) /
+/// [`scores`](FlatProgram::scores) with a caller-owned [`FlatScratch`].
+pub struct FlatProgram {
+    name: String,
+    fields: Vec<FieldMeta>,
+    tables: Vec<FlatTable>,
+    input_fields: Vec<usize>,
+    predicted_field: Option<usize>,
+    score_fields: Vec<usize>,
+    score_format: NumFormat,
+    dense_tables: usize,
+    scan_tables: usize,
+}
+
+impl FlatProgram {
+    /// Flattens a compiled pipeline. Returns `None` when the program keeps
+    /// stateful registers (per-flow state cannot be baked into a LUT) —
+    /// callers fall back to the simulator runtime.
+    pub fn from_pipeline(p: &CompiledPipeline) -> Option<FlatProgram> {
+        if !p.program.registers.is_empty() {
+            return None;
+        }
+        let fields: Vec<FieldMeta> = p
+            .program
+            .layout
+            .iter()
+            .map(|(_, d)| FieldMeta { bits: d.bits, signed: d.signed })
+            .collect();
+        let mut tables = Vec::with_capacity(p.program.tables.len());
+        let mut dense_tables = 0;
+        let mut scan_tables = 0;
+        for t in &p.program.tables {
+            let flat = flatten_table(t, &fields)?;
+            match flat.matcher {
+                Matcher::Dense(_) => dense_tables += 1,
+                Matcher::Scan { .. } => scan_tables += 1,
+                Matcher::Always => {}
+            }
+            tables.push(flat);
+        }
+        Some(FlatProgram {
+            name: p.program.name.clone(),
+            fields,
+            tables,
+            input_fields: p.input_fields.iter().map(|f| f.0).collect(),
+            predicted_field: p.predicted_field.map(|f| f.0),
+            score_fields: p.score_fields.iter().map(|f| f.0).collect(),
+            score_format: p.score_format,
+            dense_tables,
+            scan_tables,
+        })
+    }
+
+    /// A zeroed scratch sized for this program.
+    pub fn scratch(&self) -> FlatScratch {
+        FlatScratch { vals: vec![0; self.fields.len()] }
+    }
+
+    /// Tables enumerated into dense LUTs.
+    pub fn dense_tables(&self) -> usize {
+        self.dense_tables
+    }
+
+    /// Tables kept as flattened range/ternary scans.
+    pub fn scan_tables(&self) -> usize {
+        self.scan_tables
+    }
+
+    /// Classifies one sample of feature codes (each in `[0, 255]`),
+    /// bit-identical to [`DataplaneModel::classify`](crate::runtime::DataplaneModel::classify).
+    pub fn classify(&self, codes: &[f32], s: &mut FlatScratch) -> Result<usize, PegasusError> {
+        let pf = self
+            .predicted_field
+            .ok_or_else(|| PegasusError::NotAClassifier { pipeline: self.name.clone() })?;
+        self.run(codes, s)?;
+        Ok(s.vals[pf] as usize)
+    }
+
+    /// Decoded output scores of one sample.
+    pub fn scores(&self, codes: &[f32], s: &mut FlatScratch) -> Result<Vec<f32>, PegasusError> {
+        if self.score_fields.is_empty() {
+            return Err(PegasusError::NoScores { pipeline: self.name.clone() });
+        }
+        self.run(codes, s)?;
+        Ok(self.score_fields.iter().map(|&f| self.score_format.to_real(s.vals[f])).collect())
+    }
+
+    fn run(&self, codes: &[f32], s: &mut FlatScratch) -> Result<(), PegasusError> {
+        if codes.len() != self.input_fields.len() {
+            return Err(PegasusError::FeatureCount {
+                expected: self.input_fields.len(),
+                got: codes.len(),
+            });
+        }
+        s.vals.fill(0);
+        for (&f, &v) in self.input_fields.iter().zip(codes.iter()) {
+            self.store(s, f, v.round().clamp(0.0, 255.0) as i64);
+        }
+        for t in &self.tables {
+            self.exec_table(t, s);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn store(&self, s: &mut FlatScratch, dst: usize, v: i64) {
+        let m = self.fields[dst];
+        s.vals[dst] = truncate(v, m.bits, m.signed);
+    }
+
+    #[inline]
+    fn raw(&self, s: &FlatScratch, f: usize, bits: u8) -> u64 {
+        (s.vals[f] as u64) & mask_of(bits)
+    }
+
+    fn exec_table(&self, t: &FlatTable, s: &mut FlatScratch) {
+        let hit: Option<usize> = match &t.matcher {
+            Matcher::Always => None,
+            Matcher::Dense(lut) => {
+                let mut idx = 0usize;
+                for &(f, bits) in &t.keys {
+                    idx = (idx << bits) | self.raw(s, f, bits) as usize;
+                }
+                match lut[idx] {
+                    0 => None,
+                    e => Some(e as usize - 1),
+                }
+            }
+            Matcher::Scan { parts, priorities, uniform_priority } => {
+                let k = t.keys.len();
+                let mut best: Option<usize> = None;
+                'entries: for e in 0..priorities.len() {
+                    for (j, &(f, bits)) in t.keys.iter().enumerate() {
+                        if !parts[e * k + j].matches(self.raw(s, f, bits)) {
+                            continue 'entries;
+                        }
+                    }
+                    match best {
+                        // First match wins among equal priorities.
+                        Some(b) if priorities[e] <= priorities[b] => {}
+                        _ => best = Some(e),
+                    }
+                    if *uniform_priority {
+                        break;
+                    }
+                }
+                best
+            }
+        };
+        let (action, (off, len)) = match hit {
+            Some(e) => (t.entry_action[e], t.entry_data[e]),
+            None => match t.default_entry {
+                Some(d) => d,
+                None => return,
+            },
+        };
+        let params = &t.data[off as usize..(off + len) as usize];
+        for op in &t.actions[action as usize] {
+            self.exec_op(op, params, s);
+        }
+    }
+
+    #[inline]
+    fn read(&self, s: &FlatScratch, src: Src, params: &[i64]) -> i64 {
+        match src {
+            Src::Field(f) => s.vals[f],
+            Src::Const(c) => c,
+            Src::Param(i) => params[i],
+        }
+    }
+
+    fn exec_op(&self, op: &FlatOp, params: &[i64], s: &mut FlatScratch) {
+        match *op {
+            FlatOp::Set { dst, a } => {
+                let v = self.read(s, a, params);
+                self.store(s, dst, v);
+            }
+            FlatOp::Add { dst, a, b } => {
+                let v = self.read(s, a, params).wrapping_add(self.read(s, b, params));
+                self.store(s, dst, v);
+            }
+            FlatOp::Sub { dst, a, b } => {
+                let v = self.read(s, a, params).wrapping_sub(self.read(s, b, params));
+                self.store(s, dst, v);
+            }
+            FlatOp::Shl { dst, a, amount } => {
+                let v = self.read(s, a, params) << amount;
+                self.store(s, dst, v);
+            }
+            FlatOp::Shr { dst, a, amount } => {
+                let v = self.read(s, a, params) >> amount;
+                self.store(s, dst, v);
+            }
+            FlatOp::Min { dst, a, b } => {
+                let v = self.read(s, a, params).min(self.read(s, b, params));
+                self.store(s, dst, v);
+            }
+            FlatOp::Max { dst, a, b } => {
+                let v = self.read(s, a, params).max(self.read(s, b, params));
+                self.store(s, dst, v);
+            }
+            FlatOp::And { dst, a, b } => {
+                let v = self.read(s, a, params) & self.read(s, b, params);
+                self.store(s, dst, v);
+            }
+            FlatOp::Or { dst, a, b } => {
+                let v = self.read(s, a, params) | self.read(s, b, params);
+                self.store(s, dst, v);
+            }
+            FlatOp::Xor { dst, a, b } => {
+                let v = self.read(s, a, params) ^ self.read(s, b, params);
+                self.store(s, dst, v);
+            }
+            FlatOp::Popcnt { dst, a } => {
+                let v = (self.read(s, a, params) as u64).count_ones() as i64;
+                self.store(s, dst, v);
+            }
+        }
+    }
+}
+
+fn flatten_src(op: &Operand) -> Src {
+    match op {
+        Operand::Field(f) => Src::Field(f.0),
+        Operand::Const(c) => Src::Const(*c),
+        Operand::Param(i) => Src::Param(*i),
+    }
+}
+
+/// Flattens one action; `None` when it touches registers (stateful).
+fn flatten_action(ops: &[AluOp]) -> Option<Vec<FlatOp>> {
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let flat = match op {
+            AluOp::Set { dst, a } => FlatOp::Set { dst: dst.0, a: flatten_src(a) },
+            AluOp::Add { dst, a, b } => {
+                FlatOp::Add { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::Sub { dst, a, b } => {
+                FlatOp::Sub { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::Shl { dst, a, amount } => {
+                FlatOp::Shl { dst: dst.0, a: flatten_src(a), amount: *amount }
+            }
+            AluOp::Shr { dst, a, amount } => {
+                FlatOp::Shr { dst: dst.0, a: flatten_src(a), amount: *amount }
+            }
+            AluOp::Min { dst, a, b } => {
+                FlatOp::Min { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::Max { dst, a, b } => {
+                FlatOp::Max { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::And { dst, a, b } => {
+                FlatOp::And { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::Or { dst, a, b } => {
+                FlatOp::Or { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::Xor { dst, a, b } => {
+                FlatOp::Xor { dst: dst.0, a: flatten_src(a), b: flatten_src(b) }
+            }
+            AluOp::Popcnt { dst, a } => FlatOp::Popcnt { dst: dst.0, a: flatten_src(a) },
+            AluOp::RegRead { .. }
+            | AluOp::RegWrite { .. }
+            | AluOp::RegReadWrite { .. }
+            | AluOp::RegIncrSat { .. }
+            | AluOp::RegShiftInsert { .. } => return None,
+        };
+        out.push(flat);
+    }
+    Some(out)
+}
+
+fn flatten_part(p: &KeyPart) -> FlatPart {
+    match p {
+        KeyPart::Exact(v) => FlatPart::Exact(*v),
+        KeyPart::Ternary(t) => FlatPart::Mask { value: t.value, mask: t.mask },
+        KeyPart::Range { lo, hi } => FlatPart::Range { lo: *lo, hi: *hi },
+    }
+}
+
+fn flatten_table(t: &Table, fields: &[FieldMeta]) -> Option<FlatTable> {
+    let keys: Vec<(usize, u8)> = t.keys.iter().map(|&(f, _)| (f.0, fields[f.0].bits)).collect();
+    let actions: Vec<Vec<FlatOp>> =
+        t.actions.iter().map(|a| flatten_action(&a.ops)).collect::<Option<_>>()?;
+
+    let mut data: Vec<i64> = Vec::new();
+    let mut entry_action = Vec::with_capacity(t.entries.len());
+    let mut entry_data = Vec::with_capacity(t.entries.len());
+    for e in &t.entries {
+        entry_action.push(e.action_idx as u32);
+        entry_data.push((data.len() as u32, e.action_data.len() as u32));
+        data.extend_from_slice(&e.action_data);
+    }
+    let default_entry = t.default_action.as_ref().map(|(idx, d)| {
+        let off = data.len() as u32;
+        data.extend_from_slice(d);
+        (*idx as u32, (off, d.len() as u32))
+    });
+
+    let parts: Vec<FlatPart> =
+        t.entries.iter().flat_map(|e| e.keys.iter().map(flatten_part)).collect();
+    let priorities: Vec<i32> = t.entries.iter().map(|e| e.priority).collect();
+    let uniform_priority = priorities.windows(2).all(|w| w[0] == w[1]);
+
+    let domain: u64 =
+        keys.iter().fold(1u64, |acc, &(_, bits)| acc.saturating_mul(1u64 << bits.min(63)));
+    let matcher = if keys.is_empty() {
+        Matcher::Always
+    } else if domain <= DENSE_MAX_POINTS && !t.entries.is_empty() {
+        // Enumerate the whole key domain through the same match-resolution
+        // rule the simulator applies (highest priority, earliest entry).
+        let k = keys.len();
+        let mut lut = vec![0u32; domain as usize];
+        let mut raws = vec![0u64; k];
+        for (slot, val) in lut.iter_mut().enumerate() {
+            let mut rem = slot;
+            for (j, &(_, bits)) in keys.iter().enumerate().rev() {
+                raws[j] = (rem & ((1usize << bits) - 1)) as u64;
+                rem >>= bits;
+            }
+            let mut best: Option<usize> = None;
+            for e in 0..t.entries.len() {
+                if raws.iter().enumerate().all(|(j, &r)| parts[e * k + j].matches(r)) {
+                    match best {
+                        Some(b) if priorities[e] <= priorities[b] => {}
+                        _ => best = Some(e),
+                    }
+                    if uniform_priority {
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = best {
+                *val = e as u32 + 1;
+            }
+        }
+        Matcher::Dense(lut)
+    } else {
+        Matcher::Scan { parts, priorities, uniform_priority }
+    };
+
+    Some(FlatTable { keys, matcher, entry_action, entry_data, data, default_entry, actions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions, CompileTarget};
+    use crate::fusion::fuse_basic;
+    use crate::primitives::{MapFn, PrimitiveProgram};
+    use crate::runtime::DataplaneModel;
+    use pegasus_nn::Tensor;
+    use pegasus_switch::SwitchConfig;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn scorer() -> PrimitiveProgram {
+        let mut p = PrimitiveProgram::new(4);
+        let segs = p.partition_strided(p.input, 2, 2);
+        let w0 = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]);
+        let w1 = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[2, 2]);
+        let m0 = p.map(segs[0], MapFn::MatVec { weight: w0, bias: vec![0.0, 0.0] });
+        let m1 = p.map(segs[1], MapFn::MatVec { weight: w1, bias: vec![0.0, 0.0] });
+        let out = p.sum_reduce(&[m0, m1]);
+        p.set_output(out);
+        p
+    }
+
+    fn inputs(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect()).collect()
+    }
+
+    #[test]
+    fn flat_classify_matches_simulator_exhaustively() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(1500, 11),
+            &CompileOptions { clustering_depth: 6, ..Default::default() },
+            CompileTarget::Classify,
+            "flat",
+        )
+        .expect("compiles");
+        let dp = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let flat = FlatProgram::from_pipeline(dp.pipeline()).expect("stateless flattens");
+        let mut s = flat.scratch();
+        for row in inputs(500, 12) {
+            assert_eq!(
+                flat.classify(&row, &mut s).unwrap(),
+                dp.classify(&row).unwrap(),
+                "row {row:?}"
+            );
+        }
+        // Segment tables over 2x8-bit codes must have become dense LUTs.
+        assert!(flat.dense_tables() >= 2, "dense {}", flat.dense_tables());
+    }
+
+    #[test]
+    fn flat_scores_match_simulator() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(1000, 13),
+            &CompileOptions::default(),
+            CompileTarget::Scores,
+            "flat_s",
+        )
+        .expect("compiles");
+        let dp = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let flat = FlatProgram::from_pipeline(dp.pipeline()).expect("flattens");
+        let mut s = flat.scratch();
+        for row in inputs(200, 14) {
+            assert_eq!(flat.scores(&row, &mut s).unwrap(), dp.scores(&row).unwrap());
+        }
+        // Classify on a Scores pipeline is the same typed error.
+        assert!(matches!(
+            flat.classify(&[0.0; 4], &mut s),
+            Err(PegasusError::NotAClassifier { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_rejects_wrong_arity_like_runtime() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(500, 15),
+            &CompileOptions::default(),
+            CompileTarget::Classify,
+            "flat_e",
+        )
+        .expect("compiles");
+        let dp = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let flat = FlatProgram::from_pipeline(dp.pipeline()).expect("flattens");
+        let mut s = flat.scratch();
+        assert_eq!(
+            flat.classify(&[1.0, 2.0], &mut s).unwrap_err(),
+            PegasusError::FeatureCount { expected: 4, got: 2 }
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! The streaming packet engine: multi-core, sharded, per-packet inference.
+//!
+//! Everything below [`Deployment::stream`](crate::pipeline::Deployment::stream)
+//! lives here. The engine turns a deployed model from a one-sample-at-a-time
+//! classifier into a packet-rate serving runtime, the role the physical
+//! switch plays in the paper's testbed (§7.1) — and it is where the repo's
+//! throughput numbers (`BENCH_throughput.json`) come from.
+//!
+//! # Design
+//!
+//! ```text
+//!             ┌────────────── PacketSource ──────────────┐
+//!             │ TraceSource / SyntheticSource / ...      │
+//!             └──────────────────┬───────────────────────┘
+//!                                │ pull, timestamp order
+//!                         ┌──────▼──────┐
+//!                         │ dispatcher  │ shard = hash(bidirectional
+//!                         │ (RSS-style) │         five-tuple) % N
+//!                         └─┬────┬────┬─┘
+//!               batched     │    │    │     bounded channels
+//!            ┌──────────────┘    │    └──────────────┐
+//!      ┌─────▼─────┐       ┌─────▼─────┐       ┌─────▼─────┐
+//!      │  shard 0  │       │  shard 1  │  ...  │ shard N-1 │
+//!      │ FlowState │       │ FlowState │       │ FlowState │
+//!      │ FlatLUTs  │       │ FlatLUTs  │       │ FlatLUTs  │
+//!      └───────────┘       └───────────┘       └───────────┘
+//! ```
+//!
+//! Three properties fall out of hashing flows to shards by their
+//! *bidirectional* five-tuple key ([`FiveTuple::shard_of`]):
+//!
+//! * **No locks on the hot path.** All per-flow state — host-side windows
+//!   ([`FlowTracker`]) for pipelines that consume extracted features, and
+//!   the per-flow *registers* of windowed flow pipelines (each shard owns a
+//!   [`fork`](crate::flowpipe::FlowClassifier::fork) of the classifier) —
+//!   is owned by exactly one shard. The per-packet register lock the shared
+//!   runtime takes ([`LoadedProgram::process`](pegasus_switch::LoadedProgram::process))
+//!   disappears: shards go through the `&mut self` lock-free paths.
+//! * **Per-flow determinism.** A flow's packets are processed by one worker
+//!   in arrival order, so for stateless pipelines (host flow state keyed
+//!   exactly by five-tuple) streaming results are bit-identical to a
+//!   sequential replay regardless of the shard count (asserted by
+//!   `tests/stream_engine.rs`). Per-flow *register* pipelines inherit the
+//!   hardware's hash-slot aliasing: colliding flows' verdicts depend on
+//!   which flows share a register file, so they can differ across shard
+//!   counts (more shards, fewer collisions).
+//! * **Linear scaling.** Shards share nothing; on a machine with enough
+//!   cores, throughput scales with the shard count until dispatch or the
+//!   source becomes the bottleneck.
+//!
+//! Inference itself runs through the [`flat`] module's flattened-LUT
+//! representation of the compiled pipeline — contiguous arrays baked at
+//! deploy time — instead of the allocation-heavy switch simulator; see
+//! [`FlatProgram`] for the exact guarantees.
+
+pub mod flat;
+pub mod stats;
+
+pub use flat::{FlatProgram, FlatScratch};
+pub use stats::{LatencyHistogram, ShardStats, StreamReport};
+
+use crate::error::PegasusError;
+use crate::flowpipe::FlowClassifier;
+use crate::models::StreamFeatures;
+use crate::runtime::DataplaneModel;
+use pegasus_net::{
+    quantize_ipd, quantize_len, FiveTuple, FlowTracker, PacketSource, StatFeatures, TracePacket,
+    WINDOW,
+};
+use std::collections::HashMap;
+use std::sync::mpsc::sync_channel;
+use std::time::Instant;
+
+/// Streaming-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Worker shards (clamped to at least 1).
+    pub shards: usize,
+    /// Record every per-flow classification in the report (costs one
+    /// `Vec<usize>` per flow; used by determinism tests and accuracy
+    /// evaluation, off for pure throughput runs).
+    pub record_predictions: bool,
+    /// Packets per dispatch batch. Batching amortizes channel overhead;
+    /// per-flow ordering is unaffected (clamped to at least 1).
+    pub batch: usize,
+    /// Bounded per-shard queue depth, in batches (backpressure; clamped to
+    /// at least 1).
+    pub queue_batches: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { shards: 1, record_predictions: false, batch: 256, queue_batches: 8 }
+    }
+}
+
+/// Per-shard packet processing: one instance per worker, exclusively owned.
+pub(crate) trait ShardProcessor: Send {
+    /// Processes one packet of this shard's flows. `Ok(Some(class))` when
+    /// the packet was classified, `Ok(None)` during per-flow warm-up.
+    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError>;
+
+    /// Distinct flows this shard has seen.
+    fn flows(&self) -> u64;
+}
+
+/// Shard worker for stateless compiled pipelines (MLP-B, RNN-B, the
+/// baselines): a shard-local [`FlowTracker`] mirrors the switch's per-flow
+/// feature state, and inference goes through the flattened LUTs.
+pub(crate) struct StatelessShard<'a> {
+    dp: &'a DataplaneModel,
+    flat: Option<(&'a FlatProgram, FlatScratch)>,
+    features: StreamFeatures,
+    tracker: FlowTracker,
+    codes: Vec<f32>,
+}
+
+impl<'a> StatelessShard<'a> {
+    pub(crate) fn new(dp: &'a DataplaneModel, features: StreamFeatures) -> Self {
+        StatelessShard {
+            dp,
+            flat: dp.flat().map(|f| (f, f.scratch())),
+            features,
+            tracker: FlowTracker::new(WINDOW),
+            codes: Vec::with_capacity(2 * WINDOW),
+        }
+    }
+}
+
+impl ShardProcessor for StatelessShard<'_> {
+    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
+        let (obs, state) = self.tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        if !state.window_full() {
+            return Ok(None);
+        }
+        self.codes.clear();
+        match self.features {
+            StreamFeatures::Stat => {
+                let stat = StatFeatures::extract(
+                    state,
+                    &obs,
+                    pkt.flow.protocol,
+                    pkt.tcp_flags,
+                    pkt.flow.src_port,
+                    pkt.flow.dst_port,
+                    pkt.ttl,
+                    pkt.payload_head.len() as u16,
+                );
+                self.codes.extend(stat.0.iter().map(|&b| f32::from(b)));
+            }
+            StreamFeatures::Seq => {
+                // Interleaved (len, IPD) codes, oldest first — identical to
+                // `SeqFeatures::extract(..).to_f32_interleaved()` without
+                // the per-packet allocations.
+                let tail = &state.window[state.window.len() - WINDOW..];
+                for o in tail {
+                    self.codes.push(f32::from(quantize_len(o.wire_len)));
+                    self.codes.push(f32::from(quantize_ipd(o.ipd_micros)));
+                }
+            }
+        }
+        let class = match &mut self.flat {
+            Some((flat, scratch)) => flat.classify(&self.codes, scratch)?,
+            None => self.dp.classify(&self.codes)?,
+        };
+        Ok(Some(class))
+    }
+
+    fn flows(&self) -> u64 {
+        self.tracker.len() as u64
+    }
+}
+
+/// Shard worker for per-flow windowed pipelines (CNN-L): owns a fresh-state
+/// [`fork`](FlowClassifier::fork) of the classifier, so per-flow register
+/// RMWs run through the lock-free `&mut` path.
+pub(crate) struct FlowShard {
+    fc: FlowClassifier,
+    arity: usize,
+    codes: Vec<f32>,
+    flows: std::collections::HashSet<FiveTuple>,
+}
+
+impl FlowShard {
+    pub(crate) fn new(fc: FlowClassifier) -> Self {
+        let arity = fc.pipeline().extractor_fields.len();
+        FlowShard { fc, arity, codes: Vec::with_capacity(arity), flows: Default::default() }
+    }
+}
+
+impl ShardProcessor for FlowShard {
+    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
+        self.codes.clear();
+        self.codes.extend(
+            pkt.payload_head
+                .iter()
+                .take(self.arity)
+                .map(|&b| f32::from(b))
+                .chain(std::iter::repeat(0.0))
+                .take(self.arity),
+        );
+        self.flows.insert(pkt.flow);
+        let verdict = self.fc.on_packet_mut(
+            pkt.flow.dataplane_hash(),
+            pkt.ts_micros,
+            pkt.wire_len,
+            &self.codes,
+        )?;
+        Ok(verdict.predicted)
+    }
+
+    fn flows(&self) -> u64 {
+        self.flows.len() as u64
+    }
+}
+
+struct WorkerOut {
+    stats: ShardStats,
+    preds: HashMap<FiveTuple, Vec<usize>>,
+    err: Option<PegasusError>,
+}
+
+/// Drives a source through `shards` worker threads (see module docs).
+///
+/// The wall clock starts before the first packet is pulled, so source
+/// generation cost is part of the measured pipeline — like a replay server
+/// feeding a switch.
+pub(crate) fn run_stream<P, F>(
+    source: &mut dyn PacketSource,
+    cfg: &StreamConfig,
+    mut make: F,
+) -> Result<StreamReport, PegasusError>
+where
+    P: ShardProcessor,
+    F: FnMut(usize) -> P,
+{
+    let shards = cfg.shards.max(1);
+    let batch = cfg.batch.max(1);
+    let record = cfg.record_predictions;
+    let mut processors: Vec<P> = (0..shards).map(&mut make).collect();
+
+    let start = Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, mut proc_) in processors.drain(..).enumerate() {
+            let (tx, rx) = sync_channel::<Vec<TracePacket>>(cfg.queue_batches.max(1));
+            txs.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut stats = ShardStats::new(shard);
+                let mut preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+                let mut err = None;
+                'drain: while let Ok(batch) = rx.recv() {
+                    for pkt in &batch {
+                        let t0 = Instant::now();
+                        let verdict = proc_.process(pkt);
+                        let nanos = t0.elapsed().as_nanos() as u64;
+                        stats.busy_nanos += nanos;
+                        stats.latency.record(nanos);
+                        stats.packets += 1;
+                        match verdict {
+                            Ok(Some(class)) => {
+                                stats.classified += 1;
+                                if record {
+                                    preds.entry(pkt.flow).or_default().push(class);
+                                }
+                            }
+                            Ok(None) => stats.warmup += 1,
+                            Err(e) => {
+                                err = Some(e);
+                                break 'drain;
+                            }
+                        }
+                    }
+                }
+                stats.flows = proc_.flows();
+                WorkerOut { stats, preds, err }
+            }));
+        }
+
+        // Dispatch on the calling thread: RSS-style flow sharding with
+        // batched sends. A closed channel means its worker died on an
+        // error; stop feeding everyone, the error surfaces after join.
+        let mut pending: Vec<Vec<TracePacket>> = vec![Vec::with_capacity(batch); shards];
+        'dispatch: while let Some(pkt) = source.next_packet() {
+            let shard = pkt.flow.shard_of(shards);
+            pending[shard].push(pkt);
+            if pending[shard].len() == batch {
+                let full = std::mem::replace(&mut pending[shard], Vec::with_capacity(batch));
+                if txs[shard].send(full).is_err() {
+                    break 'dispatch;
+                }
+            }
+        }
+        for (shard, rest) in pending.into_iter().enumerate() {
+            if !rest.is_empty() {
+                let _ = txs[shard].send(rest);
+            }
+        }
+        drop(txs);
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    let elapsed_nanos = start.elapsed().as_nanos() as u64;
+
+    let mut shards_stats = Vec::with_capacity(shards);
+    let mut latency = LatencyHistogram::default();
+    let mut predictions: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    let (mut packets, mut classified, mut warmup, mut flows) = (0u64, 0u64, 0u64, 0u64);
+    let mut first_err = None;
+    for out in outs {
+        if let Some(e) = out.err {
+            first_err.get_or_insert(e);
+        }
+        packets += out.stats.packets;
+        classified += out.stats.classified;
+        warmup += out.stats.warmup;
+        flows += out.stats.flows;
+        latency.merge(&out.stats.latency);
+        // Flows are shard-partitioned: no key collisions across workers.
+        predictions.extend(out.preds);
+        shards_stats.push(out.stats);
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(StreamReport {
+        shards: shards_stats,
+        packets,
+        classified,
+        warmup,
+        flows,
+        elapsed_nanos,
+        latency,
+        predictions: record.then_some(predictions),
+    })
+}

@@ -1,0 +1,230 @@
+//! Per-shard and aggregate streaming statistics.
+//!
+//! The engine reports throughput the way a packet benchmark does: aggregate
+//! packets/s over wall-clock time, plus per-shard busy time and a
+//! log₂-bucketed per-packet latency histogram (constant memory, mergeable
+//! across shards, good enough for mean/p50/p99 reporting without storing
+//! per-packet samples).
+
+use pegasus_net::FiveTuple;
+use std::collections::HashMap;
+
+/// A log₂-bucketed latency histogram over nanoseconds.
+///
+/// Bucket `i` holds samples whose value has its highest set bit at
+/// position `i` (i.e. `[2^i, 2^(i+1))`); quantiles are resolved to the
+/// bucket's upper bound, so reported p50/p99 are conservative within 2×.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, sum_nanos: 0, max_nanos: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = 63 - (nanos | 1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the matching bucket's upper bound.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return (2u64 << i).min(self.max_nanos.max(1));
+            }
+        }
+        self.max_nanos
+    }
+}
+
+/// One shard worker's counters.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Packets this shard consumed.
+    pub packets: u64,
+    /// Packets that produced a classification (flow window full).
+    pub classified: u64,
+    /// Packets swallowed by per-flow warm-up (window not yet full).
+    pub warmup: u64,
+    /// Distinct flows owned by this shard.
+    pub flows: u64,
+    /// Nanoseconds spent inside packet processing (excludes queue waits).
+    pub busy_nanos: u64,
+    /// Per-packet processing latency.
+    pub latency: LatencyHistogram,
+}
+
+impl ShardStats {
+    pub(crate) fn new(shard: usize) -> Self {
+        ShardStats {
+            shard,
+            packets: 0,
+            classified: 0,
+            warmup: 0,
+            flows: 0,
+            busy_nanos: 0,
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    /// This shard's busy-time throughput in packets/s (its serving
+    /// capacity, independent of how evenly the dispatcher fed it).
+    pub fn busy_pps(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            0.0
+        } else {
+            self.packets as f64 * 1e9 / self.busy_nanos as f64
+        }
+    }
+}
+
+/// What one streaming run produced: aggregate counters, per-shard stats,
+/// and (when requested) every per-flow classification.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Packets consumed from the source.
+    pub packets: u64,
+    /// Packets that produced a classification.
+    pub classified: u64,
+    /// Packets consumed during per-flow warm-up.
+    pub warmup: u64,
+    /// Distinct flows across shards.
+    pub flows: u64,
+    /// Wall-clock duration of the run in nanoseconds (dispatch + drain).
+    pub elapsed_nanos: u64,
+    /// Merged per-packet latency across shards.
+    pub latency: LatencyHistogram,
+    /// Per-flow classification sequences, in per-flow packet order
+    /// (`Some` only when `StreamConfig::record_predictions` was set).
+    pub predictions: Option<HashMap<FiveTuple, Vec<usize>>>,
+}
+
+impl StreamReport {
+    /// Aggregate wall-clock throughput in packets per second.
+    pub fn pps(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.packets as f64 * 1e9 / self.elapsed_nanos as f64
+        }
+    }
+
+    /// Majority-vote class per flow (ties to the smaller class id), when
+    /// predictions were recorded.
+    pub fn flow_verdicts(&self) -> Option<HashMap<FiveTuple, usize>> {
+        let preds = self.predictions.as_ref()?;
+        let mut out = HashMap::with_capacity(preds.len());
+        for (flow, seq) in preds {
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for &c in seq {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+            if let Some((&class, _)) =
+                counts.iter().max_by_key(|(&class, &n)| (n, std::cmp::Reverse(class)))
+            {
+                out.insert(*flow, class);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::default();
+        for v in [100u64, 200, 400, 800, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean_nanos() - 20_300.0).abs() < 1.0);
+        assert_eq!(h.max_nanos(), 100_000);
+        // p50 falls in the bucket holding 200ns; upper bound 256.
+        assert!(h.quantile_nanos(0.5) >= 200 && h.quantile_nanos(0.5) <= 512);
+        assert!(h.quantile_nanos(1.0) >= 100_000);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(10);
+        b.record(1000);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_nanos(), 2000);
+    }
+
+    #[test]
+    fn flow_verdicts_majority_votes() {
+        let flow = FiveTuple::new(1, 2, 3, 4, 6);
+        let mut preds = HashMap::new();
+        preds.insert(flow, vec![0, 1, 1, 2, 1]);
+        let report = StreamReport {
+            shards: vec![],
+            packets: 5,
+            classified: 5,
+            warmup: 0,
+            flows: 1,
+            elapsed_nanos: 1,
+            latency: LatencyHistogram::default(),
+            predictions: Some(preds),
+        };
+        assert_eq!(report.flow_verdicts().unwrap()[&flow], 1);
+    }
+}

@@ -86,6 +86,7 @@ pub struct FlowPipelineSpec {
 }
 
 /// A built flow pipeline: program + field handles + accounting.
+#[derive(Clone)]
 pub struct FlowPipeline {
     /// The deployable program.
     pub program: SwitchProgram,
@@ -544,6 +545,20 @@ impl FlowClassifier {
         self.loaded.reset_state();
     }
 
+    /// A fresh-state replica of this classifier: same tables, empty
+    /// registers.
+    ///
+    /// The sharded streaming engine forks one replica per shard. Flows are
+    /// partitioned across shards by five-tuple hash, so each flow's
+    /// register state lives in exactly one replica and every replica can
+    /// serve through the lock-free [`on_packet_mut`](FlowClassifier::on_packet_mut)
+    /// path.
+    pub fn fork(&self) -> FlowClassifier {
+        let mut loaded = self.loaded.clone();
+        loaded.reset_state();
+        FlowClassifier { pipeline: self.pipeline.clone(), loaded, hash_mask: self.hash_mask }
+    }
+
     /// Processes one packet of a flow.
     ///
     /// `extractor_codes` must match the spec's extractor input arity (empty
@@ -559,6 +574,34 @@ impl FlowClassifier {
         wire_len: u16,
         extractor_codes: &[f32],
     ) -> Result<FlowVerdict, PegasusError> {
+        let inputs = self.inputs_for(flow_hash, ts_micros, wire_len, extractor_codes)?;
+        Ok(self.decode(&self.loaded.process(&inputs)))
+    }
+
+    /// Lock-free variant of [`on_packet`](FlowClassifier::on_packet) for an
+    /// exclusively owned classifier (e.g. a per-shard
+    /// [`fork`](FlowClassifier::fork)): `&mut self` proves single ownership,
+    /// so the per-flow registers are updated without taking the per-packet
+    /// lock. Semantics are identical.
+    pub fn on_packet_mut(
+        &mut self,
+        flow_hash: u32,
+        ts_micros: u64,
+        wire_len: u16,
+        extractor_codes: &[f32],
+    ) -> Result<FlowVerdict, PegasusError> {
+        let inputs = self.inputs_for(flow_hash, ts_micros, wire_len, extractor_codes)?;
+        let phv = self.loaded.process_mut(&inputs);
+        Ok(self.decode(&phv))
+    }
+
+    fn inputs_for(
+        &self,
+        flow_hash: u32,
+        ts_micros: u64,
+        wire_len: u16,
+        extractor_codes: &[f32],
+    ) -> Result<Vec<(FieldId, i64)>, PegasusError> {
         if extractor_codes.len() != self.pipeline.extractor_fields.len() {
             return Err(PegasusError::FeatureCount {
                 expected: self.pipeline.extractor_fields.len(),
@@ -573,7 +616,10 @@ impl FlowClassifier {
         for (&f, &c) in self.pipeline.extractor_fields.iter().zip(extractor_codes.iter()) {
             inputs.push((f, c.round().clamp(0.0, 255.0) as i64));
         }
-        let phv = self.loaded.process(&inputs);
+        Ok(inputs)
+    }
+
+    fn decode(&self, phv: &pegasus_switch::Phv) -> FlowVerdict {
         let window_full = phv.get(self.pipeline.valid_field) == 1;
         let scores: Vec<f32> = self
             .pipeline
@@ -585,7 +631,7 @@ impl FlowClassifier {
             Some(f) if window_full => Some(phv.get(f) as usize),
             _ => None,
         };
-        Ok(FlowVerdict { predicted, scores, window_full })
+        FlowVerdict { predicted, scores, window_full }
     }
 }
 
@@ -693,6 +739,33 @@ mod tests {
         let vb = c.on_packet(200, 3007, 1500, &[]).expect("packet");
         assert!(va.window_full && vb.window_full);
         assert_ne!(va.predicted, vb.predicted);
+    }
+
+    #[test]
+    fn fork_matches_shared_path_packet_for_packet() {
+        let p = build_flow_pipeline(&spec()).expect("builds");
+        let shared = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
+        let mut owned = shared.fork();
+        // Interleaved flows; the lock-free owned path must agree on every
+        // packet, including warm-up.
+        for i in 0..20u64 {
+            let (hash, len) = (7 + (i % 3) as u32, 100 + (i * 37 % 1400) as u16);
+            let a = shared.on_packet(hash, i * 50_000, len, &[]).expect("packet");
+            let b = owned.on_packet_mut(hash, i * 50_000, len, &[]).expect("packet");
+            assert_eq!(a, b, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn fork_starts_with_fresh_state() {
+        let p = build_flow_pipeline(&spec()).expect("builds");
+        let c = FlowClassifier::deploy(p, &SwitchConfig::tofino2()).unwrap();
+        for i in 0..6 {
+            c.on_packet(9, i * 1000, 100, &[]).expect("packet");
+        }
+        let mut f = c.fork();
+        let v = f.on_packet_mut(9, 99_000, 100, &[]).expect("packet");
+        assert!(!v.window_full, "fork must not inherit flow state");
     }
 
     #[test]

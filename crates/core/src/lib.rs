@@ -17,12 +17,15 @@
 //!   register-packed index windows, on-switch quantizers (§7.3);
 //! * [`runtime`] — the concurrency-ready deployed-model runtime (`&self`
 //!   inference, batched classification);
+//! * [`engine`] — the sharded streaming packet engine: RSS-style flow
+//!   sharding across worker threads, shard-owned per-flow state (no hot
+//!   path locks), and the flattened-LUT inference representation baked at
+//!   deploy time;
 //! * [`models`] — MLP-B, RNN-B, CNN-B/M/L and the AutoEncoder (§6.3), all
 //!   behind the [`models::DataplaneNet`] trait;
-//! * [`pipeline`] — the staged [`Pegasus`](pipeline::Pegasus) builder, the
-//!   one compile-and-deploy path for every model and baseline;
-//! * [`error`] — [`PegasusError`](error::PegasusError), the API's single
-//!   error type.
+//! * [`pipeline`] — the staged [`Pegasus`] builder, the one
+//!   compile-and-deploy path for every model and baseline;
+//! * [`error`] — [`PegasusError`], the API's single error type.
 //!
 //! The intended entry point:
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod engine;
 pub mod error;
 pub mod finetune;
 pub mod flowpipe;
@@ -62,6 +66,7 @@ pub mod pipeline;
 pub mod primitives;
 pub mod runtime;
 
+pub use engine::{StreamConfig, StreamReport};
 pub use error::PegasusError;
-pub use models::{DataplaneNet, Lowered, ModelData, TrainSettings};
+pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};
 pub use pipeline::{Artifact, Compiled, Deployment, Pegasus};

@@ -234,6 +234,10 @@ impl DataplaneNet for AutoEncoder {
     fn size_kilobits(&mut self) -> f64 {
         self.model.to_spec("AutoEncoder").size_kilobits()
     }
+
+    fn stream_features(&self) -> super::StreamFeatures {
+        super::StreamFeatures::Seq
+    }
 }
 
 #[cfg(test)]

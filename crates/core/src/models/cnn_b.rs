@@ -202,6 +202,10 @@ impl DataplaneNet for CnnB {
     fn size_kilobits(&mut self) -> f64 {
         self.model.to_spec("CNN-B").size_kilobits()
     }
+
+    fn stream_features(&self) -> super::StreamFeatures {
+        super::StreamFeatures::Seq
+    }
 }
 
 #[cfg(test)]

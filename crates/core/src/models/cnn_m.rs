@@ -159,6 +159,10 @@ impl DataplaneNet for CnnM {
     fn size_kilobits(&mut self) -> f64 {
         self.model.to_spec("CNN-M").size_kilobits()
     }
+
+    fn stream_features(&self) -> super::StreamFeatures {
+        super::StreamFeatures::Seq
+    }
 }
 
 #[cfg(test)]

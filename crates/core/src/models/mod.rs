@@ -145,6 +145,24 @@ impl<'a> ModelData<'a> {
     }
 }
 
+/// Which per-packet feature family the streaming engine extracts for a
+/// model (§7.2's feature taxonomy, from the serving side).
+///
+/// The [`PacketEngine`](crate::engine) mirrors on the host what the switch
+/// maintains per flow, then feeds the deployed pipeline one feature vector
+/// per packet once the flow's window is warm. Models consuming raw payload
+/// bytes (CNN-L) lower to per-flow pipelines that take packets directly and
+/// never consult this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamFeatures {
+    /// The 16-byte statistical vector (`pegasus_net::StatFeatures`) —
+    /// MLP-B, Leo, N3IC.
+    Stat,
+    /// The interleaved (length, IPD) window sequence
+    /// (`pegasus_net::SeqFeatures`) — RNN-B, CNN-B/M, AutoEncoder, BoS.
+    Seq,
+}
+
 /// What a model lowers to, ready for the builder's compile step.
 ///
 /// Most models reduce to the paper's Partition/Map/SumReduce primitives and
@@ -215,6 +233,12 @@ pub trait DataplaneNet {
     /// model is score-valued, like the AutoEncoder).
     fn default_target(&self) -> CompileTarget {
         CompileTarget::Classify
+    }
+
+    /// The per-packet feature family the streaming engine feeds this model
+    /// (defaults to the statistical vector; sequence models override).
+    fn stream_features(&self) -> StreamFeatures {
+        StreamFeatures::Stat
     }
 
     /// Trained model size in kilobits (Table 5 column; `NaN` when the

@@ -352,6 +352,10 @@ impl DataplaneNet for RnnB {
     fn size_kilobits(&mut self) -> f64 {
         self.weight_kilobits()
     }
+
+    fn stream_features(&self) -> super::StreamFeatures {
+        super::StreamFeatures::Seq
+    }
 }
 
 #[cfg(test)]

@@ -20,10 +20,12 @@
 use crate::compile::{
     compile_with_trees, CompileOptions, CompileReport, CompileTarget, CompiledPipeline,
 };
+use crate::engine::{self, StreamConfig, StreamReport};
 use crate::error::PegasusError;
 use crate::flowpipe::{FlowClassifier, FlowPipeline};
 use crate::models::{DataplaneNet, Lowered, ModelData, TrainSettings};
 use crate::runtime::DataplaneModel;
+use pegasus_net::PacketSource;
 use pegasus_nn::metrics::PrRcF1;
 use pegasus_nn::Dataset;
 use pegasus_switch::{ResourceReport, SwitchConfig};
@@ -42,6 +44,18 @@ impl<M: DataplaneNet> Pegasus<M> {
     }
 
     /// Trains a fresh model and wraps it in one step.
+    ///
+    /// ```no_run
+    /// use pegasus_core::models::mlp_b::MlpB;
+    /// use pegasus_core::models::{ModelData, TrainSettings};
+    /// use pegasus_core::pipeline::Pegasus;
+    ///
+    /// # fn run(train: pegasus_nn::Dataset) -> Result<(), pegasus_core::error::PegasusError> {
+    /// let data = ModelData::new().with_stat(&train);
+    /// let staged = Pegasus::<MlpB>::train(&data, &TrainSettings::default())?;
+    /// # let _ = staged; Ok(())
+    /// # }
+    /// ```
     pub fn train(data: &ModelData<'_>, settings: &TrainSettings) -> Result<Self, PegasusError> {
         Ok(Pegasus::new(M::train(data, settings)?))
     }
@@ -72,6 +86,23 @@ impl<M: DataplaneNet> Pegasus<M> {
     }
 
     /// Lowers and compiles the model against the bundle's training views.
+    ///
+    /// ```no_run
+    /// use pegasus_core::compile::{CompileOptions, CompileTarget};
+    /// use pegasus_core::models::mlp_b::MlpB;
+    /// use pegasus_core::models::{ModelData, TrainSettings};
+    /// use pegasus_core::pipeline::Pegasus;
+    ///
+    /// # fn run(train: pegasus_nn::Dataset) -> Result<(), pegasus_core::error::PegasusError> {
+    /// let data = ModelData::new().with_stat(&train);
+    /// let compiled = Pegasus::<MlpB>::train(&data, &TrainSettings::default())?
+    ///     .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+    ///     .target(CompileTarget::Classify)
+    ///     .compile(&data)?;
+    /// println!("{} tables, {} entries", compiled.report().tables, compiled.report().entries);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn compile(mut self, data: &ModelData<'_>) -> Result<Compiled<M>, PegasusError> {
         let target = self.target.unwrap_or_else(|| self.model.default_target());
         let artifact = match self.model.lower(data, &self.opts)? {
@@ -176,6 +207,22 @@ impl<M: DataplaneNet> Compiled<M> {
     }
 
     /// Validates the artifact against a switch configuration and loads it.
+    ///
+    /// ```no_run
+    /// use pegasus_core::models::mlp_b::MlpB;
+    /// use pegasus_core::models::{ModelData, TrainSettings};
+    /// use pegasus_core::pipeline::Pegasus;
+    /// use pegasus_switch::SwitchConfig;
+    ///
+    /// # fn run(train: pegasus_nn::Dataset) -> Result<(), pegasus_core::error::PegasusError> {
+    /// let data = ModelData::new().with_stat(&train);
+    /// let deployment = Pegasus::<MlpB>::train(&data, &TrainSettings::default())?
+    ///     .compile(&data)?
+    ///     .deploy(&SwitchConfig::tofino2())?;
+    /// let class = deployment.classify(&[0.0; 16])?;
+    /// # let _ = class; Ok(())
+    /// # }
+    /// ```
     pub fn deploy(self, cfg: &SwitchConfig) -> Result<Deployment<M>, PegasusError> {
         let plane = match self.artifact {
             Artifact::Single(pipeline) => {
@@ -269,6 +316,88 @@ impl<M: DataplaneNet> Deployment<M> {
     /// recompile it with different options).
     pub fn into_model(self) -> M {
         self.model
+    }
+
+    /// Streams a packet source through the sharded packet engine.
+    ///
+    /// Flows are hashed to `shards` worker threads RSS-style (by
+    /// bidirectional five-tuple), each shard owning its flow state — host
+    /// windows for stateless pipelines, a forked register file for
+    /// per-flow pipelines — so the hot loop takes no locks. Stateless
+    /// pipelines execute through the flattened-LUT representation baked at
+    /// deploy time (see [`crate::engine`]); their per-flow results are
+    /// bit-identical at any shard count, because host flow state is keyed
+    /// exactly by five-tuple. Per-flow *register* pipelines index their
+    /// on-switch state by a truncated flow hash, so unrelated flows can
+    /// collide in a register slot — exactly as on the hardware — and the
+    /// collision set depends on which flows share a register file:
+    /// verdicts for hash-colliding flows may therefore differ across
+    /// shard counts (forking shrinks each file's population, so more
+    /// shards means *fewer* collisions than one shared file).
+    ///
+    /// Returns per-shard and aggregate packets/s and latency statistics.
+    /// Fails with [`PegasusError::NotAClassifier`] for score-only
+    /// pipelines (stream their scores via [`classify`](Self::classify)
+    /// alternatives instead).
+    ///
+    /// ```no_run
+    /// use pegasus_core::models::mlp_b::MlpB;
+    /// use pegasus_core::models::{ModelData, TrainSettings};
+    /// use pegasus_core::pipeline::Pegasus;
+    /// use pegasus_switch::SwitchConfig;
+    ///
+    /// # fn run(
+    /// #     train: pegasus_nn::Dataset,
+    /// #     trace: pegasus_net::Trace,
+    /// # ) -> Result<(), pegasus_core::error::PegasusError> {
+    /// let data = ModelData::new().with_stat(&train);
+    /// let deployment = Pegasus::<MlpB>::train(&data, &TrainSettings::default())?
+    ///     .compile(&data)?
+    ///     .deploy(&SwitchConfig::tofino2())?;
+    /// let report = deployment.stream(&mut trace.source(), 4)?;
+    /// println!(
+    ///     "{:.0} pps over {} flows, p99 {} ns",
+    ///     report.pps(),
+    ///     report.flows,
+    ///     report.latency.quantile_nanos(0.99),
+    /// );
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stream(
+        &self,
+        source: &mut dyn PacketSource,
+        shards: usize,
+    ) -> Result<StreamReport, PegasusError> {
+        self.stream_with(source, &StreamConfig { shards, ..StreamConfig::default() })
+    }
+
+    /// [`stream`](Self::stream) with full engine configuration (prediction
+    /// recording, batch and queue sizing).
+    pub fn stream_with(
+        &self,
+        source: &mut dyn PacketSource,
+        cfg: &StreamConfig,
+    ) -> Result<StreamReport, PegasusError> {
+        match &self.plane {
+            Plane::Single(dp) => {
+                if dp.pipeline().predicted_field.is_none() {
+                    return Err(PegasusError::NotAClassifier {
+                        pipeline: dp.pipeline().program.name.clone(),
+                    });
+                }
+                let features = self.model.stream_features();
+                engine::run_stream(source, cfg, |_| engine::StatelessShard::new(dp, features))
+            }
+            Plane::Flow(fc) => {
+                if fc.pipeline().predicted_field.is_none() {
+                    return Err(PegasusError::NotAClassifier {
+                        pipeline: fc.pipeline().program.name.clone(),
+                    });
+                }
+                engine::run_stream(source, cfg, |_| engine::FlowShard::new(fc.fork()))
+            }
+        }
     }
 
     /// The per-flow classifier for windowed pipelines (packet-by-packet

@@ -9,32 +9,56 @@
 //! panicking.
 
 use crate::compile::CompiledPipeline;
+use crate::engine::FlatProgram;
 use crate::error::PegasusError;
 use crate::primitives::{Primitive, PrimitiveProgram};
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::Dataset;
 use pegasus_switch::{FieldId, LoadedProgram, ResourceReport, SwitchConfig};
 
-/// Rows below this count are classified on the calling thread; larger
-/// batches fan out across available cores.
-const BATCH_PARALLEL_THRESHOLD: usize = 256;
+/// Rows below this count are classified sequentially on the calling
+/// thread; batches of at least this many rows fan out across available
+/// cores.
+///
+/// Rationale: spawning OS threads costs tens of microseconds each, while
+/// one classification costs single-digit microseconds — below a few
+/// hundred rows the spawn overhead exceeds the work being split. The value
+/// is the crossover point measured on the repo's own pipelines (within an
+/// order of magnitude it is not sensitive).
+pub const BATCH_PARALLEL_THRESHOLD: usize = 256;
 
 /// A compiled pipeline loaded onto the switch simulator, ready to classify.
 pub struct DataplaneModel {
     pipeline: CompiledPipeline,
     loaded: LoadedProgram,
+    /// The flattened-LUT replica of register-free pipelines, baked once at
+    /// deploy time for the streaming engine's hot loop.
+    flat: Option<FlatProgram>,
 }
 
 impl DataplaneModel {
     /// Validates the pipeline against a switch configuration and loads it.
+    ///
+    /// Register-free pipelines are additionally baked into a
+    /// [`FlatProgram`] — the contiguous-array replica the streaming engine
+    /// executes (see [`flat`](DataplaneModel::flat)).
     pub fn deploy(pipeline: CompiledPipeline, cfg: &SwitchConfig) -> Result<Self, PegasusError> {
         let loaded = pipeline.program.clone().deploy(cfg)?;
-        Ok(DataplaneModel { pipeline, loaded })
+        let flat = FlatProgram::from_pipeline(&pipeline);
+        Ok(DataplaneModel { pipeline, loaded, flat })
     }
 
     /// The compiled artifact.
     pub fn pipeline(&self) -> &CompiledPipeline {
         &self.pipeline
+    }
+
+    /// The flattened-LUT replica of this pipeline (`None` when the program
+    /// keeps stateful registers). Bit-identical to
+    /// [`classify`](DataplaneModel::classify) — asserted over whole traces
+    /// by the engine's determinism tests.
+    pub fn flat(&self) -> Option<&FlatProgram> {
+        self.flat.as_ref()
     }
 
     /// Switch resource utilization (the Table 6 row).
@@ -53,9 +77,11 @@ impl DataplaneModel {
 
     /// Classifies a batch of samples, one verdict per row.
     ///
-    /// Large batches are split across OS threads — the deployed model is
-    /// shared by reference, which is exactly the sharing contract future
-    /// replicated/sharded serving relies on.
+    /// Batches smaller than [`BATCH_PARALLEL_THRESHOLD`] run sequentially
+    /// on the calling thread — spawning workers for a handful of rows
+    /// costs more than it saves. Larger batches are split across OS
+    /// threads: the deployed model is shared by reference, the same
+    /// sharing contract the sharded streaming engine relies on.
     pub fn classify_batch(&self, rows: &[Vec<f32>]) -> Vec<Result<usize, PegasusError>> {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         if rows.len() < BATCH_PARALLEL_THRESHOLD || threads < 2 {

@@ -70,7 +70,11 @@ pub fn generate_flow(
     }
 }
 
-fn make_flow_id(rng: &mut StdRng, next_ip: &mut u32, profile: &ClassProfile) -> FiveTuple {
+pub(crate) fn make_flow_id(
+    rng: &mut StdRng,
+    next_ip: &mut u32,
+    profile: &ClassProfile,
+) -> FiveTuple {
     let src_ip = *next_ip;
     *next_ip += 1;
     let dst_ip = 0xc0a8_0000 | rng.gen_range(1..250u32);

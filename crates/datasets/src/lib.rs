@@ -14,7 +14,11 @@
 //! * [`samples`]: aligned per-packet feature views (statistical / sequence /
 //!   raw-byte) so every model sees identical sample points;
 //! * [`attacks`]: the six Figure 8 attack families and 1:4 test-set
-//!   injection.
+//!   injection;
+//! * [`stream`]: pcap-style streaming synthesis — the same generative
+//!   profiles emitting packets on demand through
+//!   [`PacketSource`](pegasus_net::PacketSource), for throughput runs that
+//!   should not materialize millions of packets first.
 
 #![warn(missing_docs)]
 
@@ -24,9 +28,11 @@ pub mod generate;
 pub mod profile;
 pub mod samples;
 pub mod split;
+pub mod stream;
 
 pub use attacks::{generate_attack_trace, inject_attack, AttackKind, ATTACK_LABEL};
 pub use catalog::{all_datasets, ciciot, iscxvpn, peerrush, DatasetSpec};
 pub use generate::{generate_trace, GenConfig};
 pub use samples::{extract_views, SampleViews};
 pub use split::split_by_flow;
+pub use stream::{SyntheticConfig, SyntheticSource};

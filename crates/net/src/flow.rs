@@ -53,6 +53,19 @@ impl FiveTuple {
         }
     }
 
+    /// RSS-style shard assignment: which of `shards` workers owns this
+    /// flow's state.
+    ///
+    /// Hashes the [`bidirectional_key`](FiveTuple::bidirectional_key) so
+    /// both directions of a connection land on the same shard — the same
+    /// trick receive-side scaling uses to keep a TCP connection on one
+    /// core. All per-flow state (windows, registers) of a flow therefore
+    /// lives in exactly one shard and needs no cross-shard locking.
+    pub fn shard_of(&self, shards: usize) -> usize {
+        assert!(shards >= 1, "need at least one shard");
+        self.bidirectional_key().dataplane_hash() as usize % shards
+    }
+
     /// A 32-bit hash for register indexing on the dataplane (CRC-like fold).
     pub fn dataplane_hash(&self) -> u32 {
         let mut h: u32 = 0x811c_9dc5;
@@ -292,6 +305,21 @@ mod tests {
     #[test]
     fn dataplane_hash_differs_across_flows() {
         assert_ne!(ft(1).dataplane_hash(), ft(2).dataplane_hash());
+    }
+
+    #[test]
+    fn shard_of_is_direction_agnostic_and_covers_shards() {
+        let a = FiveTuple::new(10, 20, 1000, 80, 6);
+        for shards in [1usize, 2, 4, 7] {
+            assert_eq!(a.shard_of(shards), a.reversed().shard_of(shards));
+            assert!(a.shard_of(shards) < shards);
+        }
+        // Many flows spread over all shards.
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[ft(i).shard_of(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 
     #[test]

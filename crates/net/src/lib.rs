@@ -19,7 +19,12 @@ pub mod flow;
 pub mod packet;
 pub mod replay;
 
-pub use features::{RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET, WINDOW};
+pub use features::{
+    quantize_ipd, quantize_len, RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET,
+    WINDOW,
+};
 pub use flow::{FiveTuple, FlowState, FlowTracker, PacketObs, SharedFlowTracker};
 pub use packet::{build_packet, parse_packet, PacketSpec, ParseError, ParsedPacket};
-pub use replay::{PacketSink, ReplayOptions, ReplayStats, Replayer, Trace, TracePacket};
+pub use replay::{
+    PacketSink, PacketSource, ReplayOptions, ReplayStats, Replayer, Trace, TracePacket, TraceSource,
+};

@@ -4,6 +4,13 @@
 //! labeled flows. [`Replayer`] feeds them to any [`PacketSink`] in timestamp
 //! order, optionally injecting faults (drops, truncation) the way the
 //! smoltcp examples do — useful for robustness tests of the classifiers.
+//!
+//! [`PacketSource`] is the pull-side dual of [`PacketSink`]: anything that
+//! can produce a timestamp-ordered packet stream — a materialized
+//! [`Trace`] (via [`TraceSource`]), a synthetic on-the-fly generator
+//! (`pegasus_datasets::SyntheticSource`), or in principle a live capture.
+//! The streaming `PacketEngine` in `pegasus-core` consumes sources, so the
+//! same deployment code serves replayed and generated traffic.
 
 use crate::flow::FiveTuple;
 use rand::rngs::StdRng;
@@ -98,6 +105,56 @@ impl<F: FnMut(&TracePacket)> PacketSink for F {
     }
 }
 
+/// Producer of a timestamp-ordered packet stream.
+///
+/// The streaming engine pulls packets one at a time; `None` ends the
+/// stream. Implementations must emit packets in non-decreasing timestamp
+/// order *per flow* (global order is expected but only per-flow order is
+/// load-bearing: inter-packet delays are computed from consecutive packets
+/// of the same flow).
+pub trait PacketSource {
+    /// The next packet, or `None` when the stream is exhausted.
+    fn next_packet(&mut self) -> Option<TracePacket>;
+
+    /// Total packets this source will emit, when known up front (used for
+    /// progress reporting and queue sizing; `None` for unbounded sources).
+    fn packets_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A [`PacketSource`] reading a materialized [`Trace`] front to back.
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    next: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// A source over `trace` (which should be sorted; see [`Trace::sort`]).
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource { trace, next: 0 }
+    }
+}
+
+impl PacketSource for TraceSource<'_> {
+    fn next_packet(&mut self) -> Option<TracePacket> {
+        let pkt = self.trace.packets.get(self.next)?;
+        self.next += 1;
+        Some(pkt.clone())
+    }
+
+    fn packets_hint(&self) -> Option<u64> {
+        Some((self.trace.packets.len() - self.next) as u64)
+    }
+}
+
+impl Trace {
+    /// A [`PacketSource`] over this trace's packets.
+    pub fn source(&self) -> TraceSource<'_> {
+        TraceSource::new(self)
+    }
+}
+
 /// Fault-injection knobs for replay (mirroring the smoltcp example options).
 #[derive(Clone, Copy, Debug)]
 pub struct ReplayOptions {
@@ -146,27 +203,36 @@ impl Replayer {
 
     /// Replays `trace` into `sink` in timestamp order.
     pub fn replay(&self, trace: &Trace, sink: &mut dyn PacketSink) -> ReplayStats {
-        let mut rng = StdRng::seed_from_u64(self.options.seed);
-        let mut stats = ReplayStats::default();
         debug_assert!(
             trace.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros),
             "trace must be sorted by timestamp"
         );
-        for pkt in &trace.packets {
+        self.replay_from(&mut trace.source(), sink)
+    }
+
+    /// Replays any [`PacketSource`] into `sink`, applying fault injection.
+    pub fn replay_from(
+        &self,
+        source: &mut dyn PacketSource,
+        sink: &mut dyn PacketSink,
+    ) -> ReplayStats {
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut stats = ReplayStats::default();
+        while let Some(pkt) = source.next_packet() {
             if self.options.drop_chance > 0.0 && rng.gen::<f64>() < self.options.drop_chance {
                 stats.dropped += 1;
                 continue;
             }
             if self.options.truncate_chance > 0.0 && rng.gen::<f64>() < self.options.truncate_chance
             {
-                let mut cut = pkt.clone();
+                let mut cut = pkt;
                 cut.payload_head.truncate(cut.payload_head.len() / 2);
                 sink.on_packet(&cut);
                 stats.truncated += 1;
                 stats.delivered += 1;
                 continue;
             }
-            sink.on_packet(pkt);
+            sink.on_packet(&pkt);
             stats.delivered += 1;
         }
         stats
@@ -263,6 +329,30 @@ mod tests {
         assert_eq!(t.flow_count(), 2);
         assert_eq!(t.label_of(&FiveTuple::new(1, 2, 3, 4, 6)), Some(0));
         assert_eq!(t.label_of(&FiveTuple::new(9, 2, 3, 4, 6)), None);
+    }
+
+    #[test]
+    fn trace_source_yields_all_packets_in_order() {
+        let t = trace3();
+        let mut src = t.source();
+        assert_eq!(src.packets_hint(), Some(3));
+        let mut ts = Vec::new();
+        while let Some(p) = src.next_packet() {
+            ts.push(p.ts_micros);
+        }
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(src.packets_hint(), Some(0));
+        assert!(src.next_packet().is_none());
+    }
+
+    #[test]
+    fn replay_from_source_matches_replay() {
+        let t = trace3();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Replayer::new().replay(&t, &mut |p: &TracePacket| a.push(p.clone()));
+        Replayer::new().replay_from(&mut t.source(), &mut |p: &TracePacket| b.push(p.clone()));
+        assert_eq!(a, b);
     }
 
     #[test]

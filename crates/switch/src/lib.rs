@@ -35,7 +35,7 @@ pub mod ternary;
 pub use action::{Action, AluOp, Operand, RegId};
 pub use config::SwitchConfig;
 pub use mat::{KeyPart, MatchKind, Table, TableEntry};
-pub use phv::{FieldId, Phv, PhvLayout};
+pub use phv::{truncate, FieldId, Phv, PhvLayout};
 pub use program::{DeployError, LoadedProgram, PhvRemap, ResourceReport, SwitchProgram};
 pub use register::{RegFile, RegisterArray};
-pub use ternary::{range_to_ternary, TernaryKey};
+pub use ternary::{mask_of, range_to_ternary, TernaryKey};

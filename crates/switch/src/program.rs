@@ -5,7 +5,7 @@
 //! the moral equivalent of a compiled P4 binary. [`SwitchProgram::deploy`]
 //! performs what the Tofino compiler does: it assigns tables to pipeline
 //! stages respecting data dependencies, checks every resource limit in
-//! [`SwitchConfig`](crate::config::SwitchConfig), and either produces a
+//! [`SwitchConfig`], and either produces a
 //! runnable [`LoadedProgram`] or a precise [`DeployError`]. The paper's
 //! Table 6 columns are exactly the fields of [`ResourceReport`].
 
@@ -590,21 +590,42 @@ impl LoadedProgram {
             // No register ops can reference a non-existent array; a local
             // scratch RegFile keeps the hot path lock-free.
             let mut regs = RegFile::default();
-            self.exec_tables(phv, &mut regs);
+            Self::exec_tables(&self.program.tables, phv, &mut regs);
         } else {
             let mut regs = self.regs.lock().expect("register lock poisoned");
-            self.exec_tables(phv, &mut regs);
+            Self::exec_tables(&self.program.tables, phv, &mut regs);
         }
     }
 
-    fn exec_tables(&self, phv: &mut Phv, regs: &mut RegFile) {
-        for t in &self.program.tables {
+    /// Processes one packet through an *exclusively owned* program.
+    ///
+    /// Identical semantics to [`process`](LoadedProgram::process), but
+    /// `&mut self` proves single ownership so the stateful registers are
+    /// reached through [`Mutex::get_mut`] — no per-packet lock at all. This
+    /// is the hot path of the sharded streaming engine: each shard owns its
+    /// own program instance (flows are partitioned by shard), so register
+    /// read-modify-writes need no synchronization.
+    pub fn process_mut(&mut self, inputs: &[(FieldId, i64)]) -> Phv {
+        let mut phv = self.program.layout.instantiate();
+        for &(f, v) in inputs {
+            phv.set(f, v);
+        }
+        self.run_on_mut(&mut phv);
+        phv
+    }
+
+    /// Lock-free variant of [`run_on`](LoadedProgram::run_on) for owned
+    /// programs (see [`process_mut`](LoadedProgram::process_mut)).
+    pub fn run_on_mut(&mut self, phv: &mut Phv) {
+        *self.lookups.get_mut() += self.program.tables.len() as u64;
+        let regs = self.regs.get_mut().expect("register lock poisoned");
+        Self::exec_tables(&self.program.tables, phv, regs);
+    }
+
+    fn exec_tables(tables: &[crate::mat::Table], phv: &mut Phv, regs: &mut RegFile) {
+        for t in tables {
             if let Some((action, data)) = t.lookup(phv) {
-                // Clone-free execution needs split borrows; actions never
-                // touch tables so this is safe by construction.
-                let action = action.clone();
-                let data = data.to_vec();
-                action.execute(phv, &data, regs);
+                action.execute(phv, data, regs);
             }
         }
     }
@@ -802,6 +823,35 @@ mod tests {
         p.tables.push(t);
         let loaded = p.deploy(&SwitchConfig::tiny_test()).expect("spills but fits");
         assert!(loaded.stage_assignment()[0] >= 1, "should occupy later stage");
+    }
+
+    #[test]
+    fn process_mut_matches_locked_process() {
+        // A stateful program: counter register incremented per packet.
+        let mut layout = PhvLayout::new();
+        let x = layout.add_field("x", 8);
+        let old = layout.add_field("old", 16);
+        let mut t = Table::new("count", vec![]);
+        let a = t.add_action(Action::new("incr").with(AluOp::RegIncrSat {
+            dst: old,
+            reg: crate::action::RegId(0),
+            index: Operand::Field(x),
+            by: 1,
+            max: 1000,
+        }));
+        t.default_action = Some((a, vec![]));
+        let mut p = SwitchProgram::new("stateful", layout);
+        p.registers.push(RegisterArray::new("cnt", 16, 16));
+        p.tables.push(t);
+
+        let shared = p.clone().deploy(&SwitchConfig::tofino2()).unwrap();
+        let mut owned = p.deploy(&SwitchConfig::tofino2()).unwrap();
+        for i in 0..20 {
+            let a = shared.process(&[(x, i % 4)]);
+            let b = owned.process_mut(&[(x, i % 4)]);
+            assert_eq!(a.get(old), b.get(old), "packet {i}");
+        }
+        assert_eq!(shared.lookup_count(), owned.lookup_count());
     }
 
     #[test]

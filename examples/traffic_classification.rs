@@ -2,18 +2,18 @@
 //! the paper's headline experiment: 3840-bit raw-byte inputs classified
 //! per packet with 44 stateful bits per flow.
 //!
-//! Packets stream through the replay engine exactly as tcpreplay would feed
-//! a switch; the deployed pipeline extracts per-packet fuzzy indexes into
-//! registers and classifies on every full window.
+//! Packets stream through the sharded packet engine exactly as a testbed
+//! server would feed a switch: flows are hashed RSS-style across worker
+//! shards, each shard owns a fork of the per-flow register pipeline (no
+//! per-packet lock), and every full window yields a classification.
 //!
 //! Run: `cargo run --example traffic_classification --release`
 
 use pegasus::core::compile::CompileOptions;
-use pegasus::core::models::cnn_l::{flow_hash, CnnL, CnnLVariant, BYTES};
+use pegasus::core::models::cnn_l::{CnnL, CnnLVariant};
 use pegasus::core::models::{ModelData, TrainSettings};
-use pegasus::core::{Pegasus, PegasusError};
+use pegasus::core::{Pegasus, PegasusError, StreamConfig};
 use pegasus::datasets::{extract_views, generate_trace, iscxvpn, split_by_flow, GenConfig};
-use pegasus::net::{Replayer, TracePacket};
 use pegasus::switch::SwitchConfig;
 
 fn main() -> Result<(), PegasusError> {
@@ -38,7 +38,7 @@ fn main() -> Result<(), PegasusError> {
     // builder; it lowers to a `Flow` artifact with register state.
     let data = ModelData::new().with_raw(&train_views.raw).with_seq(&train_views.seq);
     let opts = CompileOptions { clustering_depth: 6, ..Default::default() };
-    let mut deployment =
+    let deployment =
         Pegasus::new(model).options(opts).compile(&data)?.deploy(&SwitchConfig::tofino2())?;
     let report = deployment.resource_report();
     println!(
@@ -49,34 +49,27 @@ fn main() -> Result<(), PegasusError> {
         report.tcam_frac * 100.0
     );
 
-    // Replay the test trace packet by packet through the per-flow runtime.
-    let classifier = deployment.flow_mut()?;
+    // Stream the test trace through the sharded engine: four workers, each
+    // owning a fresh fork of the register pipeline for its share of flows.
+    let cfg = StreamConfig { shards: 4, record_predictions: true, ..Default::default() };
+    let stream = deployment.stream_with(&mut test.source(), &cfg)?;
     let mut correct = 0u64;
     let mut scored = 0u64;
-    let mut sink = |pkt: &TracePacket| {
-        let codes: Vec<f32> = pkt
-            .payload_head
-            .iter()
-            .take(BYTES)
-            .map(|&b| f32::from(b))
-            .chain(std::iter::repeat(0.0))
-            .take(BYTES)
-            .collect();
-        let verdict = classifier
-            .on_packet(flow_hash(&pkt.flow), pkt.ts_micros, pkt.wire_len, &codes)
-            .expect("extractor arity matches");
-        if let (Some(pred), Some(label)) = (verdict.predicted, test.label_of(&pkt.flow)) {
-            scored += 1;
-            if pred == label {
-                correct += 1;
-            }
+    for (flow, preds) in stream.predictions.as_ref().expect("recording enabled") {
+        if let Some(label) = test.label_of(flow) {
+            scored += preds.len() as u64;
+            correct += preds.iter().filter(|&&p| p == label).count() as u64;
         }
-    };
-    let stats = Replayer::new().replay(&test, &mut sink);
+    }
     println!(
-        "replayed {} packets; classified {} full-window packets; accuracy {:.2}%",
-        stats.delivered,
-        scored,
+        "streamed {} packets over {} flows at {:.0} pps ({} shards, mean latency {:.1} µs); \
+         classified {} full-window packets; accuracy {:.2}%",
+        stream.packets,
+        stream.flows,
+        stream.pps(),
+        stream.shards.len(),
+        stream.latency.mean_nanos() / 1000.0,
+        stream.classified,
         100.0 * correct as f64 / scored.max(1) as f64
     );
     Ok(())

@@ -1,0 +1,152 @@
+//! Sharded streaming determinism: the packet engine must produce
+//! bit-identical per-flow classifications to sequential simulator replay,
+//! at every shard count.
+//!
+//! This is the load-bearing correctness property of the engine (and of the
+//! flattened-LUT runtime behind it): sharding only partitions flows across
+//! workers, and the flattened representation only changes *how* the
+//! compiled tables are executed — never the verdicts. The sequential
+//! reference below is an independent reimplementation of the per-packet
+//! path: one global `FlowTracker`, features extracted per packet, verdicts
+//! from `Deployment::classify` (the switch-simulator path, not the LUTs).
+
+use pegasus::core::compile::CompileOptions;
+use pegasus::core::models::mlp_b::MlpB;
+use pegasus::core::models::rnn_b::RnnB;
+use pegasus::core::models::{DataplaneNet, ModelData, StreamFeatures, TrainSettings};
+use pegasus::core::{Deployment, Pegasus, StreamConfig};
+use pegasus::datasets::{extract_views, generate_trace, peerrush, GenConfig};
+use pegasus::net::{FiveTuple, FlowTracker, SeqFeatures, StatFeatures, Trace, WINDOW};
+use pegasus::switch::SwitchConfig;
+use std::collections::HashMap;
+
+/// Sequential reference: replay the trace through one tracker and the
+/// simulator runtime, recording per-flow classification sequences.
+fn sequential_reference<M: DataplaneNet>(
+    deployment: &Deployment<M>,
+    trace: &Trace,
+) -> HashMap<FiveTuple, Vec<usize>> {
+    let features = deployment.model().stream_features();
+    let mut tracker = FlowTracker::new(WINDOW);
+    let mut out: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    for pkt in &trace.packets {
+        let (obs, state) = tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        if !state.window_full() {
+            continue;
+        }
+        let codes: Vec<f32> = match features {
+            StreamFeatures::Stat => StatFeatures::extract(
+                state,
+                &obs,
+                pkt.flow.protocol,
+                pkt.tcp_flags,
+                pkt.flow.src_port,
+                pkt.flow.dst_port,
+                pkt.ttl,
+                pkt.payload_head.len() as u16,
+            )
+            .to_f32(),
+            StreamFeatures::Seq => {
+                SeqFeatures::extract(state).expect("window full").to_f32_interleaved()
+            }
+        };
+        let class = deployment.classify(&codes).expect("classifies");
+        out.entry(pkt.flow).or_default().push(class);
+    }
+    out
+}
+
+fn assert_stream_matches_sequential<M: DataplaneNet>(deployment: &Deployment<M>, trace: &Trace) {
+    let reference = sequential_reference(deployment, trace);
+    let total_classified: u64 = reference.values().map(|v| v.len() as u64).sum();
+    assert!(total_classified > 0, "test trace too small to classify anything");
+
+    for shards in [1usize, 2, 4] {
+        let cfg = StreamConfig { shards, record_predictions: true, ..StreamConfig::default() };
+        let report = deployment.stream_with(&mut trace.source(), &cfg).expect("stream runs");
+        assert_eq!(report.shards.len(), shards);
+        assert_eq!(report.packets, trace.packets.len() as u64, "{shards} shards");
+        assert_eq!(report.classified, total_classified, "{shards} shards");
+        assert_eq!(report.packets, report.classified + report.warmup);
+        assert_eq!(report.flows as usize, trace.flow_count(), "{shards} shards");
+
+        let preds = report.predictions.expect("recording was requested");
+        assert_eq!(preds.len(), reference.len(), "{shards} shards: flow sets differ");
+        for (flow, seq) in &reference {
+            assert_eq!(
+                preds.get(flow),
+                Some(seq),
+                "{shards} shards: flow {flow:?} diverged from sequential replay"
+            );
+        }
+    }
+}
+
+fn test_trace() -> Trace {
+    generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 21 })
+}
+
+#[test]
+fn mlp_b_streaming_is_deterministic_across_shard_counts() {
+    // Stateless pipeline + statistical features; inference runs through
+    // the flattened LUTs, the reference through the simulator.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let deployment = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    assert!(
+        deployment.dataplane().expect("stateless plane").flat().is_some(),
+        "MLP-B should bake a flattened program at deploy time"
+    );
+    assert_stream_matches_sequential(&deployment, &trace);
+}
+
+#[test]
+fn rnn_b_streaming_is_deterministic_across_shard_counts() {
+    // Per-flow windowed sequence features (the stateful streaming path:
+    // every packet updates its flow's window before classifying).
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_seq(&views.seq);
+    let deployment = Pegasus::<RnnB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 4, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    assert_stream_matches_sequential(&deployment, &trace);
+}
+
+#[test]
+fn stream_reports_shard_partition_consistency() {
+    // Shard counters tile the totals, and every flow's packets land on the
+    // shard its bidirectional hash names.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let deployment = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    let report = deployment.stream(&mut trace.source(), 4).expect("streams");
+    assert_eq!(report.packets, report.shards.iter().map(|s| s.packets).sum::<u64>());
+    assert_eq!(report.flows, report.shards.iter().map(|s| s.flows).sum::<u64>());
+    let mut expected = [0u64; 4];
+    for pkt in &trace.packets {
+        expected[pkt.flow.shard_of(4)] += 1;
+    }
+    for (shard, &n) in expected.iter().enumerate() {
+        assert_eq!(report.shards[shard].packets, n, "shard {shard}");
+    }
+    assert!(report.latency.count() == report.packets);
+    assert!(report.pps() > 0.0);
+}
