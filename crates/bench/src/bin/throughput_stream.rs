@@ -19,7 +19,7 @@ use pegasus_core::models::mlp_b::MlpB;
 use pegasus_core::models::rnn_b::RnnB;
 use pegasus_core::models::{DataplaneNet, ModelData, StreamFeatures, TrainSettings};
 use pegasus_core::pipeline::{Deployment, Pegasus};
-use pegasus_core::StreamReport;
+use pegasus_core::{EngineBuilder, StreamReport, TenantConfig};
 use pegasus_datasets::{
     extract_views, generate_trace, peerrush, GenConfig, SyntheticConfig, SyntheticSource,
 };
@@ -40,6 +40,18 @@ struct ModelRow {
     simulator_pps: f64,
     locked_shared_pps: f64,
     runs: Vec<(usize, StreamReport)>,
+    swap: SwapCost,
+}
+
+/// Cost of one mid-run hot swap, measured on the live engine server.
+struct SwapCost {
+    /// Wall-clock of the `swap` call itself: flush, per-shard apply
+    /// (including draining queued batches ahead of it), all-shard ack.
+    apply_micros: f64,
+    pps_no_swap: f64,
+    pps_with_swap: f64,
+    max_latency_ns_no_swap: u64,
+    max_latency_ns_with_swap: u64,
 }
 
 /// Per-packet feature codes, shared by every reference path.
@@ -199,6 +211,17 @@ fn bench_model<M: DataplaneNet>(
         );
         runs.push((shards, report));
     }
+    let swap = swap_cost(deployment, spec, source_cfg);
+    println!(
+        "  mid-run hot swap: apply {:.0} µs, pps {:.0} -> {:.0} ({:+.1}%), max latency {} -> {} ns",
+        swap.apply_micros,
+        swap.pps_no_swap,
+        swap.pps_with_swap,
+        100.0 * (swap.pps_with_swap - swap.pps_no_swap) / swap.pps_no_swap.max(1e-9),
+        swap.max_latency_ns_no_swap,
+        swap.max_latency_ns_with_swap,
+    );
+
     ModelRow {
         model,
         features,
@@ -206,6 +229,58 @@ fn bench_model<M: DataplaneNet>(
         simulator_pps,
         locked_shared_pps,
         runs,
+        swap,
+    }
+}
+
+/// Streams the workload through a live [`EngineBuilder`] server twice —
+/// once untouched, once with a hot swap to a second artifact of the same
+/// deployment at the halfway packet — and reports the swap's cost: the
+/// control-plane apply latency and the throughput / max-latency impact on
+/// the stream it interrupted. Median of three runs per mode.
+fn swap_cost<M: DataplaneNet>(
+    deployment: &Deployment<M>,
+    spec: &pegasus_datasets::DatasetSpec,
+    source_cfg: &SyntheticConfig,
+) -> SwapCost {
+    let run = |do_swap: bool| -> (StreamReport, f64) {
+        let server = EngineBuilder::new().shards(1).batch(1024).build().expect("engine builds");
+        let control = server.control();
+        let ingress = server.ingress();
+        let token = control
+            .attach(deployment.engine_artifact().expect("artifact"), TenantConfig::new())
+            .expect("attaches");
+        let mut source = SyntheticSource::new(spec, source_cfg);
+        let total = source.packets_hint().expect("known size");
+        let mut pushed = 0u64;
+        let mut apply_micros = 0.0f64;
+        while let Some(pkt) = source.next_packet() {
+            ingress.push(pkt).expect("pushes");
+            pushed += 1;
+            if do_swap && pushed == total / 2 {
+                let t0 = Instant::now();
+                control
+                    .swap(token, deployment.engine_artifact().expect("artifact"))
+                    .expect("swaps");
+                apply_micros = t0.elapsed().as_secs_f64() * 1e6;
+            }
+        }
+        let mut report = server.shutdown().expect("shuts down");
+        (report.take_tenant(token).expect("tenant").result.expect("serves"), apply_micros)
+    };
+    let median = |do_swap: bool| -> (StreamReport, f64) {
+        let mut reps: Vec<(StreamReport, f64)> = (0..3).map(|_| run(do_swap)).collect();
+        reps.sort_by(|a, b| a.0.pps().total_cmp(&b.0.pps()));
+        reps.swap_remove(1)
+    };
+    let (base, _) = median(false);
+    let (swapped, apply_micros) = median(true);
+    SwapCost {
+        apply_micros,
+        pps_no_swap: base.pps(),
+        pps_with_swap: swapped.pps(),
+        max_latency_ns_no_swap: base.latency.max_nanos(),
+        max_latency_ns_with_swap: swapped.latency.max_nanos(),
     }
 }
 
@@ -290,7 +365,7 @@ fn render_json(rows: &[ModelRow], packets: u64, cores: usize) -> String {
     let _ = writeln!(out, "  \"host_cores\": {cores},");
     let _ = writeln!(
         out,
-        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales.\",");
+        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the control-plane call latency (flush + per-shard apply behind queued batches + all-shard ack); pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch.\",");
     let _ = writeln!(out, "  \"models\": [");
     for (mi, row) in rows.iter().enumerate() {
         let pps_of = |shards: usize| {
@@ -316,6 +391,27 @@ fn render_json(rows: &[ModelRow], packets: u64, cores: usize) -> String {
             "      \"shard_speedup_4_over_1\": {:.3},",
             pps_of(4) / pps_of(1).max(1e-9)
         );
+        let _ = writeln!(out, "      \"swap\": {{");
+        let _ = writeln!(out, "        \"swap_apply_micros\": {:.1},", row.swap.apply_micros);
+        let _ = writeln!(out, "        \"pps_no_swap\": {:.1},", row.swap.pps_no_swap);
+        let _ = writeln!(out, "        \"pps_with_swap\": {:.1},", row.swap.pps_with_swap);
+        let _ = writeln!(
+            out,
+            "        \"pps_dip_pct\": {:.2},",
+            100.0 * (row.swap.pps_no_swap - row.swap.pps_with_swap)
+                / row.swap.pps_no_swap.max(1e-9)
+        );
+        let _ = writeln!(
+            out,
+            "        \"max_latency_ns_no_swap\": {},",
+            row.swap.max_latency_ns_no_swap
+        );
+        let _ = writeln!(
+            out,
+            "        \"max_latency_ns_with_swap\": {}",
+            row.swap.max_latency_ns_with_swap
+        );
+        let _ = writeln!(out, "      }},");
         let _ = writeln!(out, "      \"runs\": [");
         for (ri, (shards, r)) in row.runs.iter().enumerate() {
             let busy: Vec<String> =

@@ -1,29 +1,32 @@
 //! The streaming packet engine: multi-core, sharded, per-packet inference.
 //!
-//! Everything below [`Deployment::stream`](crate::pipeline::Deployment::stream)
-//! lives here. The engine turns a deployed model from a one-sample-at-a-time
-//! classifier into a packet-rate serving runtime, the role the physical
-//! switch plays in the paper's testbed (§7.1) — and it is where the repo's
-//! throughput numbers (`BENCH_throughput.json`) come from.
+//! The engine turns deployed models from one-sample-at-a-time classifiers
+//! into a packet-rate serving runtime, the role the physical switch plays
+//! in the paper's testbed (§7.1) — and it is where the repo's throughput
+//! numbers (`BENCH_throughput.json`) come from. Since the control-plane
+//! redesign it is a *long-lived service*: the [`server`] module hosts the
+//! [`EngineServer`], whose worker shards run
+//! persistently, serve multiple tenants concurrently, and hot-swap
+//! artifacts without draining traffic —
+//! [`Deployment::stream`](crate::pipeline::Deployment::stream) is now a
+//! thin one-tenant wrapper over it.
 //!
 //! # Design
 //!
 //! ```text
-//!             ┌────────────── PacketSource ──────────────┐
-//!             │ TraceSource / SyntheticSource / ...      │
-//!             └──────────────────┬───────────────────────┘
-//!                                │ pull, timestamp order
-//!                         ┌──────▼──────┐
-//!                         │ dispatcher  │ shard = hash(bidirectional
-//!                         │ (RSS-style) │         five-tuple) % N
-//!                         └─┬────┬────┬─┘
-//!               batched     │    │    │     bounded channels
-//!            ┌──────────────┘    │    └──────────────┐
-//!      ┌─────▼─────┐       ┌─────▼─────┐       ┌─────▼─────┐
-//!      │  shard 0  │       │  shard 1  │  ...  │ shard N-1 │
-//!      │ FlowState │       │ FlowState │       │ FlowState │
-//!      │ FlatLUTs  │       │ FlatLUTs  │       │ FlatLUTs  │
-//!      └───────────┘       └───────────┘       └───────────┘
+//!     IngressHandle.push(pkt)          ControlHandle
+//!             │                  attach / swap / detach / stats
+//!      ┌──────▼──────┐                  │
+//!      │ dispatcher  │◄─────────────────┘   in-band control msgs,
+//!      │ route tenant│    shard = hash(bidirectional
+//!      │ (RSS-style) │            five-tuple) % N
+//!      └─┬────┬────┬─┘
+//!  batched  │    │    │     bounded channels (backpressure)
+//!  ┌────────┘    │    └────────┐
+//! ┌▼─────────┐ ┌─▼────────┐ ┌──▼───────┐
+//! │ shard 0  │ │ shard 1  │ │ shard N-1│   each shard: one exec +
+//! │ T1 T2 …  │ │ T1 T2 …  │ │ T1 T2 …  │   FlowState per *tenant*
+//! └──────────┘ └──────────┘ └──────────┘
 //! ```
 //!
 //! Three properties fall out of hashing flows to shards by their
@@ -54,9 +57,15 @@
 //! [`FlatProgram`] for the exact guarantees.
 
 pub mod flat;
+pub mod server;
 pub mod stats;
 
 pub use flat::{FlatProgram, FlatScratch};
+pub use server::{
+    ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,
+    IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
+    TenantStats, TenantToken,
+};
 pub use stats::{LatencyHistogram, ShardStats, StreamReport};
 
 use crate::error::PegasusError;
@@ -64,27 +73,30 @@ use crate::flowpipe::FlowClassifier;
 use crate::models::StreamFeatures;
 use crate::runtime::DataplaneModel;
 use pegasus_net::{
-    quantize_ipd, quantize_len, FiveTuple, FlowTracker, PacketSource, StatFeatures, TracePacket,
-    WINDOW,
+    quantize_ipd, quantize_len, FiveTuple, FlowTracker, StatFeatures, TracePacket, WINDOW,
 };
-use std::collections::HashMap;
-use std::sync::mpsc::sync_channel;
-use std::time::Instant;
+use std::sync::Arc;
 
-/// Streaming-run configuration.
+/// Streaming-run configuration of the legacy one-shot wrappers
+/// ([`Deployment::stream_with`](crate::pipeline::Deployment::stream_with)).
+///
+/// Out-of-domain values are silently *clamped* to 1 by those wrappers —
+/// the behavior the pre-server API always had, kept for compatibility.
+/// The server path's [`EngineBuilder`] instead
+/// rejects them with [`PegasusError::InvalidConfig`].
 #[derive(Clone, Copy, Debug)]
 pub struct StreamConfig {
-    /// Worker shards (clamped to at least 1).
+    /// Worker shards (legacy path: clamped to at least 1).
     pub shards: usize,
     /// Record every per-flow classification in the report (costs one
     /// `Vec<usize>` per flow; used by determinism tests and accuracy
     /// evaluation, off for pure throughput runs).
     pub record_predictions: bool,
     /// Packets per dispatch batch. Batching amortizes channel overhead;
-    /// per-flow ordering is unaffected (clamped to at least 1).
+    /// per-flow ordering is unaffected (legacy path: clamped to at least 1).
     pub batch: usize,
-    /// Bounded per-shard queue depth, in batches (backpressure; clamped to
-    /// at least 1).
+    /// Bounded per-shard queue depth, in batches (backpressure; legacy
+    /// path: clamped to at least 1).
     pub queue_batches: usize,
 }
 
@@ -94,41 +106,42 @@ impl Default for StreamConfig {
     }
 }
 
-/// Per-shard packet processing: one instance per worker, exclusively owned.
-pub(crate) trait ShardProcessor: Send {
-    /// Processes one packet of this shard's flows. `Ok(Some(class))` when
-    /// the packet was classified, `Ok(None)` during per-flow warm-up.
-    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError>;
-
-    /// Distinct flows this shard has seen.
-    fn flows(&self) -> u64;
-}
-
-/// Shard worker for stateless compiled pipelines (MLP-B, RNN-B, the
-/// baselines): a shard-local [`FlowTracker`] mirrors the switch's per-flow
-/// feature state, and inference goes through the flattened LUTs.
-pub(crate) struct StatelessShard<'a> {
-    dp: &'a DataplaneModel,
-    flat: Option<(&'a FlatProgram, FlatScratch)>,
+/// Shard-owned execution state for stateless compiled pipelines (MLP-B,
+/// RNN-B, the baselines): a shard-local [`FlowTracker`] mirrors the
+/// switch's per-flow feature state, and inference goes through the
+/// flattened LUTs. Owned by a server worker for the tenant's lifetime —
+/// across [`swap`](StatelessShard::swap)s the tracker (the flow feature
+/// windows) is retained, so established flows keep classifying under the
+/// new artifact without re-warming.
+pub(crate) struct StatelessShard {
+    dp: Arc<DataplaneModel>,
+    scratch: Option<FlatScratch>,
     features: StreamFeatures,
     tracker: FlowTracker,
     codes: Vec<f32>,
 }
 
-impl<'a> StatelessShard<'a> {
-    pub(crate) fn new(dp: &'a DataplaneModel, features: StreamFeatures) -> Self {
+impl StatelessShard {
+    pub(crate) fn new(dp: Arc<DataplaneModel>, features: StreamFeatures) -> Self {
         StatelessShard {
+            scratch: dp.flat().map(|f| f.scratch()),
             dp,
-            flat: dp.flat().map(|f| (f, f.scratch())),
             features,
             tracker: FlowTracker::new(WINDOW),
             codes: Vec::with_capacity(2 * WINDOW),
         }
     }
-}
 
-impl ShardProcessor for StatelessShard<'_> {
-    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
+    /// Swaps the executed artifact, retaining the flow feature windows —
+    /// host flow state is keyed by five-tuple alone, so it is valid under
+    /// any stateless artifact (the paper's table-entry-rewrite story).
+    pub(crate) fn swap(&mut self, dp: Arc<DataplaneModel>, features: StreamFeatures) {
+        self.scratch = dp.flat().map(|f| f.scratch());
+        self.dp = dp;
+        self.features = features;
+    }
+
+    pub(crate) fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
         let (obs, state) = self.tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
         if !state.window_full() {
             return Ok(None);
@@ -159,21 +172,24 @@ impl ShardProcessor for StatelessShard<'_> {
                 }
             }
         }
-        let class = match &mut self.flat {
-            Some((flat, scratch)) => flat.classify(&self.codes, scratch)?,
-            None => self.dp.classify(&self.codes)?,
+        let class = match (self.dp.flat(), &mut self.scratch) {
+            (Some(flat), Some(scratch)) => flat.classify(&self.codes, scratch)?,
+            _ => self.dp.classify(&self.codes)?,
         };
         Ok(Some(class))
     }
 
-    fn flows(&self) -> u64 {
+    pub(crate) fn flows(&self) -> u64 {
         self.tracker.len() as u64
     }
 }
 
-/// Shard worker for per-flow windowed pipelines (CNN-L): owns a fresh-state
-/// [`fork`](FlowClassifier::fork) of the classifier, so per-flow register
-/// RMWs run through the lock-free `&mut` path.
+/// Shard-owned execution state for per-flow windowed pipelines (CNN-L):
+/// owns a fresh-state [`fork`](FlowClassifier::fork) of the classifier, so
+/// per-flow register RMWs run through the lock-free `&mut` path. Across
+/// [`swap`](FlowShard::swap)s to a state-compatible artifact the per-flow
+/// register file (code windows, timestamps, warm-up counters) is
+/// transplanted into the new classifier.
 pub(crate) struct FlowShard {
     fc: FlowClassifier,
     arity: usize,
@@ -186,10 +202,24 @@ impl FlowShard {
         let arity = fc.pipeline().extractor_fields.len();
         FlowShard { fc, arity, codes: Vec::with_capacity(arity), flows: Default::default() }
     }
-}
 
-impl ShardProcessor for FlowShard {
-    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
+    /// Swaps in a fork of `source`, transplanting the old register state
+    /// when the pipelines are state-compatible. Returns whether state was
+    /// retained (`false` means flows re-warm under the new artifact — the
+    /// flow-count metric resets with them, matching a from-scratch
+    /// rebuild).
+    pub(crate) fn swap(&mut self, source: &FlowClassifier) -> bool {
+        let mut fresh = source.fork();
+        let retained = fresh.adopt_state(&self.fc);
+        if !retained {
+            self.flows.clear();
+        }
+        self.arity = fresh.pipeline().extractor_fields.len();
+        self.fc = fresh;
+        retained
+    }
+
+    pub(crate) fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
         self.codes.clear();
         self.codes.extend(
             pkt.payload_head
@@ -209,128 +239,7 @@ impl ShardProcessor for FlowShard {
         Ok(verdict.predicted)
     }
 
-    fn flows(&self) -> u64 {
+    pub(crate) fn flows(&self) -> u64 {
         self.flows.len() as u64
     }
-}
-
-struct WorkerOut {
-    stats: ShardStats,
-    preds: HashMap<FiveTuple, Vec<usize>>,
-    err: Option<PegasusError>,
-}
-
-/// Drives a source through `shards` worker threads (see module docs).
-///
-/// The wall clock starts before the first packet is pulled, so source
-/// generation cost is part of the measured pipeline — like a replay server
-/// feeding a switch.
-pub(crate) fn run_stream<P, F>(
-    source: &mut dyn PacketSource,
-    cfg: &StreamConfig,
-    mut make: F,
-) -> Result<StreamReport, PegasusError>
-where
-    P: ShardProcessor,
-    F: FnMut(usize) -> P,
-{
-    let shards = cfg.shards.max(1);
-    let batch = cfg.batch.max(1);
-    let record = cfg.record_predictions;
-    let mut processors: Vec<P> = (0..shards).map(&mut make).collect();
-
-    let start = Instant::now();
-    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
-        let mut txs = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for (shard, mut proc_) in processors.drain(..).enumerate() {
-            let (tx, rx) = sync_channel::<Vec<TracePacket>>(cfg.queue_batches.max(1));
-            txs.push(tx);
-            handles.push(scope.spawn(move || {
-                let mut stats = ShardStats::new(shard);
-                let mut preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
-                let mut err = None;
-                'drain: while let Ok(batch) = rx.recv() {
-                    for pkt in &batch {
-                        let t0 = Instant::now();
-                        let verdict = proc_.process(pkt);
-                        let nanos = t0.elapsed().as_nanos() as u64;
-                        stats.busy_nanos += nanos;
-                        stats.latency.record(nanos);
-                        stats.packets += 1;
-                        match verdict {
-                            Ok(Some(class)) => {
-                                stats.classified += 1;
-                                if record {
-                                    preds.entry(pkt.flow).or_default().push(class);
-                                }
-                            }
-                            Ok(None) => stats.warmup += 1,
-                            Err(e) => {
-                                err = Some(e);
-                                break 'drain;
-                            }
-                        }
-                    }
-                }
-                stats.flows = proc_.flows();
-                WorkerOut { stats, preds, err }
-            }));
-        }
-
-        // Dispatch on the calling thread: RSS-style flow sharding with
-        // batched sends. A closed channel means its worker died on an
-        // error; stop feeding everyone, the error surfaces after join.
-        let mut pending: Vec<Vec<TracePacket>> = vec![Vec::with_capacity(batch); shards];
-        'dispatch: while let Some(pkt) = source.next_packet() {
-            let shard = pkt.flow.shard_of(shards);
-            pending[shard].push(pkt);
-            if pending[shard].len() == batch {
-                let full = std::mem::replace(&mut pending[shard], Vec::with_capacity(batch));
-                if txs[shard].send(full).is_err() {
-                    break 'dispatch;
-                }
-            }
-        }
-        for (shard, rest) in pending.into_iter().enumerate() {
-            if !rest.is_empty() {
-                let _ = txs[shard].send(rest);
-            }
-        }
-        drop(txs);
-        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-    });
-    let elapsed_nanos = start.elapsed().as_nanos() as u64;
-
-    let mut shards_stats = Vec::with_capacity(shards);
-    let mut latency = LatencyHistogram::default();
-    let mut predictions: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
-    let (mut packets, mut classified, mut warmup, mut flows) = (0u64, 0u64, 0u64, 0u64);
-    let mut first_err = None;
-    for out in outs {
-        if let Some(e) = out.err {
-            first_err.get_or_insert(e);
-        }
-        packets += out.stats.packets;
-        classified += out.stats.classified;
-        warmup += out.stats.warmup;
-        flows += out.stats.flows;
-        latency.merge(&out.stats.latency);
-        // Flows are shard-partitioned: no key collisions across workers.
-        predictions.extend(out.preds);
-        shards_stats.push(out.stats);
-    }
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-    Ok(StreamReport {
-        shards: shards_stats,
-        packets,
-        classified,
-        warmup,
-        flows,
-        elapsed_nanos,
-        latency,
-        predictions: record.then_some(predictions),
-    })
 }

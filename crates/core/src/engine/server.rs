@@ -1,0 +1,1100 @@
+//! The live serving control plane: a long-lived, multi-tenant engine.
+//!
+//! Pegasus's production claim is runtime reconfigurability: once the P4
+//! program is on the switch, the control plane retargets it to a new model
+//! by rewriting table entries — no recompile, no traffic drain. This module
+//! is that claim as an API. An [`EngineServer`] is built once
+//! ([`EngineBuilder`]) and its shard workers run persistently; packets
+//! arrive through a push-based, bounded, backpressured [`IngressHandle`];
+//! and a [`ControlHandle`] drives the dataplane while it serves:
+//!
+//! * [`attach`](ControlHandle::attach) registers a model under a routing
+//!   predicate — multiple tenants serve concurrently, packets steered to
+//!   one of them by a pluggable [`TenantRouter`] (default: first-match
+//!   [`RoutePredicate`]s over dst-port/subnet, FENIX-style model
+//!   selection);
+//! * [`swap`](ControlHandle::swap) hot-swaps a tenant's compiled artifact
+//!   atomically per shard via an epoch-published [`Arc`] — flow feature
+//!   windows and per-flow register files are *retained* across swaps of
+//!   compatible pipelines, so established flows keep classifying without
+//!   re-warming (the table-entry-rewrite story);
+//! * [`detach`](ControlHandle::detach) drains a tenant's in-flight batches
+//!   and returns its final report without disturbing other tenants;
+//! * [`stats`](ControlHandle::stats) snapshots live per-tenant/per-shard
+//!   [`StreamReport`]s from worker-published counters without stopping the
+//!   engine;
+//! * [`EngineServer::shutdown`] drains every queue, joins the workers, and
+//!   returns the terminal per-tenant reports.
+//!
+//! # Ordering guarantees
+//!
+//! Control operations are serialized with ingress through the dispatcher:
+//! a `swap` (or `detach`) takes effect *after* every packet pushed before
+//! the call and *before* every packet pushed after it, on every shard —
+//! each shard's channel is FIFO and control messages travel in-band. That
+//! makes swap semantics exact rather than approximate: there is a single
+//! per-shard epoch boundary, which `tests/stream_engine.rs` exploits to
+//! assert verdict equivalence around a mid-stream swap.
+//!
+//! The legacy one-shot [`Deployment::stream`](crate::pipeline::Deployment::stream) /
+//! [`stream_with`](crate::pipeline::Deployment::stream_with) calls are thin
+//! wrappers over this server: build, attach one catch-all tenant, feed the
+//! source, shut down.
+
+use crate::engine::stats::{LatencyHistogram, ShardStats, StreamReport};
+use crate::engine::{FlowShard, StatelessShard};
+use crate::error::PegasusError;
+use crate::flowpipe::FlowClassifier;
+use crate::models::StreamFeatures;
+use crate::runtime::DataplaneModel;
+use pegasus_net::{FiveTuple, PacketSource, RoutePredicate, TracePacket};
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A compiled-and-deployed model in the form the serving engine executes:
+/// the switch-side artifact (flattened LUTs or a per-flow register
+/// pipeline) plus its streaming feature family, detached from the trained
+/// float model. Obtained from
+/// [`Deployment::engine_artifact`](crate::pipeline::Deployment::engine_artifact);
+/// attach one per tenant, or hand a fresh one to
+/// [`ControlHandle::swap`].
+pub struct EngineArtifact {
+    pub(crate) plane: ArtifactPlane,
+    pub(crate) features: StreamFeatures,
+    pub(crate) name: String,
+}
+
+pub(crate) enum ArtifactPlane {
+    Stateless(Arc<DataplaneModel>),
+    Flow(Arc<FlowClassifier>),
+}
+
+impl EngineArtifact {
+    pub(crate) fn stateless(dp: Arc<DataplaneModel>, features: StreamFeatures, name: &str) -> Self {
+        EngineArtifact { plane: ArtifactPlane::Stateless(dp), features, name: name.to_string() }
+    }
+
+    pub(crate) fn flow(fc: Arc<FlowClassifier>, name: &str) -> Self {
+        // Flow pipelines consume raw packets; the feature tag is unused.
+        EngineArtifact {
+            plane: ArtifactPlane::Flow(fc),
+            features: StreamFeatures::Seq,
+            name: name.to_string(),
+        }
+    }
+
+    /// The compiled program's name (diagnostics, default tenant name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Per-worker, per-tenant execution state: the shard-owned processor for
+/// whichever artifact kind the tenant currently runs.
+enum TenantExec {
+    Stateless(StatelessShard),
+    Flow(Box<FlowShard>),
+}
+
+impl TenantExec {
+    fn new(artifact: &EngineArtifact) -> TenantExec {
+        match &artifact.plane {
+            ArtifactPlane::Stateless(dp) => {
+                TenantExec::Stateless(StatelessShard::new(dp.clone(), artifact.features))
+            }
+            ArtifactPlane::Flow(fc) => TenantExec::Flow(Box::new(FlowShard::new(fc.fork()))),
+        }
+    }
+
+    /// Applies a hot swap; returns whether per-flow state was retained.
+    fn swap(&mut self, artifact: &EngineArtifact) -> bool {
+        match (&mut *self, &artifact.plane) {
+            (TenantExec::Stateless(shard), ArtifactPlane::Stateless(dp)) => {
+                // Host feature windows are keyed by five-tuple alone:
+                // always valid under the new stateless artifact.
+                shard.swap(dp.clone(), artifact.features);
+                true
+            }
+            (TenantExec::Flow(shard), ArtifactPlane::Flow(fc)) => shard.swap(fc),
+            // Kind change: rebuild from scratch, state cannot carry over.
+            (slot, _) => {
+                *slot = TenantExec::new(artifact);
+                false
+            }
+        }
+    }
+
+    fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
+        match self {
+            TenantExec::Stateless(s) => s.process(pkt),
+            TenantExec::Flow(s) => s.process(pkt),
+        }
+    }
+
+    fn flows(&self) -> u64 {
+        match self {
+            TenantExec::Stateless(s) => s.flows(),
+            TenantExec::Flow(s) => s.flows(),
+        }
+    }
+}
+
+/// An opaque handle naming one attached tenant. Returned by
+/// [`ControlHandle::attach`]; required by `swap` and `detach`. Tokens are
+/// never reused within one engine's lifetime, so a detached tenant's token
+/// fails later calls with [`PegasusError::UnknownTenant`] instead of
+/// aliasing a newer tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TenantToken(pub(crate) u32);
+
+impl TenantToken {
+    /// The numeric tenant id (stable for the engine's lifetime).
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+/// Per-tenant attach-time configuration.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    name: Option<String>,
+    route: RoutePredicate,
+    record_predictions: bool,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig { name: None, route: RoutePredicate::Any, record_predictions: false }
+    }
+}
+
+impl TenantConfig {
+    /// A default configuration: catch-all route, predictions not recorded,
+    /// tenant named after its artifact.
+    pub fn new() -> Self {
+        TenantConfig::default()
+    }
+
+    /// Names the tenant (reports and stats; defaults to the artifact name).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Routes matching packets to this tenant (default:
+    /// [`RoutePredicate::Any`]). With the default router, tenants match in
+    /// attach order — attach the most specific predicates first.
+    pub fn route(mut self, route: RoutePredicate) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Records every per-flow classification in the tenant's reports.
+    pub fn record_predictions(mut self, record: bool) -> Self {
+        self.record_predictions = record;
+        self
+    }
+}
+
+/// One tenant's routing registration, as routers see it.
+pub struct TenantRoute {
+    /// The tenant.
+    pub token: TenantToken,
+    /// Its attach-time predicate.
+    pub predicate: RoutePredicate,
+}
+
+/// Steers each ingress packet to at most one tenant.
+///
+/// Implementations are called once per pushed packet with the tenants in
+/// attach order; returning `None` drops the packet (counted as unrouted).
+/// The default [`PredicateRouter`] mimics a switch's model-selection
+/// table: first tenant whose [`RoutePredicate`] matches wins.
+pub trait TenantRouter: Send + Sync {
+    /// Chooses the tenant for one packet.
+    fn route(&self, pkt: &TracePacket, tenants: &[TenantRoute]) -> Option<TenantToken>;
+}
+
+/// The default first-match router over attach-time [`RoutePredicate`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PredicateRouter;
+
+impl TenantRouter for PredicateRouter {
+    fn route(&self, pkt: &TracePacket, tenants: &[TenantRoute]) -> Option<TenantToken> {
+        tenants.iter().find(|t| t.predicate.matches(&pkt.flow)).map(|t| t.token)
+    }
+}
+
+/// What one swap did.
+#[derive(Clone, Copy, Debug)]
+pub struct SwapReport {
+    /// The tenant's artifact epoch after the swap (attach = epoch 0; each
+    /// swap increments it once it is applied on every shard).
+    pub epoch: u64,
+    /// Whether per-flow state (feature windows / register files) was
+    /// carried into the new artifact on all shards. `false` means the
+    /// pipelines were not state-compatible and flows re-warm.
+    pub state_retained: bool,
+}
+
+/// A live per-tenant statistics snapshot.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// The tenant.
+    pub token: TenantToken,
+    /// Its display name.
+    pub name: String,
+    /// Artifact epoch (number of swaps applied).
+    pub epoch: u64,
+    /// Packets the dispatcher has routed to this tenant so far.
+    pub routed_packets: u64,
+    /// True once any shard hit a fatal per-packet error for this tenant.
+    /// A failed tenant's later packets are discarded (its counters
+    /// freeze); `detach` it to receive the error and its final report.
+    pub failed: bool,
+    /// Merged per-shard counters (predictions are never included in live
+    /// snapshots; detach or shutdown returns them).
+    pub report: StreamReport,
+}
+
+/// A live engine-wide statistics snapshot.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Per-tenant snapshots, in attach order.
+    pub tenants: Vec<TenantStats>,
+    /// Packets no tenant matched (dropped at ingress).
+    pub unrouted: u64,
+}
+
+impl EngineStats {
+    /// The snapshot for one tenant.
+    pub fn tenant(&self, token: TenantToken) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.token == token)
+    }
+}
+
+/// One tenant's terminal report (detach or shutdown).
+#[derive(Debug)]
+pub struct TenantReport {
+    /// The tenant.
+    pub token: TenantToken,
+    /// Its display name.
+    pub name: String,
+    /// Artifact epoch at the end of its life.
+    pub epoch: u64,
+    /// Packets the dispatcher routed to it over its lifetime.
+    pub routed_packets: u64,
+    /// The final merged report, or the first per-packet error a shard hit.
+    pub result: Result<StreamReport, PegasusError>,
+}
+
+/// Everything a shut-down engine served.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Terminal reports for the tenants still attached at shutdown, in
+    /// attach order.
+    pub tenants: Vec<TenantReport>,
+    /// Packets no tenant matched over the engine's lifetime.
+    pub unrouted: u64,
+}
+
+impl EngineReport {
+    /// The report for one tenant.
+    pub fn tenant(&self, token: TenantToken) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.token == token)
+    }
+
+    /// Removes and returns one tenant's report.
+    pub fn take_tenant(&mut self, token: TenantToken) -> Option<TenantReport> {
+        let pos = self.tenants.iter().position(|t| t.token == token)?;
+        Some(self.tenants.remove(pos))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal plumbing.
+// ---------------------------------------------------------------------------
+
+struct Routed {
+    tenant: u32,
+    pkt: TracePacket,
+}
+
+/// What one shard returns for one tenant when it ends (detach/shutdown).
+struct TenantShardOut {
+    stats: ShardStats,
+    preds: HashMap<FiveTuple, Vec<usize>>,
+    err: Option<PegasusError>,
+}
+
+enum ShardMsg {
+    Batch(Vec<Routed>),
+    Attach { tenant: u32, artifact: Arc<EngineArtifact>, record: bool },
+    Swap { tenant: u32, artifact: Arc<EngineArtifact>, ack: SyncSender<bool> },
+    Detach { tenant: u32, ack: SyncSender<TenantShardOut> },
+}
+
+/// One worker's per-tenant serving state.
+struct WorkerTenant {
+    exec: TenantExec,
+    stats: ShardStats,
+    record: bool,
+    preds: HashMap<FiveTuple, Vec<usize>>,
+    err: Option<PegasusError>,
+}
+
+impl WorkerTenant {
+    fn finalize(mut self) -> TenantShardOut {
+        self.stats.flows = self.exec.flows();
+        TenantShardOut { stats: self.stats, preds: self.preds, err: self.err }
+    }
+}
+
+/// One worker-published per-tenant snapshot cell.
+#[derive(Clone)]
+struct BoardEntry {
+    stats: ShardStats,
+    /// The tenant hit a fatal per-packet error on this shard (its later
+    /// packets are discarded; the error itself comes back on detach or
+    /// shutdown).
+    failed: bool,
+}
+
+/// Worker-published per-tenant counters, read lock-free(ish) by `stats()`.
+type ShardBoard = HashMap<u32, BoardEntry>;
+
+struct TenantEntry {
+    token: TenantToken,
+    name: String,
+    predicate: RoutePredicate,
+    record: bool,
+    attached: Instant,
+    /// The epoch-published artifact: the control plane stores the current
+    /// `Arc` here and bumps `epoch` on every swap; workers receive the same
+    /// `Arc` in-band so each shard flips at one exact packet boundary.
+    artifact: Arc<EngineArtifact>,
+    epoch: u64,
+    routed_packets: u64,
+}
+
+struct Dispatch {
+    /// `None` once the engine has shut down.
+    txs: Option<Vec<SyncSender<ShardMsg>>>,
+    pending: Vec<Vec<Routed>>,
+    router: Box<dyn TenantRouter>,
+    tenants: Vec<TenantEntry>,
+    routes: Vec<TenantRoute>,
+    next_id: u32,
+    unrouted: u64,
+}
+
+impl Dispatch {
+    fn txs(&self) -> Result<&[SyncSender<ShardMsg>], PegasusError> {
+        self.txs.as_deref().ok_or(PegasusError::EngineStopped)
+    }
+
+    /// Sends every buffered partial batch, preserving push order ahead of
+    /// any control message the caller is about to enqueue.
+    fn flush(&mut self) -> Result<(), PegasusError> {
+        let txs = self.txs.as_deref().ok_or(PegasusError::EngineStopped)?;
+        for (shard, buf) in self.pending.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let batch = std::mem::take(buf);
+                txs[shard].send(ShardMsg::Batch(batch)).map_err(|_| PegasusError::EngineStopped)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn rebuild_routes(&mut self) {
+        self.routes = self
+            .tenants
+            .iter()
+            .map(|e| TenantRoute { token: e.token, predicate: e.predicate.clone() })
+            .collect();
+    }
+
+    fn entry_mut(&mut self, token: TenantToken) -> Result<&mut TenantEntry, PegasusError> {
+        self.tenants
+            .iter_mut()
+            .find(|e| e.token == token)
+            .ok_or(PegasusError::UnknownTenant { tenant: token.0 })
+    }
+}
+
+struct EngineShared {
+    shards: usize,
+    batch: usize,
+    dispatch: Mutex<Dispatch>,
+    boards: Vec<Mutex<ShardBoard>>,
+    /// Set by a worker the moment any tenant hits a fatal per-packet
+    /// error. Feeders that have nothing to gain from pushing into a dead
+    /// tenant (the one-shot `stream_with` wrapper) poll it to abort early;
+    /// the error itself still surfaces through detach/shutdown.
+    tenant_failed: std::sync::atomic::AtomicBool,
+}
+
+impl EngineShared {
+    fn lock_dispatch(&self) -> std::sync::MutexGuard<'_, Dispatch> {
+        self.dispatch.lock().expect("engine dispatcher poisoned")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------------
+
+/// Configures and builds an [`EngineServer`].
+///
+/// Unlike the legacy [`StreamConfig`](crate::engine::StreamConfig) path
+/// (which clamps), out-of-domain values are rejected at
+/// [`build`](EngineBuilder::build) with [`PegasusError::InvalidConfig`].
+///
+/// ```no_run
+/// use pegasus_core::engine::server::{EngineBuilder, TenantConfig};
+/// use pegasus_net::RoutePredicate;
+///
+/// # fn run(
+/// #     web: pegasus_core::Deployment<pegasus_core::models::mlp_b::MlpB>,
+/// #     dns: pegasus_core::Deployment<pegasus_core::models::rnn_b::RnnB>,
+/// # ) -> Result<(), pegasus_core::PegasusError> {
+/// let server = EngineBuilder::new().shards(4).batch(256).queue_batches(8).build()?;
+/// let control = server.control();
+/// // Two models serve side by side, selected per packet by dst port.
+/// let t_web = control.attach(
+///     web.engine_artifact()?,
+///     TenantConfig::new().name("web").route(RoutePredicate::DstPort(443)),
+/// )?;
+/// let t_dns = control.attach(
+///     dns.engine_artifact()?,
+///     TenantConfig::new().name("dns").route(RoutePredicate::DstPort(53)),
+/// )?;
+/// # let (_, _) = (t_web, t_dns);
+/// let report = server.shutdown()?;
+/// # let _ = report;
+/// # Ok(())
+/// # }
+/// ```
+pub struct EngineBuilder {
+    shards: usize,
+    batch: usize,
+    queue_batches: usize,
+    stats_cadence: usize,
+    router: Option<Box<dyn TenantRouter>>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Engine defaults: 1 shard, 256-packet batches, 8-batch queues,
+    /// 1024-packet stats cadence, [`PredicateRouter`].
+    pub fn new() -> Self {
+        EngineBuilder { shards: 1, batch: 256, queue_batches: 8, stats_cadence: 1024, router: None }
+    }
+
+    /// Worker shards (must be ≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Packets per dispatch batch (must be ≥ 1).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Bounded per-shard queue depth, in batches (must be ≥ 1) — the
+    /// ingress backpressure window.
+    pub fn queue_batches(mut self, queue_batches: usize) -> Self {
+        self.queue_batches = queue_batches;
+        self
+    }
+
+    /// How many packets a shard processes between publications of its live
+    /// counters (must be ≥ 1). Workers additionally publish whenever they
+    /// go idle and after every control message, so [`ControlHandle::stats`]
+    /// is at most `stats_cadence` packets stale on a busy shard and exact
+    /// on an idle one.
+    pub fn stats_cadence(mut self, packets: usize) -> Self {
+        self.stats_cadence = packets;
+        self
+    }
+
+    /// Replaces the default [`PredicateRouter`].
+    pub fn router(mut self, router: Box<dyn TenantRouter>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// Validates the configuration, spawns the shard workers, and returns
+    /// the running (initially tenant-less) server.
+    pub fn build(self) -> Result<EngineServer, PegasusError> {
+        for (field, value) in [
+            ("shards", self.shards),
+            ("batch", self.batch),
+            ("queue_batches", self.queue_batches),
+            ("stats_cadence", self.stats_cadence),
+        ] {
+            if value == 0 {
+                return Err(PegasusError::InvalidConfig { field, reason: "must be at least 1" });
+            }
+        }
+        let mut txs = Vec::with_capacity(self.shards);
+        let mut boards = Vec::with_capacity(self.shards);
+        let mut rxs = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(self.queue_batches);
+            txs.push(tx);
+            rxs.push(rx);
+            boards.push(Mutex::new(ShardBoard::new()));
+        }
+        let shared = Arc::new(EngineShared {
+            shards: self.shards,
+            batch: self.batch,
+            dispatch: Mutex::new(Dispatch {
+                txs: Some(txs),
+                pending: (0..self.shards).map(|_| Vec::new()).collect(),
+                router: self.router.unwrap_or_else(|| Box::new(PredicateRouter)),
+                tenants: Vec::new(),
+                routes: Vec::new(),
+                next_id: 0,
+                unrouted: 0,
+            }),
+            boards,
+            tenant_failed: std::sync::atomic::AtomicBool::new(false),
+        });
+        let cadence = self.stats_cadence as u64;
+        let workers = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shard, rx, &shared, cadence))
+            })
+            .collect();
+        Ok(EngineServer { shared, workers })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker.
+// ---------------------------------------------------------------------------
+
+fn publish(shard: usize, shared: &EngineShared, tenants: &HashMap<u32, WorkerTenant>) {
+    let mut board = shared.boards[shard].lock().expect("stats board poisoned");
+    board.clear();
+    for (&id, wt) in tenants {
+        let mut stats = wt.stats.clone();
+        stats.flows = wt.exec.flows();
+        board.insert(id, BoardEntry { stats, failed: wt.err.is_some() });
+    }
+}
+
+fn worker_loop(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    shared: &EngineShared,
+    cadence: u64,
+) -> Vec<(u32, TenantShardOut)> {
+    let mut tenants: HashMap<u32, WorkerTenant> = HashMap::new();
+    let mut since_publish = 0u64;
+    loop {
+        // Publish live counters whenever the queue runs dry, so an idle
+        // engine's stats() is exact; under load, every `cadence` packets.
+        let msg = match rx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                publish(shard, shared, &tenants);
+                since_publish = 0;
+                match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        match msg {
+            ShardMsg::Batch(batch) => {
+                for routed in &batch {
+                    let Some(wt) = tenants.get_mut(&routed.tenant) else { continue };
+                    if wt.err.is_some() {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    let verdict = wt.exec.process(&routed.pkt);
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    wt.stats.busy_nanos += nanos;
+                    wt.stats.latency.record(nanos);
+                    wt.stats.packets += 1;
+                    match verdict {
+                        Ok(Some(class)) => {
+                            wt.stats.classified += 1;
+                            if wt.record {
+                                wt.preds.entry(routed.pkt.flow).or_default().push(class);
+                            }
+                        }
+                        Ok(None) => wt.stats.warmup += 1,
+                        Err(e) => {
+                            wt.err = Some(e);
+                            shared.tenant_failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                    since_publish += 1;
+                    if since_publish >= cadence {
+                        publish(shard, shared, &tenants);
+                        since_publish = 0;
+                    }
+                }
+            }
+            ShardMsg::Attach { tenant, artifact, record } => {
+                tenants.insert(
+                    tenant,
+                    WorkerTenant {
+                        exec: TenantExec::new(&artifact),
+                        stats: ShardStats::new(shard),
+                        record,
+                        preds: HashMap::new(),
+                        err: None,
+                    },
+                );
+                publish(shard, shared, &tenants);
+            }
+            ShardMsg::Swap { tenant, artifact, ack } => {
+                let retained = match tenants.get_mut(&tenant) {
+                    Some(wt) => wt.exec.swap(&artifact),
+                    None => false,
+                };
+                publish(shard, shared, &tenants);
+                let _ = ack.send(retained);
+            }
+            ShardMsg::Detach { tenant, ack } => {
+                let out = match tenants.remove(&tenant) {
+                    Some(wt) => wt.finalize(),
+                    None => TenantShardOut {
+                        stats: ShardStats::new(shard),
+                        preds: HashMap::new(),
+                        err: None,
+                    },
+                };
+                publish(shard, shared, &tenants);
+                let _ = ack.send(out);
+            }
+        }
+    }
+    tenants.into_iter().map(|(id, wt)| (id, wt.finalize())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Handles.
+// ---------------------------------------------------------------------------
+
+/// The push-based packet entry point of a running [`EngineServer`].
+///
+/// Cloneable; pushes from any thread. Bounded per-shard queues apply
+/// backpressure: `push` blocks once the destination shard is
+/// `queue_batches` full batches behind — and because ingress and control
+/// share the ordering dispatcher, control-plane calls issued during that
+/// window wait behind the blocked push.
+#[derive(Clone)]
+pub struct IngressHandle {
+    shared: Arc<EngineShared>,
+}
+
+impl IngressHandle {
+    /// Routes one packet to its tenant and enqueues it on the shard that
+    /// owns its flow. Returns `Ok(true)` when a tenant matched, `Ok(false)`
+    /// when no tenant did (the packet is dropped and counted as unrouted),
+    /// and [`PegasusError::EngineStopped`] after shutdown.
+    pub fn push(&self, pkt: TracePacket) -> Result<bool, PegasusError> {
+        let mut d = self.shared.lock_dispatch();
+        d.txs()?;
+        let Some(token) = d.router.route(&pkt, &d.routes) else {
+            d.unrouted += 1;
+            return Ok(false);
+        };
+        d.entry_mut(token)?.routed_packets += 1;
+        let shard = pkt.flow.shard_of(self.shared.shards);
+        d.pending[shard].push(Routed { tenant: token.0, pkt });
+        if d.pending[shard].len() >= self.shared.batch {
+            let batch =
+                std::mem::replace(&mut d.pending[shard], Vec::with_capacity(self.shared.batch));
+            d.txs()?[shard]
+                .send(ShardMsg::Batch(batch))
+                .map_err(|_| PegasusError::EngineStopped)?;
+        }
+        Ok(true)
+    }
+
+    /// Pushes a whole source to exhaustion; returns how many packets a
+    /// tenant accepted.
+    pub fn push_source(&self, source: &mut dyn PacketSource) -> Result<u64, PegasusError> {
+        let mut routed = 0u64;
+        while let Some(pkt) = source.next_packet() {
+            if self.push(pkt)? {
+                routed += 1;
+            }
+        }
+        Ok(routed)
+    }
+
+    /// Hands every buffered partial batch to its shard. Control operations
+    /// flush implicitly; call this when pausing a push loop so trailing
+    /// packets are not held back by batching.
+    pub fn flush(&self) -> Result<(), PegasusError> {
+        self.shared.lock_dispatch().flush()
+    }
+}
+
+/// The control plane of a running [`EngineServer`]: attach, hot-swap,
+/// detach, observe. Cloneable; drive it from any thread while ingress
+/// keeps flowing.
+#[derive(Clone)]
+pub struct ControlHandle {
+    shared: Arc<EngineShared>,
+}
+
+impl ControlHandle {
+    /// Registers a tenant: its artifact starts serving on every shard, and
+    /// packets matching `cfg`'s route are steered to it from the next
+    /// `push` on. Returns the token that names the tenant to
+    /// [`swap`](ControlHandle::swap) and [`detach`](ControlHandle::detach).
+    pub fn attach(
+        &self,
+        artifact: EngineArtifact,
+        cfg: TenantConfig,
+    ) -> Result<TenantToken, PegasusError> {
+        let artifact = Arc::new(artifact);
+        let mut d = self.shared.lock_dispatch();
+        let token = TenantToken(d.next_id);
+        d.next_id += 1;
+        for tx in d.txs()? {
+            tx.send(ShardMsg::Attach {
+                tenant: token.0,
+                artifact: Arc::clone(&artifact),
+                record: cfg.record_predictions,
+            })
+            .map_err(|_| PegasusError::EngineStopped)?;
+        }
+        let name = cfg.name.unwrap_or_else(|| artifact.name.clone());
+        d.tenants.push(TenantEntry {
+            token,
+            name,
+            predicate: cfg.route,
+            record: cfg.record_predictions,
+            attached: Instant::now(),
+            artifact,
+            epoch: 0,
+            routed_packets: 0,
+        });
+        d.rebuild_routes();
+        Ok(token)
+    }
+
+    /// Hot-swaps a tenant's artifact: the new `Arc` is published with a
+    /// bumped epoch and applied by every shard at one exact packet
+    /// boundary — after all packets pushed before this call, before all
+    /// pushed after it. Per-flow state (feature windows, register files)
+    /// survives the swap when the artifacts are state-compatible (same
+    /// pipeline shape — e.g. a retrained model); otherwise the tenant's
+    /// flows re-warm, reported via
+    /// [`SwapReport::state_retained`]. Blocks until every shard has
+    /// applied the swap.
+    ///
+    /// ```no_run
+    /// use pegasus_core::engine::server::TenantConfig;
+    /// # fn run(
+    /// #     server: pegasus_core::engine::server::EngineServer,
+    /// #     old: pegasus_core::Deployment<pegasus_core::models::mlp_b::MlpB>,
+    /// #     retrained: pegasus_core::Deployment<pegasus_core::models::mlp_b::MlpB>,
+    /// # ) -> Result<(), pegasus_core::PegasusError> {
+    /// let control = server.control();
+    /// let tenant = control.attach(old.engine_artifact()?, TenantConfig::new())?;
+    /// // ... traffic flows ...
+    /// let swap = control.swap(tenant, retrained.engine_artifact()?)?;
+    /// assert!(swap.state_retained, "same pipeline shape keeps all flow state");
+    /// # let _ = swap; Ok(())
+    /// # }
+    /// ```
+    pub fn swap(
+        &self,
+        token: TenantToken,
+        artifact: EngineArtifact,
+    ) -> Result<SwapReport, PegasusError> {
+        let artifact = Arc::new(artifact);
+        let (ack_tx, ack_rx) = sync_channel::<bool>(self.shared.shards);
+        let epoch = {
+            let mut d = self.shared.lock_dispatch();
+            // Flush so already-pushed packets precede the swap in every
+            // shard's FIFO: the epoch boundary is exact.
+            d.flush()?;
+            let entry = d.entry_mut(token)?;
+            entry.artifact = Arc::clone(&artifact);
+            entry.epoch += 1;
+            let epoch = entry.epoch;
+            for tx in d.txs()? {
+                tx.send(ShardMsg::Swap {
+                    tenant: token.0,
+                    artifact: Arc::clone(&artifact),
+                    ack: ack_tx.clone(),
+                })
+                .map_err(|_| PegasusError::EngineStopped)?;
+            }
+            epoch
+        };
+        drop(ack_tx);
+        let mut state_retained = true;
+        for _ in 0..self.shared.shards {
+            state_retained &= ack_rx.recv().map_err(|_| PegasusError::EngineStopped)?;
+        }
+        Ok(SwapReport { epoch, state_retained })
+    }
+
+    /// Unregisters a tenant: routing stops immediately, its in-flight
+    /// batches drain, and its final report (with recorded predictions, if
+    /// enabled) comes back. Other tenants are untouched.
+    pub fn detach(&self, token: TenantToken) -> Result<TenantReport, PegasusError> {
+        let (ack_tx, ack_rx) = sync_channel::<TenantShardOut>(self.shared.shards);
+        let entry = {
+            let mut d = self.shared.lock_dispatch();
+            let pos = d
+                .tenants
+                .iter()
+                .position(|e| e.token == token)
+                .ok_or(PegasusError::UnknownTenant { tenant: token.0 })?;
+            d.flush()?;
+            let entry = d.tenants.remove(pos);
+            d.rebuild_routes();
+            for tx in d.txs()? {
+                tx.send(ShardMsg::Detach { tenant: token.0, ack: ack_tx.clone() })
+                    .map_err(|_| PegasusError::EngineStopped)?;
+            }
+            entry
+        };
+        drop(ack_tx);
+        let mut outs = Vec::with_capacity(self.shared.shards);
+        for _ in 0..self.shared.shards {
+            outs.push(ack_rx.recv().map_err(|_| PegasusError::EngineStopped)?);
+        }
+        Ok(tenant_report(entry, outs))
+    }
+
+    /// Snapshots live per-tenant/per-shard counters without stopping or
+    /// signalling the workers: shards publish their counters every
+    /// [`stats_cadence`](EngineBuilder::stats_cadence) packets and when
+    /// idle, and this call merges the latest publications — it never
+    /// enqueues behind packet batches. It does serialize with ingress on
+    /// the dispatcher lock, so while a `push` is blocked on a full shard
+    /// queue (backpressure), `stats` waits with it; control and ingress
+    /// are ordered through one dispatcher by design (see the module docs
+    /// on ordering guarantees).
+    pub fn stats(&self) -> Result<EngineStats, PegasusError> {
+        let d = self.shared.lock_dispatch();
+        d.txs()?;
+        let mut tenants = Vec::with_capacity(d.tenants.len());
+        for entry in &d.tenants {
+            let mut shards: Vec<ShardStats> = Vec::with_capacity(self.shared.shards);
+            let mut failed = false;
+            for (shard, board) in self.shared.boards.iter().enumerate() {
+                let board = board.lock().expect("stats board poisoned");
+                match board.get(&entry.token.0) {
+                    Some(cell) => {
+                        failed |= cell.failed;
+                        shards.push(cell.stats.clone());
+                    }
+                    None => shards.push(ShardStats::new(shard)),
+                }
+            }
+            tenants.push(TenantStats {
+                token: entry.token,
+                name: entry.name.clone(),
+                epoch: entry.epoch,
+                routed_packets: entry.routed_packets,
+                failed,
+                report: merge_report(shards, entry.attached.elapsed().as_nanos() as u64, None),
+            });
+        }
+        Ok(EngineStats { tenants, unrouted: d.unrouted })
+    }
+}
+
+fn merge_report(
+    shards: Vec<ShardStats>,
+    elapsed_nanos: u64,
+    predictions: Option<HashMap<FiveTuple, Vec<usize>>>,
+) -> StreamReport {
+    let mut latency = LatencyHistogram::default();
+    let (mut packets, mut classified, mut warmup, mut flows) = (0u64, 0u64, 0u64, 0u64);
+    for s in &shards {
+        packets += s.packets;
+        classified += s.classified;
+        warmup += s.warmup;
+        flows += s.flows;
+        latency.merge(&s.latency);
+    }
+    StreamReport { shards, packets, classified, warmup, flows, elapsed_nanos, latency, predictions }
+}
+
+fn tenant_report(entry: TenantEntry, outs: Vec<TenantShardOut>) -> TenantReport {
+    let elapsed_nanos = entry.attached.elapsed().as_nanos() as u64;
+    let mut shards = Vec::with_capacity(outs.len());
+    let mut preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    let mut first_err = None;
+    for out in outs {
+        if let Some(e) = out.err {
+            first_err.get_or_insert(e);
+        }
+        // Flows are shard-partitioned: no key collisions across workers.
+        preds.extend(out.preds);
+        shards.push(out.stats);
+    }
+    shards.sort_by_key(|s| s.shard);
+    let result = match first_err {
+        Some(e) => Err(e),
+        None => Ok(merge_report(shards, elapsed_nanos, entry.record.then_some(preds))),
+    };
+    TenantReport {
+        token: entry.token,
+        name: entry.name,
+        epoch: entry.epoch,
+        routed_packets: entry.routed_packets,
+        result,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+/// A long-lived, multi-tenant serving engine (see the [module docs](self)).
+///
+/// Built by [`EngineBuilder::build`]; hand out [`ingress`](EngineServer::ingress)
+/// and [`control`](EngineServer::control) handles, then
+/// [`shutdown`](EngineServer::shutdown) to drain and join.
+pub struct EngineServer {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<Vec<(u32, TenantShardOut)>>>,
+}
+
+impl EngineServer {
+    /// A new ingress handle (cloneable, thread-safe).
+    pub fn ingress(&self) -> IngressHandle {
+        IngressHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// A new control handle (cloneable, thread-safe).
+    pub fn control(&self) -> ControlHandle {
+        ControlHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Worker shards this engine runs.
+    pub fn shards(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// True once any tenant has hit a fatal per-packet error (the error
+    /// itself surfaces through detach/shutdown). The one-shot wrappers
+    /// poll this to stop feeding a stream whose only tenant is dead.
+    pub(crate) fn tenant_failed(&self) -> bool {
+        self.shared.tenant_failed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Drains every queue, joins the workers, and returns terminal reports
+    /// for all tenants still attached. Handles created from this server
+    /// return [`PegasusError::EngineStopped`] afterwards.
+    pub fn shutdown(self) -> Result<EngineReport, PegasusError> {
+        let (entries, unrouted) = {
+            let mut d = self.shared.lock_dispatch();
+            d.flush()?;
+            // Dropping the senders closes each shard's channel; workers
+            // drain what is queued and exit with their tenants' final state.
+            d.txs = None;
+            (std::mem::take(&mut d.tenants), d.unrouted)
+        };
+        let mut by_tenant: HashMap<u32, Vec<TenantShardOut>> = HashMap::new();
+        for handle in self.workers {
+            for (id, out) in handle.join().expect("shard worker panicked") {
+                by_tenant.entry(id).or_default().push(out);
+            }
+        }
+        let tenants = entries
+            .into_iter()
+            .map(|e| {
+                let outs = by_tenant.remove(&e.token.0).unwrap_or_default();
+                tenant_report(e, outs)
+            })
+            .collect();
+        Ok(EngineReport { tenants, unrouted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_zero_parameters() {
+        for (build, field) in [
+            (EngineBuilder::new().shards(0).build(), "shards"),
+            (EngineBuilder::new().batch(0).build(), "batch"),
+            (EngineBuilder::new().queue_batches(0).build(), "queue_batches"),
+            (EngineBuilder::new().stats_cadence(0).build(), "stats_cadence"),
+        ] {
+            match build {
+                Err(PegasusError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("{field}: expected InvalidConfig, got {:?}", other.is_ok()),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_server_builds_and_shuts_down() {
+        let server = EngineBuilder::new().shards(3).build().expect("builds");
+        assert_eq!(server.shards(), 3);
+        let control = server.control();
+        let stats = control.stats().expect("stats");
+        assert!(stats.tenants.is_empty());
+        let report = server.shutdown().expect("shuts down");
+        assert!(report.tenants.is_empty());
+        assert_eq!(report.unrouted, 0);
+        // Handles outlive the server but report it stopped — including
+        // ingress pushes, which must not be silently counted as unrouted.
+        assert_eq!(control.stats().map(|_| ()), Err(PegasusError::EngineStopped));
+    }
+
+    #[test]
+    fn push_after_shutdown_errors_instead_of_dropping() {
+        let server = EngineBuilder::new().build().expect("builds");
+        let ingress = server.ingress();
+        server.shutdown().expect("shuts down");
+        let pkt = TracePacket {
+            ts_micros: 0,
+            flow: FiveTuple::new(1, 2, 3, 4, 6),
+            wire_len: 64,
+            payload_head: Vec::new(),
+            tcp_flags: 0,
+            ttl: 64,
+        };
+        assert_eq!(ingress.push(pkt), Err(PegasusError::EngineStopped));
+        assert_eq!(ingress.flush().unwrap_err(), PegasusError::EngineStopped);
+    }
+
+    #[test]
+    fn control_ops_on_unknown_tenants_fail_cleanly() {
+        let server = EngineBuilder::new().build().expect("builds");
+        let control = server.control();
+        let bogus = TenantToken(99);
+        assert_eq!(
+            control.detach(bogus).map(|_| ()),
+            Err(PegasusError::UnknownTenant { tenant: 99 })
+        );
+        server.shutdown().expect("shuts down");
+    }
+}

@@ -13,7 +13,12 @@ use std::collections::HashMap;
 ///
 /// Bucket `i` holds samples whose value has its highest set bit at
 /// position `i` (i.e. `[2^i, 2^(i+1))`); quantiles are resolved to the
-/// bucket's upper bound, so reported p50/p99 are conservative within 2×.
+/// bucket's *geometric midpoint* (`2^i·√2`), the minimum-relative-error
+/// point estimate for a log-bucketed sample, so reported p50/p99 carry at
+/// most √2 relative error instead of the up-to-2× bias the old
+/// upper-bound convention had (p50 used to read as exactly 4096 ns in
+/// `BENCH_throughput.json` whenever the median fell anywhere in the
+/// `[2048, 4096)` bucket).
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
     buckets: [u64; 64],
@@ -67,7 +72,9 @@ impl LatencyHistogram {
         self.max_nanos
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) as the matching bucket's upper bound.
+    /// The `q`-quantile (`0.0..=1.0`) as the geometric midpoint of the
+    /// log₂ bucket the rank falls in (`2^i·√2` for bucket `[2^i, 2^(i+1))`),
+    /// clamped to the largest sample actually recorded.
     pub fn quantile_nanos(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -77,7 +84,8 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return (2u64 << i).min(self.max_nanos.max(1));
+                let midpoint = ((1u64 << i) as f64 * std::f64::consts::SQRT_2).round() as u64;
+                return midpoint.min(self.max_nanos.max(1));
             }
         }
         self.max_nanos
@@ -193,9 +201,26 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert!((h.mean_nanos() - 20_300.0).abs() < 1.0);
         assert_eq!(h.max_nanos(), 100_000);
-        // p50 falls in the bucket holding 200ns; upper bound 256.
-        assert!(h.quantile_nanos(0.5) >= 200 && h.quantile_nanos(0.5) <= 512);
-        assert!(h.quantile_nanos(1.0) >= 100_000);
+        // p50 rank lands on the 400 ns sample, whose bucket is [256, 512):
+        // the geometric midpoint is 256·√2 ≈ 362 — inside the bucket, not
+        // the old upper bound of 512.
+        assert_eq!(h.quantile_nanos(0.5), 362);
+        assert!(h.quantile_nanos(0.5) >= 256 && h.quantile_nanos(0.5) < 512);
+        // p100 lands in the 100_000 bucket [65536, 131072); the midpoint
+        // ≈ 92682 stays within that bucket and below the recorded max.
+        let p100 = h.quantile_nanos(1.0);
+        assert!(p100 >= 65_536 && p100 <= h.max_nanos(), "{p100}");
+    }
+
+    #[test]
+    fn quantile_midpoint_clamps_to_max_sample() {
+        // One sample: every quantile must report a value no larger than it.
+        let mut h = LatencyHistogram::default();
+        h.record(1000); // bucket [512, 1024), midpoint ≈ 724
+        assert_eq!(h.quantile_nanos(0.5), 724);
+        let mut tiny = LatencyHistogram::default();
+        tiny.record(520); // midpoint 724 exceeds the max sample -> clamp
+        assert_eq!(tiny.quantile_nanos(0.99), 520);
     }
 
     #[test]

@@ -69,6 +69,25 @@ pub enum PegasusError {
         /// What was asked of it.
         what: &'static str,
     },
+    /// An engine or builder parameter is outside its valid domain (e.g.
+    /// zero shards). The legacy [`StreamConfig`](crate::engine::StreamConfig)
+    /// path silently clamped such values; the
+    /// [`EngineBuilder`](crate::engine::server::EngineBuilder) rejects them.
+    InvalidConfig {
+        /// The offending parameter.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: &'static str,
+    },
+    /// A control-plane operation referenced a tenant that is not attached
+    /// (never attached, already detached, or a stale token after the
+    /// engine restarted).
+    UnknownTenant {
+        /// The token's tenant id.
+        tenant: u32,
+    },
+    /// The engine has shut down; its ingress and control handles are dead.
+    EngineStopped,
 }
 
 impl fmt::Display for PegasusError {
@@ -101,6 +120,15 @@ impl fmt::Display for PegasusError {
             }
             PegasusError::Unsupported { model, what } => {
                 write!(f, "{model} does not support {what}")
+            }
+            PegasusError::InvalidConfig { field, reason } => {
+                write!(f, "invalid engine configuration: {field} {reason}")
+            }
+            PegasusError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not attached to this engine")
+            }
+            PegasusError::EngineStopped => {
+                write!(f, "the engine has shut down; this handle is no longer usable")
             }
         }
     }
@@ -139,5 +167,14 @@ mod tests {
         let e = PegasusError::FeatureCount { expected: 16, got: 2 };
         let msg = e.to_string();
         assert!(msg.contains("16") && msg.contains('2'), "{msg}");
+    }
+
+    #[test]
+    fn invalid_config_names_the_field() {
+        let e = PegasusError::InvalidConfig { field: "shards", reason: "must be at least 1" };
+        let msg = e.to_string();
+        assert!(msg.contains("shards") && msg.contains("at least 1"), "{msg}");
+        let e = PegasusError::UnknownTenant { tenant: 42 };
+        assert!(e.to_string().contains("42"));
     }
 }

@@ -559,6 +559,38 @@ impl FlowClassifier {
         FlowClassifier { pipeline: self.pipeline.clone(), loaded, hash_mask: self.hash_mask }
     }
 
+    /// True when `other`'s per-flow register files have the same shape as
+    /// this classifier's — same array count and, array by array, the same
+    /// element width and slot count. Two compilations of the *same
+    /// pipeline shape* (same window, code width, hash size and feature
+    /// family — e.g. a retrained model) are state-compatible; a different
+    /// shape is not, and its flows must re-warm after a swap.
+    pub fn state_compatible(&self, other: &FlowClassifier) -> bool {
+        let shape = |fc: &FlowClassifier| {
+            fc.loaded
+                .with_registers(|r| r.iter().map(|a| (a.width_bits, a.size)).collect::<Vec<_>>())
+        };
+        self.hash_mask == other.hash_mask
+            && self.pipeline.extractor_fields.len() == other.pipeline.extractor_fields.len()
+            && shape(self) == shape(other)
+    }
+
+    /// Transplants `prev`'s per-flow register state (code windows,
+    /// timestamps, warm-up counters) into this classifier — the hot-swap
+    /// path: a control plane retargets the running pipeline to a retrained
+    /// model by rewriting its table entries while the per-flow registers
+    /// keep their contents, so established flows classify under the new
+    /// model without re-warming. Returns `false` (leaving this
+    /// classifier's state untouched) when the layouts are not
+    /// [`state_compatible`](FlowClassifier::state_compatible).
+    pub fn adopt_state(&mut self, prev: &FlowClassifier) -> bool {
+        if !self.state_compatible(prev) {
+            return false;
+        }
+        *self.loaded.registers_mut() = prev.loaded.with_registers(|r| r.clone());
+        true
+    }
+
     /// Processes one packet of a flow.
     ///
     /// `extractor_codes` must match the spec's extractor input arity (empty
@@ -766,6 +798,38 @@ mod tests {
         let mut f = c.fork();
         let v = f.on_packet_mut(9, 99_000, 100, &[]).expect("packet");
         assert!(!v.window_full, "fork must not inherit flow state");
+    }
+
+    #[test]
+    fn adopt_state_carries_windows_into_a_swapped_classifier() {
+        let old =
+            FlowClassifier::deploy(build_flow_pipeline(&spec()).unwrap(), &SwitchConfig::tofino2())
+                .unwrap();
+        let mut old = old.fork();
+        // Warm a flow to one packet short of a full window.
+        for i in 0..3 {
+            let v = old.on_packet_mut(11, i * 1000, 100, &[]).expect("packet");
+            assert!(!v.window_full);
+        }
+        // "Retrained" artifact of the same shape: a second deploy.
+        let mut new =
+            FlowClassifier::deploy(build_flow_pipeline(&spec()).unwrap(), &SwitchConfig::tofino2())
+                .unwrap()
+                .fork();
+        assert!(new.state_compatible(&old));
+        assert!(new.adopt_state(&old));
+        // The adopted flow completes its window on the very next packet.
+        let v = new.on_packet_mut(11, 3000, 100, &[]).expect("packet");
+        assert!(v.window_full, "adopted state must carry the warm-up counter");
+        // An incompatible shape (different hash size) refuses the transplant.
+        let mut small = spec();
+        small.flow_slots_log2 = 8;
+        let mut other =
+            FlowClassifier::deploy(build_flow_pipeline(&small).unwrap(), &SwitchConfig::tofino2())
+                .unwrap()
+                .fork();
+        assert!(!other.state_compatible(&old));
+        assert!(!other.adopt_state(&old));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`engine`] — the sharded streaming packet engine: RSS-style flow
 //!   sharding across worker threads, shard-owned per-flow state (no hot
 //!   path locks), and the flattened-LUT inference representation baked at
-//!   deploy time;
+//!   deploy time — plus [`engine::server`], the live serving control
+//!   plane: a long-lived multi-tenant [`engine::EngineServer`] with
+//!   push-based ingress, predicate routing, hot model swap (per-flow state
+//!   retained), live stats, and drain/shutdown;
 //! * [`models`] — MLP-B, RNN-B, CNN-B/M/L and the AutoEncoder (§6.3), all
 //!   behind the [`models::DataplaneNet`] trait;
 //! * [`pipeline`] — the staged [`Pegasus`] builder, the one
@@ -66,6 +69,11 @@ pub mod pipeline;
 pub mod primitives;
 pub mod runtime;
 
+pub use engine::server::{
+    ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,
+    IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
+    TenantStats, TenantToken,
+};
 pub use engine::{StreamConfig, StreamReport};
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};

@@ -20,7 +20,8 @@
 use crate::compile::{
     compile_with_trees, CompileOptions, CompileReport, CompileTarget, CompiledPipeline,
 };
-use crate::engine::{self, StreamConfig, StreamReport};
+use crate::engine::server::{EngineArtifact, EngineBuilder, TenantConfig};
+use crate::engine::{StreamConfig, StreamReport};
 use crate::error::PegasusError;
 use crate::flowpipe::{FlowClassifier, FlowPipeline};
 use crate::models::{DataplaneNet, Lowered, ModelData, TrainSettings};
@@ -29,6 +30,7 @@ use pegasus_net::PacketSource;
 use pegasus_nn::metrics::PrRcF1;
 use pegasus_nn::Dataset;
 use pegasus_switch::{ResourceReport, SwitchConfig};
+use std::sync::Arc;
 
 /// Stage 1: a trained model plus compile configuration.
 pub struct Pegasus<M: DataplaneNet> {
@@ -226,17 +228,20 @@ impl<M: DataplaneNet> Compiled<M> {
     pub fn deploy(self, cfg: &SwitchConfig) -> Result<Deployment<M>, PegasusError> {
         let plane = match self.artifact {
             Artifact::Single(pipeline) => {
-                Plane::Single(Box::new(DataplaneModel::deploy(*pipeline, cfg)?))
+                Plane::Single(Arc::new(DataplaneModel::deploy(*pipeline, cfg)?))
             }
-            Artifact::Flow(flow) => Plane::Flow(Box::new(FlowClassifier::deploy(*flow, cfg)?)),
+            Artifact::Flow(flow) => Plane::Flow(Arc::new(FlowClassifier::deploy(*flow, cfg)?)),
         };
         Ok(Deployment { model: self.model, plane })
     }
 }
 
+/// The deployed plane sits behind `Arc`s so a serving engine can hold the
+/// artifact (and keep serving it) independently of this deployment's
+/// lifetime — [`Deployment::engine_artifact`] just clones the handle.
 enum Plane {
-    Single(Box<DataplaneModel>),
-    Flow(Box<FlowClassifier>),
+    Single(Arc<DataplaneModel>),
+    Flow(Arc<FlowClassifier>),
 }
 
 /// Stage 3: a model loaded onto the switch simulator and serving.
@@ -318,6 +323,47 @@ impl<M: DataplaneNet> Deployment<M> {
         self.model
     }
 
+    /// The serving-engine view of this deployment: the compiled artifact
+    /// (flattened LUTs or per-flow register pipeline) plus its streaming
+    /// feature family, detached from the trained float model.
+    ///
+    /// Hand the artifact to
+    /// [`ControlHandle::attach`](crate::engine::server::ControlHandle::attach)
+    /// to serve it as one tenant of a long-lived
+    /// [`EngineServer`](crate::engine::server::EngineServer), or to
+    /// [`swap`](crate::engine::server::ControlHandle::swap) to hot-swap a
+    /// running tenant onto it. Cheap (an `Arc` clone): the engine shares
+    /// the deployed artifact rather than copying it, and the deployment
+    /// remains usable for [`classify`](Deployment::classify) /
+    /// [`evaluate`](Deployment::evaluate) side-by-side.
+    ///
+    /// Fails with [`PegasusError::NotAClassifier`] for score-only
+    /// pipelines — the packet engine serves class verdicts.
+    pub fn engine_artifact(&self) -> Result<EngineArtifact, PegasusError> {
+        match &self.plane {
+            Plane::Single(dp) => {
+                if dp.pipeline().predicted_field.is_none() {
+                    return Err(PegasusError::NotAClassifier {
+                        pipeline: dp.pipeline().program.name.clone(),
+                    });
+                }
+                Ok(EngineArtifact::stateless(
+                    Arc::clone(dp),
+                    self.model.stream_features(),
+                    &dp.pipeline().program.name,
+                ))
+            }
+            Plane::Flow(fc) => {
+                if fc.pipeline().predicted_field.is_none() {
+                    return Err(PegasusError::NotAClassifier {
+                        pipeline: fc.pipeline().program.name.clone(),
+                    });
+                }
+                Ok(EngineArtifact::flow(Arc::clone(fc), &fc.pipeline().program.name))
+            }
+        }
+    }
+
     /// Streams a packet source through the sharded packet engine.
     ///
     /// Flows are hashed to `shards` worker threads RSS-style (by
@@ -374,37 +420,61 @@ impl<M: DataplaneNet> Deployment<M> {
 
     /// [`stream`](Self::stream) with full engine configuration (prediction
     /// recording, batch and queue sizing).
+    ///
+    /// This is the legacy one-shot entry point, kept as a thin
+    /// compatibility wrapper over the long-lived
+    /// [`EngineServer`](crate::engine::server::EngineServer): it builds a
+    /// server, attaches this deployment as a single catch-all tenant,
+    /// feeds the source to exhaustion, shuts the server down, and returns
+    /// that tenant's report. Out-of-domain `cfg` values (zero
+    /// `shards`/`batch`/`queue_batches`) are silently **clamped to 1** —
+    /// the behavior this API has always had; the server path's
+    /// [`EngineBuilder`] instead
+    /// rejects them with [`PegasusError::InvalidConfig`].
     pub fn stream_with(
         &self,
         source: &mut dyn PacketSource,
         cfg: &StreamConfig,
     ) -> Result<StreamReport, PegasusError> {
-        match &self.plane {
-            Plane::Single(dp) => {
-                if dp.pipeline().predicted_field.is_none() {
-                    return Err(PegasusError::NotAClassifier {
-                        pipeline: dp.pipeline().program.name.clone(),
-                    });
-                }
-                let features = self.model.stream_features();
-                engine::run_stream(source, cfg, |_| engine::StatelessShard::new(dp, features))
-            }
-            Plane::Flow(fc) => {
-                if fc.pipeline().predicted_field.is_none() {
-                    return Err(PegasusError::NotAClassifier {
-                        pipeline: fc.pipeline().program.name.clone(),
-                    });
-                }
-                engine::run_stream(source, cfg, |_| engine::FlowShard::new(fc.fork()))
+        let artifact = self.engine_artifact()?;
+        let server = EngineBuilder::new()
+            .shards(cfg.shards.max(1))
+            .batch(cfg.batch.max(1))
+            .queue_batches(cfg.queue_batches.max(1))
+            .build()?;
+        let tenant = server
+            .control()
+            .attach(artifact, TenantConfig::new().record_predictions(cfg.record_predictions))?;
+        let ingress = server.ingress();
+        while let Some(pkt) = source.next_packet() {
+            ingress.push(pkt)?;
+            // The run is doomed once its only tenant errored; stop feeding
+            // instead of pushing the rest of the source into a dead shard
+            // (the legacy engine aborted dispatch the same way).
+            if server.tenant_failed() {
+                break;
             }
         }
+        let mut report = server.shutdown()?;
+        report
+            .take_tenant(tenant)
+            .ok_or(PegasusError::UnknownTenant { tenant: tenant.id() })?
+            .result
     }
 
     /// The per-flow classifier for windowed pipelines (packet-by-packet
     /// serving and trace replay).
+    ///
+    /// Needs exclusive ownership of the classifier's register state:
+    /// fails with [`PegasusError::Unsupported`] while an
+    /// [`engine_artifact`](Deployment::engine_artifact) taken from this
+    /// deployment is still alive (the serving engine shares the plane).
     pub fn flow_mut(&mut self) -> Result<&mut FlowClassifier, PegasusError> {
         match &mut self.plane {
-            Plane::Flow(fc) => Ok(fc),
+            Plane::Flow(fc) => Arc::get_mut(fc).ok_or(PegasusError::Unsupported {
+                model: "flow classifiers shared with a serving engine",
+                what: "exclusive per-flow packet processing",
+            }),
             Plane::Single(_) => Err(PegasusError::Unsupported {
                 model: "stateless pipelines",
                 what: "per-flow packet processing",

@@ -10,7 +10,9 @@
 //!   128-bit statistical vectors, 128-bit packet sequences, and CNN-L's
 //!   3840-bit raw-byte windows;
 //! * [`replay`]: deterministic timestamp-ordered trace replay with optional
-//!   fault injection, standing in for the paper's tcpreplay testbed server.
+//!   fault injection, standing in for the paper's tcpreplay testbed server;
+//! * [`router`]: five-tuple match predicates for multi-tenant packet
+//!   routing — how a serving engine steers traffic to the right model.
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod features;
 pub mod flow;
 pub mod packet;
 pub mod replay;
+pub mod router;
 
 pub use features::{
     quantize_ipd, quantize_len, RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET,
@@ -28,3 +31,4 @@ pub use packet::{build_packet, parse_packet, PacketSpec, ParseError, ParsedPacke
 pub use replay::{
     PacketSink, PacketSource, ReplayOptions, ReplayStats, Replayer, Trace, TracePacket, TraceSource,
 };
+pub use router::RoutePredicate;

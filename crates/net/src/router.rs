@@ -1,0 +1,153 @@
+//! Five-tuple match predicates for control-plane packet routing.
+//!
+//! A multi-tenant serving engine steers each packet to one of several
+//! deployed models the way FENIX-style dataplanes select a model behind one
+//! switch pipeline: by matching header fields. [`RoutePredicate`] is the
+//! match language — destination-port sets and ranges, source/destination
+//! subnets, protocol, and boolean combinators — evaluated against a
+//! [`FiveTuple`] on the hot ingress path (no allocation, short-circuiting).
+
+use crate::flow::FiveTuple;
+
+/// A boolean predicate over a flow's five-tuple.
+///
+/// Built once at tenant-attach time, evaluated per packet. The variants
+/// mirror what a switch's model-selection table can key on: L4 ports
+/// (exact or range), IPv4 prefixes, and the protocol byte.
+///
+/// ```
+/// use pegasus_net::{FiveTuple, RoutePredicate};
+///
+/// // "TCP traffic to 10.0.0.0/8, port 443"
+/// let p = RoutePredicate::all_of(vec![
+///     RoutePredicate::Protocol(6),
+///     RoutePredicate::DstSubnet { addr: 0x0a00_0000, prefix: 8 },
+///     RoutePredicate::DstPort(443),
+/// ]);
+/// assert!(p.matches(&FiveTuple::new(0x01020304, 0x0a141e28, 50000, 443, 6)));
+/// assert!(!p.matches(&FiveTuple::new(0x01020304, 0x0b141e28, 50000, 443, 6)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutePredicate {
+    /// Matches every packet (catch-all tenants).
+    Any,
+    /// Exact destination port.
+    DstPort(u16),
+    /// Inclusive destination-port range.
+    DstPortRange {
+        /// Lowest matching port.
+        lo: u16,
+        /// Highest matching port (inclusive).
+        hi: u16,
+    },
+    /// Exact source port.
+    SrcPort(u16),
+    /// Destination IPv4 subnet in CIDR terms.
+    DstSubnet {
+        /// Network address (host byte order).
+        addr: u32,
+        /// Prefix length, `0..=32`; 0 matches everything.
+        prefix: u8,
+    },
+    /// Source IPv4 subnet in CIDR terms.
+    SrcSubnet {
+        /// Network address (host byte order).
+        addr: u32,
+        /// Prefix length, `0..=32`; 0 matches everything.
+        prefix: u8,
+    },
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    Protocol(u8),
+    /// True when every child matches (empty = true).
+    AllOf(Vec<RoutePredicate>),
+    /// True when at least one child matches (empty = false).
+    AnyOf(Vec<RoutePredicate>),
+    /// Negation.
+    Not(Box<RoutePredicate>),
+}
+
+/// `addr` masked to `prefix` leading bits.
+fn subnet_matches(addr: u32, net: u32, prefix: u8) -> bool {
+    if prefix == 0 {
+        return true;
+    }
+    let mask = u32::MAX << (32 - prefix.min(32) as u32);
+    addr & mask == net & mask
+}
+
+impl RoutePredicate {
+    /// Conjunction helper (reads better than the enum literal).
+    pub fn all_of(children: Vec<RoutePredicate>) -> Self {
+        RoutePredicate::AllOf(children)
+    }
+
+    /// Disjunction helper.
+    pub fn any_of(children: Vec<RoutePredicate>) -> Self {
+        RoutePredicate::AnyOf(children)
+    }
+
+    /// Evaluates the predicate against one flow identity.
+    pub fn matches(&self, ft: &FiveTuple) -> bool {
+        match self {
+            RoutePredicate::Any => true,
+            RoutePredicate::DstPort(p) => ft.dst_port == *p,
+            RoutePredicate::DstPortRange { lo, hi } => (*lo..=*hi).contains(&ft.dst_port),
+            RoutePredicate::SrcPort(p) => ft.src_port == *p,
+            RoutePredicate::DstSubnet { addr, prefix } => subnet_matches(ft.dst_ip, *addr, *prefix),
+            RoutePredicate::SrcSubnet { addr, prefix } => subnet_matches(ft.src_ip, *addr, *prefix),
+            RoutePredicate::Protocol(p) => ft.protocol == *p,
+            RoutePredicate::AllOf(cs) => cs.iter().all(|c| c.matches(ft)),
+            RoutePredicate::AnyOf(cs) => cs.iter().any(|c| c.matches(ft)),
+            RoutePredicate::Not(c) => !c.matches(ft),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(dst_ip: u32, dst_port: u16) -> FiveTuple {
+        FiveTuple::new(0x0a000001, dst_ip, 40000, dst_port, 6)
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(RoutePredicate::Any.matches(&ft(1, 1)));
+    }
+
+    #[test]
+    fn port_exact_and_range() {
+        assert!(RoutePredicate::DstPort(443).matches(&ft(9, 443)));
+        assert!(!RoutePredicate::DstPort(443).matches(&ft(9, 80)));
+        let r = RoutePredicate::DstPortRange { lo: 8000, hi: 8999 };
+        assert!(r.matches(&ft(9, 8500)));
+        assert!(r.matches(&ft(9, 8000)) && r.matches(&ft(9, 8999)));
+        assert!(!r.matches(&ft(9, 9000)));
+    }
+
+    #[test]
+    fn subnets_mask_correctly() {
+        let p = RoutePredicate::DstSubnet { addr: 0xc0a8_0100, prefix: 24 }; // 192.168.1.0/24
+        assert!(p.matches(&ft(0xc0a8_0105, 1)));
+        assert!(!p.matches(&ft(0xc0a8_0205, 1)));
+        // /0 matches everything.
+        assert!(RoutePredicate::DstSubnet { addr: 0, prefix: 0 }.matches(&ft(0xffff_ffff, 1)));
+        // /32 is an exact host.
+        let host = RoutePredicate::DstSubnet { addr: 7, prefix: 32 };
+        assert!(host.matches(&ft(7, 1)) && !host.matches(&ft(8, 1)));
+    }
+
+    #[test]
+    fn combinators_short_circuit_semantics() {
+        let p = RoutePredicate::all_of(vec![
+            RoutePredicate::Protocol(6),
+            RoutePredicate::any_of(vec![RoutePredicate::DstPort(80), RoutePredicate::DstPort(443)]),
+        ]);
+        assert!(p.matches(&ft(1, 443)));
+        assert!(!p.matches(&ft(1, 22)));
+        assert!(RoutePredicate::AllOf(vec![]).matches(&ft(1, 1)));
+        assert!(!RoutePredicate::AnyOf(vec![]).matches(&ft(1, 1)));
+        assert!(!RoutePredicate::Not(Box::new(RoutePredicate::Any)).matches(&ft(1, 1)));
+    }
+}

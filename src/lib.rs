@@ -40,7 +40,9 @@
 //! See the repository README for the full map; the interesting entry points
 //! are [`core::models`] (the six paper models behind `DataplaneNet`),
 //! [`core::compile`] (the Pegasus compiler), [`core::pipeline`] (the
-//! builder) and [`switch`] (the Tofino-2 resource model).
+//! builder), [`core::engine::server`] (the live serving control plane:
+//! long-lived multi-tenant engine with hot model swap) and [`switch`]
+//! (the Tofino-2 resource model).
 
 #![warn(missing_docs)]
 

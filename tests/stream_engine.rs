@@ -14,9 +14,13 @@ use pegasus::core::compile::CompileOptions;
 use pegasus::core::models::mlp_b::MlpB;
 use pegasus::core::models::rnn_b::RnnB;
 use pegasus::core::models::{DataplaneNet, ModelData, StreamFeatures, TrainSettings};
-use pegasus::core::{Deployment, Pegasus, StreamConfig};
-use pegasus::datasets::{extract_views, generate_trace, peerrush, GenConfig};
-use pegasus::net::{FiveTuple, FlowTracker, SeqFeatures, StatFeatures, Trace, WINDOW};
+use pegasus::core::{
+    Deployment, EngineBuilder, Pegasus, StreamConfig, StreamReport, SwapReport, TenantConfig,
+};
+use pegasus::datasets::{extract_views, generate_trace, iscxvpn, peerrush, GenConfig};
+use pegasus::net::{
+    FiveTuple, FlowTracker, RoutePredicate, SeqFeatures, StatFeatures, Trace, WINDOW,
+};
 use pegasus::switch::SwitchConfig;
 use std::collections::HashMap;
 
@@ -122,6 +126,312 @@ fn rnn_b_streaming_is_deterministic_across_shard_counts() {
         .deploy(&SwitchConfig::tofino2())
         .expect("deploys");
     assert_stream_matches_sequential(&deployment, &trace);
+}
+
+/// Sequential reference with a mid-stream model swap: one tracker whose
+/// windows survive the boundary (the engine retains them too), packets
+/// before `split` classified by `old`, from `split` on by `new`.
+fn sequential_reference_swap<M: DataplaneNet>(
+    old: &Deployment<M>,
+    new: &Deployment<M>,
+    trace: &Trace,
+    split: usize,
+) -> HashMap<FiveTuple, Vec<usize>> {
+    let features = old.model().stream_features();
+    let mut tracker = FlowTracker::new(WINDOW);
+    let mut out: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    for (i, pkt) in trace.packets.iter().enumerate() {
+        let (obs, state) = tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        if !state.window_full() {
+            continue;
+        }
+        let codes: Vec<f32> = match features {
+            StreamFeatures::Stat => StatFeatures::extract(
+                state,
+                &obs,
+                pkt.flow.protocol,
+                pkt.tcp_flags,
+                pkt.flow.src_port,
+                pkt.flow.dst_port,
+                pkt.ttl,
+                pkt.payload_head.len() as u16,
+            )
+            .to_f32(),
+            StreamFeatures::Seq => {
+                SeqFeatures::extract(state).expect("window full").to_f32_interleaved()
+            }
+        };
+        let model = if i < split { old } else { new };
+        let class = model.classify(&codes).expect("classifies");
+        out.entry(pkt.flow).or_default().push(class);
+    }
+    out
+}
+
+/// Streams `trace` through an [`EngineServer`], hot-swapping the tenant
+/// from `old` to `new` exactly at packet index `split`.
+fn stream_with_midrun_swap<M: DataplaneNet>(
+    old: &Deployment<M>,
+    new: &Deployment<M>,
+    trace: &Trace,
+    split: usize,
+    shards: usize,
+) -> (StreamReport, SwapReport) {
+    let server = EngineBuilder::new().shards(shards).build().expect("builds");
+    let control = server.control();
+    let ingress = server.ingress();
+    let token = control
+        .attach(
+            old.engine_artifact().expect("artifact"),
+            TenantConfig::new().record_predictions(true),
+        )
+        .expect("attaches");
+    for pkt in &trace.packets[..split] {
+        ingress.push(pkt.clone()).expect("pushes");
+    }
+    let swap = control.swap(token, new.engine_artifact().expect("artifact")).expect("swaps");
+    for pkt in &trace.packets[split..] {
+        ingress.push(pkt.clone()).expect("pushes");
+    }
+    let mut report = server.shutdown().expect("shuts down");
+    let tenant = report.take_tenant(token).expect("tenant report");
+    assert_eq!(tenant.routed_packets, trace.packets.len() as u64);
+    (tenant.result.expect("tenant served cleanly"), swap)
+}
+
+#[test]
+fn hot_swap_matches_sequential_classify_around_the_epoch() {
+    // Two MLP-B artifacts of the same pipeline shape but different
+    // training runs — the paper's "retarget the running switch program to
+    // a retrained model by rewriting table entries" scenario. Before the
+    // swap epoch every verdict must match sequential classify under the
+    // old model; after it, under the new model — with the flow feature
+    // windows retained across the boundary, at every shard count.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
+    let old = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .options(opts)
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    // "Retrain" after concept drift: same features, same architecture,
+    // same pipeline shape — but the class labels rotated, so the new
+    // artifact provably disagrees with the old one on every flow.
+    let rotated: Vec<usize> =
+        views.stat.y.iter().map(|&y| (y + 1) % views.stat.classes()).collect();
+    let stat_rot = pegasus::nn::Dataset::new(views.stat.x.clone(), rotated);
+    let data_rot = ModelData::new().with_stat(&stat_rot);
+    let new = Pegasus::<MlpB>::train(&data_rot, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data_rot)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+
+    let split = trace.packets.len() / 2;
+    let reference = sequential_reference_swap(&old, &new, &trace, split);
+    // The swap must be observable: the retrained model disagrees with the
+    // old one somewhere after the boundary (deterministic by seed).
+    let old_only = sequential_reference(&old, &trace);
+    assert_ne!(reference, old_only, "retrained model never disagreed; swap test is vacuous");
+
+    for shards in [1usize, 2, 4] {
+        let (report, swap) = stream_with_midrun_swap(&old, &new, &trace, split, shards);
+        assert_eq!(swap.epoch, 1, "{shards} shards");
+        assert!(swap.state_retained, "{shards} shards: same-shape swap must retain flow state");
+        assert_eq!(report.packets, trace.packets.len() as u64, "{shards} shards");
+        let preds = report.predictions.expect("recording was requested");
+        assert_eq!(preds.len(), reference.len(), "{shards} shards: flow sets differ");
+        for (flow, seq) in &reference {
+            assert_eq!(
+                preds.get(flow),
+                Some(seq),
+                "{shards} shards: flow {flow:?} diverged around the swap epoch"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_pipeline_hot_swap_transplants_registers_matching_sequential_forks() {
+    // The per-flow register transplant is the headline swap mechanism:
+    // CNN-L's code windows, timestamps and warm-up counters move into the
+    // retrained classifier. The sequential reference mirrors the engine
+    // exactly — one fresh fork per shard, packets routed by the same
+    // bidirectional shard hash, and at the split index every fork is
+    // replaced by a fork of the new classifier that adopts its register
+    // state. Any transplant misalignment (wrong array, wrong order,
+    // dropped counter) diverges the verdict stream.
+    use pegasus::core::flowpipe::FlowClassifier;
+    use pegasus::core::models::cnn_l::{CnnL, CnnLVariant};
+
+    let trace = generate_trace(&iscxvpn(), &GenConfig { flows_per_class: 4, seed: 41 });
+    let views = extract_views(&trace);
+    let settings = TrainSettings::quick();
+    let opts = CompileOptions { clustering_depth: 5, ..Default::default() };
+    let data = ModelData::new().with_raw(&views.raw).with_seq(&views.seq);
+    let mut old = Pegasus::new(CnnL::fit(&views.raw, &views.seq, CnnLVariant::v44(), &settings))
+        .options(opts.clone())
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    // Retrained on rotated labels: same pipeline shape (window, code
+    // width, hash size), provably different verdicts after the swap.
+    let rot = |d: &pegasus::nn::Dataset| {
+        let y: Vec<usize> = d.y.iter().map(|&y| (y + 1) % d.classes()).collect();
+        pegasus::nn::Dataset::new(d.x.clone(), y)
+    };
+    let (raw_rot, seq_rot) = (rot(&views.raw), rot(&views.seq));
+    let data_rot = ModelData::new().with_raw(&raw_rot).with_seq(&seq_rot);
+    let mut new = Pegasus::new(CnnL::fit(&raw_rot, &seq_rot, CnnLVariant::v44(), &settings))
+        .options(opts)
+        .compile(&data_rot)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+
+    // Grab fresh-state classifier replicas for the reference before the
+    // engine shares the deployed planes (flow_mut needs exclusivity).
+    let old_fc = old.flow_mut().expect("flow plane").fork();
+    let new_fc = new.flow_mut().expect("flow plane").fork();
+    assert!(new_fc.state_compatible(&old_fc), "same-shape CNN-L must be state-compatible");
+    let arity = old_fc.pipeline().extractor_fields.len();
+    let split = trace.packets.len() / 2;
+
+    for shards in [1usize, 2, 4] {
+        // Sequential reference with per-shard forks and adopt-at-split.
+        let mut forks: Vec<FlowClassifier> = (0..shards).map(|_| old_fc.fork()).collect();
+        let mut reference: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+        for (i, pkt) in trace.packets.iter().enumerate() {
+            if i == split {
+                for fork in forks.iter_mut() {
+                    let mut fresh = new_fc.fork();
+                    assert!(fresh.adopt_state(fork), "transplant must apply");
+                    *fork = fresh;
+                }
+            }
+            let codes: Vec<f32> = pkt
+                .payload_head
+                .iter()
+                .take(arity)
+                .map(|&b| f32::from(b))
+                .chain(std::iter::repeat(0.0))
+                .take(arity)
+                .collect();
+            let verdict = forks[pkt.flow.shard_of(shards)]
+                .on_packet_mut(pkt.flow.dataplane_hash(), pkt.ts_micros, pkt.wire_len, &codes)
+                .expect("packet");
+            if let Some(class) = verdict.predicted {
+                reference.entry(pkt.flow).or_default().push(class);
+            }
+        }
+        assert!(!reference.is_empty(), "reference classified nothing");
+
+        let (report, swap) = stream_with_midrun_swap(&old, &new, &trace, split, shards);
+        assert_eq!(swap.epoch, 1, "{shards} shards");
+        assert!(swap.state_retained, "{shards} shards: register files must transplant");
+        let preds = report.predictions.expect("recording was requested");
+        assert_eq!(preds.len(), reference.len(), "{shards} shards: flow sets differ");
+        for (flow, seq) in &reference {
+            assert_eq!(
+                preds.get(flow),
+                Some(seq),
+                "{shards} shards: flow {flow:?} diverged from the forked reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn detach_under_load_drops_no_surviving_tenant_packets() {
+    // Two tenants split the port space; one detaches mid-run while its
+    // queues still hold batches. The survivor must see every one of its
+    // packets and classify them exactly as a sequential replay of its
+    // share of the traffic.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let deployment = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+
+    // Split on the median destination port so both tenants get traffic.
+    let mut ports: Vec<u16> = trace.packets.iter().map(|p| p.flow.dst_port).collect();
+    ports.sort_unstable();
+    let pivot = ports[ports.len() / 2];
+    let low = |p: &pegasus::net::TracePacket| p.flow.dst_port <= pivot;
+    let n_low = trace.packets.iter().filter(|p| low(p)).count() as u64;
+    let n_high = trace.packets.len() as u64 - n_low;
+    assert!(n_low > 0 && n_high > 0, "pivot {pivot} did not split the traffic");
+
+    // Survivor's reference: its tracker only ever sees its own packets.
+    let mut low_trace = Trace::new();
+    low_trace.packets = trace.packets.iter().filter(|p| low(p)).cloned().collect();
+    let reference = sequential_reference(&deployment, &low_trace);
+
+    let server = EngineBuilder::new().shards(2).batch(64).build().expect("builds");
+    let control = server.control();
+    let ingress = server.ingress();
+    let survivor = control
+        .attach(
+            deployment.engine_artifact().expect("artifact"),
+            TenantConfig::new()
+                .name("survivor")
+                .route(RoutePredicate::DstPortRange { lo: 0, hi: pivot })
+                .record_predictions(true),
+        )
+        .expect("attaches");
+    let ephemeral = control
+        .attach(
+            deployment.engine_artifact().expect("artifact"),
+            TenantConfig::new().name("ephemeral").route(RoutePredicate::Any),
+        )
+        .expect("attaches");
+
+    let split = trace.packets.len() / 2;
+    for pkt in &trace.packets[..split] {
+        ingress.push(pkt.clone()).expect("pushes");
+    }
+    // Detach under load: batches for both tenants are still queued.
+    let gone = control.detach(ephemeral).expect("detaches");
+    let gone_report = gone.result.expect("ephemeral tenant served cleanly");
+    assert_eq!(
+        gone_report.packets, gone.routed_packets,
+        "detach must drain the ephemeral tenant's in-flight batches"
+    );
+    // Its token is now dead.
+    assert!(control.detach(ephemeral).is_err());
+
+    for pkt in &trace.packets[split..] {
+        ingress.push(pkt.clone()).expect("pushes");
+    }
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.tenants.len(), 1);
+
+    let mut report = server.shutdown().expect("shuts down");
+    // After the catch-all tenant left, its share of the second half had no
+    // home; the survivor's share still must not lose a single packet.
+    let unrouted_expected = trace.packets[split..].iter().filter(|p| !low(p)).count() as u64;
+    assert_eq!(report.unrouted, unrouted_expected);
+    let tenant = report.take_tenant(survivor).expect("survivor report");
+    let survivor_report = tenant.result.expect("survivor served cleanly");
+    assert_eq!(tenant.routed_packets, n_low, "every low-port packet routed to the survivor");
+    assert_eq!(survivor_report.packets, n_low, "no survivor packet dropped across the detach");
+    let preds = survivor_report.predictions.expect("recording was requested");
+    assert_eq!(preds.len(), reference.len(), "survivor flow sets differ");
+    for (flow, seq) in &reference {
+        assert_eq!(preds.get(flow), Some(seq), "flow {flow:?} diverged for the survivor");
+    }
 }
 
 #[test]
