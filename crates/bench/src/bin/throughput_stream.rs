@@ -24,7 +24,8 @@ use pegasus_datasets::{
     extract_views, generate_trace, peerrush, GenConfig, SyntheticConfig, SyntheticSource,
 };
 use pegasus_net::{
-    FlowState, FlowTracker, PacketObs, PacketSource, SeqFeatures, StatFeatures, TracePacket, WINDOW,
+    FiveTuple, FlowState, FlowTableConfig, FlowTracker, PacketObs, PacketSource, SeqFeatures,
+    StatFeatures, TracePacket, WINDOW,
 };
 use pegasus_switch::SwitchConfig;
 use std::fmt::Write as _;
@@ -32,6 +33,14 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Flow-table shape of the churn experiment: a deliberately small table
+/// (1024 slots ≪ workload flows) with packet-count aging, so both
+/// eviction policies fire continuously.
+const CHURN_CAPACITY: usize = 1024;
+const CHURN_IDLE_TIMEOUT: u64 = 20_000;
+/// State-byte curves are sampled at this many evenly spaced points.
+const CHURN_SAMPLES: usize = 8;
 
 struct ModelRow {
     model: &'static str,
@@ -52,6 +61,15 @@ struct SwapCost {
     pps_with_swap: f64,
     max_latency_ns_no_swap: u64,
     max_latency_ns_with_swap: u64,
+}
+
+/// Table shape for reference (non-engine) measurement paths: room for the
+/// workload's whole flow population, so nothing is ever evicted.
+fn reference_table(
+    spec: &pegasus_datasets::DatasetSpec,
+    source_cfg: &SyntheticConfig,
+) -> FlowTableConfig {
+    FlowTableConfig::with_capacity((source_cfg.flows_per_class * spec.num_classes()).max(1))
 }
 
 /// Per-packet feature codes, shared by every reference path.
@@ -112,21 +130,19 @@ fn main() {
         spec.num_classes()
     );
 
-    let mut rows: Vec<ModelRow> = Vec::new();
+    println!("== MLP-B (statistical features) ==");
+    let data = ModelData::new().with_stat(&views.stat);
+    let mlp = Pegasus::<MlpB>::train(&data, &settings)
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
 
-    {
-        println!("== MLP-B (statistical features) ==");
-        let data = ModelData::new().with_stat(&views.stat);
-        let deployment = Pegasus::<MlpB>::train(&data, &settings)
-            .expect("trains")
-            .options(CompileOptions { clustering_depth: 5, ..Default::default() })
-            .compile(&data)
-            .expect("compiles")
-            .deploy(&SwitchConfig::tofino2())
-            .expect("deploys");
-        rows.push(bench_model(&deployment, "MLP-B", "stat", &spec, &source_cfg));
-    }
-    {
+    let mut rows: Vec<ModelRow> = Vec::new();
+    if !cfg.churn_only {
+        rows.push(bench_model(&mlp, "MLP-B", "stat", &spec, &source_cfg));
         println!("== RNN-B (windowed sequence features) ==");
         let data = ModelData::new().with_seq(&views.seq);
         let deployment = Pegasus::<RnnB>::train(&data, &settings)
@@ -139,9 +155,8 @@ fn main() {
         rows.push(bench_model(&deployment, "RNN-B", "seq", &spec, &source_cfg));
     }
 
-    let json = render_json(&rows, workload_packets, cores);
-    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
-    println!("wrote BENCH_throughput.json");
+    println!("== heavy flow churn (bounded vs unbounded flow state) ==");
+    let churn = churn_bench(&mlp, &spec, &source_cfg);
 
     let mut txt = String::new();
     for row in &rows {
@@ -157,10 +172,161 @@ fn main() {
                 .join(" | ")
         );
     }
+    let _ = writeln!(
+        txt,
+        "churn: {} flows / {} pkts through {} slots | bounded {:.0} pps, peak {} B, \
+         {} idle + {} capacity evictions | unbounded {:.0} pps, peak {} B",
+        churn.flows,
+        churn.packets,
+        churn.capacity,
+        churn.bounded_pps,
+        churn.bounded_peak_bytes,
+        churn.evictions_idle,
+        churn.evictions_capacity,
+        churn.unbounded_pps,
+        churn.unbounded_peak_bytes,
+    );
+
+    if cfg.churn_only {
+        println!("--churn-only: skipping BENCH_throughput.json rewrite (smoke mode)");
+    } else {
+        let json = render_json(&rows, &churn, workload_packets, cores);
+        std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+        println!("wrote BENCH_throughput.json");
+    }
     if let Some(path) = write_report("throughput_stream", &txt) {
         println!("wrote {}", path.display());
     }
     print!("{txt}");
+}
+
+/// What the churn experiment measured.
+struct ChurnResult {
+    flows: usize,
+    packets: u64,
+    capacity: usize,
+    idle_timeout_packets: u64,
+    bounded_pps: f64,
+    bounded_peak_bytes: u64,
+    bounded_bytes_samples: Vec<u64>,
+    evictions_idle: u64,
+    evictions_capacity: u64,
+    final_occupancy: u64,
+    peak_occupancy: u64,
+    unbounded_pps: f64,
+    unbounded_peak_bytes: u64,
+    unbounded_bytes_samples: Vec<u64>,
+    unbounded_final_flows: usize,
+}
+
+/// Estimated bytes the pre-refactor unbounded `HashMap` tracker holds for
+/// `flows` live entries (per-entry struct + full feature window).
+fn unbounded_bytes_estimate(flows: usize) -> u64 {
+    (flows
+        * (std::mem::size_of::<(FiveTuple, FlowState)>()
+            + WINDOW * std::mem::size_of::<PacketObs>())) as u64
+}
+
+/// Heavy-churn workload: 4× the streaming run's flow population pushed
+/// through a 1024-slot bounded table with packet-count aging, single
+/// thread, flattened-LUT inference — against the same loop over an
+/// effectively unbounded table. The bounded table's memory is flat at the
+/// configured capacity while the unbounded baseline grows linearly with
+/// the flow population; the overflow surfaces as eviction counters
+/// instead.
+fn churn_bench(
+    deployment: &Deployment<MlpB>,
+    spec: &pegasus_datasets::DatasetSpec,
+    base_cfg: &SyntheticConfig,
+) -> ChurnResult {
+    let churn_cfg = SyntheticConfig {
+        flows_per_class: base_cfg.flows_per_class * 4,
+        seed: base_cfg.seed ^ 0xc0de,
+        ..*base_cfg
+    };
+    let flows = churn_cfg.flows_per_class * spec.num_classes();
+    let features = deployment.model().stream_features();
+    let flat = deployment
+        .dataplane()
+        .expect("stateless plane")
+        .flat()
+        .expect("register-free pipelines flatten");
+    let total = SyntheticSource::new(spec, &churn_cfg).packets_hint().expect("known size");
+    let sample_every = (total / CHURN_SAMPLES as u64).max(1);
+
+    // One closure runs both modes: only the table shape differs.
+    let run = |table: FlowTableConfig, estimate_as_map: bool| {
+        let mut tracker = FlowTracker::bounded(WINDOW, table);
+        let mut source = SyntheticSource::new(spec, &churn_cfg);
+        let mut scratch = flat.scratch();
+        let mut samples: Vec<u64> = Vec::with_capacity(CHURN_SAMPLES + 1);
+        let mut packets = 0u64;
+        let start = Instant::now();
+        while let Some(pkt) = source.next_packet() {
+            let (obs, _, state) = tracker.observe_admit(pkt.flow, pkt.ts_micros, pkt.wire_len);
+            if state.window_full() {
+                let codes = codes_for(features, state, &obs, &pkt);
+                let _ = flat.classify(&codes, &mut scratch).expect("classifies");
+            }
+            packets += 1;
+            if packets.is_multiple_of(sample_every) {
+                samples.push(if estimate_as_map {
+                    unbounded_bytes_estimate(tracker.len())
+                } else {
+                    tracker.state_bytes()
+                });
+            }
+        }
+        let pps = packets as f64 * 1e9 / start.elapsed().as_nanos() as f64;
+        (tracker, samples, pps, packets)
+    };
+
+    let bounded_table = FlowTableConfig {
+        capacity: CHURN_CAPACITY,
+        idle_timeout_packets: CHURN_IDLE_TIMEOUT,
+        alias: false,
+    };
+    let (bounded, bounded_samples, bounded_pps, packets) = run(bounded_table, false);
+    // "Unbounded": capacity no workload here approaches, measured as the
+    // old HashMap tracker's per-entry growth.
+    let (unbounded, unbounded_samples, unbounded_pps, _) =
+        run(FlowTableConfig::with_capacity(16 * flows.max(1)), true);
+
+    let stats = bounded.table_stats();
+    let result = ChurnResult {
+        flows,
+        packets,
+        capacity: CHURN_CAPACITY,
+        idle_timeout_packets: CHURN_IDLE_TIMEOUT,
+        bounded_pps,
+        bounded_peak_bytes: bounded_samples.iter().copied().max().unwrap_or(0),
+        bounded_bytes_samples: bounded_samples,
+        evictions_idle: stats.evicted_idle,
+        evictions_capacity: stats.evicted_capacity,
+        final_occupancy: bounded.len() as u64,
+        peak_occupancy: stats.peak_occupancy,
+        unbounded_pps,
+        unbounded_peak_bytes: unbounded_samples.iter().copied().max().unwrap_or(0),
+        unbounded_bytes_samples: unbounded_samples,
+        unbounded_final_flows: unbounded.len(),
+    };
+    println!(
+        "  {} flows, {} packets | bounded[{} slots]: {:.0} pps, peak {} B, \
+         evictions {} idle + {} capacity, occupancy {}/{} | unbounded: {:.0} pps, peak {} B ({} flows)",
+        result.flows,
+        result.packets,
+        result.capacity,
+        result.bounded_pps,
+        result.bounded_peak_bytes,
+        result.evictions_idle,
+        result.evictions_capacity,
+        result.final_occupancy,
+        result.capacity,
+        result.unbounded_pps,
+        result.unbounded_peak_bytes,
+        result.unbounded_final_flows,
+    );
+    result
 }
 
 fn bench_model<M: DataplaneNet>(
@@ -309,7 +475,9 @@ fn locked_shared_pps<M: DataplaneNet>(
         shares[pkt.flow.shard_of(threads)].push(pkt);
     }
     let total: u64 = shares.iter().map(|s| s.len() as u64).sum();
-    let tracker = Mutex::new(FlowTracker::new(WINDOW));
+    // A reference measurement must not evict: size the table to the
+    // workload's whole flow population.
+    let tracker = Mutex::new(FlowTracker::bounded(WINDOW, reference_table(spec, source_cfg)));
     let start = Instant::now();
     std::thread::scope(|scope| {
         let tracker = &tracker;
@@ -342,7 +510,7 @@ fn simulator_sequential_pps<M: DataplaneNet>(
 ) -> f64 {
     let features = deployment.model().stream_features();
     let mut source = SyntheticSource::new(spec, source_cfg);
-    let mut tracker = FlowTracker::new(WINDOW);
+    let mut tracker = FlowTracker::bounded(WINDOW, reference_table(spec, source_cfg));
     let mut packets = 0u64;
     let start = Instant::now();
     while let Some(pkt) = source.next_packet() {
@@ -357,7 +525,8 @@ fn simulator_sequential_pps<M: DataplaneNet>(
     packets as f64 * 1e9 / start.elapsed().as_nanos() as f64
 }
 
-fn render_json(rows: &[ModelRow], packets: u64, cores: usize) -> String {
+fn render_json(rows: &[ModelRow], churn: &ChurnResult, packets: u64, cores: usize) -> String {
+    let fmt_u64s = |xs: &[u64]| xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"throughput_stream\",");
     let _ = writeln!(out, "  \"dataset\": \"peerrush-like\",");
@@ -365,7 +534,38 @@ fn render_json(rows: &[ModelRow], packets: u64, cores: usize) -> String {
     let _ = writeln!(out, "  \"host_cores\": {cores},");
     let _ = writeln!(
         out,
-        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the control-plane call latency (flush + per-shard apply behind queued batches + all-shard ack); pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch.\",");
+        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the control-plane call latency (flush + per-shard apply behind queued batches + all-shard ack); pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch. churn pushes 4x the streaming flow population of short-lived flows (single thread, flattened LUTs) through a fixed 1024-slot flow table with packet-count aging vs an effectively unbounded table: state_bytes_samples are taken at 8 evenly spaced points of the stream -- the bounded curve is flat at the capacity (overflow surfaces as evictions_idle/evictions_capacity) while the unbounded curve (the old HashMap tracker's per-entry estimate) grows linearly with live flows.\",");
+    let _ = writeln!(out, "  \"churn\": {{");
+    let _ = writeln!(out, "    \"flows\": {},", churn.flows);
+    let _ = writeln!(out, "    \"packets\": {},", churn.packets);
+    let _ = writeln!(out, "    \"capacity_slots\": {},", churn.capacity);
+    let _ = writeln!(out, "    \"idle_timeout_packets\": {},", churn.idle_timeout_packets);
+    let _ = writeln!(out, "    \"bounded_pps\": {:.1},", churn.bounded_pps);
+    let _ = writeln!(out, "    \"bounded_peak_state_bytes\": {},", churn.bounded_peak_bytes);
+    let _ = writeln!(
+        out,
+        "    \"bounded_state_bytes_samples\": [{}],",
+        fmt_u64s(&churn.bounded_bytes_samples)
+    );
+    let _ = writeln!(out, "    \"evictions_idle\": {},", churn.evictions_idle);
+    let _ = writeln!(out, "    \"evictions_capacity\": {},", churn.evictions_capacity);
+    let _ = writeln!(
+        out,
+        "    \"evictions_per_kpacket\": {:.3},",
+        (churn.evictions_idle + churn.evictions_capacity) as f64 * 1000.0
+            / churn.packets.max(1) as f64
+    );
+    let _ = writeln!(out, "    \"final_occupancy\": {},", churn.final_occupancy);
+    let _ = writeln!(out, "    \"peak_occupancy\": {},", churn.peak_occupancy);
+    let _ = writeln!(out, "    \"unbounded_pps\": {:.1},", churn.unbounded_pps);
+    let _ = writeln!(out, "    \"unbounded_peak_state_bytes\": {},", churn.unbounded_peak_bytes);
+    let _ = writeln!(
+        out,
+        "    \"unbounded_state_bytes_samples\": [{}],",
+        fmt_u64s(&churn.unbounded_bytes_samples)
+    );
+    let _ = writeln!(out, "    \"unbounded_final_flows\": {}", churn.unbounded_final_flows);
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"models\": [");
     for (mi, row) in rows.iter().enumerate() {
         let pps_of = |shards: usize| {
@@ -427,6 +627,10 @@ fn render_json(rows: &[ModelRow], packets: u64, cores: usize) -> String {
                 writeln!(out, "          \"p50_latency_ns\": {},", r.latency.quantile_nanos(0.5));
             let _ =
                 writeln!(out, "          \"p99_latency_ns\": {},", r.latency.quantile_nanos(0.99));
+            let _ = writeln!(out, "          \"flow_occupancy\": {},", r.table.occupancy);
+            let _ = writeln!(out, "          \"flow_capacity\": {},", r.table.capacity);
+            let _ = writeln!(out, "          \"evictions\": {},", r.table.evictions());
+            let _ = writeln!(out, "          \"alias_collisions\": {},", r.table.alias_collisions);
             let _ = writeln!(out, "          \"per_shard_busy_pps\": [{}]", busy.join(", "));
             let _ = write!(out, "        }}");
             let _ = writeln!(out, "{}", if ri + 1 < row.runs.len() { "," } else { "" });

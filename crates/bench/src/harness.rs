@@ -19,6 +19,10 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Reduced-scale run.
     pub quick: bool,
+    /// Run only the flow-churn section of a bench that has one (CI smoke
+    /// mode; skips the full shard sweep and does not rewrite the
+    /// committed results file).
+    pub churn_only: bool,
 }
 
 impl BenchConfig {
@@ -32,16 +36,20 @@ impl BenchConfig {
     }
 }
 
-/// Parses the standard CLI flags (`--quick`, `--seed N`, `--flows N`).
+/// Parses the standard CLI flags (`--quick`, `--seed N`, `--flows N`,
+/// `--churn-only`).
 pub fn parse_args() -> BenchConfig {
     let args: Vec<String> = std::env::args().collect();
-    let mut cfg = BenchConfig { flows_per_class: 120, seed: 7, quick: false };
+    let mut cfg = BenchConfig { flows_per_class: 120, seed: 7, quick: false, churn_only: false };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 cfg.quick = true;
                 cfg.flows_per_class = 30;
+            }
+            "--churn-only" => {
+                cfg.churn_only = true;
             }
             "--seed" => {
                 i += 1;
@@ -51,7 +59,9 @@ pub fn parse_args() -> BenchConfig {
                 i += 1;
                 cfg.flows_per_class = args[i].parse().expect("--flows takes a number");
             }
-            other => panic!("unknown argument {other} (try --quick / --seed N / --flows N)"),
+            other => panic!(
+                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only)"
+            ),
         }
         i += 1;
     }
@@ -115,7 +125,7 @@ mod tests {
 
     #[test]
     fn prepare_produces_aligned_views() {
-        let cfg = BenchConfig { flows_per_class: 10, seed: 1, quick: true };
+        let cfg = BenchConfig { flows_per_class: 10, seed: 1, quick: true, churn_only: false };
         let p = prepare(&peerrush(), &cfg);
         assert_eq!(p.classes, 3);
         assert!(!p.train.is_empty());

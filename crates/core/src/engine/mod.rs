@@ -30,7 +30,7 @@
 //! ```
 //!
 //! Three properties fall out of hashing flows to shards by their
-//! *bidirectional* five-tuple key ([`FiveTuple::shard_of`]):
+//! *bidirectional* five-tuple key ([`pegasus_net::FiveTuple::shard_of`]):
 //!
 //! * **No locks on the hot path.** All per-flow state — host-side windows
 //!   ([`FlowTracker`]) for pipelines that consume extracted features, and
@@ -66,16 +66,26 @@ pub use server::{
     IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
     TenantStats, TenantToken,
 };
-pub use stats::{LatencyHistogram, ShardStats, StreamReport};
+pub use stats::{FlowTableCounters, LatencyHistogram, ShardStats, StreamReport};
 
 use crate::error::PegasusError;
 use crate::flowpipe::FlowClassifier;
 use crate::models::StreamFeatures;
 use crate::runtime::DataplaneModel;
 use pegasus_net::{
-    quantize_ipd, quantize_len, FiveTuple, FlowTracker, StatFeatures, TracePacket, WINDOW,
+    quantize_ipd, quantize_len, FlowTable, FlowTableConfig, FlowTracker, StatFeatures, TracePacket,
+    WINDOW,
 };
 use std::sync::Arc;
+
+/// Per-flow stateful bits a *stateless* (register-free) pipeline's host
+/// flow table models on the switch: `WINDOW` packets times a 16-bit
+/// (length code, IPD code) pair, plus a 32-bit truncated timestamp and
+/// the 8-bit warm-up counter. This is the switch-side equivalent of what
+/// [`FlowTracker`] feeds the model, and what per-tenant state budgets are
+/// priced in (per-flow *register* pipelines use their real per-slot SRAM
+/// instead).
+pub const HOST_WINDOW_STATE_BITS: u64 = (WINDOW as u64) * 16 + 32 + 8;
 
 /// Streaming-run configuration of the legacy one-shot wrappers
 /// ([`Deployment::stream_with`](crate::pipeline::Deployment::stream_with)).
@@ -98,11 +108,23 @@ pub struct StreamConfig {
     /// Bounded per-shard queue depth, in batches (backpressure; legacy
     /// path: clamped to at least 1).
     pub queue_batches: usize,
+    /// Per-shard flow-table shape for host flow state (capacity, aging,
+    /// alias mode). Every shard owns a full table of this capacity, the
+    /// same way every shard forks a full register file. The default
+    /// (4096 slots, no aging) matches the pre-bounded behavior for any
+    /// workload under that many concurrent flows per shard.
+    pub flow_table: FlowTableConfig,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { shards: 1, record_predictions: false, batch: 256, queue_batches: 8 }
+        StreamConfig {
+            shards: 1,
+            record_predictions: false,
+            batch: 256,
+            queue_batches: 8,
+            flow_table: FlowTableConfig::default(),
+        }
     }
 }
 
@@ -122,12 +144,16 @@ pub(crate) struct StatelessShard {
 }
 
 impl StatelessShard {
-    pub(crate) fn new(dp: Arc<DataplaneModel>, features: StreamFeatures) -> Self {
+    pub(crate) fn new(
+        dp: Arc<DataplaneModel>,
+        features: StreamFeatures,
+        table: FlowTableConfig,
+    ) -> Self {
         StatelessShard {
             scratch: dp.flat().map(|f| f.scratch()),
             dp,
             features,
-            tracker: FlowTracker::new(WINDOW),
+            tracker: FlowTracker::bounded(WINDOW, table),
             codes: Vec::with_capacity(2 * WINDOW),
         }
     }
@@ -142,7 +168,7 @@ impl StatelessShard {
     }
 
     pub(crate) fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
-        let (obs, state) = self.tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        let (obs, _, state) = self.tracker.observe_admit(pkt.flow, pkt.ts_micros, pkt.wire_len);
         if !state.window_full() {
             return Ok(None);
         }
@@ -179,8 +205,16 @@ impl StatelessShard {
         Ok(Some(class))
     }
 
-    pub(crate) fn flows(&self) -> u64 {
-        self.tracker.len() as u64
+    pub(crate) fn table_counters(&self) -> FlowTableCounters {
+        let s = self.tracker.table_stats();
+        FlowTableCounters {
+            occupancy: self.tracker.len() as u64,
+            capacity: self.tracker.capacity() as u64,
+            evictions_idle: s.evicted_idle,
+            evictions_capacity: s.evicted_capacity,
+            alias_collisions: s.alias_collisions,
+            state_bytes: self.tracker.state_bytes(),
+        }
     }
 }
 
@@ -190,31 +224,42 @@ impl StatelessShard {
 /// [`swap`](FlowShard::swap)s to a state-compatible artifact the per-flow
 /// register file (code windows, timestamps, warm-up counters) is
 /// transplanted into the new classifier.
+///
+/// Occupancy is accounted by a [`FlowTable`] in alias mode sized exactly
+/// like the classifier's register files (one slot per hash index): it
+/// mirrors, slot for slot, which flow currently owns each register entry,
+/// so `flows` is the *hardware-faithful* count — hash-colliding flows
+/// share a slot and count once — and every ownership change surfaces as an
+/// `alias_collisions` tick. The old code kept an unbounded
+/// `HashSet<FiveTuple>` here, which both lied about the hardware (it
+/// counted flows the registers had already aliased together) and grew
+/// without bound under churn.
 pub(crate) struct FlowShard {
     fc: FlowClassifier,
     arity: usize,
     codes: Vec<f32>,
-    flows: std::collections::HashSet<FiveTuple>,
+    slots: FlowTable<()>,
 }
 
 impl FlowShard {
     pub(crate) fn new(fc: FlowClassifier) -> Self {
         let arity = fc.pipeline().extractor_fields.len();
-        FlowShard { fc, arity, codes: Vec::with_capacity(arity), flows: Default::default() }
+        let slots = FlowTable::new(FlowTableConfig::aliased(fc.flow_slots()));
+        FlowShard { fc, arity, codes: Vec::with_capacity(arity), slots }
     }
 
     /// Swaps in a fork of `source`, transplanting the old register state
     /// when the pipelines are state-compatible. Returns whether state was
     /// retained (`false` means flows re-warm under the new artifact — the
-    /// flow-count metric resets with them, matching a from-scratch
+    /// slot-occupancy metric resets with them, matching a from-scratch
     /// rebuild).
     pub(crate) fn swap(&mut self, source: &FlowClassifier) -> bool {
         let mut fresh = source.fork();
         let retained = fresh.adopt_state(&self.fc);
-        if !retained {
-            self.flows.clear();
-        }
         self.arity = fresh.pipeline().extractor_fields.len();
+        if !retained {
+            self.slots = FlowTable::new(FlowTableConfig::aliased(fresh.flow_slots()));
+        }
         self.fc = fresh;
         retained
     }
@@ -229,7 +274,7 @@ impl FlowShard {
                 .chain(std::iter::repeat(0.0))
                 .take(self.arity),
         );
-        self.flows.insert(pkt.flow);
+        self.slots.admit(pkt.flow, || ());
         let verdict = self.fc.on_packet_mut(
             pkt.flow.dataplane_hash(),
             pkt.ts_micros,
@@ -239,7 +284,16 @@ impl FlowShard {
         Ok(verdict.predicted)
     }
 
-    pub(crate) fn flows(&self) -> u64 {
-        self.flows.len() as u64
+    pub(crate) fn table_counters(&self) -> FlowTableCounters {
+        FlowTableCounters {
+            occupancy: self.slots.len() as u64,
+            capacity: self.slots.capacity() as u64,
+            evictions_idle: 0,
+            evictions_capacity: 0,
+            alias_collisions: self.slots.stats().alias_collisions,
+            // The bytes that matter here are the register SRAM the slots
+            // model on the switch, not the host-side bookkeeping.
+            state_bytes: self.fc.register_state_bits() / 8,
+        }
     }
 }

@@ -42,12 +42,12 @@
 //! source, shut down.
 
 use crate::engine::stats::{LatencyHistogram, ShardStats, StreamReport};
-use crate::engine::{FlowShard, StatelessShard};
+use crate::engine::{FlowShard, StatelessShard, HOST_WINDOW_STATE_BITS};
 use crate::error::PegasusError;
 use crate::flowpipe::FlowClassifier;
 use crate::models::StreamFeatures;
 use crate::runtime::DataplaneModel;
-use pegasus_net::{FiveTuple, PacketSource, RoutePredicate, TracePacket};
+use pegasus_net::{FiveTuple, FlowTableConfig, PacketSource, RoutePredicate, TracePacket};
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -65,6 +65,15 @@ pub struct EngineArtifact {
     pub(crate) plane: ArtifactPlane,
     pub(crate) features: StreamFeatures,
     pub(crate) name: String,
+    /// Stateful bits one flow-table slot costs under this artifact:
+    /// real per-slot register SRAM for per-flow pipelines,
+    /// [`HOST_WINDOW_STATE_BITS`] (the switch-side window mirror) for
+    /// register-free ones.
+    pub(crate) state_bits_per_flow: u64,
+    /// The stateful-SRAM budget of the switch model this artifact was
+    /// deployed against (`register_bits_total`) — the ceiling per-tenant
+    /// state budgets are validated under.
+    pub(crate) state_budget_bits: u64,
 }
 
 pub(crate) enum ArtifactPlane {
@@ -74,21 +83,76 @@ pub(crate) enum ArtifactPlane {
 
 impl EngineArtifact {
     pub(crate) fn stateless(dp: Arc<DataplaneModel>, features: StreamFeatures, name: &str) -> Self {
-        EngineArtifact { plane: ArtifactPlane::Stateless(dp), features, name: name.to_string() }
+        let budget = dp.switch_config().register_bits_total;
+        EngineArtifact {
+            plane: ArtifactPlane::Stateless(dp),
+            features,
+            name: name.to_string(),
+            state_bits_per_flow: HOST_WINDOW_STATE_BITS,
+            state_budget_bits: budget,
+        }
     }
 
     pub(crate) fn flow(fc: Arc<FlowClassifier>, name: &str) -> Self {
+        let (bits, budget) = (fc.state_bits_per_slot(), fc.switch_config().register_bits_total);
         // Flow pipelines consume raw packets; the feature tag is unused.
         EngineArtifact {
             plane: ArtifactPlane::Flow(fc),
             features: StreamFeatures::Seq,
             name: name.to_string(),
+            state_bits_per_flow: bits,
+            state_budget_bits: budget,
         }
     }
 
     /// The compiled program's name (diagnostics, default tenant name).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Stateful bits one tracked flow (one table slot) costs under this
+    /// artifact — per-slot register SRAM for per-flow pipelines, the
+    /// host window mirror for register-free ones.
+    pub fn state_bits_per_flow(&self) -> u64 {
+        self.state_bits_per_flow
+    }
+
+    /// Per-flow register slots baked into the artifact (`None` for
+    /// register-free pipelines, whose capacity is the tenant's host
+    /// flow-table choice instead).
+    pub fn flow_slots(&self) -> Option<usize> {
+        match &self.plane {
+            ArtifactPlane::Flow(fc) => Some(fc.flow_slots()),
+            ArtifactPlane::Stateless(_) => None,
+        }
+    }
+
+    /// The per-tenant flow-state capacity this artifact serves with under
+    /// `table`: its own register slot count for per-flow pipelines, the
+    /// configured host-table capacity otherwise.
+    fn effective_capacity(&self, table: &FlowTableConfig) -> u64 {
+        self.flow_slots().unwrap_or(table.capacity) as u64
+    }
+
+    /// Rejects a tenant flow-table configuration whose state cost exceeds
+    /// the switch model's stateful-SRAM budget — the Figure 7 constraint
+    /// as an attach-time check: `capacity × bits-per-flow` must fit
+    /// `register_bits_total`.
+    fn validate_state_budget(&self, table: &FlowTableConfig) -> Result<(), PegasusError> {
+        if table.capacity == 0 {
+            return Err(PegasusError::InvalidConfig {
+                field: "flow_capacity",
+                reason: "must be at least 1",
+            });
+        }
+        let needed = self.effective_capacity(table).saturating_mul(self.state_bits_per_flow);
+        if needed > self.state_budget_bits {
+            return Err(PegasusError::StateBudget {
+                needed_bits: needed,
+                budget_bits: self.state_budget_bits,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -100,17 +164,17 @@ enum TenantExec {
 }
 
 impl TenantExec {
-    fn new(artifact: &EngineArtifact) -> TenantExec {
+    fn new(artifact: &EngineArtifact, table: FlowTableConfig) -> TenantExec {
         match &artifact.plane {
             ArtifactPlane::Stateless(dp) => {
-                TenantExec::Stateless(StatelessShard::new(dp.clone(), artifact.features))
+                TenantExec::Stateless(StatelessShard::new(dp.clone(), artifact.features, table))
             }
             ArtifactPlane::Flow(fc) => TenantExec::Flow(Box::new(FlowShard::new(fc.fork()))),
         }
     }
 
     /// Applies a hot swap; returns whether per-flow state was retained.
-    fn swap(&mut self, artifact: &EngineArtifact) -> bool {
+    fn swap(&mut self, artifact: &EngineArtifact, table: FlowTableConfig) -> bool {
         match (&mut *self, &artifact.plane) {
             (TenantExec::Stateless(shard), ArtifactPlane::Stateless(dp)) => {
                 // Host feature windows are keyed by five-tuple alone:
@@ -121,7 +185,7 @@ impl TenantExec {
             (TenantExec::Flow(shard), ArtifactPlane::Flow(fc)) => shard.swap(fc),
             // Kind change: rebuild from scratch, state cannot carry over.
             (slot, _) => {
-                *slot = TenantExec::new(artifact);
+                *slot = TenantExec::new(artifact, table);
                 false
             }
         }
@@ -134,10 +198,10 @@ impl TenantExec {
         }
     }
 
-    fn flows(&self) -> u64 {
+    fn table_counters(&self) -> crate::engine::stats::FlowTableCounters {
         match self {
-            TenantExec::Stateless(s) => s.flows(),
-            TenantExec::Flow(s) => s.flows(),
+            TenantExec::Stateless(s) => s.table_counters(),
+            TenantExec::Flow(s) => s.table_counters(),
         }
     }
 }
@@ -163,17 +227,24 @@ pub struct TenantConfig {
     name: Option<String>,
     route: RoutePredicate,
     record_predictions: bool,
+    flow_table: FlowTableConfig,
 }
 
 impl Default for TenantConfig {
     fn default() -> Self {
-        TenantConfig { name: None, route: RoutePredicate::Any, record_predictions: false }
+        TenantConfig {
+            name: None,
+            route: RoutePredicate::Any,
+            record_predictions: false,
+            flow_table: FlowTableConfig::default(),
+        }
     }
 }
 
 impl TenantConfig {
     /// A default configuration: catch-all route, predictions not recorded,
-    /// tenant named after its artifact.
+    /// tenant named after its artifact, default flow-table shape
+    /// ([`pegasus_net::DEFAULT_FLOW_SLOTS`] slots per shard, no aging).
     pub fn new() -> Self {
         TenantConfig::default()
     }
@@ -195,6 +266,34 @@ impl TenantConfig {
     /// Records every per-flow classification in the tenant's reports.
     pub fn record_predictions(mut self, record: bool) -> Self {
         self.record_predictions = record;
+        self
+    }
+
+    /// The tenant's whole flow-table shape in one call (capacity, idle
+    /// timeout, alias mode). Applies to the host flow state of
+    /// register-free pipelines; per-flow register pipelines carry their
+    /// capacity in the artifact (`2^flow_slots_log2` slots) and ignore
+    /// everything here but the budget check.
+    pub fn flow_table(mut self, table: FlowTableConfig) -> Self {
+        self.flow_table = table;
+        self
+    }
+
+    /// Caps the tenant's host flow state at `slots` per shard (every
+    /// shard owns a full table, the same way every shard forks a full
+    /// register file). [`attach`](ControlHandle::attach) rejects
+    /// capacities whose state cost exceeds the switch model's SRAM budget
+    /// with [`PegasusError::StateBudget`].
+    pub fn flow_capacity(mut self, slots: usize) -> Self {
+        self.flow_table.capacity = slots;
+        self
+    }
+
+    /// Ages resident flows out after this many table packets without
+    /// traffic (a packet-count clock — no wall time on the dataplane).
+    /// `0` disables aging.
+    pub fn idle_timeout_packets(mut self, packets: u64) -> Self {
+        self.flow_table.idle_timeout_packets = packets;
         self
     }
 }
@@ -332,7 +431,7 @@ struct TenantShardOut {
 
 enum ShardMsg {
     Batch(Vec<Routed>),
-    Attach { tenant: u32, artifact: Arc<EngineArtifact>, record: bool },
+    Attach { tenant: u32, artifact: Arc<EngineArtifact>, record: bool, table: FlowTableConfig },
     Swap { tenant: u32, artifact: Arc<EngineArtifact>, ack: SyncSender<bool> },
     Detach { tenant: u32, ack: SyncSender<TenantShardOut> },
 }
@@ -342,13 +441,18 @@ struct WorkerTenant {
     exec: TenantExec,
     stats: ShardStats,
     record: bool,
+    /// Attach-time flow-table shape, kept for kind-changing swaps (the
+    /// rebuilt exec keeps the tenant's configured bounds).
+    table: FlowTableConfig,
     preds: HashMap<FiveTuple, Vec<usize>>,
     err: Option<PegasusError>,
 }
 
 impl WorkerTenant {
     fn finalize(mut self) -> TenantShardOut {
-        self.stats.flows = self.exec.flows();
+        self.stats.table = self.exec.table_counters();
+        // The flows metric IS the table's occupancy — one source of truth.
+        self.stats.flows = self.stats.table.occupancy;
         TenantShardOut { stats: self.stats, preds: self.preds, err: self.err }
     }
 }
@@ -371,6 +475,9 @@ struct TenantEntry {
     name: String,
     predicate: RoutePredicate,
     record: bool,
+    /// Attach-time flow-table shape; swaps re-validate the incoming
+    /// artifact's state cost against it.
+    table: FlowTableConfig,
     attached: Instant,
     /// The epoch-published artifact: the control plane stores the current
     /// `Arc` here and bumps `epoch` on every swap; workers receive the same
@@ -593,7 +700,8 @@ fn publish(shard: usize, shared: &EngineShared, tenants: &HashMap<u32, WorkerTen
     board.clear();
     for (&id, wt) in tenants {
         let mut stats = wt.stats.clone();
-        stats.flows = wt.exec.flows();
+        stats.table = wt.exec.table_counters();
+        stats.flows = stats.table.occupancy;
         board.insert(id, BoardEntry { stats, failed: wt.err.is_some() });
     }
 }
@@ -654,13 +762,14 @@ fn worker_loop(
                     }
                 }
             }
-            ShardMsg::Attach { tenant, artifact, record } => {
+            ShardMsg::Attach { tenant, artifact, record, table } => {
                 tenants.insert(
                     tenant,
                     WorkerTenant {
-                        exec: TenantExec::new(&artifact),
+                        exec: TenantExec::new(&artifact, table),
                         stats: ShardStats::new(shard),
                         record,
+                        table,
                         preds: HashMap::new(),
                         err: None,
                     },
@@ -669,7 +778,10 @@ fn worker_loop(
             }
             ShardMsg::Swap { tenant, artifact, ack } => {
                 let retained = match tenants.get_mut(&tenant) {
-                    Some(wt) => wt.exec.swap(&artifact),
+                    Some(wt) => {
+                        let table = wt.table;
+                        wt.exec.swap(&artifact, table)
+                    }
                     None => false,
                 };
                 publish(shard, shared, &tenants);
@@ -766,11 +878,19 @@ impl ControlHandle {
     /// packets matching `cfg`'s route are steered to it from the next
     /// `push` on. Returns the token that names the tenant to
     /// [`swap`](ControlHandle::swap) and [`detach`](ControlHandle::detach).
+    ///
+    /// The tenant's flow-state budget is validated against the switch
+    /// model the artifact was deployed on: `capacity × bits-per-flow`
+    /// (host window mirror for register-free pipelines, real per-slot
+    /// register SRAM for per-flow ones) must fit the model's
+    /// `register_bits_total`, or the attach is rejected with
+    /// [`PegasusError::StateBudget`] before any shard allocates a slab.
     pub fn attach(
         &self,
         artifact: EngineArtifact,
         cfg: TenantConfig,
     ) -> Result<TenantToken, PegasusError> {
+        artifact.validate_state_budget(&cfg.flow_table)?;
         let artifact = Arc::new(artifact);
         let mut d = self.shared.lock_dispatch();
         let token = TenantToken(d.next_id);
@@ -780,6 +900,7 @@ impl ControlHandle {
                 tenant: token.0,
                 artifact: Arc::clone(&artifact),
                 record: cfg.record_predictions,
+                table: cfg.flow_table,
             })
             .map_err(|_| PegasusError::EngineStopped)?;
         }
@@ -789,6 +910,7 @@ impl ControlHandle {
             name,
             predicate: cfg.route,
             record: cfg.record_predictions,
+            table: cfg.flow_table,
             attached: Instant::now(),
             artifact,
             epoch: 0,
@@ -836,6 +958,10 @@ impl ControlHandle {
             // shard's FIFO: the epoch boundary is exact.
             d.flush()?;
             let entry = d.entry_mut(token)?;
+            // The incoming artifact must fit the tenant's state budget
+            // just like the original attach did (a swap to a hungrier
+            // pipeline shape must not sneak past the SRAM model).
+            artifact.validate_state_budget(&entry.table)?;
             entry.artifact = Arc::clone(&artifact);
             entry.epoch += 1;
             let epoch = entry.epoch;
@@ -931,6 +1057,7 @@ fn merge_report(
     predictions: Option<HashMap<FiveTuple, Vec<usize>>>,
 ) -> StreamReport {
     let mut latency = LatencyHistogram::default();
+    let mut table = crate::engine::stats::FlowTableCounters::default();
     let (mut packets, mut classified, mut warmup, mut flows) = (0u64, 0u64, 0u64, 0u64);
     for s in &shards {
         packets += s.packets;
@@ -938,8 +1065,19 @@ fn merge_report(
         warmup += s.warmup;
         flows += s.flows;
         latency.merge(&s.latency);
+        table.merge(&s.table);
     }
-    StreamReport { shards, packets, classified, warmup, flows, elapsed_nanos, latency, predictions }
+    StreamReport {
+        shards,
+        packets,
+        classified,
+        warmup,
+        flows,
+        elapsed_nanos,
+        latency,
+        table,
+        predictions,
+    }
 }
 
 fn tenant_report(entry: TenantEntry, outs: Vec<TenantShardOut>) -> TenantReport {

@@ -92,6 +92,47 @@ impl LatencyHistogram {
     }
 }
 
+/// Occupancy and eviction counters of one bounded flow table (a shard's
+/// host tracker, or the hardware-faithful alias view of a per-flow
+/// register file). Mergeable across shards by field-wise summation —
+/// capacity sums too, because every shard owns its own table (the forked
+/// register-file model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTableCounters {
+    /// Slots currently occupied (the shard's resident flows).
+    pub occupancy: u64,
+    /// Fixed slot capacity.
+    pub capacity: u64,
+    /// Entries reclaimed by idle-timeout aging (incl. in-place re-warms).
+    pub evictions_idle: u64,
+    /// Entries replaced under capacity pressure (table full).
+    pub evictions_capacity: u64,
+    /// Alias-mode slot-ownership changes — packets of a flow whose
+    /// register slot was owned by a different flow (hash collisions).
+    pub alias_collisions: u64,
+    /// Flow-state bytes in use: the flat preallocated slab plus bounded
+    /// per-flow window heap (host tables), or the register SRAM the slots
+    /// model (alias views). Flat in the flow count by construction.
+    pub state_bytes: u64,
+}
+
+impl FlowTableCounters {
+    /// Folds another table's counters into this one.
+    pub fn merge(&mut self, other: &FlowTableCounters) {
+        self.occupancy += other.occupancy;
+        self.capacity += other.capacity;
+        self.evictions_idle += other.evictions_idle;
+        self.evictions_capacity += other.evictions_capacity;
+        self.alias_collisions += other.alias_collisions;
+        self.state_bytes += other.state_bytes;
+    }
+
+    /// All evictions (idle + capacity).
+    pub fn evictions(&self) -> u64 {
+        self.evictions_idle + self.evictions_capacity
+    }
+}
+
 /// One shard worker's counters.
 #[derive(Clone, Debug)]
 pub struct ShardStats {
@@ -103,12 +144,16 @@ pub struct ShardStats {
     pub classified: u64,
     /// Packets swallowed by per-flow warm-up (window not yet full).
     pub warmup: u64,
-    /// Distinct flows owned by this shard.
+    /// Flows resident on this shard — occupied flow-table slots. For
+    /// per-flow register pipelines this is the hardware-faithful count
+    /// (hash-colliding flows share a slot and count once).
     pub flows: u64,
     /// Nanoseconds spent inside packet processing (excludes queue waits).
     pub busy_nanos: u64,
     /// Per-packet processing latency.
     pub latency: LatencyHistogram,
+    /// Occupancy/eviction/collision counters of this shard's flow table.
+    pub table: FlowTableCounters,
 }
 
 impl ShardStats {
@@ -121,6 +166,7 @@ impl ShardStats {
             flows: 0,
             busy_nanos: 0,
             latency: LatencyHistogram::default(),
+            table: FlowTableCounters::default(),
         }
     }
 
@@ -153,6 +199,9 @@ pub struct StreamReport {
     pub elapsed_nanos: u64,
     /// Merged per-packet latency across shards.
     pub latency: LatencyHistogram,
+    /// Merged flow-table counters across shards (capacity sums: each
+    /// shard owns a full table, the forked register-file model).
+    pub table: FlowTableCounters,
     /// Per-flow classification sequences, in per-flow packet order
     /// (`Some` only when `StreamConfig::record_predictions` was set).
     pub predictions: Option<HashMap<FiveTuple, Vec<usize>>>,
@@ -248,6 +297,7 @@ mod tests {
             flows: 1,
             elapsed_nanos: 1,
             latency: LatencyHistogram::default(),
+            table: FlowTableCounters::default(),
             predictions: Some(preds),
         };
         assert_eq!(report.flow_verdicts().unwrap()[&flow], 1);

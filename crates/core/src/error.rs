@@ -79,6 +79,16 @@ pub enum PegasusError {
         /// Why the value is invalid.
         reason: &'static str,
     },
+    /// A tenant's flow-state budget (`flow-table capacity × stateful bits
+    /// per flow`) exceeds the stateful-SRAM budget of the switch model its
+    /// artifact was deployed against — the paper's Figure 7 constraint
+    /// enforced at attach/swap time.
+    StateBudget {
+        /// Register bits the requested capacity would consume.
+        needed_bits: u64,
+        /// Register bits the switch model offers (`register_bits_total`).
+        budget_bits: u64,
+    },
     /// A control-plane operation referenced a tenant that is not attached
     /// (never attached, already detached, or a stale token after the
     /// engine restarted).
@@ -123,6 +133,13 @@ impl fmt::Display for PegasusError {
             }
             PegasusError::InvalidConfig { field, reason } => {
                 write!(f, "invalid engine configuration: {field} {reason}")
+            }
+            PegasusError::StateBudget { needed_bits, budget_bits } => {
+                write!(
+                    f,
+                    "per-tenant flow-state budget exceeded: needs {needed_bits} register bits, \
+                     the switch model offers {budget_bits}"
+                )
             }
             PegasusError::UnknownTenant { tenant } => {
                 write!(f, "tenant {tenant} is not attached to this engine")

@@ -540,6 +540,33 @@ impl FlowClassifier {
         self.loaded.resource_report()
     }
 
+    /// Per-flow register slots (the hash table size, `2^flow_slots_log2`).
+    /// Flows whose truncated hashes collide share one slot — and share
+    /// their register state with it.
+    pub fn flow_slots(&self) -> usize {
+        self.hash_mask as usize + 1
+    }
+
+    /// SRAM bits every register slot consumes (the sum of the element
+    /// widths of all per-flow register arrays: code history, timestamp,
+    /// warm-up counter). `flow_slots × state_bits_per_slot` is this
+    /// classifier's total stateful SRAM.
+    pub fn state_bits_per_slot(&self) -> u64 {
+        self.loaded.with_registers(|r| r.iter().map(|a| u64::from(a.width_bits)).sum())
+    }
+
+    /// Total stateful register SRAM of this classifier, in bits — what
+    /// per-tenant state budgets are checked against.
+    pub fn register_state_bits(&self) -> u64 {
+        self.loaded.with_registers(|r| r.total_bits())
+    }
+
+    /// The switch configuration this classifier was deployed against
+    /// (its SRAM model bounds per-tenant state budgets).
+    pub fn switch_config(&self) -> &SwitchConfig {
+        self.loaded.config()
+    }
+
     /// Clears all per-flow state (fresh trace).
     pub fn reset(&mut self) {
         self.loaded.reset_state();

@@ -74,7 +74,7 @@ pub use engine::server::{
     IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
     TenantStats, TenantToken,
 };
-pub use engine::{StreamConfig, StreamReport};
+pub use engine::{FlowTableCounters, StreamConfig, StreamReport, HOST_WINDOW_STATE_BITS};
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};
 pub use pipeline::{Artifact, Compiled, Deployment, Pegasus};

@@ -442,9 +442,12 @@ impl<M: DataplaneNet> Deployment<M> {
             .batch(cfg.batch.max(1))
             .queue_batches(cfg.queue_batches.max(1))
             .build()?;
-        let tenant = server
-            .control()
-            .attach(artifact, TenantConfig::new().record_predictions(cfg.record_predictions))?;
+        let tenant = server.control().attach(
+            artifact,
+            TenantConfig::new()
+                .record_predictions(cfg.record_predictions)
+                .flow_table(cfg.flow_table),
+        )?;
         let ingress = server.ingress();
         while let Some(pkt) = source.next_packet() {
             ingress.push(pkt)?;
@@ -460,6 +463,17 @@ impl<M: DataplaneNet> Deployment<M> {
             .take_tenant(tenant)
             .ok_or(PegasusError::UnknownTenant { tenant: tenant.id() })?
             .result
+    }
+
+    /// Read-only access to the per-flow classifier of windowed pipelines
+    /// (`None` for stateless deployments) — slot counts, per-slot state
+    /// bits, resource accounting. Unlike [`flow_mut`](Deployment::flow_mut)
+    /// it works while a serving engine shares the plane.
+    pub fn flow(&self) -> Option<&FlowClassifier> {
+        match &self.plane {
+            Plane::Flow(fc) => Some(fc),
+            Plane::Single(_) => None,
+        }
     }
 
     /// The per-flow classifier for windowed pipelines (packet-by-packet

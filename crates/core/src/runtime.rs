@@ -66,6 +66,12 @@ impl DataplaneModel {
         self.loaded.resource_report()
     }
 
+    /// The switch configuration this model was deployed against (its SRAM
+    /// model bounds per-tenant flow-state budgets in the serving engine).
+    pub fn switch_config(&self) -> &SwitchConfig {
+        self.loaded.config()
+    }
+
     /// Classifies one sample of feature codes (each in `[0, 255]`).
     pub fn classify(&self, codes: &[f32]) -> Result<usize, PegasusError> {
         let phv = self.process(codes)?;

@@ -44,7 +44,13 @@ impl SampleViews {
 
 /// Extracts aligned sample views from a labeled trace.
 pub fn extract_views(trace: &Trace) -> SampleViews {
-    let mut tracker = FlowTracker::new(WINDOW);
+    // Offline dataset construction must never evict: size the (bounded)
+    // tracker to the trace's own flow population, which is known up
+    // front — this is a host-side pass with no SRAM budget to honor.
+    let mut tracker = FlowTracker::bounded(
+        WINDOW,
+        pegasus_net::FlowTableConfig::with_capacity(trace.flow_count().max(1)),
+    );
     let mut payload_hist: HashMap<pegasus_net::FiveTuple, Vec<Vec<u8>>> = HashMap::new();
     let mut flow_index: HashMap<pegasus_net::FiveTuple, usize> = HashMap::new();
     let mut flows = Vec::new();

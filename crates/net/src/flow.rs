@@ -5,10 +5,18 @@
 //! and a window of extracted per-packet features (§7.3). [`FlowTracker`] is
 //! the host-side mirror of that state used by dataset construction and by
 //! the classifier runtimes.
+//!
+//! Per-flow state on the switch lives in *fixed-size* register arrays — the
+//! scarce resource behind the paper's Figure 7 — so the host-side mirror is
+//! bounded too: [`FlowTable`] is a fixed-capacity, hash-indexed,
+//! open-addressed slot array with idle-timeout aging (on a packet-count
+//! clock, no wall time), capacity-pressure replacement, and a
+//! hardware-faithful *alias* mode in which colliding flows share one slot
+//! exactly like the switch's hash-indexed register files. Memory is flat in
+//! the flow count by construction: the slab is preallocated at the
+//! configured capacity and never grows.
 
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// A flow's five-tuple identity.
@@ -155,18 +163,373 @@ impl FlowState {
     }
 }
 
-/// Host-side flow table: five-tuple → [`FlowState`].
+/// Default slot count of a [`FlowTable`] (and of every tracker built
+/// through [`FlowTracker::new`]): 4096 slots, the scale of the paper's
+/// per-flow register files (`flow_slots_log2` of 10–12). Any workload whose
+/// distinct live flows fit the capacity behaves bit-identically to an
+/// unbounded map.
+pub const DEFAULT_FLOW_SLOTS: usize = 4096;
+
+/// When the table is completely full, the eviction victim is chosen among
+/// the first this-many probe positions of the new flow's chain (the
+/// least-recently-seen of them) — the bounded-candidate approximation of
+/// LRU that real flow tables (conntrack-style) use.
+const EVICT_WINDOW: usize = 8;
+
+/// Configuration of a [`FlowTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTableConfig {
+    /// Slot count — the hard capacity. The slab is preallocated at this
+    /// size and never grows. Must be ≥ 1.
+    pub capacity: usize,
+    /// Idle-timeout aging on the table's packet-count clock (the clock
+    /// ticks once per [`admit`](FlowTable::admit)): an entry not touched
+    /// for more than this many table packets is considered dead — it is
+    /// reclaimed when a new flow's probe path crosses it, and re-warms
+    /// from scratch if its own flow returns. `0` disables aging.
+    /// Ignored in alias mode (hash-indexed registers never age).
+    pub idle_timeout_packets: u64,
+    /// Hardware-faithful aliasing: no probing, no eviction — a flow's slot
+    /// is exactly `hash % capacity`, and colliding flows *share* the slot's
+    /// state, just like the switch's hash-indexed register files (§7.3).
+    pub alias: bool,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig { capacity: DEFAULT_FLOW_SLOTS, idle_timeout_packets: 0, alias: false }
+    }
+}
+
+impl FlowTableConfig {
+    /// An evicting table of `capacity` slots (no aging).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlowTableConfig { capacity, ..FlowTableConfig::default() }
+    }
+
+    /// An alias-mode table of `capacity` slots.
+    pub fn aliased(capacity: usize) -> Self {
+        FlowTableConfig { capacity, idle_timeout_packets: 0, alias: true }
+    }
+}
+
+/// What [`FlowTable::admit`] did with the packet's flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The flow was already resident; its state was found and touched.
+    Existing,
+    /// A new flow took an empty slot.
+    Fresh,
+    /// The flow was resident but idle past the timeout: its state was
+    /// reset in place and it re-warms from scratch.
+    Rewarmed,
+    /// A new flow reclaimed the slot of an idle-expired flow (aging).
+    EvictedIdle,
+    /// The table was full with no idle entries: a new flow replaced the
+    /// least-recently-seen entry in its probe window (capacity pressure).
+    EvictedCapacity,
+    /// Alias mode: the flow's slot was owned by a different flow; the slot
+    /// changed owners and the *state carried over*, exactly like colliding
+    /// flows sharing a register-file slot on the switch.
+    Aliased,
+}
+
+impl Admission {
+    /// True when the flow starts (or restarts) from zeroed state — every
+    /// outcome except [`Existing`](Admission::Existing) and
+    /// [`Aliased`](Admission::Aliased) (aliased flows inherit the previous
+    /// owner's state, as the hardware would).
+    pub fn fresh_state(&self) -> bool {
+        !matches!(self, Admission::Existing | Admission::Aliased)
+    }
+
+    /// True when another flow lost its state to this packet.
+    pub fn evicted_other(&self) -> bool {
+        matches!(self, Admission::EvictedIdle | Admission::EvictedCapacity)
+    }
+}
+
+/// Cumulative counters of a [`FlowTable`] (never reset by
+/// [`clear`](FlowTable::clear)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Entries reclaimed by idle-timeout aging (including in-place
+    /// re-warms of a returning idle flow).
+    pub evicted_idle: u64,
+    /// Entries replaced under capacity pressure (table full).
+    pub evicted_capacity: u64,
+    /// Alias-mode slot-ownership changes (colliding flows).
+    pub alias_collisions: u64,
+    /// Highest occupancy ever reached.
+    pub peak_occupancy: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    key: FiveTuple,
+    last_seen: u64,
+    value: V,
+}
+
+enum Probe {
+    /// Key found at index; flag says it sat idle past the timeout.
+    Hit(usize, bool),
+    /// Key absent; an empty slot at index ends the chain. The option is an
+    /// idle-expired slot seen earlier on the path, preferred for reuse.
+    Empty(usize, Option<usize>),
+    /// Key absent and the table is full: idle candidate (if any) and the
+    /// least-recently-seen slot of the first [`EVICT_WINDOW`] positions.
+    Full(Option<usize>, usize),
+}
+
+/// A fixed-capacity, hash-indexed flow table — the bounded replacement for
+/// `HashMap<FiveTuple, V>` in every serving layer.
+///
+/// Lookup and insertion probe linearly from `hash % capacity`. Occupied
+/// slots are never emptied (entries are only ever *replaced*), so a
+/// resident key is always found before the first empty slot of its chain —
+/// at load factors below ~0.9 the expected probe length is a small
+/// constant, and memory is exactly `capacity` slots forever. Misses are
+/// bounded even with no empty slot in sight: an entry's displacement from
+/// its home slot is fixed at insert time (replacement never moves
+/// entries), so scanning past the longest displacement ever inserted
+/// proves a key absent — a full table's miss costs that bound, not a
+/// sweep of every slot. When a new flow's probe path finds no room, the
+/// table evicts: an idle-expired entry on the path if aging is
+/// configured, else (only once the table is completely full) the
+/// least-recently-seen entry among the flow's first 8 probe positions.
+///
+/// With `capacity ≥` the number of distinct live flows and aging disabled,
+/// no eviction ever fires and the table is observationally identical to an
+/// unbounded map.
+///
+/// In [alias mode](FlowTableConfig::alias) there is no probing at all:
+/// `hash % capacity` *is* the slot, and colliding flows share its state —
+/// the exact behavior of the switch's per-flow register files, which is
+/// what makes the mode useful for hardware-faithful occupancy accounting.
+#[derive(Clone, Debug)]
+pub struct FlowTable<V> {
+    slots: Vec<Option<Slot<V>>>,
+    occupied: usize,
+    clock: u64,
+    cfg: FlowTableConfig,
+    stats: FlowTableStats,
+    /// Longest home→slot displacement any entry was ever inserted at.
+    /// Displacements are fixed at insert time (replacement never moves
+    /// entries), so this is an exact miss bound: a key not found within
+    /// `longest_probe` slots of its home is not resident. Keeps full-table
+    /// misses O(bound) instead of O(capacity).
+    longest_probe: usize,
+}
+
+impl<V> FlowTable<V> {
+    /// Preallocates a table per `cfg` (panics on zero capacity — reject
+    /// that earlier with a proper error where user input reaches this).
+    pub fn new(cfg: FlowTableConfig) -> Self {
+        assert!(cfg.capacity >= 1, "flow table needs at least one slot");
+        let mut slots = Vec::new();
+        slots.resize_with(cfg.capacity, || None);
+        FlowTable {
+            slots,
+            occupied: 0,
+            clock: 0,
+            cfg,
+            stats: FlowTableStats::default(),
+            longest_probe: 0,
+        }
+    }
+
+    fn probe(&self, key: &FiveTuple, home: usize) -> Probe {
+        let cap = self.slots.len();
+        let timeout = self.cfg.idle_timeout_packets;
+        let is_idle = |s: &Slot<V>| timeout > 0 && self.clock - s.last_seen > timeout;
+        let mut first_idle: Option<usize> = None;
+        let mut lru = (home, u64::MAX);
+        // A completely full table has no empty terminator, but every
+        // resident entry sits within `longest_probe` of its home — scan
+        // that far (and at least the eviction window) and stop.
+        let limit = if self.occupied == cap {
+            cap.min((self.longest_probe + 1).max(EVICT_WINDOW))
+        } else {
+            cap
+        };
+        for d in 0..limit {
+            let i = (home + d) % cap;
+            match &self.slots[i] {
+                None => return Probe::Empty(i, first_idle),
+                Some(s) if s.key == *key => return Probe::Hit(i, is_idle(s)),
+                Some(s) => {
+                    if first_idle.is_none() && is_idle(s) {
+                        first_idle = Some(i);
+                    }
+                    if d < EVICT_WINDOW && s.last_seen < lru.1 {
+                        lru = (i, s.last_seen);
+                    }
+                }
+            }
+        }
+        Probe::Full(first_idle, lru.0)
+    }
+
+    /// Admits one packet of `key`'s flow: finds (or creates, via `new`) its
+    /// slot, advances the packet-count clock, applies aging/eviction, and
+    /// returns what happened plus the flow's state.
+    pub fn admit(&mut self, key: FiveTuple, new: impl FnOnce() -> V) -> (Admission, &mut V) {
+        self.clock += 1;
+        let cap = self.slots.len();
+        let home = key.dataplane_hash() as usize % cap;
+
+        let (idx, admission) = if self.cfg.alias {
+            let admission = match &mut self.slots[home] {
+                Some(s) if s.key == key => Admission::Existing,
+                Some(s) => {
+                    // State intentionally carried over: on the switch the
+                    // register contents do not know the owner changed.
+                    s.key = key;
+                    self.stats.alias_collisions += 1;
+                    Admission::Aliased
+                }
+                empty => {
+                    *empty = Some(Slot { key, last_seen: self.clock, value: new() });
+                    self.occupied += 1;
+                    Admission::Fresh
+                }
+            };
+            (home, admission)
+        } else {
+            match self.probe(&key, home) {
+                Probe::Hit(i, false) => (i, Admission::Existing),
+                Probe::Hit(i, true) => {
+                    // The flow's own entry aged out: re-warm from scratch.
+                    self.stats.evicted_idle += 1;
+                    self.slots[i].as_mut().expect("hit slot occupied").value = new();
+                    (i, Admission::Rewarmed)
+                }
+                Probe::Empty(empty, None) => {
+                    self.slots[empty] = Some(Slot { key, last_seen: self.clock, value: new() });
+                    self.occupied += 1;
+                    (empty, Admission::Fresh)
+                }
+                Probe::Empty(_, Some(idle)) | Probe::Full(Some(idle), _) => {
+                    self.stats.evicted_idle += 1;
+                    let s = self.slots[idle].as_mut().expect("idle slot occupied");
+                    s.key = key;
+                    s.value = new();
+                    (idle, Admission::EvictedIdle)
+                }
+                Probe::Full(None, lru) => {
+                    self.stats.evicted_capacity += 1;
+                    let s = self.slots[lru].as_mut().expect("lru slot occupied");
+                    s.key = key;
+                    s.value = new();
+                    (lru, Admission::EvictedCapacity)
+                }
+            }
+        };
+        if matches!(
+            admission,
+            Admission::Fresh | Admission::EvictedIdle | Admission::EvictedCapacity
+        ) {
+            let d = (idx + cap - home) % cap;
+            self.longest_probe = self.longest_probe.max(d);
+        }
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupied as u64);
+        let slot = self.slots[idx].as_mut().expect("admitted slot occupied");
+        slot.last_seen = self.clock;
+        (admission, &mut slot.value)
+    }
+
+    /// Looks up a resident flow's state (aging applies at
+    /// [`admit`](FlowTable::admit) time only; an idle entry still reads).
+    pub fn get(&self, key: &FiveTuple) -> Option<&V> {
+        let cap = self.slots.len();
+        let home = key.dataplane_hash() as usize % cap;
+        if self.cfg.alias {
+            return self.slots[home].as_ref().filter(|s| s.key == *key).map(|s| &s.value);
+        }
+        for d in 0..cap.min(self.longest_probe + 1) {
+            match &self.slots[(home + d) % cap] {
+                None => return None,
+                Some(s) if s.key == *key => return Some(&s.value),
+                Some(_) => {}
+            }
+        }
+        None
+    }
+
+    /// Occupied slots (resident flows; in alias mode, slots with at least
+    /// one owner ever).
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Cumulative eviction/collision counters.
+    pub fn stats(&self) -> FlowTableStats {
+        self.stats
+    }
+
+    /// Packets admitted over the table's lifetime (the aging clock).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Bytes of the preallocated slab — flat in the flow count by
+    /// construction (per-value heap, e.g. window `Vec`s, is extra and
+    /// bounded by `capacity × per-flow window`).
+    pub fn slab_bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<Option<Slot<V>>>()) as u64
+    }
+
+    /// Empties every slot (counters and the clock keep running — a
+    /// cleared table is a fresh register file, not a fresh switch).
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.occupied = 0;
+        self.longest_probe = 0;
+    }
+
+    /// Iterates resident flows **sorted by five-tuple**, so downstream
+    /// reports and examples are reproducible run to run (slot order is an
+    /// artifact of hashing and probe history).
+    pub fn iter(&self) -> impl Iterator<Item = (&FiveTuple, &V)> {
+        let mut entries: Vec<(&FiveTuple, &V)> =
+            self.slots.iter().flatten().map(|s| (&s.key, &s.value)).collect();
+        entries.sort_by_key(|(k, _)| **k);
+        entries.into_iter()
+    }
+}
+
+/// Host-side flow table: five-tuple → [`FlowState`], bounded by a
+/// [`FlowTable`] slab.
 #[derive(Clone, Debug)]
 pub struct FlowTracker {
-    flows: HashMap<FiveTuple, FlowState>,
+    table: FlowTable<FlowState>,
     window_cap: usize,
 }
 
 impl FlowTracker {
-    /// Creates a tracker keeping per-flow windows of `window_cap` packets.
+    /// Creates a tracker keeping per-flow windows of `window_cap` packets,
+    /// with the default table shape ([`DEFAULT_FLOW_SLOTS`] slots, no
+    /// aging) — behaviorally identical to the old unbounded tracker for
+    /// any workload under that many concurrent flows.
     pub fn new(window_cap: usize) -> Self {
+        FlowTracker::bounded(window_cap, FlowTableConfig::default())
+    }
+
+    /// Creates a tracker over an explicitly configured [`FlowTable`].
+    pub fn bounded(window_cap: usize, table: FlowTableConfig) -> Self {
         assert!(window_cap >= 1);
-        FlowTracker { flows: HashMap::new(), window_cap }
+        FlowTracker { table: FlowTable::new(table), window_cap }
     }
 
     /// Records a packet, returning the observation (with computed IPD) and
@@ -177,32 +540,61 @@ impl FlowTracker {
         ts_micros: u64,
         wire_len: u16,
     ) -> (PacketObs, &FlowState) {
-        let state = match self.flows.entry(flow) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => e.insert(FlowState::new(self.window_cap)),
-        };
+        let (obs, _, state) = self.observe_admit(flow, ts_micros, wire_len);
+        (obs, state)
+    }
+
+    /// [`observe`](FlowTracker::observe) that also reports what the table
+    /// did with the flow (evictions, aliasing, re-warms) — the serving
+    /// engine's counters come from here.
+    pub fn observe_admit(
+        &mut self,
+        flow: FiveTuple,
+        ts_micros: u64,
+        wire_len: u16,
+    ) -> (PacketObs, Admission, &FlowState) {
+        let window_cap = self.window_cap;
+        let (admission, state) = self.table.admit(flow, || FlowState::new(window_cap));
         let obs = state.observe(ts_micros, wire_len);
-        (obs, &*state)
+        (obs, admission, &*state)
     }
 
     /// Looks up a flow's state.
     pub fn get(&self, flow: &FiveTuple) -> Option<&FlowState> {
-        self.flows.get(flow)
+        self.table.get(flow)
     }
 
-    /// Number of tracked flows.
+    /// Number of tracked flows (occupied slots).
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.table.len()
     }
 
     /// True when no flows are tracked.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.table.is_empty()
     }
 
-    /// Iterates tracked flows.
+    /// The table's fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Cumulative eviction/collision counters of the underlying table.
+    pub fn table_stats(&self) -> FlowTableStats {
+        self.table.stats()
+    }
+
+    /// Flow-state bytes in use: the flat preallocated slab plus the
+    /// bounded per-flow window heap — never grows past the capacity's
+    /// worth of flows, unlike a `HashMap` under churn.
+    pub fn state_bytes(&self) -> u64 {
+        self.table.slab_bytes()
+            + (self.table.len() * self.window_cap * std::mem::size_of::<PacketObs>()) as u64
+    }
+
+    /// Iterates tracked flows, sorted by five-tuple (reproducible order).
     pub fn iter(&self) -> impl Iterator<Item = (&FiveTuple, &FlowState)> {
-        self.flows.iter()
+        self.table.iter()
     }
 }
 
@@ -214,11 +606,20 @@ pub struct SharedFlowTracker {
 }
 
 impl SharedFlowTracker {
-    /// Creates a sharded tracker.
+    /// Creates a sharded tracker with the default per-shard table shape.
     pub fn new(shards: usize, window_cap: usize) -> Self {
+        SharedFlowTracker::bounded(shards, window_cap, FlowTableConfig::default())
+    }
+
+    /// Creates a sharded tracker; every shard gets its own table of
+    /// `per_shard.capacity` slots (flows are partitioned by hash, so the
+    /// aggregate capacity is `shards × per_shard.capacity`).
+    pub fn bounded(shards: usize, window_cap: usize, per_shard: FlowTableConfig) -> Self {
         assert!(shards >= 1);
         SharedFlowTracker {
-            shards: (0..shards).map(|_| Mutex::new(FlowTracker::new(window_cap))).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(FlowTracker::bounded(window_cap, per_shard)))
+                .collect(),
         }
     }
 
@@ -351,5 +752,185 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(t.len(), 400);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_five_tuple() {
+        let mut t = FlowTracker::new(2);
+        // Insertion order deliberately scrambled relative to tuple order.
+        for n in [9u32, 1, 7, 3, 5] {
+            t.observe(ft(n), 0, 10);
+        }
+        let keys: Vec<u32> = t.iter().map(|(f, _)| f.src_ip).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_semantics_when_capacity_suffices() {
+        // A 4-slot table over 3 flows behaves exactly like the old
+        // unbounded map: every flow keeps its own state, no evictions.
+        let mut t = FlowTracker::bounded(2, FlowTableConfig::with_capacity(4));
+        for i in 0..6u64 {
+            for n in 1..=3u32 {
+                t.observe(ft(n), i * 100, 100 + n as u16);
+            }
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.table_stats(), FlowTableStats { peak_occupancy: 3, ..Default::default() });
+        for n in 1..=3u32 {
+            assert_eq!(t.get(&ft(n)).unwrap().packets, 6);
+        }
+    }
+
+    #[test]
+    fn full_table_evicts_lru_and_victim_rewarms_on_return() {
+        // Capacity 2: flows A and B fill the table; C must evict the
+        // least-recently-seen (A). When A returns it re-warms from scratch.
+        let mut t = FlowTracker::bounded(4, FlowTableConfig::with_capacity(2));
+        t.observe(ft(1), 0, 10); // A
+        t.observe(ft(2), 1, 10); // B
+        t.observe(ft(2), 2, 10); // B again: A is now LRU
+        let (_, adm, _) = t.observe_admit(ft(3), 3, 10); // C evicts A
+        assert_eq!(adm, Admission::EvictedCapacity);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&ft(1)).is_none(), "A's state must be gone");
+        assert_eq!(t.get(&ft(2)).unwrap().packets, 2, "B untouched");
+        let (_, adm, state) = t.observe_admit(ft(1), 4, 10);
+        assert!(adm.fresh_state(), "returning evicted flow starts over, got {adm:?}");
+        assert_eq!(state.packets, 1);
+        assert_eq!(t.table_stats().evicted_capacity, 2, "A's return evicted someone else");
+    }
+
+    #[test]
+    fn idle_flows_age_out_on_the_packet_clock() {
+        let cfg = FlowTableConfig { capacity: 8, idle_timeout_packets: 3, alias: false };
+        let mut t = FlowTracker::bounded(4, cfg);
+        t.observe(ft(1), 0, 10);
+        // Two packets of other flows: at flow 1's next admission the clock
+        // has advanced 3 ticks since it was last seen (its own admission
+        // ticks too) — exactly the timeout, not yet expired (strict
+        // inequality).
+        t.observe(ft(2), 1, 10);
+        t.observe(ft(2), 2, 10);
+        let (_, adm, _) = t.observe_admit(ft(1), 4, 10);
+        assert_eq!(adm, Admission::Existing, "at the boundary the flow is still live");
+        // Now push it past the timeout and watch it re-warm in place.
+        for i in 0..4u64 {
+            t.observe(ft(2), 5 + i, 10);
+        }
+        let (_, adm, state) = t.observe_admit(ft(1), 20, 10);
+        assert_eq!(adm, Admission::Rewarmed);
+        assert_eq!(state.packets, 1, "aged-out flow restarts from scratch");
+        assert_eq!(t.table_stats().evicted_idle, 1);
+    }
+
+    #[test]
+    fn new_flow_reclaims_idle_slot_on_its_probe_path() {
+        // A recently-active flow is protected: with every slot live, a new
+        // flow falls back to capacity-pressure replacement...
+        let cfg = FlowTableConfig { capacity: 1, idle_timeout_packets: 2, alias: false };
+        let mut t = FlowTracker::bounded(4, cfg);
+        t.observe(ft(1), 0, 10);
+        let (_, adm, _) = t.observe_admit(ft(2), 10, 10);
+        assert_eq!(adm, Admission::EvictedCapacity);
+        // ...but an idle-expired resident is reclaimed as EvictedIdle.
+        let cfg2 = FlowTableConfig { capacity: 2, idle_timeout_packets: 2, alias: false };
+        let mut t2 = FlowTracker::bounded(4, cfg2);
+        t2.observe(ft(1), 0, 10);
+        for i in 1..=4u64 {
+            t2.observe(ft(2), i, 10); // ticks the clock; flow 1 goes idle
+        }
+        let (_, adm, _) = t2.observe_admit(ft(3), 5, 10);
+        assert_eq!(adm, Admission::EvictedIdle);
+        assert_eq!(t2.table_stats().evicted_idle, 1);
+        assert!(t2.get(&ft(1)).is_none(), "the idle flow lost its slot");
+        assert!(t2.get(&ft(2)).is_some(), "the live flow kept its slot");
+    }
+
+    #[test]
+    fn alias_mode_shares_slot_state_like_register_files() {
+        // Capacity 1 forces every flow onto one slot — the degenerate
+        // register file. The second flow must CONTINUE the first flow's
+        // state (window, counters), exactly like the switch's hash-indexed
+        // registers, not reset it.
+        let mut t = FlowTracker::bounded(2, FlowTableConfig::aliased(1));
+        t.observe(ft(1), 0, 10);
+        let (_, adm, state) = t.observe_admit(ft(2), 1, 20);
+        assert_eq!(adm, Admission::Aliased);
+        assert_eq!(state.packets, 2, "aliased flow inherits the resident state");
+        assert!(state.window_full(), "two packets fill the shared 2-window");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.table_stats().alias_collisions, 1);
+        // The slot's owner is now flow 2; flow 1 is no longer resident.
+        assert!(t.get(&ft(1)).is_none());
+        assert!(t.get(&ft(2)).is_some());
+    }
+
+    #[test]
+    fn alias_slot_indexing_matches_register_semantics() {
+        // An alias table of 2^k slots and a RegisterArray of the same size
+        // agree on which flows share state: slot = dataplane_hash % size.
+        let slots = 16usize;
+        let mut table = FlowTable::<u32>::new(FlowTableConfig::aliased(slots));
+        let mut reg = vec![0u32; slots]; // a register array's counter bank
+        for n in 0..64u32 {
+            let flow = ft(n);
+            reg[flow.dataplane_hash() as usize % slots] += 1;
+            let (_, count) = table.admit(flow, || 0);
+            *count += 1;
+        }
+        // Every resident entry's counter equals the register slot value.
+        for (flow, &count) in table.iter() {
+            assert_eq!(count, reg[flow.dataplane_hash() as usize % slots]);
+        }
+        assert_eq!(table.len(), reg.iter().filter(|&&c| c > 0).count());
+    }
+
+    #[test]
+    fn residents_stay_findable_through_full_table_churn() {
+        // The displacement-bounded miss scan must never lose a resident:
+        // after every admit — across fill-up, saturation, and heavy
+        // eviction churn — the admitted flow is immediately resident and
+        // a re-admit is a plain hit.
+        let mut t = FlowTable::<u32>::new(FlowTableConfig::with_capacity(32));
+        for n in 0..500u32 {
+            let flow = ft(n % 97); // revisits mix with new flows
+            t.admit(flow, || n);
+            assert!(t.get(&flow).is_some(), "flow {n} vanished right after admit");
+            let (adm, _) = t.admit(flow, || u32::MAX);
+            assert_eq!(adm, Admission::Existing, "flow {n} re-admit must hit its slot");
+        }
+        assert_eq!(t.len(), 32, "churn saturates the table");
+    }
+
+    #[test]
+    fn clear_empties_slots_but_keeps_counters() {
+        let mut t = FlowTable::<u8>::new(FlowTableConfig::with_capacity(2));
+        t.admit(ft(1), || 0);
+        t.admit(ft(2), || 0);
+        t.admit(ft(3), || 0); // eviction
+        assert_eq!(t.stats().evicted_capacity, 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().evicted_capacity, 1, "stats are cumulative");
+        assert_eq!(t.stats().peak_occupancy, 2);
+        let (adm, _) = t.admit(ft(1), || 0);
+        assert_eq!(adm, Admission::Fresh);
+    }
+
+    #[test]
+    fn slab_bytes_is_flat_under_churn() {
+        let mut t = FlowTracker::bounded(4, FlowTableConfig::with_capacity(64));
+        let before = t.state_bytes();
+        for n in 0..10_000u32 {
+            t.observe(ft(n), u64::from(n), 100);
+        }
+        let after = t.state_bytes();
+        assert!(t.len() <= 64);
+        // Slab is constant; only the ≤ capacity window heap was added.
+        assert!(
+            after <= before + 64 * 4 * std::mem::size_of::<PacketObs>() as u64,
+            "state bytes grew past the capacity bound: {before} -> {after}"
+        );
     }
 }

@@ -26,7 +26,10 @@ pub use features::{
     quantize_ipd, quantize_len, RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET,
     WINDOW,
 };
-pub use flow::{FiveTuple, FlowState, FlowTracker, PacketObs, SharedFlowTracker};
+pub use flow::{
+    Admission, FiveTuple, FlowState, FlowTable, FlowTableConfig, FlowTableStats, FlowTracker,
+    PacketObs, SharedFlowTracker, DEFAULT_FLOW_SLOTS,
+};
 pub use packet::{build_packet, parse_packet, PacketSpec, ParseError, ParsedPacket};
 pub use replay::{
     PacketSink, PacketSource, ReplayOptions, ReplayStats, Replayer, Trace, TracePacket, TraceSource,

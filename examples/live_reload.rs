@@ -41,6 +41,22 @@ fn print_stats(label: &str, stats: &EngineStats) {
             t.report.warmup,
             t.report.latency.quantile_nanos(0.99),
         );
+        let table = &t.report.table;
+        println!(
+            "    flow table: occupancy {}/{} slots, evictions {} idle + {} capacity, \
+             {} alias collisions, {} state bytes",
+            table.occupancy,
+            table.capacity,
+            table.evictions_idle,
+            table.evictions_capacity,
+            table.alias_collisions,
+            table.state_bytes,
+        );
+        // The per-tenant occupancy/eviction counters must be coherent —
+        // CI runs this example as an assertion harness.
+        assert!(table.capacity > 0, "tenant '{}' reports no flow-table capacity", t.name);
+        assert!(table.occupancy <= table.capacity, "occupancy cannot exceed capacity");
+        assert_eq!(table.occupancy, t.report.flows, "flows metric IS table occupancy");
     }
     println!("  unrouted: {}", stats.unrouted);
 }
@@ -102,12 +118,21 @@ fn main() -> Result<(), PegasusError> {
         vpn_v1.engine_artifact()?,
         TenantConfig::new().name("vpn").route(RoutePredicate::DstPort(443)),
     )?;
+    // The p2p tenant runs under an explicit per-tenant state budget: 512
+    // host flow-table slots per shard, idle flows aged out after 100k
+    // packets without traffic. attach() validates the budget against the
+    // switch model's stateful SRAM before any shard allocates a slab.
     let p2p_tenant = control.attach(
         p2p.engine_artifact()?,
-        TenantConfig::new().name("p2p").route(RoutePredicate::Any),
+        TenantConfig::new()
+            .name("p2p")
+            .route(RoutePredicate::Any)
+            .flow_capacity(512)
+            .idle_timeout_packets(100_000),
     )?;
     println!(
-        "attached tenants: vpn (#{}, CNN-L, dst-port 443) and p2p (#{}, MLP-B, catch-all)",
+        "attached tenants: vpn (#{}, CNN-L, dst-port 443) and p2p (#{}, MLP-B, catch-all, \
+         512-slot budget)",
         vpn_tenant.id(),
         p2p_tenant.id()
     );
@@ -162,9 +187,23 @@ fn main() -> Result<(), PegasusError> {
         flows_before,
         vpn_report.flows
     );
+    // Per-tenant flow tables carry their configured bounds all the way to
+    // the terminal report: p2p's 512-slot budget times 2 shards, and vpn's
+    // capacity fixed by CNN-L's register file (2^flow_slots_log2 per
+    // shard) — with its hash-collision count surfaced.
+    assert_eq!(p2p_report.table.capacity, 512 * 2, "p2p capacity is the configured budget");
+    let vpn_slots = vpn_v2.flow().expect("flow plane").flow_slots() as u64;
+    assert_eq!(vpn_report.table.capacity, vpn_slots * 2, "vpn capacity is the register file");
     println!(
-        "final: vpn {} pkts / {} flows (epoch {}), p2p {} pkts / {} flows — no drops, state kept",
-        vpn_report.packets, vpn_report.flows, vpn_final.epoch, p2p_report.packets, p2p_report.flows
+        "final: vpn {} pkts / {} flows (epoch {}, {} alias collisions), \
+         p2p {} pkts / {} flows ({} evictions) — no drops, state kept",
+        vpn_report.packets,
+        vpn_report.flows,
+        vpn_final.epoch,
+        vpn_report.table.alias_collisions,
+        p2p_report.packets,
+        p2p_report.flows,
+        p2p_report.table.evictions(),
     );
     Ok(())
 }
