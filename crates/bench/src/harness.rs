@@ -23,6 +23,9 @@ pub struct BenchConfig {
     /// mode; skips the full shard sweep and does not rewrite the
     /// committed results file).
     pub churn_only: bool,
+    /// Run only the raw bytes-to-verdict section of a bench that has one
+    /// (CI smoke mode; same skipping rules as `churn_only`).
+    pub raw_only: bool,
 }
 
 impl BenchConfig {
@@ -37,10 +40,16 @@ impl BenchConfig {
 }
 
 /// Parses the standard CLI flags (`--quick`, `--seed N`, `--flows N`,
-/// `--churn-only`).
+/// `--churn-only`, `--raw-only`).
 pub fn parse_args() -> BenchConfig {
     let args: Vec<String> = std::env::args().collect();
-    let mut cfg = BenchConfig { flows_per_class: 120, seed: 7, quick: false, churn_only: false };
+    let mut cfg = BenchConfig {
+        flows_per_class: 120,
+        seed: 7,
+        quick: false,
+        churn_only: false,
+        raw_only: false,
+    };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,6 +60,9 @@ pub fn parse_args() -> BenchConfig {
             "--churn-only" => {
                 cfg.churn_only = true;
             }
+            "--raw-only" => {
+                cfg.raw_only = true;
+            }
             "--seed" => {
                 i += 1;
                 cfg.seed = args[i].parse().expect("--seed takes a number");
@@ -60,11 +72,15 @@ pub fn parse_args() -> BenchConfig {
                 cfg.flows_per_class = args[i].parse().expect("--flows takes a number");
             }
             other => panic!(
-                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only)"
+                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only)"
             ),
         }
         i += 1;
     }
+    assert!(
+        !(cfg.churn_only && cfg.raw_only),
+        "--churn-only and --raw-only are mutually exclusive (each runs only its own section)"
+    );
     cfg
 }
 
@@ -125,7 +141,13 @@ mod tests {
 
     #[test]
     fn prepare_produces_aligned_views() {
-        let cfg = BenchConfig { flows_per_class: 10, seed: 1, quick: true, churn_only: false };
+        let cfg = BenchConfig {
+            flows_per_class: 10,
+            seed: 1,
+            quick: true,
+            churn_only: false,
+            raw_only: false,
+        };
         let p = prepare(&peerrush(), &cfg);
         assert_eq!(p.classes, 3);
         assert!(!p.train.is_empty());

@@ -229,7 +229,13 @@ mod tests {
 
     #[test]
     fn leo_runs_end_to_end_quick() {
-        let cfg = BenchConfig { flows_per_class: 12, seed: 2, quick: true, churn_only: false };
+        let cfg = BenchConfig {
+            flows_per_class: 12,
+            seed: 2,
+            quick: true,
+            churn_only: false,
+            raw_only: false,
+        };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::Leo, &p, &cfg);
         assert!(r.dataplane.f1 > 0.4, "{:?}", r.dataplane);
@@ -238,7 +244,13 @@ mod tests {
 
     #[test]
     fn mlp_b_runs_end_to_end_quick() {
-        let cfg = BenchConfig { flows_per_class: 12, seed: 3, quick: true, churn_only: false };
+        let cfg = BenchConfig {
+            flows_per_class: 12,
+            seed: 3,
+            quick: true,
+            churn_only: false,
+            raw_only: false,
+        };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::MlpB, &p, &cfg);
         assert!(r.dataplane.f1 > 0.3, "{:?}", r.dataplane);

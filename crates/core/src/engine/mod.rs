@@ -57,16 +57,20 @@
 //! [`FlatProgram`] for the exact guarantees.
 
 pub mod flat;
+pub mod raw;
 pub mod server;
 pub mod stats;
 
 pub use flat::{FlatProgram, FlatScratch};
+pub use raw::{RawIngress, RawVerdict};
 pub use server::{
     ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,
-    IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
+    FramePush, IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
     TenantStats, TenantToken,
 };
-pub use stats::{FlowTableCounters, LatencyHistogram, ShardStats, StreamReport};
+pub use stats::{
+    FlowTableCounters, LatencyHistogram, ParseErrorCounters, ShardStats, StreamReport,
+};
 
 use crate::error::PegasusError;
 use crate::flowpipe::FlowClassifier;
@@ -168,7 +172,29 @@ impl StatelessShard {
     }
 
     pub(crate) fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
-        let (obs, _, state) = self.tracker.observe_admit(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        self.process_parts(
+            pkt.flow,
+            pkt.ts_micros,
+            pkt.wire_len,
+            pkt.tcp_flags,
+            pkt.ttl,
+            pkt.payload_head.len() as u16,
+        )
+    }
+
+    /// The same hot path fed from disaggregated header fields — what the
+    /// zero-copy raw ingress extracts straight from frame bytes, with no
+    /// [`TracePacket`] materialized in between.
+    pub(crate) fn process_parts(
+        &mut self,
+        flow: pegasus_net::FiveTuple,
+        ts_micros: u64,
+        wire_len: u16,
+        tcp_flags: u8,
+        ttl: u8,
+        payload_len: u16,
+    ) -> Result<Option<usize>, PegasusError> {
+        let (obs, _, state) = self.tracker.observe_admit(flow, ts_micros, wire_len);
         if !state.window_full() {
             return Ok(None);
         }
@@ -178,12 +204,12 @@ impl StatelessShard {
                 let stat = StatFeatures::extract(
                     state,
                     &obs,
-                    pkt.flow.protocol,
-                    pkt.tcp_flags,
-                    pkt.flow.src_port,
-                    pkt.flow.dst_port,
-                    pkt.ttl,
-                    pkt.payload_head.len() as u16,
+                    flow.protocol,
+                    tcp_flags,
+                    flow.src_port,
+                    flow.dst_port,
+                    ttl,
+                    payload_len,
                 );
                 self.codes.extend(stat.0.iter().map(|&b| f32::from(b)));
             }
@@ -265,22 +291,31 @@ impl FlowShard {
     }
 
     pub(crate) fn process(&mut self, pkt: &TracePacket) -> Result<Option<usize>, PegasusError> {
+        self.process_parts(pkt.flow, pkt.ts_micros, pkt.wire_len, &pkt.payload_head)
+    }
+
+    /// The same hot path fed from a borrowed payload slice — the raw
+    /// ingress hands the parsed frame's payload sub-slice directly, no
+    /// copy into an owned `payload_head` needed.
+    pub(crate) fn process_parts(
+        &mut self,
+        flow: pegasus_net::FiveTuple,
+        ts_micros: u64,
+        wire_len: u16,
+        payload: &[u8],
+    ) -> Result<Option<usize>, PegasusError> {
         self.codes.clear();
         self.codes.extend(
-            pkt.payload_head
+            payload
                 .iter()
                 .take(self.arity)
                 .map(|&b| f32::from(b))
                 .chain(std::iter::repeat(0.0))
                 .take(self.arity),
         );
-        self.slots.admit(pkt.flow, || ());
-        let verdict = self.fc.on_packet_mut(
-            pkt.flow.dataplane_hash(),
-            pkt.ts_micros,
-            pkt.wire_len,
-            &self.codes,
-        )?;
+        self.slots.admit(flow, || ());
+        let verdict =
+            self.fc.on_packet_mut(flow.dataplane_hash(), ts_micros, wire_len, &self.codes)?;
         Ok(verdict.predicted)
     }
 

@@ -1,0 +1,156 @@
+//! The single-pass bytes-to-verdict path: wire frame in, class out.
+//!
+//! [`RawIngress`] is the hot loop the paper's switch actually runs — parse
+//! the frame, update the flow's state, extract features, hit the compiled
+//! tables — collapsed into one host-side pass with zero per-packet
+//! allocation:
+//!
+//! * the parse is zero-copy ([`parse_frame`] borrows the frame buffer);
+//! * per-flow state lives in the same bounded [`FlowTracker`](pegasus_net::FlowTracker)/register
+//!   structures the sharded server uses;
+//! * feature codes land in a reused scratch vector and inference runs
+//!   through the preallocated [`FlatScratch`](crate::engine::FlatScratch)
+//!   — nothing is allocated after warm-up, and no [`TracePacket`](pegasus_net::TracePacket)
+//!   envelope is materialized in between.
+//!
+//! Frames the parser rejects are counted in the ingress's
+//! [`ShardStats::parse`] buckets and dropped, exactly like the server's
+//! dispatcher-side counters — `tests/raw_path.rs` proves the two paths
+//! produce bit-identical verdicts and flow-table counters.
+//!
+//! This is the engine the single-thread raw-path benchmark measures
+//! (`BENCH_throughput.json`, `raw_path` section); for multi-shard serving
+//! push frames at a running server via
+//! [`IngressHandle::push_frame`](crate::engine::IngressHandle::push_frame)
+//! instead.
+
+use crate::engine::server::{ArtifactPlane, EngineArtifact};
+use crate::engine::stats::ShardStats;
+use crate::engine::{FlowShard, StatelessShard};
+use crate::error::PegasusError;
+use pegasus_net::wire::parse_frame;
+use pegasus_net::{FlowTableConfig, FrameSource, ParseError, RawFrame, RAW_BYTES_PER_PACKET};
+use std::time::Instant;
+
+/// What one frame produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RawVerdict {
+    /// The flow's window was full: the pipeline classified the packet.
+    Classified(usize),
+    /// The packet was absorbed into per-flow warm-up state.
+    Warmup,
+    /// The wire parser rejected the frame (counted, dropped).
+    Rejected(ParseError),
+}
+
+/// The per-shard execution core, shared with the server's workers.
+enum RawExec {
+    Stateless(StatelessShard),
+    Flow(Box<FlowShard>),
+}
+
+/// A single-threaded, allocation-free bytes-to-verdict executor over one
+/// deployed artifact — one shard's worth of the raw path, owned inline
+/// instead of behind channels. See the [module docs](self).
+pub struct RawIngress {
+    exec: RawExec,
+    stats: ShardStats,
+}
+
+impl RawIngress {
+    /// Builds the raw path over `artifact` with the given host flow-table
+    /// shape (validated against the artifact's state budget exactly like
+    /// [`ControlHandle::attach`](crate::engine::ControlHandle::attach)).
+    pub fn new(artifact: &EngineArtifact, table: FlowTableConfig) -> Result<Self, PegasusError> {
+        artifact.validate_state_budget(&table)?;
+        let exec = match &artifact.plane {
+            ArtifactPlane::Stateless(dp) => {
+                RawExec::Stateless(StatelessShard::new(dp.clone(), artifact.features, table))
+            }
+            ArtifactPlane::Flow(fc) => RawExec::Flow(Box::new(FlowShard::new(fc.fork()))),
+        };
+        Ok(RawIngress { exec, stats: ShardStats::new(0) })
+    }
+
+    /// [`RawIngress::new`] with the default flow-table shape.
+    pub fn with_defaults(artifact: &EngineArtifact) -> Result<Self, PegasusError> {
+        RawIngress::new(artifact, FlowTableConfig::default())
+    }
+
+    /// Processes one raw frame: parse, flow update, features, verdict —
+    /// one pass, no allocation. Parse rejections are counted and returned
+    /// as [`RawVerdict::Rejected`]; only pipeline-level failures (wrong
+    /// arity etc.) surface as `Err`.
+    pub fn process(&mut self, frame: RawFrame<'_>) -> Result<RawVerdict, PegasusError> {
+        let t0 = Instant::now();
+        let parsed = match parse_frame(frame.bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.parse.record(e.kind());
+                return Ok(RawVerdict::Rejected(e));
+            }
+        };
+        let verdict = match &mut self.exec {
+            RawExec::Stateless(shard) => shard.process_parts(
+                parsed.flow,
+                frame.ts_micros,
+                frame.wire_len_u16(),
+                parsed.tcp_flags,
+                parsed.ttl,
+                parsed.payload_head_len(),
+            )?,
+            RawExec::Flow(shard) => shard.process_parts(
+                parsed.flow,
+                frame.ts_micros,
+                frame.wire_len_u16(),
+                // Bounded exactly like a TracePacket's payload head, so
+                // verdicts match the structured path bit for bit.
+                &parsed.payload[..parsed.payload.len().min(RAW_BYTES_PER_PACKET)],
+            )?,
+        };
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.stats.busy_nanos += nanos;
+        self.stats.latency.record(nanos);
+        self.stats.packets += 1;
+        Ok(match verdict {
+            Some(class) => {
+                self.stats.classified += 1;
+                RawVerdict::Classified(class)
+            }
+            None => {
+                self.stats.warmup += 1;
+                RawVerdict::Warmup
+            }
+        })
+    }
+
+    /// Convenience: processes a complete (un-snapped) frame.
+    pub fn process_frame(
+        &mut self,
+        ts_micros: u64,
+        bytes: &[u8],
+    ) -> Result<RawVerdict, PegasusError> {
+        self.process(RawFrame::new(ts_micros, bytes))
+    }
+
+    /// Drains a frame source to exhaustion.
+    pub fn run(&mut self, source: &mut dyn FrameSource) -> Result<(), PegasusError> {
+        while let Some(frame) = source.next_frame() {
+            self.process(frame)?;
+        }
+        Ok(())
+    }
+
+    /// This ingress's counters, finalized the way a server worker reports
+    /// them: flow-table occupancy/eviction counters attached and `flows`
+    /// equal to the table's occupied slots.
+    pub fn stats(&self) -> ShardStats {
+        let mut stats = self.stats.clone();
+        stats.table = match &self.exec {
+            RawExec::Stateless(s) => s.table_counters(),
+            RawExec::Flow(s) => s.table_counters(),
+        };
+        stats.flows = stats.table.occupancy;
+        stats
+    }
+}

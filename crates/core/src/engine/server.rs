@@ -41,13 +41,17 @@
 //! wrappers over this server: build, attach one catch-all tenant, feed the
 //! source, shut down.
 
-use crate::engine::stats::{LatencyHistogram, ShardStats, StreamReport};
+use crate::engine::stats::{LatencyHistogram, ParseErrorCounters, ShardStats, StreamReport};
 use crate::engine::{FlowShard, StatelessShard, HOST_WINDOW_STATE_BITS};
 use crate::error::PegasusError;
 use crate::flowpipe::FlowClassifier;
 use crate::models::StreamFeatures;
 use crate::runtime::DataplaneModel;
-use pegasus_net::{FiveTuple, FlowTableConfig, PacketSource, RoutePredicate, TracePacket};
+use pegasus_net::wire::parse_frame;
+use pegasus_net::{
+    FiveTuple, FlowTableConfig, FrameSource, PacketSource, ParseError, RawFrame, RoutePredicate,
+    TracePacket,
+};
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -137,8 +141,12 @@ impl EngineArtifact {
     /// Rejects a tenant flow-table configuration whose state cost exceeds
     /// the switch model's stateful-SRAM budget — the Figure 7 constraint
     /// as an attach-time check: `capacity × bits-per-flow` must fit
-    /// `register_bits_total`.
-    fn validate_state_budget(&self, table: &FlowTableConfig) -> Result<(), PegasusError> {
+    /// `register_bits_total`. Shared with the single-pass
+    /// [`RawIngress`](crate::engine::raw::RawIngress) constructor.
+    pub(crate) fn validate_state_budget(
+        &self,
+        table: &FlowTableConfig,
+    ) -> Result<(), PegasusError> {
         if table.capacity == 0 {
             return Err(PegasusError::InvalidConfig {
                 field: "flow_capacity",
@@ -327,6 +335,18 @@ impl TenantRouter for PredicateRouter {
     }
 }
 
+/// What [`IngressHandle::push_frame`] did with one raw frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramePush {
+    /// The frame parsed and a tenant matched its flow.
+    Routed,
+    /// The frame parsed but no tenant matched (counted as unrouted).
+    Unrouted,
+    /// The wire parser rejected the frame (counted in the engine's
+    /// parse-error buckets and dropped).
+    Rejected(ParseError),
+}
+
 /// What one swap did.
 #[derive(Clone, Copy, Debug)]
 pub struct SwapReport {
@@ -366,6 +386,10 @@ pub struct EngineStats {
     pub tenants: Vec<TenantStats>,
     /// Packets no tenant matched (dropped at ingress).
     pub unrouted: u64,
+    /// Raw frames [`IngressHandle::push_frame`] rejected at parse time,
+    /// bucketed by error kind (pre-routing: a frame with no parseable
+    /// flow belongs to no tenant).
+    pub parse_errors: ParseErrorCounters,
 }
 
 impl EngineStats {
@@ -398,6 +422,8 @@ pub struct EngineReport {
     pub tenants: Vec<TenantReport>,
     /// Packets no tenant matched over the engine's lifetime.
     pub unrouted: u64,
+    /// Raw frames rejected at parse time over the engine's lifetime.
+    pub parse_errors: ParseErrorCounters,
 }
 
 impl EngineReport {
@@ -496,6 +522,10 @@ struct Dispatch {
     routes: Vec<TenantRoute>,
     next_id: u32,
     unrouted: u64,
+    /// Raw frames [`IngressHandle::push_frame`] rejected at parse time —
+    /// counted before routing (an unparseable frame names no flow and
+    /// therefore no tenant or shard).
+    parse: ParseErrorCounters,
 }
 
 impl Dispatch {
@@ -674,6 +704,7 @@ impl EngineBuilder {
                 routes: Vec::new(),
                 next_id: 0,
                 unrouted: 0,
+                parse: ParseErrorCounters::default(),
             }),
             boards,
             tenant_failed: std::sync::atomic::AtomicBool::new(false),
@@ -851,6 +882,41 @@ impl IngressHandle {
         let mut routed = 0u64;
         while let Some(pkt) = source.next_packet() {
             if self.push(pkt)? {
+                routed += 1;
+            }
+        }
+        Ok(routed)
+    }
+
+    /// The raw-frame dual of [`push`](IngressHandle::push): parses the
+    /// frame's bytes in-line (zero-copy, panic-free) and routes the result
+    /// like any structured packet. Frames the wire parser rejects are
+    /// counted in the engine's parse-error buckets
+    /// ([`EngineStats::parse_errors`]) and dropped — returned as
+    /// [`FramePush::Rejected`] with the typed [`ParseError`], never as an
+    /// `Err` (a bad packet on the wire is workload, not engine failure).
+    pub fn push_frame(&self, frame: RawFrame<'_>) -> Result<FramePush, PegasusError> {
+        match parse_frame(frame.bytes) {
+            Ok(parsed) => {
+                let pkt = parsed.to_trace_packet(frame.ts_micros, frame.wire_len_u16());
+                Ok(if self.push(pkt)? { FramePush::Routed } else { FramePush::Unrouted })
+            }
+            Err(e) => {
+                let mut d = self.shared.lock_dispatch();
+                d.txs()?;
+                d.parse.record(e.kind());
+                Ok(FramePush::Rejected(e))
+            }
+        }
+    }
+
+    /// Pushes a whole frame source to exhaustion; returns how many frames
+    /// a tenant accepted (parse rejections and unrouted frames are
+    /// counted in the engine's statistics, not here).
+    pub fn push_frame_source(&self, source: &mut dyn FrameSource) -> Result<u64, PegasusError> {
+        let mut routed = 0u64;
+        while let Some(frame) = source.next_frame() {
+            if matches!(self.push_frame(frame)?, FramePush::Routed) {
                 routed += 1;
             }
         }
@@ -1047,7 +1113,7 @@ impl ControlHandle {
                 report: merge_report(shards, entry.attached.elapsed().as_nanos() as u64, None),
             });
         }
-        Ok(EngineStats { tenants, unrouted: d.unrouted })
+        Ok(EngineStats { tenants, unrouted: d.unrouted, parse_errors: d.parse })
     }
 }
 
@@ -1058,6 +1124,7 @@ fn merge_report(
 ) -> StreamReport {
     let mut latency = LatencyHistogram::default();
     let mut table = crate::engine::stats::FlowTableCounters::default();
+    let mut parse = ParseErrorCounters::default();
     let (mut packets, mut classified, mut warmup, mut flows) = (0u64, 0u64, 0u64, 0u64);
     for s in &shards {
         packets += s.packets;
@@ -1066,6 +1133,7 @@ fn merge_report(
         flows += s.flows;
         latency.merge(&s.latency);
         table.merge(&s.table);
+        parse.merge(&s.parse);
     }
     StreamReport {
         shards,
@@ -1076,6 +1144,7 @@ fn merge_report(
         elapsed_nanos,
         latency,
         table,
+        parse,
         predictions,
     }
 }
@@ -1148,13 +1217,13 @@ impl EngineServer {
     /// for all tenants still attached. Handles created from this server
     /// return [`PegasusError::EngineStopped`] afterwards.
     pub fn shutdown(self) -> Result<EngineReport, PegasusError> {
-        let (entries, unrouted) = {
+        let (entries, unrouted, parse_errors) = {
             let mut d = self.shared.lock_dispatch();
             d.flush()?;
             // Dropping the senders closes each shard's channel; workers
             // drain what is queued and exit with their tenants' final state.
             d.txs = None;
-            (std::mem::take(&mut d.tenants), d.unrouted)
+            (std::mem::take(&mut d.tenants), d.unrouted, d.parse)
         };
         let mut by_tenant: HashMap<u32, Vec<TenantShardOut>> = HashMap::new();
         for handle in self.workers {
@@ -1169,7 +1238,7 @@ impl EngineServer {
                 tenant_report(e, outs)
             })
             .collect();
-        Ok(EngineReport { tenants, unrouted })
+        Ok(EngineReport { tenants, unrouted, parse_errors })
     }
 }
 

@@ -6,8 +6,50 @@
 //! across shards, good enough for mean/p50/p99 reporting without storing
 //! per-packet samples).
 
-use pegasus_net::FiveTuple;
+use pegasus_net::{FiveTuple, ParseErrorKind};
 use std::collections::HashMap;
+
+/// Counters of wire-format frames the raw ingress rejected, bucketed by
+/// [`ParseErrorKind`]. Mergeable across shards / the dispatcher by
+/// field-wise summation. A frame that fails to parse never reaches a
+/// tenant: it is counted here and dropped, the way a switch parser's
+/// no-match verdict sends a packet down the default path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseErrorCounters {
+    /// Headers (or required options) ran past the end of the capture.
+    pub truncated: u64,
+    /// IPv4 header checksum mismatches.
+    pub checksum: u64,
+    /// Structurally invalid fields (bad IHL, bad version, nested VLAN…).
+    pub malformed: u64,
+    /// Layers the parser does not speak (ARP, ICMP, QinQ-free exotica).
+    pub unsupported: u64,
+}
+
+impl ParseErrorCounters {
+    /// Counts one rejected frame.
+    pub fn record(&mut self, kind: ParseErrorKind) {
+        match kind {
+            ParseErrorKind::Truncated => self.truncated += 1,
+            ParseErrorKind::Checksum => self.checksum += 1,
+            ParseErrorKind::Malformed => self.malformed += 1,
+            ParseErrorKind::Unsupported => self.unsupported += 1,
+        }
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &ParseErrorCounters) {
+        self.truncated += other.truncated;
+        self.checksum += other.checksum;
+        self.malformed += other.malformed;
+        self.unsupported += other.unsupported;
+    }
+
+    /// All rejected frames.
+    pub fn total(&self) -> u64 {
+        self.truncated + self.checksum + self.malformed + self.unsupported
+    }
+}
 
 /// A log₂-bucketed latency histogram over nanoseconds.
 ///
@@ -154,6 +196,12 @@ pub struct ShardStats {
     pub latency: LatencyHistogram,
     /// Occupancy/eviction/collision counters of this shard's flow table.
     pub table: FlowTableCounters,
+    /// Raw frames this execution context rejected at parse time. Always
+    /// zero for server shard workers (the dispatcher parses before
+    /// routing — see `EngineStats::parse_errors`); populated by the
+    /// single-pass [`RawIngress`](crate::engine::raw::RawIngress) path,
+    /// which owns its whole bytes-to-verdict pipeline.
+    pub parse: ParseErrorCounters,
 }
 
 impl ShardStats {
@@ -167,6 +215,7 @@ impl ShardStats {
             busy_nanos: 0,
             latency: LatencyHistogram::default(),
             table: FlowTableCounters::default(),
+            parse: ParseErrorCounters::default(),
         }
     }
 
@@ -202,6 +251,11 @@ pub struct StreamReport {
     /// Merged flow-table counters across shards (capacity sums: each
     /// shard owns a full table, the forked register-file model).
     pub table: FlowTableCounters,
+    /// Frames the raw (bytes-to-verdict) ingress rejected at parse time:
+    /// shard-side rejections plus, for reports produced by the frame
+    /// wrappers (`Deployment::stream_frames*`), the dispatcher's. Always
+    /// zero for structured-packet runs.
+    pub parse: ParseErrorCounters,
     /// Per-flow classification sequences, in per-flow packet order
     /// (`Some` only when `StreamConfig::record_predictions` was set).
     pub predictions: Option<HashMap<FiveTuple, Vec<usize>>>,
@@ -298,6 +352,7 @@ mod tests {
             elapsed_nanos: 1,
             latency: LatencyHistogram::default(),
             table: FlowTableCounters::default(),
+            parse: ParseErrorCounters::default(),
             predictions: Some(preds),
         };
         assert_eq!(report.flow_verdicts().unwrap()[&flow], 1);

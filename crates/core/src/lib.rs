@@ -71,10 +71,13 @@ pub mod runtime;
 
 pub use engine::server::{
     ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,
-    IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
+    FramePush, IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
     TenantStats, TenantToken,
 };
-pub use engine::{FlowTableCounters, StreamConfig, StreamReport, HOST_WINDOW_STATE_BITS};
+pub use engine::{
+    FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict, StreamConfig, StreamReport,
+    HOST_WINDOW_STATE_BITS,
+};
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};
 pub use pipeline::{Artifact, Compiled, Deployment, Pegasus};

@@ -35,4 +35,4 @@ pub use catalog::{all_datasets, ciciot, iscxvpn, peerrush, DatasetSpec};
 pub use generate::{generate_trace, GenConfig};
 pub use samples::{extract_views, SampleViews};
 pub use split::split_by_flow;
-pub use stream::{SyntheticConfig, SyntheticSource};
+pub use stream::{synthesize_pcap, FrameSynthSource, SyntheticConfig, SyntheticSource};

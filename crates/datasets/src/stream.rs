@@ -15,7 +15,8 @@
 
 use crate::catalog::DatasetSpec;
 use crate::generate::make_flow_id;
-use pegasus_net::{FiveTuple, PacketSource, TracePacket};
+use pegasus_net::wire::encode_trace_packet;
+use pegasus_net::{FiveTuple, FrameSource, PacketSource, PcapWriter, RawFrame, TracePacket};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -49,6 +50,22 @@ impl Default for SyntheticConfig {
             seed: 0xfeed,
             payload_bytes: 0,
             start_window_micros: 10_000_000,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The shape of the checked-in golden capture
+    /// (`tests/fixtures/golden.pcap`): small enough to commit, large
+    /// enough that every class classifies. Regenerate the fixture with
+    /// `PEGASUS_REGEN_FIXTURES=1 cargo test golden` after changing this
+    /// (or anything in the generator).
+    pub fn fixture() -> Self {
+        SyntheticConfig {
+            flows_per_class: 4,
+            seed: 0x601d,
+            payload_bytes: 12,
+            start_window_micros: 500_000,
         }
     }
 }
@@ -169,6 +186,66 @@ impl PacketSource for SyntheticSource {
     }
 }
 
+/// A seeded on-the-fly *wire frame* generator implementing
+/// [`FrameSource`] — the byte-level dual of [`SyntheticSource`].
+///
+/// Each synthesized packet is rendered as the Ethernet/IPv4/TCP-or-UDP
+/// frame a capture point would have seen
+/// ([`encode_trace_packet`]):
+/// the frame length equals the sampled wire length (clamped up to the
+/// headers plus the payload head), the payload is the class's signature
+/// bytes followed by zero fill, and checksums are correct. Frames are
+/// encoded into one reused buffer, so the generation loop allocates only
+/// the payload vector the underlying sampler produces.
+///
+/// Note the canonicalization: parsing a synthesized frame back yields a
+/// [`TracePacket`] whose `payload_head` is the signature zero-extended to
+/// the raw-byte window — both engine ingress paths (raw bytes and
+/// parse-then-push) therefore see *identical* packets, which is what the
+/// differential tests pin.
+pub struct FrameSynthSource {
+    inner: SyntheticSource,
+    buf: Vec<u8>,
+}
+
+impl FrameSynthSource {
+    /// Creates a frame source over `spec`'s class profiles (same
+    /// determinism contract as [`SyntheticSource::new`]).
+    pub fn new(spec: &DatasetSpec, cfg: &SyntheticConfig) -> Self {
+        FrameSynthSource { inner: SyntheticSource::new(spec, cfg), buf: Vec::new() }
+    }
+
+    /// Ground-truth class per flow (same shape as `Trace::labels`).
+    pub fn labels(&self) -> &[(FiveTuple, usize)] {
+        self.inner.labels()
+    }
+}
+
+impl FrameSource for FrameSynthSource {
+    fn next_frame(&mut self) -> Option<RawFrame<'_>> {
+        let pkt = self.inner.next_packet()?;
+        let wire_len = encode_trace_packet(&pkt, &mut self.buf);
+        Some(RawFrame { ts_micros: pkt.ts_micros, wire_len: u32::from(wire_len), bytes: &self.buf })
+    }
+
+    fn frames_hint(&self) -> Option<u64> {
+        self.inner.packets_hint()
+    }
+}
+
+/// Materializes one synthetic workload as a classic pcap capture —
+/// how the checked-in `.pcap` fixtures are produced. Frames longer than
+/// `snaplen` are truncated in the file with their original length
+/// preserved, as a real capture would be.
+pub fn synthesize_pcap(spec: &DatasetSpec, cfg: &SyntheticConfig, snaplen: u32) -> Vec<u8> {
+    let mut source = FrameSynthSource::new(spec, cfg);
+    let mut writer = PcapWriter::with_snaplen(snaplen);
+    while let Some(frame) = source.next_frame() {
+        writer.record_with_orig_len(frame.ts_micros, frame.bytes, frame.wire_len);
+    }
+    writer.into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +307,58 @@ mod tests {
         let classes: std::collections::BTreeSet<usize> =
             src.labels().iter().map(|(_, c)| *c).collect();
         assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn frames_parse_back_to_the_packet_stream() {
+        use pegasus_net::wire::parse_frame;
+        let cfg =
+            SyntheticConfig { flows_per_class: 3, seed: 8, payload_bytes: 6, ..Default::default() };
+        let mut frames = FrameSynthSource::new(&peerrush(), &cfg);
+        let mut pkts = SyntheticSource::new(&peerrush(), &cfg);
+        assert_eq!(frames.frames_hint(), pkts.packets_hint());
+        let mut n = 0u64;
+        while let Some(frame) = frames.next_frame() {
+            let pkt = pkts.next_packet().expect("streams stay in lockstep");
+            assert_eq!(frame.wire_len as usize, frame.bytes.len());
+            let parsed = parse_frame(frame.bytes).expect("synthesized frames parse");
+            assert_eq!(parsed.flow, pkt.flow);
+            assert_eq!(parsed.tcp_flags, pkt.tcp_flags);
+            assert_eq!(parsed.ttl, pkt.ttl);
+            // Frame length is exactly the sampled wire length, clamped up
+            // to fit the headers + payload head.
+            let header = 14 + 20 + if pkt.flow.protocol == 6 { 20 } else { 8 };
+            let min_len = (header + pkt.payload_head.len()) as u32;
+            assert_eq!(frame.wire_len, u32::from(pkt.wire_len).max(min_len));
+            assert_eq!(&parsed.payload[..cfg.payload_bytes], &pkt.payload_head[..]);
+            n += 1;
+        }
+        assert!(pkts.next_packet().is_none());
+        assert!(n > 100, "workload too small to mean anything: {n}");
+    }
+
+    #[test]
+    fn synthesize_pcap_is_deterministic_and_readable() {
+        use pegasus_net::PcapReader;
+        let cfg = SyntheticConfig::fixture();
+        let a = synthesize_pcap(&peerrush(), &cfg, 96);
+        let b = synthesize_pcap(&peerrush(), &cfg, 96);
+        assert_eq!(a, b, "same config must produce a byte-identical capture");
+        let mut reader = PcapReader::new(&a).expect("header");
+        assert_eq!(reader.snaplen(), 96);
+        let mut records = 0u64;
+        let mut snapped = 0u64;
+        while let Some(rec) = reader.next_record() {
+            let rec = rec.expect("well-formed");
+            assert!(rec.data.len() <= 96);
+            if (rec.orig_len as usize) > rec.data.len() {
+                snapped += 1;
+            }
+            records += 1;
+        }
+        let total = SyntheticSource::new(&peerrush(), &cfg).packets_hint().unwrap();
+        assert_eq!(records, total);
+        assert!(snapped > 0, "fixture should exercise snaplen truncation");
     }
 
     #[test]

@@ -12,15 +12,23 @@
 //! * [`replay`]: deterministic timestamp-ordered trace replay with optional
 //!   fault injection, standing in for the paper's tcpreplay testbed server;
 //! * [`router`]: five-tuple match predicates for multi-tenant packet
-//!   routing — how a serving engine steers traffic to the right model.
+//!   routing — how a serving engine steers traffic to the right model;
+//! * [`wire`]: the zero-copy, panic-free wire-format frontend —
+//!   Ethernet II (+ one 802.1Q tag), IPv4/IPv6, TCP/UDP — that turns raw
+//!   frame bytes into flow identity and payload without allocating;
+//! * [`pcap`]: classic pcap capture files (both endiannesses, snaplen
+//!   truncation) read as [`FrameSource`]/[`PacketSource`] streams and
+//!   written back byte-exactly.
 
 #![warn(missing_docs)]
 
 pub mod features;
 pub mod flow;
 pub mod packet;
+pub mod pcap;
 pub mod replay;
 pub mod router;
+pub mod wire;
 
 pub use features::{
     quantize_ipd, quantize_len, RawBytesFeatures, SeqFeatures, StatFeatures, RAW_BYTES_PER_PACKET,
@@ -30,8 +38,15 @@ pub use flow::{
     Admission, FiveTuple, FlowState, FlowTable, FlowTableConfig, FlowTableStats, FlowTracker,
     PacketObs, SharedFlowTracker, DEFAULT_FLOW_SLOTS,
 };
-pub use packet::{build_packet, parse_packet, PacketSpec, ParseError, ParsedPacket};
+pub use packet::{
+    build_packet, parse_packet, PacketSpec, ParseError, ParseErrorKind, ParsedPacket,
+};
+pub use pcap::{PcapError, PcapReader, PcapRecord, PcapSource, PcapWriter, DEFAULT_SNAPLEN};
 pub use replay::{
-    PacketSink, PacketSource, ReplayOptions, ReplayStats, Replayer, Trace, TracePacket, TraceSource,
+    FrameSource, PacketSink, PacketSource, RawFrame, ReplayOptions, ReplayStats, Replayer, Trace,
+    TracePacket, TraceSource,
 };
 pub use router::RoutePredicate;
+pub use wire::{
+    build_frame, encode_frame, encode_trace_packet, parse_frame, FrameSpec, IpAddrs, ParsedFrame,
+};

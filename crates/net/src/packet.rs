@@ -4,7 +4,7 @@
 //! packets, so headers are built and parsed byte-exactly, including internet
 //! checksums. Buffers use [`bytes`] to avoid copies on the hot path.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -16,6 +16,11 @@ pub const PROTO_UDP: u8 = 17;
 pub const ETHERTYPE_IPV4: u16 = 0x0800;
 
 /// Errors from packet parsing.
+///
+/// Shared by the legacy [`parse_packet`] and the zero-copy
+/// [`parse_frame`](crate::wire::parse_frame): every malformed input maps to
+/// exactly one variant, and the engine's ingress counters bucket them by
+/// [`kind`](ParseError::kind).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParseError {
     /// Buffer shorter than the header being parsed.
@@ -27,14 +32,44 @@ pub enum ParseError {
         /// Bytes available.
         got: usize,
     },
-    /// Unsupported EtherType (only IPv4 is parsed).
+    /// Unsupported EtherType (IPv4/IPv6 are parsed; ARP etc. are not).
     UnsupportedEtherType(u16),
     /// Unsupported IP protocol (only TCP/UDP carry flows here).
     UnsupportedProtocol(u8),
     /// IPv4 header checksum mismatch.
     BadChecksum,
+    /// More than one 802.1Q tag (QinQ / provider bridging) — the dataplane
+    /// parser pops exactly one customer tag, like the paper's P4 parser.
+    NestedVlan,
     /// Malformed field (e.g. IHL < 5).
     Malformed(&'static str),
+}
+
+/// Coarse buckets the engine's ingress counters track parse failures in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParseErrorKind {
+    /// A header (or required options) ran past the end of the capture.
+    Truncated,
+    /// IPv4 header checksum mismatch.
+    Checksum,
+    /// A structurally invalid field (bad IHL, bad version, nested VLAN…).
+    Malformed,
+    /// A layer the parser does not speak (EtherType or IP protocol).
+    Unsupported,
+}
+
+impl ParseError {
+    /// The coarse counter bucket this error belongs to.
+    pub fn kind(&self) -> ParseErrorKind {
+        match self {
+            ParseError::Truncated { .. } => ParseErrorKind::Truncated,
+            ParseError::BadChecksum => ParseErrorKind::Checksum,
+            ParseError::Malformed(_) | ParseError::NestedVlan => ParseErrorKind::Malformed,
+            ParseError::UnsupportedEtherType(_) | ParseError::UnsupportedProtocol(_) => {
+                ParseErrorKind::Unsupported
+            }
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -46,6 +81,7 @@ impl fmt::Display for ParseError {
             ParseError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
             ParseError::UnsupportedProtocol(p) => write!(f, "unsupported ip protocol {p}"),
             ParseError::BadChecksum => write!(f, "bad IPv4 header checksum"),
+            ParseError::NestedVlan => write!(f, "nested 802.1Q tags (QinQ)"),
             ParseError::Malformed(what) => write!(f, "malformed {what}"),
         }
     }
@@ -148,121 +184,60 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 }
 
 /// Builds a full Ethernet/IPv4/{TCP,UDP} frame.
+///
+/// A thin owned-buffer wrapper over the wire module's
+/// [`build_frame`](crate::wire::build_frame) — one encoder for the whole
+/// crate; this entry point keeps the historical [`PacketSpec`]/[`Bytes`]
+/// shape.
 pub fn build_packet(spec: &PacketSpec) -> Bytes {
     assert!(spec.protocol == PROTO_TCP || spec.protocol == PROTO_UDP, "only TCP/UDP supported");
-    let l4_header_len = if spec.protocol == PROTO_TCP { 20 } else { 8 };
-    let ip_total = 20 + l4_header_len + spec.payload.len();
-    let mut buf = BytesMut::with_capacity(14 + ip_total);
-
-    // Ethernet.
-    buf.put_slice(&[0x02, 0, 0, 0, 0, 0x01]); // dst
-    buf.put_slice(&[0x02, 0, 0, 0, 0, 0x02]); // src
-    buf.put_u16(ETHERTYPE_IPV4);
-
-    // IPv4 header (no options).
-    let ip_start = buf.len();
-    buf.put_u8(0x45); // version 4, IHL 5
-    buf.put_u8(0); // TOS
-    buf.put_u16(ip_total as u16);
-    buf.put_u16(0x1234); // identification
-    buf.put_u16(0x4000); // don't fragment
-    buf.put_u8(spec.ttl);
-    buf.put_u8(spec.protocol);
-    buf.put_u16(0); // checksum placeholder
-    buf.put_u32(spec.src_ip);
-    buf.put_u32(spec.dst_ip);
-    let csum = internet_checksum(&buf[ip_start..ip_start + 20]);
-    buf[ip_start + 10..ip_start + 12].copy_from_slice(&csum.to_be_bytes());
-
-    // L4 header.
-    if spec.protocol == PROTO_TCP {
-        buf.put_u16(spec.src_port);
-        buf.put_u16(spec.dst_port);
-        buf.put_u32(1); // seq
-        buf.put_u32(1); // ack
-        buf.put_u8(0x50); // data offset 5
-        buf.put_u8(spec.tcp_flags);
-        buf.put_u16(0xffff); // window
-        buf.put_u16(0); // checksum left zero (not validated on replay)
-        buf.put_u16(0); // urgent
-    } else {
-        buf.put_u16(spec.src_port);
-        buf.put_u16(spec.dst_port);
-        buf.put_u16((8 + spec.payload.len()) as u16);
-        buf.put_u16(0); // checksum optional for IPv4 UDP
-    }
-    buf.put_slice(&spec.payload);
-    buf.freeze()
+    let frame = crate::wire::build_frame(&crate::wire::FrameSpec {
+        vlan: None,
+        ip: crate::wire::IpAddrs::V4 { src: spec.src_ip, dst: spec.dst_ip },
+        src_port: spec.src_port,
+        dst_port: spec.dst_port,
+        protocol: spec.protocol,
+        tcp_flags: spec.tcp_flags,
+        ttl: spec.ttl,
+        payload: spec.payload.clone(),
+    });
+    Bytes::from(frame)
 }
 
-/// Parses an Ethernet/IPv4/{TCP,UDP} frame built by [`build_packet`] (or any
-/// conforming frame without IP options).
+/// Parses an Ethernet/IPv4/{TCP,UDP} frame built by [`build_packet`] (or
+/// any conforming frame).
+///
+/// Delegates to the zero-copy [`parse_frame`](crate::wire::parse_frame)
+/// (one parser for the whole crate, covered by the same fuzz corpus) but
+/// keeps this entry point's historical IPv4-only contract: a VLAN tag or
+/// IPv6 frame — which the wire module parses happily — is rejected here
+/// with [`ParseError::UnsupportedEtherType`], and the result is an owned
+/// [`ParsedPacket`] with MACs and a copied payload.
 pub fn parse_packet(data: &[u8]) -> Result<ParsedPacket, ParseError> {
-    let wire_len = data.len();
     if data.len() < 14 {
         return Err(ParseError::Truncated { layer: "ethernet", needed: 14, got: data.len() });
     }
-    let mut dst_mac = [0u8; 6];
-    let mut src_mac = [0u8; 6];
-    dst_mac.copy_from_slice(&data[0..6]);
-    src_mac.copy_from_slice(&data[6..12]);
     let ethertype = u16::from_be_bytes([data[12], data[13]]);
     if ethertype != ETHERTYPE_IPV4 {
         return Err(ParseError::UnsupportedEtherType(ethertype));
     }
-    let ip = &data[14..];
-    if ip.len() < 20 {
-        return Err(ParseError::Truncated { layer: "ipv4", needed: 20, got: ip.len() });
-    }
-    if ip[0] >> 4 != 4 {
-        return Err(ParseError::Malformed("ip version"));
-    }
-    let ihl = (ip[0] & 0x0f) as usize * 4;
-    if ihl < 20 {
-        return Err(ParseError::Malformed("ihl"));
-    }
-    if ip.len() < ihl {
-        return Err(ParseError::Truncated { layer: "ipv4 options", needed: ihl, got: ip.len() });
-    }
-    if internet_checksum(&ip[..ihl]) != 0 {
-        return Err(ParseError::BadChecksum);
-    }
-    let ttl = ip[8];
-    let protocol = ip[9];
-    let src_ip = u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]);
-    let dst_ip = u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]);
-    let l4 = &ip[ihl..];
-    let (src_port, dst_port, tcp_flags, payload_off) = match protocol {
-        PROTO_TCP => {
-            if l4.len() < 20 {
-                return Err(ParseError::Truncated { layer: "tcp", needed: 20, got: l4.len() });
-            }
-            let off = ((l4[12] >> 4) as usize) * 4;
-            if off < 20 || l4.len() < off {
-                return Err(ParseError::Malformed("tcp data offset"));
-            }
-            (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]), l4[13], off)
-        }
-        PROTO_UDP => {
-            if l4.len() < 8 {
-                return Err(ParseError::Truncated { layer: "udp", needed: 8, got: l4.len() });
-            }
-            (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]), 0, 8)
-        }
-        other => return Err(ParseError::UnsupportedProtocol(other)),
-    };
+    let frame = crate::wire::parse_frame(data)?;
+    let mut dst_mac = [0u8; 6];
+    let mut src_mac = [0u8; 6];
+    dst_mac.copy_from_slice(&data[0..6]);
+    src_mac.copy_from_slice(&data[6..12]);
     Ok(ParsedPacket {
         dst_mac,
         src_mac,
-        src_ip,
-        dst_ip,
-        protocol,
-        ttl,
-        src_port,
-        dst_port,
-        tcp_flags,
-        payload: Bytes::copy_from_slice(&l4[payload_off..]),
-        wire_len,
+        src_ip: frame.flow.src_ip,
+        dst_ip: frame.flow.dst_ip,
+        protocol: frame.flow.protocol,
+        ttl: frame.ttl,
+        src_port: frame.flow.src_port,
+        dst_port: frame.flow.dst_port,
+        tcp_flags: frame.tcp_flags,
+        payload: Bytes::copy_from_slice(frame.payload),
+        wire_len: data.len(),
     })
 }
 

@@ -123,6 +123,49 @@ pub trait PacketSource {
     }
 }
 
+/// One raw frame in flight: capture timestamp, original on-wire length,
+/// and the captured bytes (borrowed — the byte-level dual of
+/// [`TracePacket`]).
+///
+/// `wire_len` can exceed `bytes.len()` when the capture was snaplen-cut;
+/// for live synthesis the two agree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawFrame<'a> {
+    /// Arrival timestamp in microseconds.
+    pub ts_micros: u64,
+    /// Original on-wire length in bytes (≥ `bytes.len()`).
+    pub wire_len: u32,
+    /// The captured frame bytes.
+    pub bytes: &'a [u8],
+}
+
+impl<'a> RawFrame<'a> {
+    /// A frame whose capture is complete (`wire_len == bytes.len()`).
+    pub fn new(ts_micros: u64, bytes: &'a [u8]) -> Self {
+        RawFrame { ts_micros, wire_len: bytes.len().min(u32::MAX as usize) as u32, bytes }
+    }
+
+    /// The on-wire length clamped to the width [`TracePacket`] carries.
+    pub fn wire_len_u16(&self) -> u16 {
+        self.wire_len.min(u16::MAX as u32) as u16
+    }
+}
+
+/// Producer of a timestamp-ordered *raw frame* stream — the byte-level
+/// dual of [`PacketSource`], feeding the engine's bytes-to-verdict ingress
+/// (`IngressHandle::push_frame`, `RawIngress`). Yielded frames borrow the
+/// source's internal buffer, so a hot loop reads a pcap or synthesizes
+/// traffic without per-packet allocation.
+pub trait FrameSource {
+    /// The next frame, or `None` when the stream is exhausted.
+    fn next_frame(&mut self) -> Option<RawFrame<'_>>;
+
+    /// Total frames this source will emit, when known up front.
+    fn frames_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
 /// A [`PacketSource`] reading a materialized [`Trace`] front to back.
 pub struct TraceSource<'a> {
     trace: &'a Trace,
