@@ -16,6 +16,7 @@
 //! * [`leo`] — CART decision trees compiled to range-match verdict tables,
 //!   the tree-based IDP design family.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bos;

@@ -10,6 +10,7 @@
 //! Results print as paper-style rows and are also written under
 //! `target/experiments/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

@@ -6,6 +6,8 @@
 //! a growable builder with the big-endian `put_*` writers from [`BufMut`].
 //! Only the calls the packet builder/parser make are implemented.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 

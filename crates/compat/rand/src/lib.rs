@@ -10,6 +10,8 @@
 //! ranges (half-open and inclusive), `Rng::gen::<T>()`, and
 //! `seq::SliceRandom::shuffle`.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// Next 64 random bits.

@@ -8,6 +8,8 @@
 //! keeps resolving in type position. Swapping in the real `serde` is a
 //! one-line change in the workspace manifest.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize` (no methods in the stub).

@@ -7,6 +7,8 @@
 //! serialization backend is swapped in. The macros accept (and ignore)
 //! `#[serde(...)]` helper attributes.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts the annotated item and emits nothing.

@@ -361,10 +361,16 @@ pub fn emit_into(
 
                 let in_acts = &acts[input.0];
                 assert!(!in_acts.is_empty(), "no activations for map input");
-                let domain_points = match f {
+                // A key field narrower than the input format (e.g. 4-bit
+                // window codes fed through the 8-bit code path) bounds the
+                // reachable domain: raw keys are truncated to the field
+                // width, so entries beyond it could never match.
+                let in_bits: Vec<u8> =
+                    in_fields.iter().map(|&fld| layout.def(fld).bits.min(in_fmt.bits)).collect();
+                let domain_points: u64 = match f {
                     // Explicit tables declare their own (small) domains.
                     MapFn::Table { domains, .. } => domains.iter().map(|&d| d as u64).product(),
-                    _ => (1u64 << in_fmt.bits).saturating_pow(in_fields.len() as u32),
+                    _ => in_bits.iter().fold(1u64, |acc, &b| acc.saturating_mul(1u64 << b.min(63))),
                 };
                 let tname = format!("{name}_t{}", tables.len());
                 if (in_fields.len() <= 2 || matches!(f, MapFn::Table { .. }))
@@ -375,6 +381,7 @@ pub fn emit_into(
                         &mut report,
                         f,
                         &in_fields,
+                        &in_bits,
                         in_fmt,
                         &out_fields,
                         out_fmt,
@@ -445,6 +452,7 @@ fn emit_exact_map(
     report: &mut CompileReport,
     f: &MapFn,
     in_fields: &[FieldId],
+    in_bits: &[u8],
     in_fmt: NumFormat,
     out_fields: &[FieldId],
     out_fmt: NumFormat,
@@ -458,11 +466,12 @@ fn emit_exact_map(
     let ai = t.add_action(act);
     t.param_widths = vec![out_fmt.bits; out_fields.len()];
 
-    // Per-dimension domains: explicit for `Table` functions, the full field
-    // range otherwise.
+    // Per-dimension domains: explicit for `Table` functions, the key
+    // field's reachable range otherwise (never wider than the field — a
+    // key a narrow field cannot carry would be a dead entry).
     let dims: Vec<u64> = match f {
         MapFn::Table { domains, .. } => domains.iter().map(|&d| d as u64).collect(),
-        _ => vec![1u64 << in_fmt.bits; in_fields.len()],
+        _ => in_bits.iter().map(|&b| 1u64 << b).collect(),
     };
     let total: u64 = dims.iter().product();
     for combo in 0..total {

@@ -27,27 +27,63 @@
 //! reproduced bit for bit, and the engine's determinism test asserts
 //! equality against the simulator over whole traces. Programs with
 //! stateful registers do not flatten (their per-flow state lives in the
-//! register file); [`FlatProgram::from_pipeline`] returns `None` and the
-//! engine falls back to the simulator path.
+//! register file); [`FlatProgram::from_pipeline`] returns a typed
+//! [`FlattenSkip`] reason and the engine falls back to the simulator path.
 
 use crate::compile::CompiledPipeline;
 use crate::error::PegasusError;
 use crate::numformat::NumFormat;
 use pegasus_switch::{mask_of, truncate, AluOp, KeyPart, Operand, Table};
+use std::fmt;
 
 /// Largest key domain (in points) enumerated into a dense LUT. 2¹⁶ `u32`
 /// slots = 256 KiB per table, comfortably cache-resident.
 const DENSE_MAX_POINTS: u64 = 1 << 16;
 
+/// Why a compiled pipeline could not be flattened into a [`FlatProgram`].
+///
+/// Not an error: pipelines that do not flatten serve through the simulator
+/// path instead. The reason is surfaced as a `V301` `Info` diagnostic in
+/// [`VerifyReport`](crate::verify::VerifyReport)s and in per-tenant engine
+/// stats ([`TenantStats::flatten_skip`](crate::engine::server::TenantStats::flatten_skip)),
+/// so an operator can see *why* a tenant is on the slow path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlattenSkip {
+    /// The program declares stateful register arrays; per-flow state
+    /// cannot be baked into a stateless LUT.
+    StatefulRegisters {
+        /// Number of register arrays the program keeps.
+        registers: usize,
+    },
+    /// An action of the named table performs a stateful (register) op.
+    StatefulOp {
+        /// The table whose action touches registers.
+        table: String,
+    },
+}
+
+impl fmt::Display for FlattenSkip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenSkip::StatefulRegisters { registers } => {
+                write!(f, "{registers} stateful register array(s) keep per-flow state")
+            }
+            FlattenSkip::StatefulOp { table } => {
+                write!(f, "table '{table}' has an action with a stateful register op")
+            }
+        }
+    }
+}
+
 #[derive(Clone, Copy)]
-struct FieldMeta {
-    bits: u8,
-    signed: bool,
+pub(crate) struct FieldMeta {
+    pub(crate) bits: u8,
+    pub(crate) signed: bool,
 }
 
 /// A flattened ALU operand.
 #[derive(Clone, Copy)]
-enum Src {
+pub(crate) enum Src {
     Field(usize),
     Const(i64),
     Param(usize),
@@ -56,7 +92,7 @@ enum Src {
 /// A flattened ALU op over scratch indices (stateless subset of
 /// [`AluOp`]).
 #[derive(Clone, Copy)]
-enum FlatOp {
+pub(crate) enum FlatOp {
     Set { dst: usize, a: Src },
     Add { dst: usize, a: Src, b: Src },
     Sub { dst: usize, a: Src, b: Src },
@@ -72,7 +108,7 @@ enum FlatOp {
 
 /// One flattened key pattern (mirrors [`KeyPart`] without heap layout).
 #[derive(Clone, Copy)]
-enum FlatPart {
+pub(crate) enum FlatPart {
     Exact(u64),
     Mask { value: u64, mask: u64 },
     Range { lo: u64, hi: u64 },
@@ -90,7 +126,7 @@ impl FlatPart {
 }
 
 /// How a flattened table finds its winning entry.
-enum Matcher {
+pub(crate) enum Matcher {
     /// No keys: the default action always runs.
     Always,
     /// Dense LUT over the packed key codes; slot = entry index + 1, 0 = no
@@ -101,18 +137,18 @@ enum Matcher {
     Scan { parts: Vec<FlatPart>, priorities: Vec<i32>, uniform_priority: bool },
 }
 
-struct FlatTable {
+pub(crate) struct FlatTable {
     /// Key fields as `(scratch index, bits)`.
-    keys: Vec<(usize, u8)>,
-    matcher: Matcher,
+    pub(crate) keys: Vec<(usize, u8)>,
+    pub(crate) matcher: Matcher,
     /// Per-entry action index / slice into `data`.
-    entry_action: Vec<u32>,
-    entry_data: Vec<(u32, u32)>, // (offset, len)
+    pub(crate) entry_action: Vec<u32>,
+    pub(crate) entry_data: Vec<(u32, u32)>, // (offset, len)
     /// Contiguous action-data pool (entries first, then the default's).
-    data: Vec<i64>,
-    default_entry: Option<(u32, (u32, u32))>,
+    pub(crate) data: Vec<i64>,
+    pub(crate) default_entry: Option<(u32, (u32, u32))>,
     /// Flattened micro-ops per action.
-    actions: Vec<Vec<FlatOp>>,
+    pub(crate) actions: Vec<Vec<FlatOp>>,
 }
 
 /// Reusable per-worker scratch for [`FlatProgram`] execution.
@@ -141,12 +177,13 @@ pub struct FlatProgram {
 }
 
 impl FlatProgram {
-    /// Flattens a compiled pipeline. Returns `None` when the program keeps
-    /// stateful registers (per-flow state cannot be baked into a LUT) —
-    /// callers fall back to the simulator runtime.
-    pub fn from_pipeline(p: &CompiledPipeline) -> Option<FlatProgram> {
+    /// Flattens a compiled pipeline. Returns a typed [`FlattenSkip`]
+    /// reason when the program keeps stateful registers (per-flow state
+    /// cannot be baked into a LUT) — callers fall back to the simulator
+    /// runtime and surface the reason in stats and verify reports.
+    pub fn from_pipeline(p: &CompiledPipeline) -> Result<FlatProgram, FlattenSkip> {
         if !p.program.registers.is_empty() {
-            return None;
+            return Err(FlattenSkip::StatefulRegisters { registers: p.program.registers.len() });
         }
         let fields: Vec<FieldMeta> = p
             .program
@@ -158,7 +195,8 @@ impl FlatProgram {
         let mut dense_tables = 0;
         let mut scan_tables = 0;
         for t in &p.program.tables {
-            let flat = flatten_table(t, &fields)?;
+            let flat = flatten_table(t, &fields)
+                .ok_or_else(|| FlattenSkip::StatefulOp { table: t.name.clone() })?;
             match flat.matcher {
                 Matcher::Dense(_) => dense_tables += 1,
                 Matcher::Scan { .. } => scan_tables += 1,
@@ -166,7 +204,7 @@ impl FlatProgram {
             }
             tables.push(flat);
         }
-        Some(FlatProgram {
+        Ok(FlatProgram {
             name: p.program.name.clone(),
             fields,
             tables,
@@ -192,6 +230,23 @@ impl FlatProgram {
     /// Tables kept as flattened range/ternary scans.
     pub fn scan_tables(&self) -> usize {
         self.scan_tables
+    }
+
+    /// Scratch-field metadata, in scratch-index order (verifier
+    /// introspection).
+    pub(crate) fn fields_meta(&self) -> &[FieldMeta] {
+        &self.fields
+    }
+
+    /// The flattened tables, in execution order (verifier introspection).
+    pub(crate) fn flat_tables(&self) -> &[FlatTable] {
+        &self.tables
+    }
+
+    /// Scratch indices the input feature codes are stored into (verifier
+    /// introspection: these seed the `[0, 255]` input intervals).
+    pub(crate) fn input_scratch(&self) -> &[usize] {
+        &self.input_fields
     }
 
     /// Classifies one sample of feature codes (each in `[0, 255]`),
@@ -232,6 +287,8 @@ impl FlatProgram {
 
     #[inline]
     fn store(&self, s: &mut FlatScratch, dst: usize, v: i64) {
+        // Verifier invariant V001: every op dst scratch index in bounds.
+        debug_assert!(dst < self.fields.len(), "V001: dst scratch index {dst} out of bounds");
         let m = self.fields[dst];
         s.vals[dst] = truncate(v, m.bits, m.signed);
     }
@@ -247,11 +304,24 @@ impl FlatProgram {
             Matcher::Dense(lut) => {
                 let mut idx = 0usize;
                 for &(f, bits) in &t.keys {
+                    // Verifier invariant V001: key scratch index in bounds.
+                    debug_assert!(f < s.vals.len(), "V001: key scratch index {f} out of bounds");
                     idx = (idx << bits) | self.raw(s, f, bits) as usize;
                 }
+                // Verifier invariant V101: the packed key code lands inside
+                // the LUT (proved statically by interval analysis).
+                debug_assert!(idx < lut.len(), "V101: packed LUT key {idx} >= {}", lut.len());
                 match lut[idx] {
                     0 => None,
-                    e => Some(e as usize - 1),
+                    // Verifier invariant V002: a non-zero slot names a real
+                    // entry (slot encoding is entry index + 1).
+                    e => {
+                        debug_assert!(
+                            (e as usize) <= t.entry_action.len(),
+                            "V002: dangling LUT slot {e}"
+                        );
+                        Some(e as usize - 1)
+                    }
                 }
             }
             Matcher::Scan { parts, priorities, uniform_priority } => {
@@ -282,6 +352,16 @@ impl FlatProgram {
                 None => return,
             },
         };
+        // Verifier invariant V003: action index and data slice in bounds.
+        debug_assert!(
+            (action as usize) < t.actions.len(),
+            "V003: action index {action} out of bounds"
+        );
+        debug_assert!(
+            (off as usize + len as usize) <= t.data.len(),
+            "V003: entry data [{off}, +{len}) outside pool of {}",
+            t.data.len()
+        );
         let params = &t.data[off as usize..(off + len) as usize];
         for op in &t.actions[action as usize] {
             self.exec_op(op, params, s);
@@ -291,9 +371,17 @@ impl FlatProgram {
     #[inline]
     fn read(&self, s: &FlatScratch, src: Src, params: &[i64]) -> i64 {
         match src {
-            Src::Field(f) => s.vals[f],
+            Src::Field(f) => {
+                // Verifier invariant V001: source scratch index in bounds.
+                debug_assert!(f < s.vals.len(), "V001: src scratch index {f} out of bounds");
+                s.vals[f]
+            }
             Src::Const(c) => c,
-            Src::Param(i) => params[i],
+            Src::Param(i) => {
+                // Verifier invariant V003: param slot inside the entry data.
+                debug_assert!(i < params.len(), "V003: param index {i} >= {}", params.len());
+                params[i]
+            }
         }
     }
 

@@ -61,7 +61,7 @@ pub mod raw;
 pub mod server;
 pub mod stats;
 
-pub use flat::{FlatProgram, FlatScratch};
+pub use flat::{FlatProgram, FlatScratch, FlattenSkip};
 pub use raw::{RawIngress, RawVerdict};
 pub use server::{
     ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,

@@ -42,7 +42,7 @@
 //! source, shut down.
 
 use crate::engine::stats::{LatencyHistogram, ParseErrorCounters, ShardStats, StreamReport};
-use crate::engine::{FlowShard, StatelessShard, HOST_WINDOW_STATE_BITS};
+use crate::engine::{FlattenSkip, FlowShard, StatelessShard, HOST_WINDOW_STATE_BITS};
 use crate::error::PegasusError;
 use crate::flowpipe::FlowClassifier;
 use crate::models::StreamFeatures;
@@ -161,6 +161,35 @@ impl EngineArtifact {
             });
         }
         Ok(())
+    }
+
+    /// Re-runs the static verifier over the artifact against the switch
+    /// configuration it was deployed on. Attach and swap call this so a
+    /// corrupt artifact — however it was produced — never reaches a
+    /// serving shard.
+    pub fn verify_report(&self) -> crate::verify::VerifyReport {
+        match &self.plane {
+            ArtifactPlane::Stateless(dp) => {
+                crate::verify::verify_pipeline(dp.pipeline(), Some(dp.switch_config()))
+            }
+            ArtifactPlane::Flow(fc) => {
+                crate::verify::verify_flow(fc.pipeline(), Some(fc.switch_config()))
+            }
+        }
+    }
+
+    /// Why this artifact does not run on the flattened-LUT hot path, if it
+    /// doesn't: per-flow pipelines keep register state by design, and a
+    /// stateless pipeline can carry stateful ops that force the simulator
+    /// fallback. `None` means the tenant streams through flattened LUTs.
+    pub fn flatten_skip(&self) -> Option<String> {
+        match &self.plane {
+            ArtifactPlane::Stateless(dp) => dp.flatten_skip().map(ToString::to_string),
+            ArtifactPlane::Flow(fc) => Some(
+                FlattenSkip::StatefulRegisters { registers: fc.pipeline().program.registers.len() }
+                    .to_string(),
+            ),
+        }
     }
 }
 
@@ -377,6 +406,10 @@ pub struct TenantStats {
     /// Merged per-shard counters (predictions are never included in live
     /// snapshots; detach or shutdown returns them).
     pub report: StreamReport,
+    /// Why this tenant's artifact runs on the simulator fallback instead
+    /// of the flattened-LUT hot path (`None` when it flattened). See
+    /// [`FlattenSkip`].
+    pub flatten_skip: Option<String>,
 }
 
 /// A live engine-wide statistics snapshot.
@@ -956,6 +989,13 @@ impl ControlHandle {
         artifact: EngineArtifact,
         cfg: TenantConfig,
     ) -> Result<TenantToken, PegasusError> {
+        // The artifact re-verifies against its own switch model before it
+        // reaches any shard: a corrupt pipeline is a control-plane error,
+        // never a dataplane surprise.
+        let report = artifact.verify_report();
+        if report.has_errors() {
+            return Err(PegasusError::Verify { report: Box::new(report) });
+        }
         artifact.validate_state_budget(&cfg.flow_table)?;
         let artifact = Arc::new(artifact);
         let mut d = self.shared.lock_dispatch();
@@ -1016,6 +1056,12 @@ impl ControlHandle {
         token: TenantToken,
         artifact: EngineArtifact,
     ) -> Result<SwapReport, PegasusError> {
+        // Same gate as attach: the replacement artifact must verify clean
+        // before any shard sees the swap message.
+        let report = artifact.verify_report();
+        if report.has_errors() {
+            return Err(PegasusError::Verify { report: Box::new(report) });
+        }
         let artifact = Arc::new(artifact);
         let (ack_tx, ack_rx) = sync_channel::<bool>(self.shared.shards);
         let epoch = {
@@ -1111,6 +1157,7 @@ impl ControlHandle {
                 routed_packets: entry.routed_packets,
                 failed,
                 report: merge_report(shards, entry.attached.elapsed().as_nanos() as u64, None),
+                flatten_skip: entry.artifact.flatten_skip(),
             });
         }
         Ok(EngineStats { tenants, unrouted: d.unrouted, parse_errors: d.parse })

@@ -7,6 +7,7 @@
 //! score pipeline) instead of panicking. The old surface `expect`ed or
 //! `assert!`ed its way through all of these.
 
+use crate::verify::VerifyReport;
 use pegasus_switch::DeployError;
 use std::fmt;
 
@@ -16,6 +17,14 @@ use std::fmt;
 pub enum PegasusError {
     /// The switch resource model rejected the program.
     Deploy(DeployError),
+    /// The static verifier found `Error`-severity diagnostics in the
+    /// artifact; the full [`VerifyReport`] is attached. Raised at compile,
+    /// deploy, attach, and swap time — a corrupt or over-budget artifact
+    /// never reaches a serving engine.
+    Verify {
+        /// The verifier's findings (boxed: reports carry every diagnostic).
+        report: Box<VerifyReport>,
+    },
     /// A sample's feature count does not match the compiled pipeline.
     FeatureCount {
         /// Features the pipeline was compiled for.
@@ -104,6 +113,19 @@ impl fmt::Display for PegasusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PegasusError::Deploy(e) => write!(f, "deployment rejected: {e}"),
+            PegasusError::Verify { report } => {
+                let first = report
+                    .errors()
+                    .next()
+                    .map(|d| format!("{d}"))
+                    .unwrap_or_else(|| "no error diagnostics".to_string());
+                write!(
+                    f,
+                    "static verification of '{}' failed with {} error(s); first: {first}",
+                    report.pipeline,
+                    report.errors().count()
+                )
+            }
             PegasusError::FeatureCount { expected, got } => {
                 write!(f, "feature count mismatch: pipeline expects {expected}, got {got}")
             }

@@ -523,8 +523,16 @@ pub struct FlowVerdict {
 }
 
 impl FlowClassifier {
-    /// Deploys a flow pipeline on a switch configuration.
+    /// Deploys a flow pipeline on a switch configuration. The static
+    /// verifier runs first: an artifact with `Error`-severity diagnostics
+    /// is rejected with [`PegasusError::Verify`] before the resource model
+    /// ever sees it. Resource fit stays with the switch model's own typed
+    /// [`DeployError`](pegasus_switch::DeployError).
     pub fn deploy(pipeline: FlowPipeline, cfg: &SwitchConfig) -> Result<Self, PegasusError> {
+        let report = crate::verify::verify_flow(&pipeline, None);
+        if report.has_errors() {
+            return Err(PegasusError::Verify { report: Box::new(report) });
+        }
         let loaded = pipeline.program.clone().deploy(cfg)?;
         let hash_bits = pipeline.program.layout.def(pipeline.hash_field).bits;
         Ok(FlowClassifier { pipeline, loaded, hash_mask: ((1u64 << hash_bits) - 1) as u32 })

@@ -53,6 +53,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;
@@ -68,6 +69,7 @@ pub mod numformat;
 pub mod pipeline;
 pub mod primitives;
 pub mod runtime;
+pub mod verify;
 
 pub use engine::server::{
     ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,
@@ -75,9 +77,12 @@ pub use engine::server::{
     TenantStats, TenantToken,
 };
 pub use engine::{
-    FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict, StreamConfig, StreamReport,
-    HOST_WINDOW_STATE_BITS,
+    FlattenSkip, FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict, StreamConfig,
+    StreamReport, HOST_WINDOW_STATE_BITS,
 };
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};
 pub use pipeline::{Artifact, Compiled, Deployment, Pegasus};
+pub use verify::{
+    verify_flow, verify_pipeline, verify_program, Diagnostic, Severity, VerifyReport,
+};

@@ -133,6 +133,15 @@ impl<M: DataplaneNet> Pegasus<M> {
                 });
             }
         }
+        // Static verification of the fresh artifact (no switch config yet:
+        // resource fit is a deploy-time question, structural and semantic
+        // soundness is a compile-time one). A compiler emitting a corrupt
+        // program is a bug this surfaces immediately, with typed
+        // diagnostics instead of a downstream panic.
+        let report = artifact.verify(None);
+        if report.has_errors() {
+            return Err(PegasusError::Verify { report: Box::new(report) });
+        }
         Ok(Compiled { model: self.model, artifact })
     }
 }
@@ -172,6 +181,20 @@ impl Artifact {
         match self {
             Artifact::Single(p) => &p.report,
             Artifact::Flow(p) => &p.report,
+        }
+    }
+
+    /// Runs the static verifier over this artifact. With a switch
+    /// configuration the report includes resource accounting (`V204`);
+    /// without one it covers the structural, interval, and semantic
+    /// layers only.
+    pub fn verify(
+        &self,
+        cfg: Option<&pegasus_switch::SwitchConfig>,
+    ) -> crate::verify::VerifyReport {
+        match self {
+            Artifact::Single(p) => crate::verify::verify_pipeline(p, cfg),
+            Artifact::Flow(p) => crate::verify::verify_flow(p, cfg),
         }
     }
 }

@@ -9,9 +9,10 @@
 //! panicking.
 
 use crate::compile::CompiledPipeline;
-use crate::engine::FlatProgram;
+use crate::engine::{FlatProgram, FlattenSkip};
 use crate::error::PegasusError;
 use crate::primitives::{Primitive, PrimitiveProgram};
+use crate::verify::verify_pipeline;
 use pegasus_nn::metrics::{pr_rc_f1, PrRcF1};
 use pegasus_nn::Dataset;
 use pegasus_switch::{FieldId, LoadedProgram, ResourceReport, SwitchConfig};
@@ -32,17 +33,30 @@ pub struct DataplaneModel {
     pipeline: CompiledPipeline,
     loaded: LoadedProgram,
     /// The flattened-LUT replica of register-free pipelines, baked once at
-    /// deploy time for the streaming engine's hot loop.
-    flat: Option<FlatProgram>,
+    /// deploy time for the streaming engine's hot loop — or the typed
+    /// reason flattening was skipped.
+    flat: Result<FlatProgram, FlattenSkip>,
 }
 
 impl DataplaneModel {
-    /// Validates the pipeline against a switch configuration and loads it.
+    /// Statically verifies the pipeline, validates it against a switch
+    /// configuration and loads it.
     ///
-    /// Register-free pipelines are additionally baked into a
-    /// [`FlatProgram`] — the contiguous-array replica the streaming engine
-    /// executes (see [`flat`](DataplaneModel::flat)).
+    /// The static verifier (see [`crate::verify`]) runs first: artifacts
+    /// with any `Error`-severity diagnostic are rejected with
+    /// [`PegasusError::Verify`] before the resource model or the flattener
+    /// ever see them. Resource fit is deliberately left to the switch
+    /// model's own typed [`DeployError`](pegasus_switch::DeployError)
+    /// (richer than a `V204` diagnostic); the verifier's resource layer
+    /// covers the same accounting when invoked with a config. Register-free
+    /// pipelines are additionally baked into a [`FlatProgram`] — the
+    /// contiguous-array replica the streaming engine executes (see
+    /// [`flat`](DataplaneModel::flat)).
     pub fn deploy(pipeline: CompiledPipeline, cfg: &SwitchConfig) -> Result<Self, PegasusError> {
+        let report = verify_pipeline(&pipeline, None);
+        if report.has_errors() {
+            return Err(PegasusError::Verify { report: Box::new(report) });
+        }
         let loaded = pipeline.program.clone().deploy(cfg)?;
         let flat = FlatProgram::from_pipeline(&pipeline);
         Ok(DataplaneModel { pipeline, loaded, flat })
@@ -58,7 +72,14 @@ impl DataplaneModel {
     /// [`classify`](DataplaneModel::classify) — asserted over whole traces
     /// by the engine's determinism tests.
     pub fn flat(&self) -> Option<&FlatProgram> {
-        self.flat.as_ref()
+        self.flat.as_ref().ok()
+    }
+
+    /// Why this pipeline was not flattened (`None` when [`flat`](DataplaneModel::flat)
+    /// is available). Surfaced in engine stats so operators can see which
+    /// tenants serve through the simulator fallback.
+    pub fn flatten_skip(&self) -> Option<&FlattenSkip> {
+        self.flat.as_ref().err()
     }
 
     /// Switch resource utilization (the Table 6 row).
@@ -352,5 +373,79 @@ mod tests {
         let verdicts = m.classify_batch(&mixed);
         assert!(verdicts[..10].iter().all(|v| v.is_ok()));
         assert!(verdicts[10].is_err());
+    }
+
+    /// A corrupted artifact must be turned away at the engine's door —
+    /// both attach and swap. The corrupt `DataplaneModel` is assembled
+    /// field-by-field here (this module owns the fields) because every
+    /// public path already rejects it earlier; the engine's own gate is
+    /// the last line, and this is the only way to exercise it.
+    #[test]
+    fn engine_rejects_corrupted_artifact_at_attach_and_swap() {
+        use crate::engine::server::{EngineArtifact, EngineBuilder, TenantConfig};
+        use crate::error::PegasusError;
+        use crate::models::StreamFeatures;
+        use std::sync::Arc;
+
+        let build = || {
+            let mut prog = scorer();
+            fuse_basic(&mut prog);
+            let c = compile(
+                &prog,
+                &inputs(1200, 11),
+                &CompileOptions { clustering_depth: 6, ..Default::default() },
+                CompileTarget::Classify,
+                "corrupt",
+            )
+            .expect("compiles");
+            DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap()
+        };
+        // Corrupt the pipeline description after deploy: an entry naming a
+        // nonexistent action, as a bit-rotted artifact would.
+        let mut dm = build();
+        let t = dm
+            .pipeline
+            .program
+            .tables
+            .iter_mut()
+            .find(|t| !t.entries.is_empty())
+            .expect("has entries");
+        t.entries[0].action_idx = 999;
+        let corrupt = EngineArtifact::stateless(Arc::new(dm), StreamFeatures::Stat, "corrupt");
+
+        let server = EngineBuilder::new().build().expect("engine starts");
+        let control = server.control();
+        let err = control.attach(corrupt, TenantConfig::new()).unwrap_err();
+        match err {
+            PegasusError::Verify { report } => {
+                assert!(report.has_code("V003"), "{report}");
+            }
+            other => panic!("attach must reject with Verify, got {other:?}"),
+        }
+
+        // Swap: attach a clean artifact, then try to swap in a corrupt one.
+        let clean = EngineArtifact::stateless(Arc::new(build()), StreamFeatures::Stat, "clean");
+        let token = control.attach(clean, TenantConfig::new()).expect("clean attaches");
+        let mut dm = build();
+        let t = dm
+            .pipeline
+            .program
+            .tables
+            .iter_mut()
+            .find(|t| !t.entries.is_empty())
+            .expect("has entries");
+        t.entries[0].action_idx = 999;
+        let corrupt = EngineArtifact::stateless(Arc::new(dm), StreamFeatures::Stat, "corrupt");
+        let err = control.swap(token, corrupt).unwrap_err();
+        assert!(
+            matches!(err, PegasusError::Verify { .. }),
+            "swap must reject with Verify, got {err:?}"
+        );
+        // The engine still serves the clean artifact.
+        let stats = control.stats().expect("stats");
+        assert_eq!(stats.tenants.len(), 1);
+        assert_eq!(stats.tenants[0].epoch, 0, "failed swap must not bump the epoch");
+        assert!(stats.tenants[0].flatten_skip.is_none(), "stateless scorer flattens");
+        server.shutdown().expect("shuts down");
     }
 }

@@ -1,0 +1,1387 @@
+//! Static artifact verification: `pegasus-verify`'s analysis core.
+//!
+//! Pegasus's premise is that a DNN is compiled into dataplane primitives
+//! that *provably* fit the switch's resource and semantics model. This
+//! module makes that proof explicit: [`verify_pipeline`] /
+//! [`verify_flow`] run over every compiled artifact — at compile time
+//! ([`Pegasus::compile`](crate::pipeline::Pegasus::compile)), at deploy
+//! time ([`DataplaneModel::deploy`](crate::runtime::DataplaneModel::deploy),
+//! [`FlowClassifier::deploy`](crate::flowpipe::FlowClassifier::deploy)) and
+//! at attach/swap time
+//! ([`ControlHandle::attach`](crate::engine::server::ControlHandle::attach)) —
+//! and produce a typed [`VerifyReport`] of [`Diagnostic`]s. Any
+//! `Error`-severity diagnostic rejects the artifact with
+//! [`PegasusError::Verify`](crate::error::PegasusError::Verify) before a
+//! single packet flows.
+//!
+//! Three analysis layers:
+//!
+//! 1. **Structural checks** (`V0xx`) — every ALU operand and scratch index
+//!    in bounds, dense-LUT slots naming real entries, entry action/data
+//!    offsets inside their pools, range parts ordered and inside the key
+//!    field's declared bit width, shift amounts below 64.
+//! 2. **Interval abstract interpretation** (`V1xx`) — `[lo, hi]` value
+//!    ranges propagated per PHV/scratch field through every micro-op
+//!    sequence and across table stages (respecting `mask_of`/`truncate`
+//!    wrapping semantics), proving every packed dense-LUT key code lands
+//!    in bounds and flagging value ranges that silently wrap past their
+//!    field's declared width.
+//! 3. **Semantic lints** (`V2xx`) — unreachable/shadowed entries, tables
+//!    with no default action and a provable match gap, same-priority
+//!    overlapping entries (hardware match nondeterminism), and the full
+//!    [`SwitchConfig`] resource accounting (stages, PHV, SRAM/TCAM, action
+//!    bus) as static diagnostics instead of deploy-time surprises.
+//!
+//! `V301` (`Info`) records why a pipeline did not flatten into the
+//! streaming hot path (see [`FlattenSkip`](crate::engine::FlattenSkip)).
+//!
+//! # Diagnostic codes
+//!
+//! | Code | Severity | Meaning |
+//! |------|----------|---------|
+//! | `V001` | Error | scratch/PHV field index out of bounds |
+//! | `V002` | Error | dense-LUT slot names a nonexistent entry |
+//! | `V003` | Error | entry action/data reference out of bounds |
+//! | `V004` | Error | range key with `lo > hi` |
+//! | `V005` | Error | key value/range outside the field's declared width |
+//! | `V006` | Error | shift amount ≥ 64 |
+//! | `V007` | Error | entry key arity differs from the table declaration |
+//! | `V008` | Warn  | ternary entry can never match (`value & !mask != 0`) |
+//! | `V101` | Error | a packed dense-LUT key is not provably in bounds |
+//! | `V102` | Warn  | a value range provably wraps past its field width |
+//! | `V201` | Error | entry shadowed by a dominating entry |
+//! | `V202` | Warn  | no default action and a provable match gap |
+//! | `V203` | Warn  | same-priority overlapping entries |
+//! | `V204` | Error | switch resource model rejects the program |
+//! | `V301` | Info  | pipeline does not flatten (reason attached) |
+
+use crate::compile::CompiledPipeline;
+use crate::engine::flat::{FlatOp, FlatPart, FlatProgram, FlatTable, Matcher, Src};
+use crate::flowpipe::FlowPipeline;
+use pegasus_switch::{
+    mask_of, AluOp, FieldId, KeyPart, SwitchConfig, SwitchProgram, Table, TernaryKey,
+};
+use std::fmt;
+
+/// How bad one diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational only (e.g. the flatten-skip reason).
+    Info,
+    /// Suspicious but not rejecting (e.g. silent wrap-around).
+    Warn,
+    /// Rejects `deploy`/`attach`/`swap` via
+    /// [`PegasusError::Verify`](crate::error::PegasusError::Verify).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of the static verifier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"V001"` (see the module-level table).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// The table the finding is anchored to, when table-scoped.
+    pub table: Option<String>,
+    /// Human-readable description with the concrete numbers.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.severity)?;
+        if let Some(t) = &self.table {
+            write!(f, " [{t}]")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The typed outcome of one verification run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerifyReport {
+    /// The verified pipeline's name.
+    pub pipeline: String,
+    /// All findings, in analysis order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// True when no `Error`-severity diagnostic was produced (the artifact
+    /// is admissible; warnings and infos may still be present).
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// True when at least one `Error`-severity diagnostic was produced.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The `Error`-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The `Warn`-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warn)
+    }
+
+    /// True when any finding carries the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        table: Option<&str>,
+        message: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            table: table.map(str::to_string),
+            message,
+        });
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (e, w) = (self.errors().count(), self.warnings().count());
+        writeln!(f, "verify {}: {} error(s), {} warning(s)", self.pipeline, e, w)?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Entries above this count skip the quadratic semantic lints (shadowing
+/// and overlap) on non-exact tables; exact tables use a hash-based
+/// duplicate check at any size, so the compiler's enumerated maps are
+/// always covered.
+const SEMANTIC_LINT_MAX_ENTRIES: usize = 4096;
+
+/// Key domains up to this many points are enumerated exhaustively for the
+/// no-default coverage lint (`V202`); larger domains are skipped rather
+/// than guessed at (the verifier never reports what it cannot prove).
+const COVERAGE_MAX_POINTS: u64 = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Verifies a stateless compiled pipeline: program-level structural and
+/// semantic layers, resource accounting when `cfg` is given, then the
+/// flattened representation (structural + interval analysis) or the typed
+/// flatten-skip reason as a `V301` info.
+pub fn verify_pipeline(p: &CompiledPipeline, cfg: Option<&SwitchConfig>) -> VerifyReport {
+    let mut r = verify_program(&p.program, cfg);
+    let nfields = p.program.layout.len();
+    check_pipeline_fields(&mut r, "input field", &p.input_fields, nfields);
+    check_pipeline_fields(&mut r, "score field", &p.score_fields, nfields);
+    if let Some(f) = p.predicted_field {
+        check_pipeline_fields(&mut r, "predicted field", &[f], nfields);
+    }
+    // Flatten only artifacts that passed the structural layer: the
+    // flattener (like the resource model) trusts the invariants above.
+    if r.has_errors() {
+        return r;
+    }
+    match FlatProgram::from_pipeline(p) {
+        Ok(flat) => {
+            let table_names: Vec<&str> = p.program.tables.iter().map(|t| t.name.as_str()).collect();
+            verify_flat(&mut r, &flat, &table_names);
+        }
+        Err(skip) => {
+            r.push(
+                "V301",
+                Severity::Info,
+                None,
+                format!("pipeline does not flatten: {skip} (simulator fallback)"),
+            );
+        }
+    }
+    r
+}
+
+/// Verifies a per-flow windowed pipeline (program-level layers only —
+/// flow pipelines keep registers and never flatten; the register file is
+/// their hot path).
+pub fn verify_flow(p: &FlowPipeline, cfg: Option<&SwitchConfig>) -> VerifyReport {
+    let mut r = verify_program(&p.program, cfg);
+    let nfields = p.program.layout.len();
+    check_pipeline_fields(&mut r, "extractor field", &p.extractor_fields, nfields);
+    check_pipeline_fields(&mut r, "score field", &p.score_fields, nfields);
+    let singles = [
+        ("len field", p.len_field),
+        ("ts field", p.ts_field),
+        ("hash field", p.hash_field),
+        ("valid field", p.valid_field),
+    ];
+    for (what, f) in singles {
+        check_pipeline_fields(&mut r, what, &[f], nfields);
+    }
+    if let Some(f) = p.predicted_field {
+        check_pipeline_fields(&mut r, "predicted field", &[f], nfields);
+    }
+    r
+}
+
+/// Verifies a bare switch program: structural checks over every table,
+/// semantic lints, and — when `cfg` is given and the structural layer is
+/// clean — full resource accounting as `V204` diagnostics.
+pub fn verify_program(prog: &SwitchProgram, cfg: Option<&SwitchConfig>) -> VerifyReport {
+    let mut r = VerifyReport { pipeline: prog.name.clone(), diagnostics: Vec::new() };
+    for t in &prog.tables {
+        check_table_structure(&mut r, prog, t);
+    }
+    for t in &prog.tables {
+        check_table_semantics(&mut r, prog, t);
+    }
+    // Resource accounting runs only on structurally sound programs: the
+    // cost model's range expansion asserts exactly the invariants the
+    // structural layer just checked.
+    if let Some(cfg) = cfg {
+        if !r.has_errors() {
+            if let Err(e) = prog.check_resources(cfg) {
+                r.push("V204", Severity::Error, None, format!("resource model rejects: {e}"));
+            }
+        }
+    }
+    r
+}
+
+fn check_pipeline_fields(r: &mut VerifyReport, what: &str, fields: &[FieldId], nfields: usize) {
+    for f in fields {
+        if f.0 >= nfields {
+            r.push(
+                "V001",
+                Severity::Error,
+                None,
+                format!("{what} #{} outside the {nfields}-field layout", f.0),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1a: structural checks over the switch program.
+// ---------------------------------------------------------------------------
+
+fn check_table_structure(r: &mut VerifyReport, prog: &SwitchProgram, t: &Table) {
+    let nfields = prog.layout.len();
+    let name = t.name.as_str();
+
+    // Key field declarations.
+    for (f, _) in &t.keys {
+        if f.0 >= nfields {
+            r.push(
+                "V001",
+                Severity::Error,
+                Some(name),
+                format!("key field #{} outside the {nfields}-field layout", f.0),
+            );
+        }
+    }
+
+    // Action micro-ops: operand fields, register ids, shift amounts.
+    for (ai, a) in t.actions.iter().enumerate() {
+        for op in &a.ops {
+            if let Some(dst) = op.dst_field() {
+                if dst.0 >= nfields {
+                    r.push(
+                        "V001",
+                        Severity::Error,
+                        Some(name),
+                        format!("action #{ai} writes field #{} outside the layout", dst.0),
+                    );
+                }
+            }
+            for src in op.src_fields() {
+                if src.0 >= nfields {
+                    r.push(
+                        "V001",
+                        Severity::Error,
+                        Some(name),
+                        format!("action #{ai} reads field #{} outside the layout", src.0),
+                    );
+                }
+            }
+            if let AluOp::Shl { amount, .. } | AluOp::Shr { amount, .. } = op {
+                if *amount >= 64 {
+                    r.push(
+                        "V006",
+                        Severity::Error,
+                        Some(name),
+                        format!("action #{ai} shifts by {amount} (must be < 64)"),
+                    );
+                }
+            }
+            if let Some(reg) = reg_of(op) {
+                if reg >= prog.registers.len() {
+                    r.push(
+                        "V003",
+                        Severity::Error,
+                        Some(name),
+                        format!(
+                            "action #{ai} touches register #{reg}, program declares {}",
+                            prog.registers.len()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Per-action max param slot (for entry data-length checks below).
+    let max_param: Vec<Option<usize>> =
+        t.actions.iter().map(|a| a.ops.iter().flat_map(|op| op.param_slots()).max()).collect();
+
+    // Entries.
+    for (ei, e) in t.entries.iter().enumerate() {
+        if e.keys.len() != t.keys.len() {
+            r.push(
+                "V007",
+                Severity::Error,
+                Some(name),
+                format!(
+                    "entry #{ei} has {} key part(s), table declares {}",
+                    e.keys.len(),
+                    t.keys.len()
+                ),
+            );
+            continue;
+        }
+        if e.action_idx >= t.actions.len() {
+            r.push(
+                "V003",
+                Severity::Error,
+                Some(name),
+                format!(
+                    "entry #{ei} invokes action #{}, table declares {}",
+                    e.action_idx,
+                    t.actions.len()
+                ),
+            );
+        } else if let Some(maxp) = max_param[e.action_idx] {
+            if maxp >= e.action_data.len() {
+                r.push(
+                    "V003",
+                    Severity::Error,
+                    Some(name),
+                    format!(
+                        "entry #{ei}: action #{} reads param slot {maxp}, entry carries {} word(s)",
+                        e.action_idx,
+                        e.action_data.len()
+                    ),
+                );
+            }
+        }
+        for (j, part) in e.keys.iter().enumerate() {
+            let field = t.keys[j].0;
+            if field.0 >= nfields {
+                continue; // already flagged at the declaration
+            }
+            let bits = prog.layout.def(field).bits;
+            check_key_part(r, name, ei, j, part, bits);
+        }
+    }
+
+    // Default action.
+    if let Some((idx, data)) = &t.default_action {
+        if *idx >= t.actions.len() {
+            r.push(
+                "V003",
+                Severity::Error,
+                Some(name),
+                format!("default invokes action #{idx}, table declares {}", t.actions.len()),
+            );
+        } else if let Some(maxp) = max_param[*idx] {
+            if maxp >= data.len() {
+                r.push(
+                    "V003",
+                    Severity::Error,
+                    Some(name),
+                    format!(
+                        "default action #{idx} reads param slot {maxp}, default carries {} word(s)",
+                        data.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_key_part(
+    r: &mut VerifyReport,
+    table: &str,
+    entry: usize,
+    col: usize,
+    part: &KeyPart,
+    bits: u8,
+) {
+    let field_mask = mask_of(bits);
+    match part {
+        KeyPart::Exact(v) => {
+            if *v > field_mask {
+                r.push(
+                    "V005",
+                    Severity::Error,
+                    Some(table),
+                    format!("entry #{entry} key #{col}: exact value {v} exceeds {bits}-bit field"),
+                );
+            }
+        }
+        KeyPart::Ternary(TernaryKey { value, mask }) => {
+            if value & !mask != 0 {
+                r.push(
+                    "V008",
+                    Severity::Warn,
+                    Some(table),
+                    format!(
+                        "entry #{entry} key #{col}: ternary value {value:#x} sets don't-care \
+                         bits of mask {mask:#x} — entry can never match"
+                    ),
+                );
+            } else if *value > field_mask {
+                r.push(
+                    "V005",
+                    Severity::Error,
+                    Some(table),
+                    format!(
+                        "entry #{entry} key #{col}: ternary value {value:#x} exceeds \
+                         {bits}-bit field"
+                    ),
+                );
+            }
+        }
+        KeyPart::Range { lo, hi } => {
+            if lo > hi {
+                r.push(
+                    "V004",
+                    Severity::Error,
+                    Some(table),
+                    format!("entry #{entry} key #{col}: inverted range [{lo}, {hi}]"),
+                );
+            } else if *hi > field_mask {
+                r.push(
+                    "V005",
+                    Severity::Error,
+                    Some(table),
+                    format!("entry #{entry} key #{col}: range end {hi} exceeds {bits}-bit field"),
+                );
+            } else if bits > 48 {
+                r.push(
+                    "V005",
+                    Severity::Error,
+                    Some(table),
+                    format!(
+                        "entry #{entry} key #{col}: range match on a {bits}-bit field \
+                         (TCAM range coding supports up to 48)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The register array an op touches, if any.
+fn reg_of(op: &AluOp) -> Option<usize> {
+    match op {
+        AluOp::RegRead { reg, .. }
+        | AluOp::RegWrite { reg, .. }
+        | AluOp::RegReadWrite { reg, .. }
+        | AluOp::RegIncrSat { reg, .. }
+        | AluOp::RegShiftInsert { reg, .. } => Some(reg.0),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: semantic lints (shadowing, overlap, coverage).
+// ---------------------------------------------------------------------------
+
+fn check_table_semantics(r: &mut VerifyReport, prog: &SwitchProgram, t: &Table) {
+    let name = t.name.as_str();
+    // Only structurally sound entries take part (a malformed entry's
+    // semantics are undefined; it was already flagged).
+    let sound = |e: &pegasus_switch::TableEntry| e.keys.len() == t.keys.len();
+    let widths: Option<Vec<u8>> = t
+        .keys
+        .iter()
+        .map(|(f, _)| (f.0 < prog.layout.len()).then(|| prog.layout.def(*f).bits))
+        .collect();
+    let Some(widths) = widths else { return };
+
+    if t.is_exact() {
+        // Exact tables: shadowing == duplicate key tuple (hash check, any
+        // size — this is the compiler's enumerated-map shape).
+        let mut seen: std::collections::HashMap<Vec<u64>, usize> = std::collections::HashMap::new();
+        for (ei, e) in t.entries.iter().enumerate() {
+            if !sound(e) {
+                continue;
+            }
+            let key: Option<Vec<u64>> = e
+                .keys
+                .iter()
+                .map(|p| if let KeyPart::Exact(v) = p { Some(*v) } else { None })
+                .collect();
+            let Some(key) = key else { continue };
+            match seen.get(&key) {
+                Some(&first) => r.push(
+                    "V201",
+                    Severity::Error,
+                    Some(name),
+                    format!("entry #{ei} duplicates entry #{first}'s exact key — unreachable"),
+                ),
+                None => {
+                    seen.insert(key, ei);
+                }
+            }
+        }
+    } else if t.entries.len() <= SEMANTIC_LINT_MAX_ENTRIES {
+        for j in 0..t.entries.len() {
+            if !sound(&t.entries[j]) {
+                continue;
+            }
+            for i in 0..t.entries.len() {
+                if i == j || !sound(&t.entries[i]) {
+                    continue;
+                }
+                let (a, b) = (&t.entries[i], &t.entries[j]);
+                // Entry j can never win when a dominating entry i covers
+                // its whole match set: strictly higher priority anywhere,
+                // or same priority earlier in the table (first match wins
+                // among equals).
+                let dominates = a.priority > b.priority || (a.priority == b.priority && i < j);
+                if dominates && covers_all(a, b, &widths) {
+                    r.push(
+                        "V201",
+                        Severity::Error,
+                        Some(name),
+                        format!(
+                            "entry #{j} is shadowed by entry #{i} \
+                             (priority {} vs {}) — unreachable",
+                            a.priority, b.priority
+                        ),
+                    );
+                    break;
+                }
+                // Same-priority partial overlap: resolution falls back to
+                // entry order, which real match hardware does not
+                // guarantee.
+                if i < j
+                    && a.priority == b.priority
+                    && !covers_all(a, b, &widths)
+                    && !covers_all(b, a, &widths)
+                    && overlaps_all(a, b, &widths)
+                    && (a.action_idx != b.action_idx || a.action_data != b.action_data)
+                {
+                    r.push(
+                        "V203",
+                        Severity::Warn,
+                        Some(name),
+                        format!(
+                            "entries #{i} and #{j} overlap at equal priority {} with \
+                             different outcomes — match order decides",
+                            a.priority
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Coverage: no default action and a provable gap in the key space.
+    if t.default_action.is_none() && !t.keys.is_empty() && !t.entries.is_empty() {
+        let domain = widths.iter().fold(1u64, |acc, &b| acc.saturating_mul(1u64 << b.min(63)));
+        if domain <= COVERAGE_MAX_POINTS {
+            let k = widths.len();
+            let mut raws = vec![0u64; k];
+            'points: for point in 0..domain {
+                let mut rem = point;
+                for (j, &b) in widths.iter().enumerate().rev() {
+                    raws[j] = rem & mask_of(b);
+                    rem >>= b;
+                }
+                let hit = t
+                    .entries
+                    .iter()
+                    .filter(|e| sound(e))
+                    .any(|e| e.keys.iter().zip(raws.iter()).all(|(p, &raw)| p.matches(raw)));
+                if !hit {
+                    r.push(
+                        "V202",
+                        Severity::Warn,
+                        Some(name),
+                        format!(
+                            "no default action and key point {raws:?} matches no entry — \
+                             packets there pass through unmodified"
+                        ),
+                    );
+                    break 'points;
+                }
+            }
+        }
+    }
+}
+
+/// True when every column of `a` covers (is a superset of) the matching
+/// column of `b` — conservative: only returns `true` when provable.
+fn covers_all(
+    a: &pegasus_switch::TableEntry,
+    b: &pegasus_switch::TableEntry,
+    widths: &[u8],
+) -> bool {
+    a.keys
+        .iter()
+        .zip(b.keys.iter())
+        .zip(widths.iter())
+        .all(|((pa, pb), &bits)| part_covers(pa, pb, bits))
+}
+
+fn part_covers(a: &KeyPart, b: &KeyPart, bits: u8) -> bool {
+    let width_mask = mask_of(bits);
+    match (a, b) {
+        (KeyPart::Exact(x), KeyPart::Exact(y)) => x == y,
+        (KeyPart::Ternary(t), KeyPart::Exact(y)) => t.matches(*y),
+        (KeyPart::Range { lo, hi }, KeyPart::Exact(y)) => (lo..=hi).contains(&y),
+        (KeyPart::Exact(x), KeyPart::Ternary(t)) => {
+            t.mask & width_mask == width_mask && t.value == *x
+        }
+        (KeyPart::Exact(x), KeyPart::Range { lo, hi }) => lo == hi && lo == x,
+        (KeyPart::Ternary(ta), KeyPart::Ternary(tb)) => {
+            // a cares only where b also cares, and they agree there.
+            ta.mask & tb.mask == ta.mask && tb.value & ta.mask == ta.value
+        }
+        (KeyPart::Range { lo, hi }, KeyPart::Ternary(t)) => {
+            // b's smallest point is `value`, largest sets every wildcard
+            // bit inside the field width.
+            let min = t.value;
+            let max = t.value | (!t.mask & width_mask);
+            *lo <= min && max <= *hi
+        }
+        (KeyPart::Range { lo, hi }, KeyPart::Range { lo: lo2, hi: hi2 }) => lo <= lo2 && hi2 <= hi,
+        (KeyPart::Ternary(t), KeyPart::Range { lo, hi }) => {
+            // Only the singleton range is provable without enumeration.
+            lo == hi && t.matches(*lo)
+        }
+    }
+}
+
+/// True when every column pair intersects (conservative: returns `true`
+/// unless disjointness is provable, so only provable overlaps get past the
+/// caller's extra filters).
+fn overlaps_all(
+    a: &pegasus_switch::TableEntry,
+    b: &pegasus_switch::TableEntry,
+    widths: &[u8],
+) -> bool {
+    a.keys
+        .iter()
+        .zip(b.keys.iter())
+        .zip(widths.iter())
+        .all(|((pa, pb), &bits)| part_overlaps(pa, pb, bits))
+}
+
+fn part_overlaps(a: &KeyPart, b: &KeyPart, bits: u8) -> bool {
+    let width_mask = mask_of(bits);
+    match (a, b) {
+        (KeyPart::Exact(x), KeyPart::Exact(y)) => x == y,
+        (KeyPart::Exact(x), KeyPart::Ternary(t)) | (KeyPart::Ternary(t), KeyPart::Exact(x)) => {
+            t.matches(*x)
+        }
+        (KeyPart::Exact(x), KeyPart::Range { lo, hi })
+        | (KeyPart::Range { lo, hi }, KeyPart::Exact(x)) => (lo..=hi).contains(&x),
+        (KeyPart::Ternary(ta), KeyPart::Ternary(tb)) => {
+            (ta.value ^ tb.value) & (ta.mask & tb.mask) == 0
+        }
+        (KeyPart::Range { lo, hi }, KeyPart::Range { lo: lo2, hi: hi2 }) => lo <= hi2 && lo2 <= hi,
+        (KeyPart::Ternary(t), KeyPart::Range { lo, hi })
+        | (KeyPart::Range { lo, hi }, KeyPart::Ternary(t)) => {
+            // Provably disjoint only when the ternary set's hull misses
+            // the range entirely.
+            let min = t.value;
+            let max = t.value | (!t.mask & width_mask);
+            !(max < *lo || min > *hi)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1b + 2: flat-program structural checks and interval analysis.
+// ---------------------------------------------------------------------------
+
+fn verify_flat(r: &mut VerifyReport, flat: &FlatProgram, table_names: &[&str]) {
+    let before = r.diagnostics.len();
+    let nfields = flat.fields_meta().len();
+    for (ti, ft) in flat.flat_tables().iter().enumerate() {
+        let name = table_names.get(ti).copied().unwrap_or("?");
+        check_flat_table(r, ft, name, nfields);
+    }
+    // The interval layer indexes by the structures the checks above just
+    // validated; run it only on a structurally sound flat program.
+    let structurally_sound = !r.diagnostics[before..].iter().any(|d| d.severity == Severity::Error);
+    if structurally_sound {
+        interval_analysis(r, flat, table_names);
+    }
+}
+
+fn check_flat_table(r: &mut VerifyReport, ft: &FlatTable, name: &str, nfields: usize) {
+    for &(f, _) in &ft.keys {
+        if f >= nfields {
+            r.push(
+                "V001",
+                Severity::Error,
+                Some(name),
+                format!("flat key scratch index {f} outside the {nfields}-field scratch"),
+            );
+        }
+    }
+    if ft.entry_action.len() != ft.entry_data.len() {
+        r.push(
+            "V003",
+            Severity::Error,
+            Some(name),
+            format!(
+                "flat entry arrays disagree: {} action(s), {} data slice(s)",
+                ft.entry_action.len(),
+                ft.entry_data.len()
+            ),
+        );
+    }
+    let check_ref = |r: &mut VerifyReport, what: &str, action: u32, off: u32, len: u32| {
+        if action as usize >= ft.actions.len() {
+            r.push(
+                "V003",
+                Severity::Error,
+                Some(name),
+                format!("{what} invokes flat action #{action}, table has {}", ft.actions.len()),
+            );
+        }
+        if off as usize + len as usize > ft.data.len() {
+            r.push(
+                "V003",
+                Severity::Error,
+                Some(name),
+                format!(
+                    "{what} data slice [{off}, +{len}) outside the {}-word pool",
+                    ft.data.len()
+                ),
+            );
+        }
+    };
+    for (ei, (&action, &(off, len))) in ft.entry_action.iter().zip(ft.entry_data.iter()).enumerate()
+    {
+        check_ref(r, &format!("flat entry #{ei}"), action, off, len);
+    }
+    if let Some((action, (off, len))) = ft.default_entry {
+        check_ref(r, "flat default", action, off, len);
+    }
+
+    match &ft.matcher {
+        Matcher::Always => {}
+        Matcher::Dense(lut) => {
+            let entries = ft.entry_action.len() as u32;
+            for (slot, &v) in lut.iter().enumerate() {
+                if v > entries {
+                    r.push(
+                        "V002",
+                        Severity::Error,
+                        Some(name),
+                        format!(
+                            "dense-LUT slot {slot} holds {v}, table has {entries} entry(ies) \
+                             (slot encoding is entry index + 1)"
+                        ),
+                    );
+                    break; // one witness per table keeps reports readable
+                }
+            }
+        }
+        Matcher::Scan { parts, priorities, .. } => {
+            let k = ft.keys.len();
+            if parts.len() != priorities.len() * k {
+                r.push(
+                    "V003",
+                    Severity::Error,
+                    Some(name),
+                    format!(
+                        "flat scan shape disagrees: {} part(s) for {} entry(ies) × {k} key(s)",
+                        parts.len(),
+                        priorities.len()
+                    ),
+                );
+            }
+            for (pi, part) in parts.iter().enumerate() {
+                let bits = ft.keys.get(pi % k.max(1)).map_or(64, |&(_, b)| b);
+                match *part {
+                    FlatPart::Range { lo, hi } if lo > hi => r.push(
+                        "V004",
+                        Severity::Error,
+                        Some(name),
+                        format!("flat part #{pi}: inverted range [{lo}, {hi}]"),
+                    ),
+                    FlatPart::Range { hi, .. } if hi > mask_of(bits) => r.push(
+                        "V005",
+                        Severity::Error,
+                        Some(name),
+                        format!("flat part #{pi}: range end {hi} exceeds {bits}-bit key"),
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    for (ai, ops) in ft.actions.iter().enumerate() {
+        for op in ops {
+            let (dst, srcs, shift) = flat_op_parts(op);
+            if dst >= nfields {
+                r.push(
+                    "V001",
+                    Severity::Error,
+                    Some(name),
+                    format!("flat action #{ai} writes scratch index {dst} (scratch has {nfields})"),
+                );
+            }
+            for s in srcs.into_iter().flatten() {
+                if let Src::Field(f) = s {
+                    if f >= nfields {
+                        r.push(
+                            "V001",
+                            Severity::Error,
+                            Some(name),
+                            format!(
+                                "flat action #{ai} reads scratch index {f} \
+                                 (scratch has {nfields})"
+                            ),
+                        );
+                    }
+                }
+            }
+            if let Some(amount) = shift {
+                if amount >= 64 {
+                    r.push(
+                        "V006",
+                        Severity::Error,
+                        Some(name),
+                        format!("flat action #{ai} shifts by {amount} (must be < 64)"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `(dst, [a, b], shift amount)` of one flat op.
+fn flat_op_parts(op: &FlatOp) -> (usize, [Option<Src>; 2], Option<u8>) {
+    match *op {
+        FlatOp::Set { dst, a } | FlatOp::Popcnt { dst, a } => (dst, [Some(a), None], None),
+        FlatOp::Shl { dst, a, amount } | FlatOp::Shr { dst, a, amount } => {
+            (dst, [Some(a), None], Some(amount))
+        }
+        FlatOp::Add { dst, a, b }
+        | FlatOp::Sub { dst, a, b }
+        | FlatOp::Min { dst, a, b }
+        | FlatOp::Max { dst, a, b }
+        | FlatOp::And { dst, a, b }
+        | FlatOp::Or { dst, a, b }
+        | FlatOp::Xor { dst, a, b } => (dst, [Some(a), Some(b)], None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: interval abstract interpretation.
+// ---------------------------------------------------------------------------
+
+/// An inclusive `[lo, hi]` value interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+impl Interval {
+    const fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The no-information interval (distinct from a provable wrap).
+    const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+    fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+}
+
+/// The representable range of a `bits`-wide field.
+fn representable(bits: u8, signed: bool) -> Interval {
+    if bits >= 64 {
+        return Interval::TOP;
+    }
+    if signed {
+        Interval { lo: -(1i64 << (bits - 1)), hi: (1i64 << (bits - 1)) - 1 }
+    } else {
+        Interval { lo: 0, hi: (1i64 << bits) - 1 }
+    }
+}
+
+/// Abstract `truncate`: identity when the interval fits the field, else
+/// the field's full representable range. The bool reports a *provable*
+/// wrap (a finite interval that exceeds the width) — `TOP` widens
+/// silently, because "unknown" is not "provably wrapping".
+fn truncate_abs(iv: Interval, bits: u8, signed: bool) -> (Interval, bool) {
+    let rep = representable(bits, signed);
+    if rep.lo <= iv.lo && iv.hi <= rep.hi {
+        (iv, false)
+    } else if iv == Interval::TOP {
+        (rep, false)
+    } else {
+        (rep, true)
+    }
+}
+
+fn clamp128(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+fn interval_analysis(r: &mut VerifyReport, flat: &FlatProgram, table_names: &[&str]) {
+    let metas = flat.fields_meta();
+    let mut state: Vec<Interval> = vec![Interval::point(0); metas.len()];
+    // Input feature codes are clamped to [0, 255] before the store.
+    for &f in flat.input_scratch() {
+        let (iv, _) = truncate_abs(Interval { lo: 0, hi: 255 }, metas[f].bits, metas[f].signed);
+        state[f] = iv;
+    }
+
+    for (ti, ft) in flat.flat_tables().iter().enumerate() {
+        let name = table_names.get(ti).copied().unwrap_or("?");
+
+        // Prove the packed dense-LUT key code in bounds from the current
+        // key-field intervals (packing is monotone: each field's raw code
+        // occupies its own bit slice).
+        if let Matcher::Dense(lut) = &ft.matcher {
+            let (mut lo, mut hi) = (0u128, 0u128);
+            for &(f, bits) in &ft.keys {
+                let mask = mask_of(bits);
+                let iv = state[f];
+                // A field interval inside [0, mask] passes through the raw
+                // masking untouched; anything else can reach any code.
+                let (rlo, rhi) = if iv.lo >= 0 && iv.hi as u128 <= mask as u128 {
+                    (iv.lo as u64, iv.hi as u64)
+                } else {
+                    (0, mask)
+                };
+                lo = (lo << bits) | rlo as u128;
+                hi = (hi << bits) | rhi as u128;
+            }
+            if hi >= lut.len() as u128 {
+                r.push(
+                    "V101",
+                    Severity::Error,
+                    Some(name),
+                    format!(
+                        "packed dense-LUT key proven only to [{lo}, {hi}], LUT has {} slot(s)",
+                        lut.len()
+                    ),
+                );
+            }
+        }
+
+        // Collect the table's possible outcomes and join them.
+        let reachable: Vec<usize> = match &ft.matcher {
+            Matcher::Always => Vec::new(),
+            // The enumerated LUT knows exactly which entries are live.
+            Matcher::Dense(lut) => {
+                let mut seen = vec![false; ft.entry_action.len()];
+                for &slot in lut {
+                    if slot > 0 && (slot as usize - 1) < seen.len() {
+                        seen[slot as usize - 1] = true;
+                    }
+                }
+                seen.iter().enumerate().filter(|(_, &s)| s).map(|(e, _)| e).collect()
+            }
+            Matcher::Scan { priorities, .. } => (0..priorities.len()).collect(),
+        };
+        let can_miss = match &ft.matcher {
+            Matcher::Always => true,
+            Matcher::Dense(lut) => lut.contains(&0),
+            Matcher::Scan { .. } => true, // a scan can always fall through
+        };
+
+        let mut outcomes: Vec<Vec<Interval>> = Vec::new();
+        for e in reachable {
+            let action = ft.entry_action[e] as usize;
+            let (off, len) = ft.entry_data[e];
+            let params = &ft.data[off as usize..(off + len) as usize];
+            outcomes.push(apply_action(r, &state, &ft.actions[action], params, metas, name));
+        }
+        if can_miss {
+            match ft.default_entry {
+                Some((action, (off, len))) => {
+                    let params = &ft.data[off as usize..(off + len) as usize];
+                    outcomes.push(apply_action(
+                        r,
+                        &state,
+                        &ft.actions[action as usize],
+                        params,
+                        metas,
+                        name,
+                    ));
+                }
+                // No default: a miss leaves the scratch untouched.
+                None => outcomes.push(state.clone()),
+            }
+        }
+        if let Some(first) = outcomes.first() {
+            let mut joined = first.clone();
+            for o in &outcomes[1..] {
+                for (j, iv) in o.iter().enumerate() {
+                    joined[j] = joined[j].join(*iv);
+                }
+            }
+            state = joined;
+        }
+    }
+}
+
+/// Runs one action's micro-ops over a copy of the abstract state,
+/// reporting provable wrap-arounds as `V102` (once per table).
+fn apply_action(
+    r: &mut VerifyReport,
+    state: &[Interval],
+    ops: &[FlatOp],
+    params: &[i64],
+    metas: &[crate::engine::flat::FieldMeta],
+    table: &str,
+) -> Vec<Interval> {
+    let mut s = state.to_vec();
+    let read = |s: &[Interval], src: Src| -> Interval {
+        match src {
+            Src::Field(f) => s[f],
+            Src::Const(c) => Interval::point(c),
+            Src::Param(i) => Interval::point(params[i]),
+        }
+    };
+    for op in ops {
+        let (dst, raw) = match *op {
+            FlatOp::Set { dst, a } => (dst, read(&s, a)),
+            FlatOp::Add { dst, a, b } => {
+                let (x, y) = (read(&s, a), read(&s, b));
+                (
+                    dst,
+                    Interval {
+                        lo: clamp128(x.lo as i128 + y.lo as i128),
+                        hi: clamp128(x.hi as i128 + y.hi as i128),
+                    },
+                )
+            }
+            FlatOp::Sub { dst, a, b } => {
+                let (x, y) = (read(&s, a), read(&s, b));
+                (
+                    dst,
+                    Interval {
+                        lo: clamp128(x.lo as i128 - y.hi as i128),
+                        hi: clamp128(x.hi as i128 - y.lo as i128),
+                    },
+                )
+            }
+            FlatOp::Shl { dst, a, amount } => {
+                let x = read(&s, a);
+                (
+                    dst,
+                    Interval {
+                        lo: clamp128((x.lo as i128) << amount),
+                        hi: clamp128((x.hi as i128) << amount),
+                    },
+                )
+            }
+            FlatOp::Shr { dst, a, amount } => {
+                let x = read(&s, a);
+                (dst, Interval { lo: x.lo >> amount, hi: x.hi >> amount })
+            }
+            FlatOp::Min { dst, a, b } => {
+                let (x, y) = (read(&s, a), read(&s, b));
+                (dst, Interval { lo: x.lo.min(y.lo), hi: x.hi.min(y.hi) })
+            }
+            FlatOp::Max { dst, a, b } => {
+                let (x, y) = (read(&s, a), read(&s, b));
+                (dst, Interval { lo: x.lo.max(y.lo), hi: x.hi.max(y.hi) })
+            }
+            FlatOp::And { dst, a, b } => {
+                let (x, y) = (read(&s, a), read(&s, b));
+                if x.lo >= 0 && y.lo >= 0 {
+                    (dst, Interval { lo: 0, hi: x.hi.min(y.hi) })
+                } else {
+                    (dst, Interval::TOP)
+                }
+            }
+            FlatOp::Or { dst, a, b } | FlatOp::Xor { dst, a, b } => {
+                let (x, y) = (read(&s, a), read(&s, b));
+                if x.lo >= 0 && y.lo >= 0 {
+                    // Results stay within the combined bit hull.
+                    let top_bits = 64 - (x.hi.max(y.hi) as u64).leading_zeros();
+                    let hi = if top_bits >= 63 { i64::MAX } else { (1i64 << top_bits) - 1 };
+                    let lo = if matches!(op, FlatOp::Or { .. }) { x.lo.max(y.lo) } else { 0 };
+                    (dst, Interval { lo, hi })
+                } else {
+                    (dst, Interval::TOP)
+                }
+            }
+            FlatOp::Popcnt { dst, .. } => (dst, Interval { lo: 0, hi: 64 }),
+        };
+        let m = metas[dst];
+        let (iv, wrapped) = truncate_abs(raw, m.bits, m.signed);
+        if wrapped
+            && !r.diagnostics.iter().any(|d| d.code == "V102" && d.table.as_deref() == Some(table))
+        {
+            r.push(
+                "V102",
+                Severity::Warn,
+                Some(table),
+                format!(
+                    "value range [{}, {}] wraps past scratch field #{dst}'s {}-bit width",
+                    raw.lo, raw.hi, m.bits
+                ),
+            );
+        }
+        s[dst] = iv;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions, CompileTarget};
+    use crate::fusion::fuse_basic;
+    use crate::primitives::{MapFn, PrimitiveProgram};
+    use pegasus_nn::Tensor;
+    use pegasus_switch::{Action, AluOp, MatchKind, Operand, PhvLayout, SwitchConfig, TableEntry};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn scorer() -> PrimitiveProgram {
+        let mut p = PrimitiveProgram::new(4);
+        let segs = p.partition_strided(p.input, 2, 2);
+        let w0 = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]);
+        let w1 = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0], &[2, 2]);
+        let m0 = p.map(segs[0], MapFn::MatVec { weight: w0, bias: vec![0.0, 0.0] });
+        let m1 = p.map(segs[1], MapFn::MatVec { weight: w1, bias: vec![0.0, 0.0] });
+        let out = p.sum_reduce(&[m0, m1]);
+        p.set_output(out);
+        p
+    }
+
+    fn inputs(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..4).map(|_| rng.gen_range(0..256) as f32).collect()).collect()
+    }
+
+    fn compiled() -> CompiledPipeline {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        compile(
+            &prog,
+            &inputs(1200, 21),
+            &CompileOptions { clustering_depth: 6, ..Default::default() },
+            CompileTarget::Classify,
+            "verify",
+        )
+        .expect("compiles")
+    }
+
+    #[test]
+    fn clean_pipeline_verifies_with_lut_proof() {
+        let c = compiled();
+        let r = verify_pipeline(&c, Some(&SwitchConfig::tofino2()));
+        assert!(r.is_clean(), "{r}");
+        // The flattenable scorer must not carry a flatten-skip info.
+        assert!(!r.has_code("V301"), "{r}");
+        // Dense LUTs exist and none of them produced a V101.
+        assert!(!r.has_code("V101"), "{r}");
+    }
+
+    #[test]
+    fn interval_analysis_proves_dense_bounds_and_flags_corruption() {
+        let c = compiled();
+        let flat = FlatProgram::from_pipeline(&c).expect("flattens");
+        let names: Vec<&str> = c.program.tables.iter().map(|t| t.name.as_str()).collect();
+        let mut r = VerifyReport::default();
+        verify_flat(&mut r, &flat, &names);
+        assert!(!r.has_errors(), "{r}");
+        assert!(flat.dense_tables() >= 2);
+    }
+
+    #[test]
+    fn dangling_lut_slot_is_v002() {
+        // Hand-build a flat table whose LUT points past its entries — the
+        // corruption class that cannot be produced through the public
+        // compile path (the builder enumerates consistently by
+        // construction), exactly why the verifier checks it.
+        let ft = FlatTable {
+            keys: vec![(0, 2)],
+            matcher: Matcher::Dense(vec![0, 9, 0, 0]),
+            entry_action: vec![0],
+            entry_data: vec![(0, 0)],
+            data: vec![],
+            default_entry: None,
+            actions: vec![vec![]],
+        };
+        let mut r = VerifyReport::default();
+        check_flat_table(&mut r, &ft, "t", 1);
+        assert!(r.has_code("V002"), "{r}");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn wraparound_is_flagged_as_v102() {
+        // An 8-bit field incremented by 200 from the [0, 255] input range
+        // provably wraps.
+        let mut layout = PhvLayout::new();
+        let x = layout.add_field("x", 8);
+        let mut prog = SwitchProgram::new("wrap", layout);
+        let mut t = pegasus_switch::Table::new("bump", vec![]);
+        let a = t.add_action(Action::new("bump").with(AluOp::Add {
+            dst: x,
+            a: Operand::Field(x),
+            b: Operand::Const(200),
+        }));
+        t.default_action = Some((a, vec![]));
+        prog.tables.push(t);
+        let p = CompiledPipeline {
+            program: prog,
+            input_fields: vec![x],
+            score_fields: vec![x],
+            score_format: crate::numformat::NumFormat::code8(),
+            predicted_field: None,
+            report: Default::default(),
+        };
+        let r = verify_pipeline(&p, None);
+        assert!(r.has_code("V102"), "{r}");
+        assert!(r.is_clean(), "warn must not reject: {r}");
+    }
+
+    #[test]
+    fn shadowing_and_overlap_lints() {
+        let mut layout = PhvLayout::new();
+        let x = layout.add_field("x", 8);
+        let y = layout.add_field("out", 8);
+        let mut prog = SwitchProgram::new("lints", layout);
+        let mut t = pegasus_switch::Table::new("ranges", vec![(x, MatchKind::Range)]);
+        let a = t.add_action(Action::new("set").with(AluOp::Set { dst: y, a: Operand::Param(0) }));
+        t.param_widths = vec![8];
+        t.add_entry(TableEntry {
+            keys: vec![KeyPart::Range { lo: 0, hi: 100 }],
+            priority: 5,
+            action_idx: a,
+            action_data: vec![1],
+        });
+        // Shadowed: lower priority, fully inside the first range.
+        t.add_entry(TableEntry {
+            keys: vec![KeyPart::Range { lo: 10, hi: 20 }],
+            priority: 1,
+            action_idx: a,
+            action_data: vec![2],
+        });
+        // Overlapping at equal priority with a different outcome.
+        t.add_entry(TableEntry {
+            keys: vec![KeyPart::Range { lo: 50, hi: 200 }],
+            priority: 5,
+            action_idx: a,
+            action_data: vec![3],
+        });
+        t.default_action = Some((a, vec![0]));
+        prog.tables.push(t);
+        let r = verify_program(&prog, None);
+        assert!(r.has_code("V201"), "{r}");
+        assert!(r.has_code("V203"), "{r}");
+    }
+
+    #[test]
+    fn coverage_gap_without_default_is_v202() {
+        let mut layout = PhvLayout::new();
+        let x = layout.add_field("x", 4);
+        let y = layout.add_field("out", 8);
+        let mut prog = SwitchProgram::new("gap", layout);
+        let mut t = pegasus_switch::Table::new("partial", vec![(x, MatchKind::Range)]);
+        let a = t.add_action(Action::new("set").with(AluOp::Set { dst: y, a: Operand::Const(1) }));
+        t.add_entry(TableEntry {
+            keys: vec![KeyPart::Range { lo: 0, hi: 7 }],
+            priority: 0,
+            action_idx: a,
+            action_data: vec![],
+        });
+        prog.tables.push(t);
+        let r = verify_program(&prog, None);
+        assert!(r.has_code("V202"), "{r}");
+        assert!(r.is_clean(), "coverage gap is a warning: {r}");
+    }
+
+    #[test]
+    fn part_covers_is_conservative_and_exact_on_small_fields() {
+        // Exhaustive ground truth on a 6-bit field: whenever part_covers
+        // says yes, every point matching b must match a.
+        let bits = 6u8;
+        let parts = |seed: u64| -> Vec<KeyPart> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for _ in 0..40 {
+                out.push(match rng.gen_range(0..3) {
+                    0 => KeyPart::Exact(rng.gen_range(0..64)),
+                    1 => {
+                        let mask = rng.gen_range(0..64u64);
+                        KeyPart::Ternary(TernaryKey { value: rng.gen_range(0..64u64) & mask, mask })
+                    }
+                    _ => {
+                        let lo = rng.gen_range(0..64u64);
+                        KeyPart::Range { lo, hi: rng.gen_range(lo..64) }
+                    }
+                });
+            }
+            out
+        };
+        for a in parts(1) {
+            for b in parts(2) {
+                let claimed = part_covers(&a, &b, bits);
+                let truth = (0..64u64).all(|v| !b.matches(v) || a.matches(v));
+                assert!(!claimed || truth, "covers false positive: {a:?} over {b:?}");
+                let o_claimed = part_overlaps(&a, &b, bits);
+                let o_truth = (0..64u64).any(|v| a.matches(v) && b.matches(v));
+                // Overlap is conservative in the other direction: it may
+                // claim overlap that does not exist, never miss one.
+                assert!(o_claimed || !o_truth, "overlap false negative: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resource_overflow_is_v204() {
+        let c = compiled();
+        let tiny = SwitchConfig {
+            stages: 1,
+            sram_bits_per_stage: 64,
+            tcam_bits_per_stage: 64,
+            ..SwitchConfig::tiny_test()
+        };
+        let r = verify_pipeline(&c, Some(&tiny));
+        assert!(r.has_code("V204"), "{r}");
+        assert!(r.has_errors());
+    }
+}

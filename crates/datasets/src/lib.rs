@@ -20,6 +20,7 @@
 //!   [`PacketSource`](pegasus_net::PacketSource), for throughput runs that
 //!   should not materialize millions of packets first.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attacks;

@@ -20,6 +20,7 @@
 //!   truncation) read as [`FrameSource`]/[`PacketSource`] streams and
 //!   written back byte-exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod features;

@@ -20,6 +20,7 @@
 //! more than speed. Per the Tokio guidance for CPU-bound work, throughput
 //! experiments parallelize at the *harness* level with OS threads instead.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;

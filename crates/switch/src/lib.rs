@@ -22,6 +22,7 @@
 //! reproduction. [`program::LoadedProgram::resource_report`] yields the
 //! SRAM/TCAM/bus utilization percentages reported in the paper's Table 6.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod action;

@@ -402,8 +402,20 @@ impl fmt::Debug for LoadedProgram {
 }
 
 impl SwitchProgram {
-    /// Validates the program against a switch configuration and loads it.
-    pub fn deploy(mut self, config: &SwitchConfig) -> Result<LoadedProgram, DeployError> {
+    /// Statically validates the program's resource demand against a switch
+    /// configuration **without** loading it: PHV capacity, register widths
+    /// and SRAM budget, per-table action-bus fit, aggregate SRAM/TCAM, and
+    /// stage allocation. This is exactly the admission check
+    /// [`deploy`](SwitchProgram::deploy) performs, exposed non-consuming so
+    /// static analysis (the `pegasus-core` verifier) can account resources
+    /// without cloning the program or building runtime state.
+    ///
+    /// Returns the table stage assignment (`stage_of[i]` = last stage
+    /// occupied by table `i`) and the total stage count on success.
+    pub fn check_resources(
+        &self,
+        config: &SwitchConfig,
+    ) -> Result<(Vec<usize>, usize), DeployError> {
         // 1. PHV capacity.
         let phv_used = self.layout.total_bits();
         if phv_used > config.phv_bits {
@@ -459,7 +471,14 @@ impl SwitchProgram {
                 available: config.stages,
             });
         }
-        // 5. Build lookup indexes and runtime state.
+        Ok((stage_of, total_stages))
+    }
+
+    /// Validates the program against a switch configuration and loads it.
+    pub fn deploy(mut self, config: &SwitchConfig) -> Result<LoadedProgram, DeployError> {
+        let (stage_of, total_stages) = self.check_resources(config)?;
+        let usages: Vec<TableUsage> = self.tables.iter().map(|t| t.usage(&self.layout)).collect();
+        // Build lookup indexes and runtime state.
         for t in &mut self.tables {
             t.build_index();
         }

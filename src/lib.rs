@@ -44,6 +44,7 @@
 //! long-lived multi-tenant engine with hot model swap) and [`switch`]
 //! (the Tofino-2 resource model).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use pegasus_baselines as baselines;
