@@ -26,6 +26,10 @@ pub struct BenchConfig {
     /// Run only the raw bytes-to-verdict section of a bench that has one
     /// (CI smoke mode; same skipping rules as `churn_only`).
     pub raw_only: bool,
+    /// Run only the *batched* raw bytes-to-verdict section (CI smoke mode;
+    /// same skipping rules as `churn_only`): exercises the fused
+    /// batch sweep and asserts batched counters match the per-frame path.
+    pub raw_batch_only: bool,
 }
 
 impl BenchConfig {
@@ -40,7 +44,7 @@ impl BenchConfig {
 }
 
 /// Parses the standard CLI flags (`--quick`, `--seed N`, `--flows N`,
-/// `--churn-only`, `--raw-only`).
+/// `--churn-only`, `--raw-only`, `--raw-batch-only`).
 pub fn parse_args() -> BenchConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = BenchConfig {
@@ -49,6 +53,7 @@ pub fn parse_args() -> BenchConfig {
         quick: false,
         churn_only: false,
         raw_only: false,
+        raw_batch_only: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -63,6 +68,9 @@ pub fn parse_args() -> BenchConfig {
             "--raw-only" => {
                 cfg.raw_only = true;
             }
+            "--raw-batch-only" => {
+                cfg.raw_batch_only = true;
+            }
             "--seed" => {
                 i += 1;
                 cfg.seed = args[i].parse().expect("--seed takes a number");
@@ -72,14 +80,14 @@ pub fn parse_args() -> BenchConfig {
                 cfg.flows_per_class = args[i].parse().expect("--flows takes a number");
             }
             other => panic!(
-                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only)"
+                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only / --raw-batch-only)"
             ),
         }
         i += 1;
     }
     assert!(
-        !(cfg.churn_only && cfg.raw_only),
-        "--churn-only and --raw-only are mutually exclusive (each runs only its own section)"
+        u8::from(cfg.churn_only) + u8::from(cfg.raw_only) + u8::from(cfg.raw_batch_only) <= 1,
+        "--churn-only, --raw-only and --raw-batch-only are mutually exclusive (each runs only its own section)"
     );
     cfg
 }
@@ -147,6 +155,7 @@ mod tests {
             quick: true,
             churn_only: false,
             raw_only: false,
+            raw_batch_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         assert_eq!(p.classes, 3);

@@ -235,6 +235,7 @@ mod tests {
             quick: true,
             churn_only: false,
             raw_only: false,
+            raw_batch_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::Leo, &p, &cfg);
@@ -250,6 +251,7 @@ mod tests {
             quick: true,
             churn_only: false,
             raw_only: false,
+            raw_batch_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::MlpB, &p, &cfg);

@@ -159,6 +159,20 @@ pub struct FlatScratch {
     vals: Vec<i64>,
 }
 
+/// Reusable scratch for **batched** [`FlatProgram`] execution
+/// ([`classify_batch`](FlatProgram::classify_batch)): every lane's field
+/// row lives in one contiguous lane-major matrix, plus a per-lane match
+/// buffer that carries each table's winners from the batch-wide match
+/// sweep to the action sweep. Grows to the largest batch ever executed
+/// and is reused thereafter — the steady-state hot loop performs no
+/// allocation.
+pub struct FlatBatchScratch {
+    /// Lane-major scratch rows (`lanes × fields`).
+    vals: Vec<i64>,
+    /// Per-lane winning entry + 1 for the table being executed (0 = none).
+    hits: Vec<u32>,
+}
+
 /// A stateless compiled pipeline flattened for the streaming hot path.
 ///
 /// Built by [`FlatProgram::from_pipeline`] (the runtime does this at deploy
@@ -222,6 +236,12 @@ impl FlatProgram {
         FlatScratch { vals: vec![0; self.fields.len()] }
     }
 
+    /// A zeroed batch scratch pre-sized for `lanes` samples (it grows on
+    /// demand if a larger batch is ever executed).
+    pub fn batch_scratch(&self, lanes: usize) -> FlatBatchScratch {
+        FlatBatchScratch { vals: vec![0; lanes * self.fields.len()], hits: vec![0; lanes] }
+    }
+
     /// Tables enumerated into dense LUTs.
     pub fn dense_tables(&self) -> usize {
         self.dense_tables
@@ -259,6 +279,86 @@ impl FlatProgram {
         Ok(s.vals[pf] as usize)
     }
 
+    /// Classifies `lanes` samples in one table-major sweep, bit-identical
+    /// to calling [`classify`](FlatProgram::classify) on each row of
+    /// `codes` (row-major, `lanes × arity`) in order.
+    ///
+    /// Per-sample execution walks every table once per packet, so a
+    /// pipeline with several dense LUTs (up to 256 KiB each) re-touches
+    /// all of them between any two packets. The batched form runs each
+    /// table's *match* phase across the whole batch before any action
+    /// fires: one table's LUT / flattened bound arrays stay hot while they
+    /// are swept `lanes` times in a straight-line loop, then the next
+    /// table's. Match resolution and action execution go through the exact
+    /// same row helpers as the per-sample path (including the verifier's
+    /// `V001`/`V002`/`V003`/`V101` debug_assert mirrors), so divergence is
+    /// impossible by construction — `tests/raw_path.rs` additionally
+    /// proves it end to end against the structured engine.
+    pub fn classify_batch(
+        &self,
+        codes: &[f32],
+        lanes: usize,
+        s: &mut FlatBatchScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), PegasusError> {
+        let pf = self
+            .predicted_field
+            .ok_or_else(|| PegasusError::NotAClassifier { pipeline: self.name.clone() })?;
+        self.run_batch(codes, lanes, s)?;
+        let nf = self.fields.len();
+        out.clear();
+        out.extend((0..lanes).map(|l| s.vals[l * nf + pf] as usize));
+        Ok(())
+    }
+
+    fn run_batch(
+        &self,
+        codes: &[f32],
+        lanes: usize,
+        s: &mut FlatBatchScratch,
+    ) -> Result<(), PegasusError> {
+        let arity = self.input_fields.len();
+        if codes.len() != lanes * arity {
+            return Err(PegasusError::FeatureCount { expected: lanes * arity, got: codes.len() });
+        }
+        let nf = self.fields.len();
+        if s.vals.len() < lanes * nf {
+            s.vals.resize(lanes * nf, 0);
+        }
+        if s.hits.len() < lanes {
+            s.hits.resize(lanes, 0);
+        }
+        let FlatBatchScratch { vals, hits } = s;
+        let vals = &mut vals[..lanes * nf];
+        vals.fill(0);
+        for (l, row) in vals.chunks_exact_mut(nf).enumerate() {
+            let lane_codes = &codes[l * arity..(l + 1) * arity];
+            for (&f, &v) in self.input_fields.iter().zip(lane_codes) {
+                self.store(row, f, v.round().clamp(0.0, 255.0) as i64);
+            }
+        }
+        for t in &self.tables {
+            // Match phase: sweep this table's LUT/bound arrays over every
+            // lane while they are cache-hot (winner encoded as entry + 1,
+            // 0 = default — the dense-LUT slot encoding).
+            for (l, row) in vals.chunks_exact(nf).enumerate() {
+                hits[l] = match self.match_entry(t, row) {
+                    Some(e) => e as u32 + 1,
+                    None => 0,
+                };
+            }
+            // Act phase: run each lane's winning (or default) entry.
+            for (l, row) in vals.chunks_exact_mut(nf).enumerate() {
+                let hit = match hits[l] {
+                    0 => None,
+                    e => Some(e as usize - 1),
+                };
+                self.apply_entry(t, hit, row);
+            }
+        }
+        Ok(())
+    }
+
     /// Decoded output scores of one sample.
     pub fn scores(&self, codes: &[f32], s: &mut FlatScratch) -> Result<Vec<f32>, PegasusError> {
         if self.score_fields.is_empty() {
@@ -277,36 +377,40 @@ impl FlatProgram {
         }
         s.vals.fill(0);
         for (&f, &v) in self.input_fields.iter().zip(codes.iter()) {
-            self.store(s, f, v.round().clamp(0.0, 255.0) as i64);
+            self.store(&mut s.vals, f, v.round().clamp(0.0, 255.0) as i64);
         }
         for t in &self.tables {
-            self.exec_table(t, s);
+            let hit = self.match_entry(t, &s.vals);
+            self.apply_entry(t, hit, &mut s.vals);
         }
         Ok(())
     }
 
     #[inline]
-    fn store(&self, s: &mut FlatScratch, dst: usize, v: i64) {
+    fn store(&self, vals: &mut [i64], dst: usize, v: i64) {
         // Verifier invariant V001: every op dst scratch index in bounds.
         debug_assert!(dst < self.fields.len(), "V001: dst scratch index {dst} out of bounds");
         let m = self.fields[dst];
-        s.vals[dst] = truncate(v, m.bits, m.signed);
+        vals[dst] = truncate(v, m.bits, m.signed);
     }
 
     #[inline]
-    fn raw(&self, s: &FlatScratch, f: usize, bits: u8) -> u64 {
-        (s.vals[f] as u64) & mask_of(bits)
+    fn raw(&self, vals: &[i64], f: usize, bits: u8) -> u64 {
+        (vals[f] as u64) & mask_of(bits)
     }
 
-    fn exec_table(&self, t: &FlatTable, s: &mut FlatScratch) {
-        let hit: Option<usize> = match &t.matcher {
+    /// Resolves one table's winning entry over one scratch row — the match
+    /// half of table execution, shared verbatim by the per-sample and
+    /// batched paths (so the two cannot diverge).
+    fn match_entry(&self, t: &FlatTable, vals: &[i64]) -> Option<usize> {
+        match &t.matcher {
             Matcher::Always => None,
             Matcher::Dense(lut) => {
                 let mut idx = 0usize;
                 for &(f, bits) in &t.keys {
                     // Verifier invariant V001: key scratch index in bounds.
-                    debug_assert!(f < s.vals.len(), "V001: key scratch index {f} out of bounds");
-                    idx = (idx << bits) | self.raw(s, f, bits) as usize;
+                    debug_assert!(f < vals.len(), "V001: key scratch index {f} out of bounds");
+                    idx = (idx << bits) | self.raw(vals, f, bits) as usize;
                 }
                 // Verifier invariant V101: the packed key code lands inside
                 // the LUT (proved statically by interval analysis).
@@ -329,7 +433,7 @@ impl FlatProgram {
                 let mut best: Option<usize> = None;
                 'entries: for e in 0..priorities.len() {
                     for (j, &(f, bits)) in t.keys.iter().enumerate() {
-                        if !parts[e * k + j].matches(self.raw(s, f, bits)) {
+                        if !parts[e * k + j].matches(self.raw(vals, f, bits)) {
                             continue 'entries;
                         }
                     }
@@ -344,7 +448,12 @@ impl FlatProgram {
                 }
                 best
             }
-        };
+        }
+    }
+
+    /// Runs the winning (or default) entry's action over one scratch row —
+    /// the action half of table execution, shared by both paths.
+    fn apply_entry(&self, t: &FlatTable, hit: Option<usize>, vals: &mut [i64]) {
         let (action, (off, len)) = match hit {
             Some(e) => (t.entry_action[e], t.entry_data[e]),
             None => match t.default_entry {
@@ -364,17 +473,17 @@ impl FlatProgram {
         );
         let params = &t.data[off as usize..(off + len) as usize];
         for op in &t.actions[action as usize] {
-            self.exec_op(op, params, s);
+            self.exec_op(op, params, vals);
         }
     }
 
     #[inline]
-    fn read(&self, s: &FlatScratch, src: Src, params: &[i64]) -> i64 {
+    fn read(&self, vals: &[i64], src: Src, params: &[i64]) -> i64 {
         match src {
             Src::Field(f) => {
                 // Verifier invariant V001: source scratch index in bounds.
-                debug_assert!(f < s.vals.len(), "V001: src scratch index {f} out of bounds");
-                s.vals[f]
+                debug_assert!(f < vals.len(), "V001: src scratch index {f} out of bounds");
+                vals[f]
             }
             Src::Const(c) => c,
             Src::Param(i) => {
@@ -385,51 +494,51 @@ impl FlatProgram {
         }
     }
 
-    fn exec_op(&self, op: &FlatOp, params: &[i64], s: &mut FlatScratch) {
+    fn exec_op(&self, op: &FlatOp, params: &[i64], vals: &mut [i64]) {
         match *op {
             FlatOp::Set { dst, a } => {
-                let v = self.read(s, a, params);
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params);
+                self.store(vals, dst, v);
             }
             FlatOp::Add { dst, a, b } => {
-                let v = self.read(s, a, params).wrapping_add(self.read(s, b, params));
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params).wrapping_add(self.read(vals, b, params));
+                self.store(vals, dst, v);
             }
             FlatOp::Sub { dst, a, b } => {
-                let v = self.read(s, a, params).wrapping_sub(self.read(s, b, params));
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params).wrapping_sub(self.read(vals, b, params));
+                self.store(vals, dst, v);
             }
             FlatOp::Shl { dst, a, amount } => {
-                let v = self.read(s, a, params) << amount;
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params) << amount;
+                self.store(vals, dst, v);
             }
             FlatOp::Shr { dst, a, amount } => {
-                let v = self.read(s, a, params) >> amount;
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params) >> amount;
+                self.store(vals, dst, v);
             }
             FlatOp::Min { dst, a, b } => {
-                let v = self.read(s, a, params).min(self.read(s, b, params));
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params).min(self.read(vals, b, params));
+                self.store(vals, dst, v);
             }
             FlatOp::Max { dst, a, b } => {
-                let v = self.read(s, a, params).max(self.read(s, b, params));
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params).max(self.read(vals, b, params));
+                self.store(vals, dst, v);
             }
             FlatOp::And { dst, a, b } => {
-                let v = self.read(s, a, params) & self.read(s, b, params);
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params) & self.read(vals, b, params);
+                self.store(vals, dst, v);
             }
             FlatOp::Or { dst, a, b } => {
-                let v = self.read(s, a, params) | self.read(s, b, params);
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params) | self.read(vals, b, params);
+                self.store(vals, dst, v);
             }
             FlatOp::Xor { dst, a, b } => {
-                let v = self.read(s, a, params) ^ self.read(s, b, params);
-                self.store(s, dst, v);
+                let v = self.read(vals, a, params) ^ self.read(vals, b, params);
+                self.store(vals, dst, v);
             }
             FlatOp::Popcnt { dst, a } => {
-                let v = (self.read(s, a, params) as u64).count_ones() as i64;
-                self.store(s, dst, v);
+                let v = (self.read(vals, a, params) as u64).count_ones() as i64;
+                self.store(vals, dst, v);
             }
         }
     }
@@ -638,6 +747,50 @@ mod tests {
             flat.classify(&[0.0; 4], &mut s),
             Err(PegasusError::NotAClassifier { .. })
         ));
+    }
+
+    #[test]
+    fn batched_classify_matches_per_sample_classify() {
+        let mut prog = scorer();
+        fuse_basic(&mut prog);
+        let c = compile(
+            &prog,
+            &inputs(1500, 11),
+            &CompileOptions { clustering_depth: 6, ..Default::default() },
+            CompileTarget::Classify,
+            "flat_b",
+        )
+        .expect("compiles");
+        let dp = DataplaneModel::deploy(c, &SwitchConfig::tofino2()).unwrap();
+        let flat = FlatProgram::from_pipeline(dp.pipeline()).expect("flattens");
+        let mut scalar = flat.scratch();
+        let mut batch = flat.batch_scratch(8);
+        let mut out = Vec::new();
+        let rows = inputs(509, 16); // deliberately not a multiple of any batch
+        for lanes in [1usize, 7, 8, 64, 509] {
+            for chunk in rows.chunks(lanes) {
+                let codes: Vec<f32> = chunk.iter().flatten().copied().collect();
+                // Ragged final chunk exercises partial batches (and scratch
+                // growth past the 8 lanes it was presized for).
+                flat.classify_batch(&codes, chunk.len(), &mut batch, &mut out).unwrap();
+                assert_eq!(out.len(), chunk.len());
+                for (row, &got) in chunk.iter().zip(&out) {
+                    assert_eq!(
+                        got,
+                        flat.classify(row, &mut scalar).unwrap(),
+                        "lanes {lanes}, row {row:?}"
+                    );
+                }
+            }
+        }
+        // Empty batch is a no-op, not an error.
+        flat.classify_batch(&[], 0, &mut batch, &mut out).unwrap();
+        assert!(out.is_empty());
+        // Ragged code slab is the same typed error as the scalar path.
+        assert_eq!(
+            flat.classify_batch(&[1.0; 7], 2, &mut batch, &mut out).unwrap_err(),
+            PegasusError::FeatureCount { expected: 8, got: 7 }
+        );
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub mod raw;
 pub mod server;
 pub mod stats;
 
-pub use flat::{FlatProgram, FlatScratch, FlattenSkip};
-pub use raw::{RawIngress, RawVerdict};
+pub use flat::{FlatBatchScratch, FlatProgram, FlatScratch, FlattenSkip};
+pub use raw::{RawIngress, RawVerdict, DEFAULT_BATCH_FRAMES};
 pub use server::{
     ControlHandle, EngineArtifact, EngineBuilder, EngineReport, EngineServer, EngineStats,
     FramePush, IngressHandle, PredicateRouter, SwapReport, TenantConfig, TenantRoute, TenantRouter,
@@ -77,8 +77,8 @@ use crate::flowpipe::FlowClassifier;
 use crate::models::StreamFeatures;
 use crate::runtime::DataplaneModel;
 use pegasus_net::{
-    quantize_ipd, quantize_len, FlowTable, FlowTableConfig, FlowTracker, StatFeatures, TracePacket,
-    WINDOW,
+    quantize_ipd, quantize_len, FiveTuple, FlowState, FlowTable, FlowTableConfig, FlowTracker,
+    FrameBatch, PacketObs, StatFeatures, TracePacket, WINDOW,
 };
 use std::sync::Arc;
 
@@ -145,6 +145,16 @@ pub(crate) struct StatelessShard {
     features: StreamFeatures,
     tracker: FlowTracker,
     codes: Vec<f32>,
+    /// Batched-path state (all reused across batches, allocation-free in
+    /// steady state): lane-major code slab of the batch's full-window
+    /// packets, their batch positions, the classes the LUT sweep produced,
+    /// the batch execution scratch, and the per-batch flow → slot cache
+    /// that turns repeat packets of one flow into hinted O(1) admissions.
+    batch_scratch: Option<FlatBatchScratch>,
+    batch_codes: Vec<f32>,
+    batch_rows: Vec<usize>,
+    batch_classes: Vec<usize>,
+    slot_cache: Vec<(FiveTuple, usize)>,
 }
 
 impl StatelessShard {
@@ -155,10 +165,15 @@ impl StatelessShard {
     ) -> Self {
         StatelessShard {
             scratch: dp.flat().map(|f| f.scratch()),
+            batch_scratch: dp.flat().map(|f| f.batch_scratch(0)),
             dp,
             features,
             tracker: FlowTracker::bounded(WINDOW, table),
             codes: Vec::with_capacity(2 * WINDOW),
+            batch_codes: Vec::new(),
+            batch_rows: Vec::new(),
+            batch_classes: Vec::new(),
+            slot_cache: Vec::new(),
         }
     }
 
@@ -167,6 +182,7 @@ impl StatelessShard {
     /// any stateless artifact (the paper's table-entry-rewrite story).
     pub(crate) fn swap(&mut self, dp: Arc<DataplaneModel>, features: StreamFeatures) {
         self.scratch = dp.flat().map(|f| f.scratch());
+        self.batch_scratch = dp.flat().map(|f| f.batch_scratch(0));
         self.dp = dp;
         self.features = features;
     }
@@ -199,11 +215,43 @@ impl StatelessShard {
             return Ok(None);
         }
         self.codes.clear();
-        match self.features {
+        Self::extend_codes(
+            self.features,
+            state,
+            &obs,
+            flow,
+            tcp_flags,
+            ttl,
+            payload_len,
+            &mut self.codes,
+        );
+        let class = match (self.dp.flat(), &mut self.scratch) {
+            (Some(flat), Some(scratch)) => flat.classify(&self.codes, scratch)?,
+            _ => self.dp.classify(&self.codes)?,
+        };
+        Ok(Some(class))
+    }
+
+    /// Appends one packet's feature codes to `out` — the single definition
+    /// of the codes layout shared by the per-packet and batched paths (an
+    /// associated fn so callers can hold the tracker's `state` borrow while
+    /// writing into a disjoint buffer field).
+    #[allow(clippy::too_many_arguments)]
+    fn extend_codes(
+        features: StreamFeatures,
+        state: &FlowState,
+        obs: &PacketObs,
+        flow: FiveTuple,
+        tcp_flags: u8,
+        ttl: u8,
+        payload_len: u16,
+        out: &mut Vec<f32>,
+    ) {
+        match features {
             StreamFeatures::Stat => {
                 let stat = StatFeatures::extract(
                     state,
-                    &obs,
+                    obs,
                     flow.protocol,
                     tcp_flags,
                     flow.src_port,
@@ -211,7 +259,7 @@ impl StatelessShard {
                     ttl,
                     payload_len,
                 );
-                self.codes.extend(stat.0.iter().map(|&b| f32::from(b)));
+                out.extend(stat.0.iter().map(|&b| f32::from(b)));
             }
             StreamFeatures::Seq => {
                 // Interleaved (len, IPD) codes, oldest first — identical to
@@ -219,16 +267,86 @@ impl StatelessShard {
                 // the per-packet allocations.
                 let tail = &state.window[state.window.len() - WINDOW..];
                 for o in tail {
-                    self.codes.push(f32::from(quantize_len(o.wire_len)));
-                    self.codes.push(f32::from(quantize_ipd(o.ipd_micros)));
+                    out.push(f32::from(quantize_len(o.wire_len)));
+                    out.push(f32::from(quantize_ipd(o.ipd_micros)));
                 }
             }
         }
-        let class = match (self.dp.flat(), &mut self.scratch) {
-            (Some(flat), Some(scratch)) => flat.classify(&self.codes, scratch)?,
-            _ => self.dp.classify(&self.codes)?,
-        };
-        Ok(Some(class))
+    }
+
+    /// The fused batched hot path: resolves every frame's flow slot
+    /// sequentially (per-packet admission clock semantics are part of the
+    /// bit-identity contract), using a per-batch flow → slot cache so
+    /// repeat packets of one flow skip the probe chain, then defers all
+    /// full-window classifications to one [`FlatProgram::classify_batch`]
+    /// sweep. `verdicts[i]` is the verdict for `batch` frame `i` — `None`
+    /// while the flow is still warming up.
+    ///
+    /// Classification is pure (flow state was already updated during slot
+    /// resolution), so deferring it is observationally identical to the
+    /// per-packet path — the differential suite in `tests/raw_path.rs`
+    /// holds this to bit-identical verdicts *and* flow-table counters.
+    pub(crate) fn process_batch(
+        &mut self,
+        batch: &FrameBatch,
+        verdicts: &mut Vec<Option<usize>>,
+    ) -> Result<(), PegasusError> {
+        verdicts.clear();
+        verdicts.resize(batch.len(), None);
+        self.batch_codes.clear();
+        self.batch_rows.clear();
+        self.slot_cache.clear();
+        let flows = batch.flows();
+        let ts = batch.ts_micros();
+        let wires = batch.wire_lens();
+        let flags = batch.tcp_flags();
+        let ttls = batch.ttls();
+        let plens = batch.payload_lens();
+        for i in 0..batch.len() {
+            let flow = flows[i];
+            let cached = self.slot_cache.iter().position(|(f, _)| *f == flow);
+            let hint = cached.map(|p| self.slot_cache[p].1);
+            let (obs, _, idx, state) =
+                self.tracker.observe_admit_hinted(flow, ts[i], wires[i], hint);
+            match cached {
+                Some(p) => self.slot_cache[p].1 = idx,
+                None => self.slot_cache.push((flow, idx)),
+            }
+            if !state.window_full() {
+                continue;
+            }
+            Self::extend_codes(
+                self.features,
+                state,
+                &obs,
+                flow,
+                flags[i],
+                ttls[i],
+                plens[i],
+                &mut self.batch_codes,
+            );
+            self.batch_rows.push(i);
+        }
+        let lanes = self.batch_rows.len();
+        if lanes == 0 {
+            return Ok(());
+        }
+        match (self.dp.flat(), &mut self.batch_scratch) {
+            (Some(flat), Some(scratch)) => {
+                flat.classify_batch(&self.batch_codes, lanes, scratch, &mut self.batch_classes)?;
+            }
+            _ => {
+                self.batch_classes.clear();
+                let arity = self.batch_codes.len() / lanes;
+                for row in self.batch_codes.chunks_exact(arity) {
+                    self.batch_classes.push(self.dp.classify(row)?);
+                }
+            }
+        }
+        for (j, &i) in self.batch_rows.iter().enumerate() {
+            verdicts[i] = Some(self.batch_classes[j]);
+        }
+        Ok(())
     }
 
     pub(crate) fn table_counters(&self) -> FlowTableCounters {
@@ -317,6 +435,28 @@ impl FlowShard {
         let verdict =
             self.fc.on_packet_mut(flow.dataplane_hash(), ts_micros, wire_len, &self.codes)?;
         Ok(verdict.predicted)
+    }
+
+    /// Batched entry point over a pre-parsed [`FrameBatch`]. Per-flow
+    /// register pipelines are RMW-sequential by construction (each packet's
+    /// verdict depends on the register file the previous packet of the
+    /// same flow left behind), so the win here is the amortized parse and
+    /// per-batch timing, not fused execution — the loop stays packet-at-a-
+    /// time and therefore trivially bit-identical.
+    pub(crate) fn process_batch(
+        &mut self,
+        batch: &FrameBatch,
+        verdicts: &mut Vec<Option<usize>>,
+    ) -> Result<(), PegasusError> {
+        verdicts.clear();
+        let flows = batch.flows();
+        let ts = batch.ts_micros();
+        let wires = batch.wire_lens();
+        for i in 0..batch.len() {
+            let v = self.process_parts(flows[i], ts[i], wires[i], batch.payload_head(i))?;
+            verdicts.push(v);
+        }
+        Ok(())
     }
 
     pub(crate) fn table_counters(&self) -> FlowTableCounters {

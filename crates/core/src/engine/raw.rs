@@ -29,7 +29,9 @@ use crate::engine::stats::ShardStats;
 use crate::engine::{FlowShard, StatelessShard};
 use crate::error::PegasusError;
 use pegasus_net::wire::parse_frame;
-use pegasus_net::{FlowTableConfig, FrameSource, ParseError, RawFrame, RAW_BYTES_PER_PACKET};
+use pegasus_net::{
+    FlowTableConfig, FrameBatch, FrameSource, ParseError, RawFrame, RAW_BYTES_PER_PACKET,
+};
 use std::time::Instant;
 
 /// What one frame produced.
@@ -45,7 +47,7 @@ pub enum RawVerdict {
 
 /// The per-shard execution core, shared with the server's workers.
 enum RawExec {
-    Stateless(StatelessShard),
+    Stateless(Box<StatelessShard>),
     Flow(Box<FlowShard>),
 }
 
@@ -55,7 +57,14 @@ enum RawExec {
 pub struct RawIngress {
     exec: RawExec,
     stats: ShardStats,
+    /// Reused verdict buffer for the batched path.
+    verdicts: Vec<Option<usize>>,
 }
+
+/// Default frames-per-batch for [`RawIngress::run_batched`] — big enough to
+/// amortize per-batch timing and LUT-load overhead, small enough that the
+/// structure-of-arrays scratch stays L1-resident.
+pub const DEFAULT_BATCH_FRAMES: usize = 32;
 
 impl RawIngress {
     /// Builds the raw path over `artifact` with the given host flow-table
@@ -64,12 +73,14 @@ impl RawIngress {
     pub fn new(artifact: &EngineArtifact, table: FlowTableConfig) -> Result<Self, PegasusError> {
         artifact.validate_state_budget(&table)?;
         let exec = match &artifact.plane {
-            ArtifactPlane::Stateless(dp) => {
-                RawExec::Stateless(StatelessShard::new(dp.clone(), artifact.features, table))
-            }
+            ArtifactPlane::Stateless(dp) => RawExec::Stateless(Box::new(StatelessShard::new(
+                dp.clone(),
+                artifact.features,
+                table,
+            ))),
             ArtifactPlane::Flow(fc) => RawExec::Flow(Box::new(FlowShard::new(fc.fork()))),
         };
-        Ok(RawIngress { exec, stats: ShardStats::new(0) })
+        Ok(RawIngress { exec, stats: ShardStats::new(0), verdicts: Vec::new() })
     }
 
     /// [`RawIngress::new`] with the default flow-table shape.
@@ -137,6 +148,82 @@ impl RawIngress {
     pub fn run(&mut self, source: &mut dyn FrameSource) -> Result<(), PegasusError> {
         while let Some(frame) = source.next_frame() {
             self.process(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Parses `frame` into `batch` for a later
+    /// [`process_batch`](RawIngress::process_batch) call. Rejected frames consume no batch
+    /// slot; they are counted in this ingress's parse buckets exactly like
+    /// [`process`](RawIngress::process) and reported back as
+    /// `Some(ParseError)`.
+    ///
+    /// # Panics
+    /// Panics if `batch` is already full — flush it with
+    /// [`process_batch`](RawIngress::process_batch) first.
+    pub fn push_batch_frame(
+        &mut self,
+        batch: &mut FrameBatch,
+        frame: RawFrame<'_>,
+    ) -> Option<ParseError> {
+        match batch.push(&frame) {
+            Ok(()) => None,
+            Err(e) => {
+                self.stats.parse.record(e.kind());
+                Some(e)
+            }
+        }
+    }
+
+    /// Executes one pre-parsed batch through the fused
+    /// parse → slot-resolution → features → LUT pipeline and returns the
+    /// per-frame verdicts (`None` = warm-up). Bit-identical to feeding the
+    /// same frames through [`process`](RawIngress::process) one at a time —
+    /// verdicts *and* flow-table counters; only the latency accounting
+    /// differs (batch wall time is attributed evenly across its frames).
+    pub fn process_batch(&mut self, batch: &FrameBatch) -> Result<&[Option<usize>], PegasusError> {
+        if batch.is_empty() {
+            self.verdicts.clear();
+            return Ok(&self.verdicts);
+        }
+        let t0 = Instant::now();
+        match &mut self.exec {
+            RawExec::Stateless(shard) => shard.process_batch(batch, &mut self.verdicts)?,
+            RawExec::Flow(shard) => shard.process_batch(batch, &mut self.verdicts)?,
+        }
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let n = batch.len() as u64;
+        self.stats.busy_nanos += nanos;
+        let per_frame = nanos / n;
+        for v in &self.verdicts {
+            self.stats.latency.record(per_frame);
+            self.stats.packets += 1;
+            match v {
+                Some(_) => self.stats.classified += 1,
+                None => self.stats.warmup += 1,
+            }
+        }
+        Ok(&self.verdicts)
+    }
+
+    /// Drains a frame source to exhaustion through the batched path,
+    /// `batch_frames` frames at a time (the final batch may be partial).
+    /// Equivalent to [`run`](RawIngress::run) up to latency attribution.
+    pub fn run_batched(
+        &mut self,
+        source: &mut dyn FrameSource,
+        batch_frames: usize,
+    ) -> Result<(), PegasusError> {
+        let mut batch = FrameBatch::with_capacity(batch_frames.max(1));
+        while let Some(frame) = source.next_frame() {
+            self.push_batch_frame(&mut batch, frame);
+            if batch.is_full() {
+                self.process_batch(&batch)?;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            self.process_batch(&batch)?;
         }
         Ok(())
     }

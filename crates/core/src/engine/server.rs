@@ -196,16 +196,18 @@ impl EngineArtifact {
 /// Per-worker, per-tenant execution state: the shard-owned processor for
 /// whichever artifact kind the tenant currently runs.
 enum TenantExec {
-    Stateless(StatelessShard),
+    Stateless(Box<StatelessShard>),
     Flow(Box<FlowShard>),
 }
 
 impl TenantExec {
     fn new(artifact: &EngineArtifact, table: FlowTableConfig) -> TenantExec {
         match &artifact.plane {
-            ArtifactPlane::Stateless(dp) => {
-                TenantExec::Stateless(StatelessShard::new(dp.clone(), artifact.features, table))
-            }
+            ArtifactPlane::Stateless(dp) => TenantExec::Stateless(Box::new(StatelessShard::new(
+                dp.clone(),
+                artifact.features,
+                table,
+            ))),
             ArtifactPlane::Flow(fc) => TenantExec::Flow(Box::new(FlowShard::new(fc.fork()))),
         }
     }

@@ -78,7 +78,7 @@ pub use engine::server::{
 };
 pub use engine::{
     FlattenSkip, FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict, StreamConfig,
-    StreamReport, HOST_WINDOW_STATE_BITS,
+    StreamReport, DEFAULT_BATCH_FRAMES, HOST_WINDOW_STATE_BITS,
 };
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};

@@ -375,6 +375,18 @@ impl<V> FlowTable<V> {
     /// slot, advances the packet-count clock, applies aging/eviction, and
     /// returns what happened plus the flow's state.
     pub fn admit(&mut self, key: FiveTuple, new: impl FnOnce() -> V) -> (Admission, &mut V) {
+        let (admission, _, value) = self.admit_indexed(key, new);
+        (admission, value)
+    }
+
+    /// [`admit`](FlowTable::admit) that also reports the resolved slot
+    /// index — the batched ingress feeds it back as the *hint* of the
+    /// flow's next admission ([`admit_hinted`](FlowTable::admit_hinted)).
+    pub fn admit_indexed(
+        &mut self,
+        key: FiveTuple,
+        new: impl FnOnce() -> V,
+    ) -> (Admission, usize, &mut V) {
         self.clock += 1;
         let cap = self.slots.len();
         let home = key.dataplane_hash() as usize % cap;
@@ -436,7 +448,44 @@ impl<V> FlowTable<V> {
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupied as u64);
         let slot = self.slots[idx].as_mut().expect("admitted slot occupied");
         slot.last_seen = self.clock;
-        (admission, &mut slot.value)
+        (admission, idx, &mut slot.value)
+    }
+
+    /// [`admit_indexed`](FlowTable::admit_indexed) with a slot *hint* from
+    /// a previous admission of the same flow — the batched ingress's fast
+    /// path for the second and later packets of a flow inside one batch.
+    ///
+    /// When the hinted slot still holds `key` and has not aged out, the
+    /// probe chain is skipped entirely: one slot load replaces the
+    /// cache-missing home→slot walk. Entries never move between slots, so
+    /// a live hit at the hinted slot is exactly the hit the probe would
+    /// have found; in every other case (stale hint, evicted entry, idle
+    /// timeout, alias mode) this falls back to the full admission path —
+    /// the outcome, counters and clock are identical to calling
+    /// `admit_indexed`, packet for packet.
+    pub fn admit_hinted(
+        &mut self,
+        key: FiveTuple,
+        hint: usize,
+        new: impl FnOnce() -> V,
+    ) -> (Admission, usize, &mut V) {
+        if !self.cfg.alias && hint < self.slots.len() {
+            let timeout = self.cfg.idle_timeout_packets;
+            // The clock value the full path would probe under (it ticks
+            // before probing), so the idle check agrees bit for bit.
+            let clock = self.clock + 1;
+            let live = matches!(
+                &self.slots[hint],
+                Some(s) if s.key == key && !(timeout > 0 && clock - s.last_seen > timeout)
+            );
+            if live {
+                self.clock = clock;
+                let slot = self.slots[hint].as_mut().expect("hinted slot occupied");
+                slot.last_seen = clock;
+                return (Admission::Existing, hint, &mut slot.value);
+            }
+        }
+        self.admit_indexed(key, new)
     }
 
     /// Looks up a resident flow's state (aging applies at
@@ -557,6 +606,26 @@ impl FlowTracker {
         let (admission, state) = self.table.admit(flow, || FlowState::new(window_cap));
         let obs = state.observe(ts_micros, wire_len);
         (obs, admission, &*state)
+    }
+
+    /// [`observe_admit`](FlowTracker::observe_admit) with a slot hint from
+    /// a previous admission of the same flow, reporting the resolved slot
+    /// index back — the batched ingress's per-batch flow cache feeds this
+    /// ([`FlowTable::admit_hinted`] has the exact-equivalence contract).
+    pub fn observe_admit_hinted(
+        &mut self,
+        flow: FiveTuple,
+        ts_micros: u64,
+        wire_len: u16,
+        hint: Option<usize>,
+    ) -> (PacketObs, Admission, usize, &FlowState) {
+        let window_cap = self.window_cap;
+        let (admission, idx, state) = match hint {
+            Some(h) => self.table.admit_hinted(flow, h, || FlowState::new(window_cap)),
+            None => self.table.admit_indexed(flow, || FlowState::new(window_cap)),
+        };
+        let obs = state.observe(ts_micros, wire_len);
+        (obs, admission, idx, &*state)
     }
 
     /// Looks up a flow's state.
@@ -845,6 +914,69 @@ mod tests {
         assert_eq!(t2.table_stats().evicted_idle, 1);
         assert!(t2.get(&ft(1)).is_none(), "the idle flow lost its slot");
         assert!(t2.get(&ft(2)).is_some(), "the live flow kept its slot");
+    }
+
+    /// The hinted fast path is observationally identical to the probed
+    /// path over a churning workload — same admission sequence, same slot
+    /// indices, same cumulative stats — even when hints go stale through
+    /// evictions and idle timeouts (those must fall back).
+    #[test]
+    fn hinted_admission_is_exactly_the_probed_admission() {
+        let cfg = FlowTableConfig { capacity: 8, idle_timeout_packets: 6, alias: false };
+        let mut probed = FlowTracker::bounded(2, cfg);
+        let mut hinted = FlowTracker::bounded(2, cfg);
+        let mut hints: std::collections::HashMap<FiveTuple, usize> =
+            std::collections::HashMap::new();
+        // Deterministic churn over 24 flows through 8 slots: plenty of
+        // capacity evictions, idle re-warms, and repeat packets.
+        let mut x = 0x2545_f491u64;
+        for step in 0..4000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let flow = ft(((x >> 33) % 24) as u32 + 1);
+            let (obs_a, adm_a, state_a) = probed.observe_admit(flow, step, 64);
+            let (pkts_a, win_a) = (state_a.packets, state_a.window_full());
+            let hint = hints.get(&flow).copied();
+            let (obs_b, adm_b, idx, state_b) = hinted.observe_admit_hinted(flow, step, 64, hint);
+            assert_eq!(adm_b, adm_a, "step {step}: admission diverged");
+            assert_eq!(obs_b, obs_a, "step {step}: observation diverged");
+            assert_eq!((state_b.packets, state_b.window_full()), (pkts_a, win_a));
+            hints.insert(flow, idx);
+        }
+        assert_eq!(hinted.table_stats(), probed.table_stats());
+        assert_eq!(hinted.len(), probed.len());
+        let s = probed.table_stats();
+        assert!(s.evicted_idle + s.evicted_capacity > 0, "workload must actually churn");
+    }
+
+    #[test]
+    fn stale_hint_falls_back_to_the_probe_path() {
+        // Flow A at a known slot; then A is LRU-evicted by C. A's old hint
+        // now names C's slot — admit_hinted must fall back and re-admit A
+        // exactly like the unhinted path (fresh state, capacity eviction).
+        let cfg = FlowTableConfig::with_capacity(2);
+        let mut t = FlowTable::new(cfg);
+        let (adm, a_slot, _) = t.admit_indexed(ft(1), || 0u32);
+        assert_eq!(adm, Admission::Fresh);
+        t.admit(ft(2), || 0); // B
+        t.admit(ft(2), || 0); // B again: A is LRU
+        let (adm, _, _) = t.admit_indexed(ft(3), || 0); // C evicts A
+        assert_eq!(adm, Admission::EvictedCapacity);
+        let (adm, idx, _) = t.admit_hinted(ft(1), a_slot, || 7);
+        assert_eq!(adm, Admission::EvictedCapacity, "stale hint must not resurrect A");
+        assert_ne!((adm, idx), (Admission::Existing, a_slot));
+        assert_eq!(t.stats().evicted_capacity, 2);
+
+        // And a hint at an idle-expired entry re-warms instead of touching.
+        let cfg = FlowTableConfig { capacity: 4, idle_timeout_packets: 2, alias: false };
+        let mut t = FlowTable::new(cfg);
+        let (_, slot, _) = t.admit_indexed(ft(1), || 1u32);
+        for _ in 0..4 {
+            t.admit(ft(2), || 2); // clock ticks; flow 1 goes idle
+        }
+        let (adm, idx, v) = t.admit_hinted(ft(1), slot, || 9);
+        assert_eq!(adm, Admission::Rewarmed, "idle entry must re-warm, not fast-path");
+        assert_eq!(idx, slot);
+        assert_eq!(*v, 9, "re-warm rebuilt the value");
     }
 
     #[test]

@@ -49,5 +49,6 @@ pub use replay::{
 };
 pub use router::RoutePredicate;
 pub use wire::{
-    build_frame, encode_frame, encode_trace_packet, parse_frame, FrameSpec, IpAddrs, ParsedFrame,
+    build_frame, encode_frame, encode_trace_packet, parse_frame, FrameBatch, FrameSpec, IpAddrs,
+    ParsedFrame,
 };

@@ -32,7 +32,7 @@
 use crate::features::RAW_BYTES_PER_PACKET;
 use crate::flow::FiveTuple;
 use crate::packet::{internet_checksum, ParseError, ETHERTYPE_IPV4, PROTO_TCP, PROTO_UDP};
-use crate::replay::TracePacket;
+use crate::replay::{RawFrame, TracePacket};
 
 /// EtherType for IPv6.
 pub const ETHERTYPE_IPV6: u16 = 0x86dd;
@@ -282,6 +282,147 @@ fn parse_l4(protocol: u8, l4: &[u8]) -> Result<(u16, u16, u8, &[u8]), ParseError
             Ok((be16(l4, 0), be16(l4, 2), 0, &l4[8..udp_len.min(l4.len())]))
         }
         other => Err(ParseError::UnsupportedProtocol(other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched parsing (structure-of-arrays).
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity batch of parsed frames laid out as structure-of-arrays
+/// columns — the batch-friendly dual of [`parse_frame`].
+///
+/// The engine's fused bytes-to-verdict loop (`RawIngress` in the core
+/// crate) processes frames in fixed-size batches: each incoming frame is
+/// parsed immediately
+/// (so the zero-copy borrow never outlives the source's buffer) and its
+/// header fields land in parallel POD columns. Downstream stages — flow-slot
+/// resolution, feature extraction, flattened-LUT inference — then sweep the
+/// columns with straight-line loops instead of chasing one packet at a time.
+///
+/// Only the bounded payload *head* is copied (at most
+/// [`RAW_BYTES_PER_PACKET`] bytes per frame, at a fixed stride), which is
+/// exactly the slice both engine paths consume; everything else the parser
+/// borrowed is reduced to fixed-width fields. Columns are preallocated at
+/// construction and reused across [`clear`](FrameBatch::clear)s — pushing
+/// into a non-full batch never allocates.
+#[derive(Clone, Debug)]
+pub struct FrameBatch {
+    cap: usize,
+    flows: Vec<FiveTuple>,
+    ts_micros: Vec<u64>,
+    wire_lens: Vec<u16>,
+    tcp_flags: Vec<u8>,
+    ttls: Vec<u8>,
+    payload_lens: Vec<u16>,
+    /// Payload heads at a fixed [`RAW_BYTES_PER_PACKET`] stride,
+    /// zero-padded past each frame's captured length.
+    payload_heads: Vec<u8>,
+}
+
+impl FrameBatch {
+    /// An empty batch holding at most `cap` frames (columns preallocated).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "a frame batch needs at least one slot");
+        FrameBatch {
+            cap,
+            flows: Vec::with_capacity(cap),
+            ts_micros: Vec::with_capacity(cap),
+            wire_lens: Vec::with_capacity(cap),
+            tcp_flags: Vec::with_capacity(cap),
+            ttls: Vec::with_capacity(cap),
+            payload_lens: Vec::with_capacity(cap),
+            payload_heads: Vec::with_capacity(cap * RAW_BYTES_PER_PACKET),
+        }
+    }
+
+    /// Parses `frame` and appends its columns. A rejected frame consumes no
+    /// slot and leaves the batch unchanged — the typed [`ParseError`] is
+    /// returned for the caller's counters. Panics if the batch is already
+    /// [full](FrameBatch::is_full) (drain it first).
+    pub fn push(&mut self, frame: &RawFrame<'_>) -> Result<(), ParseError> {
+        assert!(!self.is_full(), "frame batch is full (capacity {})", self.cap);
+        let parsed = parse_frame(frame.bytes)?;
+        self.flows.push(parsed.flow);
+        self.ts_micros.push(frame.ts_micros);
+        self.wire_lens.push(frame.wire_len_u16());
+        self.tcp_flags.push(parsed.tcp_flags);
+        self.ttls.push(parsed.ttl);
+        let head = &parsed.payload[..parsed.payload.len().min(RAW_BYTES_PER_PACKET)];
+        self.payload_lens.push(head.len() as u16);
+        self.payload_heads.extend_from_slice(head);
+        self.payload_heads.resize(self.flows.len() * RAW_BYTES_PER_PACKET, 0);
+        Ok(())
+    }
+
+    /// Frames currently in the batch.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no frame has been pushed since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// True when the batch holds `capacity` frames.
+    pub fn is_full(&self) -> bool {
+        self.flows.len() == self.cap
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Empties the batch, retaining the column allocations.
+    pub fn clear(&mut self) {
+        self.flows.clear();
+        self.ts_micros.clear();
+        self.wire_lens.clear();
+        self.tcp_flags.clear();
+        self.ttls.clear();
+        self.payload_lens.clear();
+        self.payload_heads.clear();
+    }
+
+    /// Flow-identity column.
+    pub fn flows(&self) -> &[FiveTuple] {
+        &self.flows
+    }
+
+    /// Capture-timestamp column (microseconds).
+    pub fn ts_micros(&self) -> &[u64] {
+        &self.ts_micros
+    }
+
+    /// On-wire length column.
+    pub fn wire_lens(&self) -> &[u16] {
+        &self.wire_lens
+    }
+
+    /// TCP-flags column (0 for UDP).
+    pub fn tcp_flags(&self) -> &[u8] {
+        &self.tcp_flags
+    }
+
+    /// TTL / hop-limit column.
+    pub fn ttls(&self) -> &[u8] {
+        &self.ttls
+    }
+
+    /// Captured-payload-head length column (saturated at
+    /// [`RAW_BYTES_PER_PACKET`] — the same feature
+    /// [`ParsedFrame::payload_head_len`] reports).
+    pub fn payload_lens(&self) -> &[u16] {
+        &self.payload_lens
+    }
+
+    /// Frame `i`'s captured payload head — the identical slice the
+    /// per-frame path hands the engine.
+    pub fn payload_head(&self, i: usize) -> &[u8] {
+        let start = i * RAW_BYTES_PER_PACKET;
+        &self.payload_heads[start..start + usize::from(self.payload_lens[i])]
     }
 }
 
@@ -645,5 +786,60 @@ mod tests {
             let junk: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
             let _ = parse_frame(&junk);
         }
+    }
+
+    #[test]
+    fn frame_batch_columns_match_per_frame_parses() {
+        let specs = [
+            FrameSpec::v4_tcp(10, 20, 1000, 2000, vec![0xaa; 90]).with_vlan(5),
+            FrameSpec::v4_udp(30, 40, 53, 5353, vec![0xbb; 3]),
+            FrameSpec::v6_tcp([1; 16], [2; 16], 443, 50000, vec![0xcc; 17]),
+        ];
+        let frames: Vec<Vec<u8>> = specs.iter().map(build_frame).collect();
+        let mut batch = FrameBatch::with_capacity(4);
+        assert!(batch.is_empty());
+        for (i, bytes) in frames.iter().enumerate() {
+            batch.push(&RawFrame { ts_micros: i as u64 * 10, wire_len: 2000, bytes }).unwrap();
+        }
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_full());
+        for (i, bytes) in frames.iter().enumerate() {
+            let p = parse_frame(bytes).unwrap();
+            assert_eq!(batch.flows()[i], p.flow);
+            assert_eq!(batch.ts_micros()[i], i as u64 * 10);
+            assert_eq!(batch.wire_lens()[i], 2000);
+            assert_eq!(batch.tcp_flags()[i], p.tcp_flags);
+            assert_eq!(batch.ttls()[i], p.ttl);
+            assert_eq!(batch.payload_lens()[i], p.payload_head_len());
+            assert_eq!(
+                batch.payload_head(i),
+                &p.payload[..p.payload.len().min(RAW_BYTES_PER_PACKET)],
+                "payload head {i} must be the slice the per-frame path consumes"
+            );
+        }
+        // The 90-byte payload is saturated at the raw-byte window width.
+        assert_eq!(batch.payload_lens()[0], RAW_BYTES_PER_PACKET as u16);
+    }
+
+    #[test]
+    fn frame_batch_rejects_without_consuming_a_slot() {
+        let good = build_frame(&FrameSpec::v4_udp(1, 2, 3, 4, vec![7; 5]));
+        let mut bad = good.clone();
+        bad[14 + 8] ^= 0xff; // corrupt the IPv4 checksum
+        let mut batch = FrameBatch::with_capacity(2);
+        assert_eq!(
+            batch.push(&RawFrame::new(0, &bad)).unwrap_err(),
+            ParseError::BadChecksum,
+            "typed rejection surfaces to the caller's counters"
+        );
+        assert!(batch.is_empty(), "a rejected frame must not occupy a slot");
+        batch.push(&RawFrame::new(1, &good)).unwrap();
+        batch.push(&RawFrame::new(2, &good)).unwrap();
+        assert!(batch.is_full());
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(&RawFrame::new(3, &good)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.payload_head(0), &[7u8; 5][..]);
     }
 }

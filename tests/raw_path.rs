@@ -13,13 +13,17 @@ use pegasus::core::compile::CompileOptions;
 use pegasus::core::models::cnn_l::{CnnL, CnnLVariant};
 use pegasus::core::models::mlp_b::MlpB;
 use pegasus::core::models::{DataplaneNet, ModelData, TrainSettings};
-use pegasus::core::{Deployment, Pegasus, RawIngress, RawVerdict, StreamConfig, StreamReport};
+use pegasus::core::{
+    Deployment, FlowTableCounters, Pegasus, RawIngress, RawVerdict, StreamConfig, StreamReport,
+    DEFAULT_BATCH_FRAMES,
+};
 use pegasus::datasets::{
     extract_views, generate_trace, iscxvpn, peerrush, synthesize_pcap, GenConfig, SyntheticConfig,
 };
-use pegasus::net::wire::parse_frame;
+use pegasus::net::wire::{build_frame, parse_frame};
 use pegasus::net::{
-    FiveTuple, FrameSource, PacketSource, PcapReader, PcapSource, PcapWriter, DEFAULT_SNAPLEN,
+    FiveTuple, FlowTableConfig, FrameBatch, FrameSource, FrameSpec, PacketSource, PcapReader,
+    PcapSource, PcapWriter, RawFrame, DEFAULT_SNAPLEN,
 };
 use pegasus::switch::SwitchConfig;
 use std::collections::HashMap;
@@ -40,6 +44,90 @@ fn train_mlp(trace: &pegasus::net::Trace) -> Deployment<MlpB> {
         .expect("compiles")
         .deploy(&SwitchConfig::tofino2())
         .expect("deploys")
+}
+
+/// Merged counters and per-flow verdict sequences of a sharded batched
+/// [`RawIngress`] run — the fused parse → slot → features → LUT path.
+struct BatchedRun {
+    packets: u64,
+    classified: u64,
+    warmup: u64,
+    flows: u64,
+    table: FlowTableCounters,
+    parse_total: u64,
+    preds: HashMap<FiveTuple, Vec<usize>>,
+}
+
+/// Streams the capture through `shards` independent batched [`RawIngress`]
+/// executors — frames routed by the same bidirectional five-tuple hash the
+/// server's dispatcher uses — `batch_frames` frames per fused batch, and
+/// returns the merged counters plus per-flow verdict sequences.
+fn run_batched<M: DataplaneNet>(
+    deployment: &Deployment<M>,
+    pcap: &[u8],
+    shards: usize,
+    batch_frames: usize,
+) -> BatchedRun {
+    fn flush(
+        ing: &mut RawIngress,
+        batch: &mut FrameBatch,
+        preds: &mut HashMap<FiveTuple, Vec<usize>>,
+    ) {
+        let verdicts = ing.process_batch(batch).expect("batch processes");
+        for (flow, v) in batch.flows().iter().zip(verdicts) {
+            if let Some(class) = v {
+                preds.entry(*flow).or_default().push(*class);
+            }
+        }
+        batch.clear();
+    }
+
+    let artifact = deployment.engine_artifact().expect("artifact");
+    let mut ingresses: Vec<RawIngress> =
+        (0..shards).map(|_| RawIngress::with_defaults(&artifact).expect("raw ingress")).collect();
+    let mut batches: Vec<FrameBatch> =
+        (0..shards).map(|_| FrameBatch::with_capacity(batch_frames)).collect();
+    let mut preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+
+    let mut src = PcapSource::from_bytes(pcap.to_vec()).expect("capture");
+    while let Some(frame) = src.next_frame() {
+        // Unparseable frames go to shard 0 so the rejection is counted
+        // somewhere deterministic (the batch push re-rejects them without
+        // consuming a slot, mirroring the dispatcher's drop).
+        let s = match parse_frame(frame.bytes) {
+            Ok(p) => p.flow.shard_of(shards),
+            Err(_) => 0,
+        };
+        ingresses[s].push_batch_frame(&mut batches[s], frame);
+        if batches[s].is_full() {
+            flush(&mut ingresses[s], &mut batches[s], &mut preds);
+        }
+    }
+    for (ing, batch) in ingresses.iter_mut().zip(batches.iter_mut()) {
+        if !batch.is_empty() {
+            flush(ing, batch, &mut preds);
+        }
+    }
+
+    let mut run = BatchedRun {
+        packets: 0,
+        classified: 0,
+        warmup: 0,
+        flows: 0,
+        table: FlowTableCounters::default(),
+        parse_total: 0,
+        preds,
+    };
+    for ing in &ingresses {
+        let s = ing.stats();
+        run.packets += s.packets;
+        run.classified += s.classified;
+        run.warmup += s.warmup;
+        run.flows += s.flows;
+        run.table.merge(&s.table);
+        run.parse_total += s.parse.total();
+    }
+    run
 }
 
 /// Streams the same capture through both front doors at every shard count
@@ -80,6 +168,34 @@ fn assert_raw_matches_structured<M: DataplaneNet>(deployment: &Deployment<M>, pc
                 Some(seq),
                 "{shards} shards: flow {flow:?} diverged between bytes and structs"
             );
+        }
+
+        // The fused batched path, at pathological and friendly batch
+        // shapes: single-frame batches, a prime that forces misaligned
+        // partial flushes (7), an exact divisor of the packet count (the
+        // final batch is full — no partial-flush epilogue at 1 shard), and
+        // 64 (a partial last batch). Every shape must reproduce the
+        // structured report bit for bit: counters, flow table, and every
+        // flow's verdict sequence.
+        let n = structured.packets as usize;
+        let exact = (2..=n.min(96)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1);
+        for batch_frames in [1usize, 7, exact, 64] {
+            let b = run_batched(deployment, pcap, shards, batch_frames);
+            let tag = format!("{shards} shards, batch {batch_frames}");
+            assert_eq!(b.packets, structured.packets, "{tag}: packets");
+            assert_eq!(b.classified, structured.classified, "{tag}: classified");
+            assert_eq!(b.warmup, structured.warmup, "{tag}: warmup");
+            assert_eq!(b.flows, structured.flows, "{tag}: flows");
+            assert_eq!(b.table, structured.table, "{tag}: flow-table counters");
+            assert_eq!(b.parse_total, 0, "{tag}: nothing rejected");
+            assert_eq!(b.preds.len(), structured_preds.len(), "{tag}: flow sets differ");
+            for (flow, seq) in &structured_preds {
+                assert_eq!(
+                    b.preds.get(flow),
+                    Some(seq),
+                    "{tag}: flow {flow:?} diverged between fused batches and structs"
+                );
+            }
         }
     }
 }
@@ -271,6 +387,84 @@ fn golden_fixture_round_trips_and_pins_verdicts() {
         census[*class] += 1;
     }
     assert_eq!(census, PINNED_CLASS_CENSUS, "per-class verdict counts drifted");
+}
+
+/// The golden capture through the *fused batched* path must reproduce the
+/// same frozen census the per-frame path pins: 338 packets, 12 flows,
+/// [4, 4, 4] majority-verdict classes. This is the end-to-end witness that
+/// batching changed the schedule, not the semantics.
+#[test]
+fn golden_fixture_census_survives_the_fused_batched_path() {
+    let bytes = std::fs::read(FIXTURE_PATH)
+        .expect("tests/fixtures/golden.pcap is checked in (PEGASUS_REGEN_FIXTURES=1 to create)");
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 21 });
+    let deployment = train_mlp(&trace);
+
+    let run = run_batched(&deployment, &bytes, 1, DEFAULT_BATCH_FRAMES);
+    assert_eq!(run.packets, PINNED_PACKETS, "fixture packet count through batches");
+    assert_eq!(run.parse_total, 0, "every fixture frame parses");
+    assert_eq!(run.flows, PINNED_FLOWS, "fixture flow count through batches");
+
+    // Majority vote per flow, tie-broken exactly like
+    // `StreamReport::flow_verdicts` (ties to the smaller class id).
+    let mut census = [0u64; 3];
+    for seq in run.preds.values() {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &c in seq {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+        let (&class, _) =
+            counts.iter().max_by_key(|(&class, &n)| (n, std::cmp::Reverse(class))).expect("votes");
+        census[class] += 1;
+    }
+    assert_eq!(census, PINNED_CLASS_CENSUS, "per-class verdict census drifted under batching");
+}
+
+/// Regression: several packets of the *same brand-new flow* inside one
+/// batch must admit the flow's slot exactly once and reuse it — a batched
+/// slot-resolution that probed every frame against the pre-batch table
+/// state would admit the flow once per packet, double-counting admissions
+/// and (on a tight table) evicting an innocent neighbor under phantom
+/// capacity pressure. Pinned against the per-frame path on a 2-slot table.
+#[test]
+fn repeated_new_flow_in_one_batch_admits_a_slot_once() {
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 21 });
+    let deployment = train_mlp(&trace);
+    let artifact = deployment.engine_artifact().expect("artifact");
+    let table = FlowTableConfig { capacity: 2, idle_timeout_packets: 0, alias: false };
+
+    // One resident flow to make spurious evictions observable, then five
+    // packets of a brand-new flow in the same batch, then the resident
+    // again — on a 2-slot table a double-admission of the new flow would
+    // have to evict the resident.
+    let resident = build_frame(&FrameSpec::v4_udp(0x0a000001, 0x0a000002, 1111, 2222, vec![7; 12]));
+    let newcomer = build_frame(&FrameSpec::v4_udp(0x0a000003, 0x0a000004, 3333, 4444, vec![9; 12]));
+    let frames: Vec<&[u8]> =
+        vec![&resident, &newcomer, &newcomer, &newcomer, &newcomer, &newcomer, &resident];
+
+    let mut batched = RawIngress::new(&artifact, table).expect("raw ingress");
+    let mut batch = FrameBatch::with_capacity(frames.len());
+    for (i, f) in frames.iter().enumerate() {
+        let rejected = batched.push_batch_frame(&mut batch, RawFrame::new(i as u64 * 100, f));
+        assert!(rejected.is_none(), "hand-built frame {i} failed to parse");
+    }
+    batched.process_batch(&batch).expect("batch processes");
+
+    let mut per_frame = RawIngress::new(&artifact, table).expect("raw ingress");
+    for (i, f) in frames.iter().enumerate() {
+        per_frame.process(RawFrame::new(i as u64 * 100, f)).expect("processes");
+    }
+
+    let b = batched.stats();
+    let p = per_frame.stats();
+    assert_eq!(b.table, p.table, "batched admission diverged from the per-frame path");
+    assert_eq!(b.table.occupancy, 2, "two distinct flows, two resident slots");
+    assert_eq!(
+        b.table.evictions_capacity, 0,
+        "a repeated new flow double-admitted and evicted its neighbor"
+    );
+    assert_eq!(b.table.evictions_idle, 0, "no aging configured, none may fire");
+    assert_eq!((b.packets, b.classified, b.warmup), (p.packets, p.classified, p.warmup));
 }
 
 /// Pinned facts about `tests/fixtures/golden.pcap` (see the regen note on

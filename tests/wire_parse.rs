@@ -13,14 +13,22 @@
 //!    frames land in the dispatcher's parse-error buckets instead of
 //!    reaching any tenant.
 
-use pegasus::core::{EngineBuilder, FramePush};
+use pegasus::core::compile::CompileOptions;
+use pegasus::core::models::mlp_b::MlpB;
+use pegasus::core::models::{ModelData, TrainSettings};
+use pegasus::core::{
+    Deployment, EngineBuilder, FramePush, ParseErrorCounters, Pegasus, RawIngress, RawVerdict,
+};
+use pegasus::datasets::{extract_views, generate_trace, peerrush, GenConfig};
 use pegasus::net::packet::{ParseError, PROTO_TCP};
 use pegasus::net::wire::{
     build_frame, parse_frame, FrameSpec, IpAddrs, ETHERTYPE_QINQ, ETHERTYPE_VLAN,
 };
-use pegasus::net::RawFrame;
+use pegasus::net::{FiveTuple, FrameBatch, RawFrame};
+use pegasus::switch::SwitchConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// A seeded corpus of structurally valid frames covering the parse graph.
 fn corpus(seed: u64, count: usize) -> Vec<(FrameSpec, Vec<u8>)> {
@@ -215,6 +223,116 @@ fn malformed_inputs_map_to_exact_variants() {
     let mut short_udp = base_udp.clone();
     short_udp[14 + 20 + 4..14 + 20 + 6].copy_from_slice(&4u16.to_be_bytes());
     assert_eq!(parse_frame(&short_udp), Err(ParseError::Malformed("udp length")));
+}
+
+/// Batched-ingress fuzz: a repeating corpus stream with seeded byte-flips
+/// and truncations injected *mid-batch* must (a) never panic, (b) land
+/// every rejected frame in exactly the parse-error bucket a direct
+/// `parse_frame` predicts, and (c) give every surviving frame the same
+/// verdict — and the ingress the same counters — as the frame-at-a-time
+/// path over the identical stream.
+#[test]
+fn batched_ingress_survives_mutants_and_matches_per_frame() {
+    // A small flow population repeated enough rounds that surviving flows
+    // warm up past WINDOW and actually classify (mutants only corrupt
+    // their own slot, not the flow's later packets).
+    let specs = corpus(0x8a7c4, 24);
+    let mut rng = StdRng::seed_from_u64(0xba7c);
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for round in 0..14 {
+        for (i, (_, frame)) in specs.iter().enumerate() {
+            let idx = round * specs.len() + i;
+            if idx.is_multiple_of(3) {
+                let mut mutant = frame.clone();
+                if idx.is_multiple_of(2) {
+                    for _ in 0..rng.gen_range(1usize..=3) {
+                        let at = rng.gen_range(0usize..mutant.len());
+                        mutant[at] ^= rng.gen_range(1u64..256) as u8;
+                    }
+                } else {
+                    mutant.truncate(rng.gen_range(0usize..mutant.len()));
+                }
+                frames.push(mutant);
+            } else {
+                frames.push(frame.clone());
+            }
+        }
+    }
+
+    // What a direct parse predicts for every frame: the per-kind buckets
+    // both ingress paths must reproduce exactly.
+    let mut expected = ParseErrorCounters::default();
+    let mut survivors = 0u64;
+    for f in &frames {
+        match parse_frame(f) {
+            Ok(_) => survivors += 1,
+            Err(e) => expected.record(e.kind()),
+        }
+    }
+    assert!(expected.total() > 0, "mutation harness produced no rejects — vacuous");
+    assert!(survivors > 0, "mutation harness killed every frame — vacuous");
+
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 21 });
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let deployment: Deployment<MlpB> = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    let artifact = deployment.engine_artifact().expect("artifact");
+
+    // Frame-at-a-time reference.
+    let mut per_frame = RawIngress::with_defaults(&artifact).expect("raw ingress");
+    let mut ref_preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    for (i, f) in frames.iter().enumerate() {
+        match per_frame.process(RawFrame::new(i as u64 * 37, f)).expect("processes") {
+            RawVerdict::Classified(class) => {
+                let flow = parse_frame(f).expect("classified implies parsed").flow;
+                ref_preds.entry(flow).or_default().push(class);
+            }
+            RawVerdict::Warmup | RawVerdict::Rejected(_) => {}
+        }
+    }
+
+    // Fused batches of 16 — rejects land mid-batch without consuming a
+    // slot, so batches straddle mutants in every alignment.
+    let mut batched = RawIngress::with_defaults(&artifact).expect("raw ingress");
+    let mut batch = FrameBatch::with_capacity(16);
+    let mut batch_preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    let mut flush = |ing: &mut RawIngress, batch: &mut FrameBatch| {
+        let verdicts = ing.process_batch(batch).expect("batch processes");
+        for (flow, v) in batch.flows().iter().zip(verdicts) {
+            if let Some(class) = v {
+                batch_preds.entry(*flow).or_default().push(*class);
+            }
+        }
+        batch.clear();
+    };
+    for (i, f) in frames.iter().enumerate() {
+        batched.push_batch_frame(&mut batch, RawFrame::new(i as u64 * 37, f));
+        if batch.is_full() {
+            flush(&mut batched, &mut batch);
+        }
+    }
+    if !batch.is_empty() {
+        flush(&mut batched, &mut batch);
+    }
+
+    let a = per_frame.stats();
+    let b = batched.stats();
+    assert_eq!(a.parse, expected, "per-frame buckets diverged from direct parses");
+    assert_eq!(b.parse, expected, "batched buckets diverged from direct parses");
+    assert_eq!(a.packets, survivors, "every surviving frame is processed");
+    assert_eq!(b.packets, a.packets);
+    assert_eq!(b.classified, a.classified);
+    assert_eq!(b.warmup, a.warmup);
+    assert_eq!(b.flows, a.flows);
+    assert_eq!(b.table, a.table, "flow-table counters diverged under batching");
+    assert!(a.classified > 0, "no surviving flow classified — fuzz stream too short");
+    assert_eq!(batch_preds, ref_preds, "surviving frames' verdicts diverged under batching");
 }
 
 /// Rejected frames surface in the engine's parse-error buckets — per
