@@ -932,6 +932,24 @@ pub(crate) fn emit_argmax(
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+
+serde::impl_serde_struct!(CompileReport {
+    tables,
+    fuzzy_tables,
+    exact_tables,
+    entries,
+    lookups_per_input,
+});
+serde::impl_serde_struct!(CompiledPipeline {
+    program,
+    input_fields,
+    score_fields,
+    score_format,
+    predicted_field,
+    report,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

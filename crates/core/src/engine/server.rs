@@ -109,6 +109,42 @@ impl EngineArtifact {
         }
     }
 
+    /// Builds a servable artifact straight from a compiled stateless
+    /// pipeline by deploying it against `switch` — the path the control
+    /// daemon takes when it revives a persisted artifact file (there is
+    /// no live [`Deployment`](crate::pipeline::Deployment) to call
+    /// [`engine_artifact`](crate::pipeline::Deployment::engine_artifact)
+    /// on). Same gates as the builder path: deployment re-verifies the
+    /// pipeline, and score-only pipelines are rejected with
+    /// [`PegasusError::NotAClassifier`].
+    pub fn from_compiled_pipeline(
+        pipeline: crate::compile::CompiledPipeline,
+        features: StreamFeatures,
+        switch: &pegasus_switch::SwitchConfig,
+    ) -> Result<Self, PegasusError> {
+        if pipeline.predicted_field.is_none() {
+            return Err(PegasusError::NotAClassifier { pipeline: pipeline.program.name.clone() });
+        }
+        let name = pipeline.program.name.clone();
+        let dp = DataplaneModel::deploy(pipeline, switch)?;
+        Ok(EngineArtifact::stateless(Arc::new(dp), features, &name))
+    }
+
+    /// Builds a servable artifact from a per-flow windowed pipeline by
+    /// deploying it against `switch` — the flow-plane counterpart of
+    /// [`from_compiled_pipeline`](EngineArtifact::from_compiled_pipeline).
+    pub fn from_flow_pipeline(
+        pipeline: crate::flowpipe::FlowPipeline,
+        switch: &pegasus_switch::SwitchConfig,
+    ) -> Result<Self, PegasusError> {
+        if pipeline.predicted_field.is_none() {
+            return Err(PegasusError::NotAClassifier { pipeline: pipeline.program.name.clone() });
+        }
+        let name = pipeline.program.name.clone();
+        let fc = FlowClassifier::deploy(pipeline, switch)?;
+        Ok(EngineArtifact::flow(Arc::new(fc), &name))
+    }
+
     /// The compiled program's name (diagnostics, default tenant name).
     pub fn name(&self) -> &str {
         &self.name
@@ -1058,6 +1094,16 @@ impl ControlHandle {
         token: TenantToken,
         artifact: EngineArtifact,
     ) -> Result<SwapReport, PegasusError> {
+        // Unknown tenants fail with the same typed error regardless of
+        // what artifact they were handed: check the token before paying
+        // for (or reporting) artifact verification.
+        {
+            let d = self.shared.lock_dispatch();
+            d.txs()?;
+            if !d.tenants.iter().any(|e| e.token == token) {
+                return Err(PegasusError::UnknownTenant { tenant: token.0 });
+            }
+        }
         // Same gate as attach: the replacement artifact must verify clean
         // before any shard sees the swap message.
         let report = artifact.verify_report();
@@ -1163,6 +1209,23 @@ impl ControlHandle {
             });
         }
         Ok(EngineStats { tenants, unrouted: d.unrouted, parse_errors: d.parse })
+    }
+
+    /// The live snapshot of one tenant, failing with
+    /// [`PegasusError::UnknownTenant`] for tokens that were never attached
+    /// (or have been detached) — the same typed error [`swap`] and
+    /// [`detach`] return, so callers like the control daemon map every
+    /// unknown-tenant path onto one wire reply.
+    ///
+    /// [`swap`]: ControlHandle::swap
+    /// [`detach`]: ControlHandle::detach
+    pub fn tenant_stats(&self, token: TenantToken) -> Result<TenantStats, PegasusError> {
+        let stats = self.stats()?;
+        stats
+            .tenants
+            .into_iter()
+            .find(|t| t.token == token)
+            .ok_or(PegasusError::UnknownTenant { tenant: token.0 })
     }
 }
 
@@ -1349,6 +1412,10 @@ mod tests {
         let bogus = TenantToken(99);
         assert_eq!(
             control.detach(bogus).map(|_| ()),
+            Err(PegasusError::UnknownTenant { tenant: 99 })
+        );
+        assert_eq!(
+            control.tenant_stats(bogus).map(|_| ()),
             Err(PegasusError::UnknownTenant { tenant: 99 })
         );
         server.shutdown().expect("shuts down");

@@ -291,6 +291,47 @@ impl StreamReport {
     }
 }
 
+// --- serde (control-daemon wire format) --------------------------------
+//
+// The histogram's buckets are private, so its impl lives here with the
+// rest of the stats family; everything round-trips bit-exactly so the
+// daemon's `stats` verb reports the same numbers an in-process
+// `ControlHandle::stats` call would.
+
+serde::impl_serde_struct!(ParseErrorCounters { truncated, checksum, malformed, unsupported });
+serde::impl_serde_struct!(LatencyHistogram { buckets, count, sum_nanos, max_nanos });
+serde::impl_serde_struct!(FlowTableCounters {
+    occupancy,
+    capacity,
+    evictions_idle,
+    evictions_capacity,
+    alias_collisions,
+    state_bytes,
+});
+serde::impl_serde_struct!(ShardStats {
+    shard,
+    packets,
+    classified,
+    warmup,
+    flows,
+    busy_nanos,
+    latency,
+    table,
+    parse,
+});
+serde::impl_serde_struct!(StreamReport {
+    shards,
+    packets,
+    classified,
+    warmup,
+    flows,
+    elapsed_nanos,
+    latency,
+    table,
+    parse,
+    predictions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

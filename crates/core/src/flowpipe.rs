@@ -702,6 +702,22 @@ impl FlowClassifier {
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+
+serde::impl_serde_struct!(FlowPipeline {
+    program,
+    len_field,
+    ts_field,
+    hash_field,
+    extractor_fields,
+    predicted_field,
+    score_fields,
+    score_format,
+    valid_field,
+    stateful_bits_per_flow,
+    report,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

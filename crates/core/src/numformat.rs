@@ -64,6 +64,10 @@ impl NumFormat {
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+
+serde::impl_serde_struct!(NumFormat { step, bias, bits });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,73 @@
+//! The Pegasus control daemon.
+//!
+//! ```text
+//! pegasusd --state-dir <dir> --socket <path> [--shards N] [--batch N]
+//! ```
+//!
+//! Owns the serving engine for its whole lifetime; operated with
+//! `pegasusctl` over the Unix socket. On start it replays the state
+//! directory's tenant registry and prints a recovery banner; tenants
+//! whose artifacts no longer pass verification come back degraded, not
+//! dropped.
+
+use pegasus_ctl::daemon::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pegasusd --state-dir <dir> --socket <path> [--shards N] [--batch N]";
+
+fn parse_args() -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--state-dir" => config.state_dir = PathBuf::from(value("--state-dir")?),
+            "--socket" => config.socket = PathBuf::from(value("--socket")?),
+            "--shards" => {
+                config.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--batch" => {
+                config.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("pegasusd: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let (daemon, recovery) = match Daemon::start(&config) {
+        Ok(started) => started,
+        Err(e) => {
+            eprintln!("pegasusd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &recovery.serving {
+        println!("pegasusd: recovered tenant '{name}' (serving)");
+    }
+    for (name, reason) in &recovery.degraded {
+        println!("pegasusd: recovered tenant '{name}' DEGRADED: {reason}");
+    }
+    println!(
+        "pegasusd: state dir {} | listening on {}",
+        config.state_dir.display(),
+        config.socket.display()
+    );
+    match daemon.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pegasusd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Client-side compile helpers.
+//!
+//! `pegasusctl load --net mlp-b` trains and compiles **in the CLI
+//! process**, then ships the resulting artifact file over the socket
+//! exactly like `load --file`. The daemon never trains: it only
+//! verifies and deploys artifacts, which keeps the serving loop's
+//! failure modes small and lets artifacts be built offline and copied
+//! between hosts.
+
+use crate::artifact::{ArtifactFile, ArtifactPayload};
+use pegasus_core::compile::CompileOptions;
+use pegasus_core::models::mlp_b::MlpB;
+use pegasus_core::{ModelData, Pegasus, PegasusError, StreamFeatures, TrainSettings};
+use pegasus_datasets::{extract_views, generate_trace, peerrush, GenConfig};
+use pegasus_switch::SwitchConfig;
+
+/// Trains MLP-B on the synthetic PeerRush workload and compiles it into
+/// an artifact file for [`SwitchConfig::tofino2`]. Deterministic in
+/// `seed`: the same seed always produces a bit-identical pipeline, so a
+/// daemon restart can be checked against a freshly built reference.
+pub fn compile_mlp_b(seed: u64) -> Result<ArtifactFile, PegasusError> {
+    let trace = generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed });
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let compiled = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())?
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)?;
+    let pipeline = match compiled.artifact() {
+        pegasus_core::Artifact::Single(p) => (**p).clone(),
+        pegasus_core::Artifact::Flow(_) => {
+            unreachable!("MLP-B compiles to a stateless pipeline")
+        }
+    };
+    Ok(ArtifactFile {
+        switch: SwitchConfig::tofino2(),
+        payload: ArtifactPayload::Stateless { features: StreamFeatures::Stat, pipeline },
+    })
+}

@@ -1,0 +1,79 @@
+//! A typed client for the daemon socket, used by `pegasusctl` and the
+//! end-to-end tests.
+
+use crate::protocol::{read_frame, write_frame, ErrorReply, FrameError, Request, Response};
+use std::fmt;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Why a call failed before a typed [`Response`] arrived. Daemon-side
+/// verb failures are **not** client errors — they come back as
+/// `Response::Error(ErrorReply)`; see [`expect_ok`].
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect to the socket.
+    Connect {
+        /// Socket path.
+        path: String,
+        /// Connect failure.
+        error: std::io::Error,
+    },
+    /// The request could not be written.
+    Send(std::io::Error),
+    /// The reply frame was unreadable.
+    Frame(FrameError),
+    /// The daemon closed the connection without replying.
+    NoReply,
+    /// The reply body did not decode as a [`Response`].
+    Decode(serde::DecodeError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect { path, error } => write!(f, "cannot connect to {path}: {error}"),
+            ClientError::Send(e) => write!(f, "cannot send request: {e}"),
+            ClientError::Frame(e) => write!(f, "unreadable reply: {e}"),
+            ClientError::NoReply => write!(f, "daemon closed the connection without replying"),
+            ClientError::Decode(e) => write!(f, "undecodable reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a running `pegasusd`. Requests may be issued
+/// back-to-back on the same connection.
+pub struct CtlClient {
+    stream: UnixStream,
+}
+
+impl CtlClient {
+    /// Connects to the daemon socket.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Self, ClientError> {
+        let path = socket.as_ref();
+        let stream = UnixStream::connect(path)
+            .map_err(|error| ClientError::Connect { path: path.display().to_string(), error })?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+        Ok(CtlClient { stream })
+    }
+
+    /// Sends one request and reads its reply.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &serde::to_bytes(request)).map_err(ClientError::Send)?;
+        let body = read_frame(&mut self.stream)
+            .map_err(ClientError::Frame)?
+            .ok_or(ClientError::NoReply)?;
+        serde::from_bytes(&body).map_err(ClientError::Decode)
+    }
+}
+
+/// Unwraps `Response::Error` into the typed [`ErrorReply`], passing
+/// every other response through.
+pub fn expect_ok(response: Response) -> Result<Response, ErrorReply> {
+    match response {
+        Response::Error(e) => Err(e),
+        other => Ok(other),
+    }
+}

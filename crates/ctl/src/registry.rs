@@ -1,0 +1,360 @@
+//! The daemon's persistent state directory.
+//!
+//! Layout:
+//!
+//! ```text
+//! <state-dir>/
+//!   registry.bin            # magic + version + serde RegistryFile
+//!   artifacts/
+//!     <name>-v<version>.pa  # artifact files (see `artifact`)
+//! ```
+//!
+//! `registry.bin` is the single source of truth for what should be
+//! serving: every `load`, `attach`, `swap`, and `detach` rewrites it
+//! **atomically** (write to a temp file in the same directory, then
+//! rename over the old one) before the verb is acknowledged, so a crash
+//! at any instant leaves either the old registry or the new one — never
+//! a torn file. Artifact files themselves are immutable once written;
+//! re-loading a name writes a new version rather than overwriting.
+
+use crate::artifact::ArtifactFile;
+use pegasus_net::RoutePredicate;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// First four bytes of `registry.bin`.
+pub const REGISTRY_MAGIC: [u8; 4] = *b"PGRG";
+
+/// Registry format version.
+pub const REGISTRY_FORMAT_VERSION: u32 = 1;
+
+/// A registry load/store failure.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem failure, with the path involved.
+    Io {
+        /// What was being touched.
+        path: PathBuf,
+        /// The underlying error.
+        error: io::Error,
+    },
+    /// `registry.bin` is too short for its header.
+    Truncated {
+        /// Bytes present.
+        len: usize,
+    },
+    /// `registry.bin` does not start with [`REGISTRY_MAGIC`].
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 4],
+    },
+    /// The registry header version is unsupported.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The registry body failed serde decoding.
+    Decode(serde::DecodeError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            RegistryError::Truncated { len } => {
+                write!(f, "registry file too short for a header ({len} bytes)")
+            }
+            RegistryError::BadMagic { found } => {
+                write!(f, "registry has bad magic {found:?} (expected {REGISTRY_MAGIC:?})")
+            }
+            RegistryError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "registry format version {found} unsupported (this build reads {supported})"
+                )
+            }
+            RegistryError::Decode(e) => write!(f, "registry body undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One loaded artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArtifactRecord {
+    /// Registry name (the `load` name).
+    pub name: String,
+    /// Version, starting at 1 and bumped on each re-load of the name.
+    pub version: u32,
+    /// File name under `artifacts/` (not a full path — the state dir may
+    /// move between boots).
+    pub file: String,
+    /// Compiled program name, for display.
+    pub net: String,
+    /// `"stateless"` or `"flow"`.
+    pub kind: String,
+    /// Artifact-file size in bytes.
+    pub bytes: u64,
+}
+
+serde::impl_serde_struct!(ArtifactRecord { name, version, file, net, kind, bytes });
+
+/// One attached tenant — everything needed to re-create its
+/// [`TenantConfig`](pegasus_core::TenantConfig) on recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantRecord {
+    /// Tenant name.
+    pub name: String,
+    /// Artifact it serves (registry name; resolved to the current
+    /// version at attach/recovery time).
+    pub artifact: String,
+    /// Routing predicate.
+    pub route: RoutePredicate,
+    /// Whether per-flow predictions are recorded.
+    pub record_predictions: bool,
+    /// Host flow-table capacity override.
+    pub flow_capacity: Option<usize>,
+    /// Idle-timeout override.
+    pub idle_timeout_packets: Option<u64>,
+}
+
+serde::impl_serde_struct!(TenantRecord {
+    name,
+    artifact,
+    route,
+    record_predictions,
+    flow_capacity,
+    idle_timeout_packets,
+});
+
+/// The serialized registry body.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistryFile {
+    /// Loaded artifacts, load order.
+    pub artifacts: Vec<ArtifactRecord>,
+    /// Attached tenants, attach order (recovery replays in this order).
+    pub tenants: Vec<TenantRecord>,
+}
+
+serde::impl_serde_struct!(RegistryFile { artifacts, tenants });
+
+/// The state directory, opened.
+#[derive(Debug)]
+pub struct Registry {
+    dir: PathBuf,
+    state: RegistryFile,
+}
+
+fn io_err(path: &Path, error: io::Error) -> RegistryError {
+    RegistryError::Io { path: path.to_path_buf(), error }
+}
+
+impl Registry {
+    /// Opens (or initializes) a state directory. A missing directory or
+    /// missing `registry.bin` means a fresh, empty registry; a present
+    /// but malformed `registry.bin` is a typed error — the daemon
+    /// refuses to serve over state it cannot read.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, RegistryError> {
+        let dir = dir.into();
+        let artifacts = dir.join("artifacts");
+        fs::create_dir_all(&artifacts).map_err(|e| io_err(&artifacts, e))?;
+        let path = dir.join("registry.bin");
+        let state = match fs::read(&path) {
+            Ok(bytes) => Self::decode(&bytes)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => RegistryFile::default(),
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        Ok(Registry { dir, state })
+    }
+
+    fn decode(bytes: &[u8]) -> Result<RegistryFile, RegistryError> {
+        if bytes.len() < 8 {
+            return Err(RegistryError::Truncated { len: bytes.len() });
+        }
+        let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
+        if magic != REGISTRY_MAGIC {
+            return Err(RegistryError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != REGISTRY_FORMAT_VERSION {
+            return Err(RegistryError::UnsupportedVersion {
+                found: version,
+                supported: REGISTRY_FORMAT_VERSION,
+            });
+        }
+        serde::from_bytes(&bytes[8..]).map_err(RegistryError::Decode)
+    }
+
+    /// The state directory root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current registry contents.
+    pub fn state(&self) -> &RegistryFile {
+        &self.state
+    }
+
+    /// Full path of an artifact record's file.
+    pub fn artifact_path(&self, record: &ArtifactRecord) -> PathBuf {
+        self.dir.join("artifacts").join(&record.file)
+    }
+
+    /// Looks up an artifact record by registry name.
+    pub fn find_artifact(&self, name: &str) -> Option<&ArtifactRecord> {
+        self.state.artifacts.iter().find(|a| a.name == name)
+    }
+
+    /// Persists the registry atomically: temp file + rename.
+    fn save(&self) -> Result<(), RegistryError> {
+        let body = serde::to_bytes(&self.state);
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&REGISTRY_MAGIC);
+        out.extend_from_slice(&REGISTRY_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&body);
+        let tmp = self.dir.join("registry.bin.tmp");
+        fs::write(&tmp, &out).map_err(|e| io_err(&tmp, e))?;
+        let path = self.dir.join("registry.bin");
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))
+    }
+
+    /// Stores an artifact file under `name`, bumping the version if the
+    /// name already exists, and persists the registry. The raw bytes are
+    /// written as-is (header included) so recovery re-runs the exact
+    /// format checks a fresh `load` would.
+    pub fn store_artifact(
+        &mut self,
+        name: &str,
+        bytes: &[u8],
+        parsed: &ArtifactFile,
+    ) -> Result<ArtifactRecord, RegistryError> {
+        let version = self.find_artifact(name).map_or(1, |a| a.version + 1);
+        let file = format!("{name}-v{version}.pa");
+        let path = self.dir.join("artifacts").join(&file);
+        fs::write(&path, bytes).map_err(|e| io_err(&path, e))?;
+        let record = ArtifactRecord {
+            name: name.to_string(),
+            version,
+            file,
+            net: parsed.program_name().to_string(),
+            kind: parsed.kind().to_string(),
+            bytes: bytes.len() as u64,
+        };
+        match self.state.artifacts.iter_mut().find(|a| a.name == name) {
+            Some(slot) => *slot = record.clone(),
+            None => self.state.artifacts.push(record.clone()),
+        }
+        self.save()?;
+        Ok(record)
+    }
+
+    /// Records a tenant attach and persists.
+    pub fn record_attach(&mut self, record: TenantRecord) -> Result<(), RegistryError> {
+        self.state.tenants.retain(|t| t.name != record.name);
+        self.state.tenants.push(record);
+        self.save()
+    }
+
+    /// Repoints a tenant at another artifact (swap) and persists.
+    pub fn record_swap(&mut self, tenant: &str, artifact: &str) -> Result<(), RegistryError> {
+        if let Some(t) = self.state.tenants.iter_mut().find(|t| t.name == tenant) {
+            t.artifact = artifact.to_string();
+        }
+        self.save()
+    }
+
+    /// Removes a tenant (detach) and persists.
+    pub fn record_detach(&mut self, tenant: &str) -> Result<(), RegistryError> {
+        self.state.tenants.retain(|t| t.name != tenant);
+        self.save()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pegasus-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_directory_starts_empty_and_round_trips() {
+        let dir = tmpdir("fresh");
+        let mut reg = Registry::open(&dir).expect("open fresh");
+        assert!(reg.state().artifacts.is_empty());
+        assert!(reg.state().tenants.is_empty());
+
+        reg.record_attach(TenantRecord {
+            name: "t0".into(),
+            artifact: "mlp".into(),
+            route: RoutePredicate::DstPort(443),
+            record_predictions: true,
+            flow_capacity: Some(1024),
+            idle_timeout_packets: None,
+        })
+        .expect("attach persists");
+
+        let reopened = Registry::open(&dir).expect("reopen");
+        assert_eq!(reopened.state().tenants.len(), 1);
+        assert_eq!(reopened.state().tenants[0].name, "t0");
+        assert_eq!(reopened.state().tenants[0].route, RoutePredicate::DstPort(443));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_registry_is_a_typed_error() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("registry.bin"), b"not a registry at all").expect("write junk");
+        match Registry::open(&dir) {
+            Err(RegistryError::BadMagic { .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        fs::write(dir.join("registry.bin"), b"PG").expect("write short");
+        match Registry::open(&dir) {
+            Err(RegistryError::Truncated { len: 2 }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        let mut versioned = Vec::new();
+        versioned.extend_from_slice(&REGISTRY_MAGIC);
+        versioned.extend_from_slice(&99u32.to_le_bytes());
+        fs::write(dir.join("registry.bin"), &versioned).expect("write future version");
+        match Registry::open(&dir) {
+            Err(RegistryError::UnsupportedVersion { found: 99, .. }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detach_then_reattach_keeps_latest_config() {
+        let dir = tmpdir("reattach");
+        let mut reg = Registry::open(&dir).expect("open");
+        let mk = |cap: Option<usize>| TenantRecord {
+            name: "t".into(),
+            artifact: "a".into(),
+            route: RoutePredicate::Any,
+            record_predictions: false,
+            flow_capacity: cap,
+            idle_timeout_packets: None,
+        };
+        reg.record_attach(mk(Some(64))).expect("attach");
+        reg.record_attach(mk(Some(128))).expect("re-attach replaces");
+        assert_eq!(reg.state().tenants.len(), 1);
+        assert_eq!(reg.state().tenants[0].flow_capacity, Some(128));
+        reg.record_detach("t").expect("detach");
+        assert!(reg.state().tenants.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -712,6 +712,11 @@ impl SharedFlowTracker {
     }
 }
 
+// --- serde (control-daemon wire format) --------------------------------
+
+serde::impl_serde_struct!(FiveTuple { src_ip, dst_ip, src_port, dst_port, protocol });
+serde::impl_serde_struct!(FlowTableConfig { capacity, idle_timeout_packets, alias });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,78 @@ impl RoutePredicate {
     }
 }
 
+// --- serde (control-daemon wire format) --------------------------------
+//
+// Recursive enum: one tag byte per node, children as length-prefixed
+// vectors. Depth is naturally bounded by the frame-size cap the daemon
+// enforces before decoding.
+
+impl serde::Serialize for RoutePredicate {
+    fn serialize(&self, w: &mut serde::Writer) {
+        match self {
+            RoutePredicate::Any => w.write_u8(0),
+            RoutePredicate::DstPort(p) => {
+                w.write_u8(1);
+                p.serialize(w);
+            }
+            RoutePredicate::DstPortRange { lo, hi } => {
+                w.write_u8(2);
+                lo.serialize(w);
+                hi.serialize(w);
+            }
+            RoutePredicate::SrcPort(p) => {
+                w.write_u8(3);
+                p.serialize(w);
+            }
+            RoutePredicate::DstSubnet { addr, prefix } => {
+                w.write_u8(4);
+                addr.serialize(w);
+                prefix.serialize(w);
+            }
+            RoutePredicate::SrcSubnet { addr, prefix } => {
+                w.write_u8(5);
+                addr.serialize(w);
+                prefix.serialize(w);
+            }
+            RoutePredicate::Protocol(p) => {
+                w.write_u8(6);
+                p.serialize(w);
+            }
+            RoutePredicate::AllOf(children) => {
+                w.write_u8(7);
+                children.serialize(w);
+            }
+            RoutePredicate::AnyOf(children) => {
+                w.write_u8(8);
+                children.serialize(w);
+            }
+            RoutePredicate::Not(inner) => {
+                w.write_u8(9);
+                inner.serialize(w);
+            }
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for RoutePredicate {
+    fn deserialize(r: &mut serde::Reader<'de>) -> Result<Self, serde::DecodeError> {
+        use serde::Deserialize as D;
+        Ok(match r.read_u8("RoutePredicate")? {
+            0 => RoutePredicate::Any,
+            1 => RoutePredicate::DstPort(D::deserialize(r)?),
+            2 => RoutePredicate::DstPortRange { lo: D::deserialize(r)?, hi: D::deserialize(r)? },
+            3 => RoutePredicate::SrcPort(D::deserialize(r)?),
+            4 => RoutePredicate::DstSubnet { addr: D::deserialize(r)?, prefix: D::deserialize(r)? },
+            5 => RoutePredicate::SrcSubnet { addr: D::deserialize(r)?, prefix: D::deserialize(r)? },
+            6 => RoutePredicate::Protocol(D::deserialize(r)?),
+            7 => RoutePredicate::AllOf(D::deserialize(r)?),
+            8 => RoutePredicate::AnyOf(D::deserialize(r)?),
+            9 => RoutePredicate::Not(D::deserialize(r)?),
+            tag => return Err(serde::DecodeError::BadTag { what: "RoutePredicate", tag }),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,21 @@ impl SwitchConfig {
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+
+serde::impl_serde_struct!(SwitchConfig {
+    name,
+    stages,
+    sram_bits_per_stage,
+    tcam_bits_per_stage,
+    action_bus_bits_per_stage,
+    phv_bits,
+    register_bits_total,
+    register_widths,
+    line_rate_bps,
+    pipeline_latency_ns,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -150,6 +150,26 @@ pub fn truncate(value: i64, bits: u8, signed: bool) -> i64 {
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+//
+// The derives above are the no-op compat stubs; the real impls are spelled
+// out here (the layout's field list is private to this module).
+
+impl serde::Serialize for FieldId {
+    fn serialize(&self, w: &mut serde::Writer) {
+        self.0.serialize(w);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FieldId {
+    fn deserialize(r: &mut serde::Reader<'de>) -> Result<Self, serde::DecodeError> {
+        Ok(FieldId(serde::Deserialize::deserialize(r)?))
+    }
+}
+
+serde::impl_serde_struct!(FieldDef { name, bits, signed });
+serde::impl_serde_struct!(PhvLayout { fields });
+
 #[cfg(test)]
 mod tests {
     use super::*;

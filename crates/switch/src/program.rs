@@ -690,6 +690,89 @@ impl LoadedProgram {
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+
+serde::impl_serde_struct!(SwitchProgram {
+    name,
+    layout,
+    registers,
+    tables,
+    extra_stages,
+    stateful_bits_per_flow,
+    keep_alive,
+});
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use crate::action::{Action, AluOp, Operand, RegId};
+    use crate::mat::{KeyPart, MatchKind, Table, TableEntry};
+    use crate::ternary::TernaryKey;
+
+    /// A small but representative program: every operand kind, a register
+    /// RMW, exact + ternary + range keys, a default action.
+    fn sample_program() -> SwitchProgram {
+        let mut layout = PhvLayout::new();
+        let len = layout.add_field("pkt_len", 16);
+        let acc = layout.add_signed_field("acc", 32);
+        let mut prog = SwitchProgram::new("sample", layout);
+        prog.registers.push(RegisterArray::new("win", 16, 8));
+        prog.extra_stages = 1;
+        prog.stateful_bits_per_flow = 44;
+        prog.keep_alive.push(acc);
+
+        let mut t = Table::new("t0", vec![(len, MatchKind::Exact), (acc, MatchKind::Ternary)]);
+        let mut a = Action::new("score");
+        a.ops.push(AluOp::Add { dst: acc, a: Operand::Field(len), b: Operand::Param(0) });
+        a.ops.push(AluOp::RegShiftInsert {
+            dst: acc,
+            reg: RegId(0),
+            index: Operand::Const(3),
+            a: Operand::Field(len),
+            shift: 4,
+            mask: 0xffff,
+        });
+        let idx = t.add_action(a);
+        t.param_widths.push(16);
+        t.default_action = Some((idx, vec![7]));
+        t.add_entry(TableEntry {
+            keys: vec![KeyPart::Exact(9), KeyPart::Ternary(TernaryKey::exact(1, 8))],
+            priority: 2,
+            action_idx: idx,
+            action_data: vec![-5],
+        });
+        prog.tables.push(t);
+        prog
+    }
+
+    #[test]
+    fn switch_program_round_trips() {
+        let prog = sample_program();
+        let bytes = serde::to_bytes(&prog);
+        let back: SwitchProgram = serde::from_bytes(&bytes).expect("program decodes");
+        assert_eq!(back.name, prog.name);
+        assert_eq!(back.layout, prog.layout);
+        assert_eq!(back.tables.len(), 1);
+        assert_eq!(back.tables[0].entries, prog.tables[0].entries);
+        assert_eq!(back.tables[0].actions, prog.tables[0].actions);
+        assert_eq!(back.registers[0].total_bits(), prog.registers[0].total_bits());
+        assert_eq!(back.extra_stages, 1);
+        assert_eq!(back.stateful_bits_per_flow, 44);
+        assert_eq!(back.keep_alive, prog.keep_alive);
+    }
+
+    #[test]
+    fn truncated_program_is_a_typed_error() {
+        let bytes = serde::to_bytes(&sample_program());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                serde::from_bytes::<SwitchProgram>(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

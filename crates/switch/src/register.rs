@@ -104,6 +104,37 @@ impl RegFile {
     }
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+//
+// `values` is private, so the impl lives here; the decoder re-validates
+// the size/values invariant the constructor enforces.
+
+impl serde::Serialize for RegisterArray {
+    fn serialize(&self, w: &mut serde::Writer) {
+        self.name.serialize(w);
+        self.width_bits.serialize(w);
+        self.size.serialize(w);
+        self.values.serialize(w);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for RegisterArray {
+    fn deserialize(r: &mut serde::Reader<'de>) -> Result<Self, serde::DecodeError> {
+        let name: String = serde::Deserialize::deserialize(r)?;
+        let width_bits: u8 = serde::Deserialize::deserialize(r)?;
+        let size: usize = serde::Deserialize::deserialize(r)?;
+        let values: Vec<i64> = serde::Deserialize::deserialize(r)?;
+        if size == 0 || values.len() != size {
+            return Err(serde::DecodeError::BadLength {
+                what: "register values",
+                len: values.len(),
+                remaining: r.remaining(),
+            });
+        }
+        Ok(RegisterArray { name, width_bits, size, values })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,10 @@ pub fn count_matching(keys: &[TernaryKey], bits: u8) -> u64 {
     (0..=mask_of(bits)).filter(|&x| keys.iter().any(|k| k.matches(x))).count() as u64
 }
 
+// --- serde (control-daemon artifact format) ----------------------------
+
+serde::impl_serde_struct!(TernaryKey { value, mask });
+
 #[cfg(test)]
 mod tests {
     use super::*;

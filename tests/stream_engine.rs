@@ -460,3 +460,53 @@ fn stream_reports_shard_partition_consistency() {
     assert!(report.latency.count() == report.packets);
     assert!(report.pps() > 0.0);
 }
+
+/// Satellite regression for the control daemon's error mapping: every
+/// control verb — `swap`, `detach`, `tenant_stats` — answers an unknown
+/// tenant token with the same typed `PegasusError::UnknownTenant`, so the
+/// daemon maps one error onto one wire reply instead of ad hoc cases.
+/// Tokens are never reused, so a detached tenant's token is the realistic
+/// "unknown tenant" an external operator can produce.
+#[test]
+fn control_ops_on_stale_tokens_return_unknown_tenant() {
+    use pegasus::core::PegasusError;
+
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let deployment = Pegasus::<MlpB>::train(&data, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+
+    let server = EngineBuilder::new().shards(2).build().expect("builds");
+    let control = server.control();
+    let tenant = control
+        .attach(deployment.engine_artifact().expect("artifact"), TenantConfig::new().name("t"))
+        .expect("attaches");
+
+    // Live token: the per-tenant snapshot addresses exactly this tenant.
+    let live = control.tenant_stats(tenant).expect("live tenant has stats");
+    assert_eq!(live.token, tenant);
+    assert_eq!(live.name, "t");
+
+    control.detach(tenant).expect("detaches");
+    let id = tenant.id();
+
+    // Stale token: all three verbs agree on the typed error, and swap
+    // reports it even though the artifact itself would verify clean.
+    assert_eq!(
+        control.swap(tenant, deployment.engine_artifact().expect("artifact")).map(|_| ()),
+        Err(PegasusError::UnknownTenant { tenant: id })
+    );
+    assert_eq!(control.detach(tenant).map(|_| ()), Err(PegasusError::UnknownTenant { tenant: id }));
+    assert_eq!(
+        control.tenant_stats(tenant).map(|_| ()),
+        Err(PegasusError::UnknownTenant { tenant: id })
+    );
+
+    server.shutdown().expect("shuts down");
+}
