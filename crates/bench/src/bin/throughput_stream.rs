@@ -26,8 +26,9 @@ use pegasus_datasets::{
 };
 use pegasus_net::wire::parse_frame;
 use pegasus_net::{
-    FiveTuple, FlowState, FlowTableConfig, FlowTracker, FrameSource, PacketObs, PacketSource,
-    PcapSource, SeqFeatures, StatFeatures, TracePacket, DEFAULT_SNAPLEN, WINDOW,
+    CompiledRouter, FiveTuple, FlowState, FlowTableConfig, FlowTracker, FrameSource, PacketObs,
+    PacketSource, PcapSource, RoutePredicate, SeqFeatures, StatFeatures, TracePacket,
+    DEFAULT_SNAPLEN, WINDOW,
 };
 use pegasus_switch::SwitchConfig;
 use std::fmt::Write as _;
@@ -48,6 +49,17 @@ const CHURN_CAPACITY: usize = 1024;
 const CHURN_IDLE_TIMEOUT: u64 = 20_000;
 /// State-byte curves are sampled at this many evenly spaced points.
 const CHURN_SAMPLES: usize = 8;
+
+/// Tenant counts of the compiled-routing dispatch sweep. The smoke run
+/// (`--routing-only`) skips the intermediate point but keeps the 10k
+/// endpoint — the compiled sweep costs milliseconds at any tenant count
+/// (only the naive reference is O(rules), and its packet budget shrinks
+/// with the rule count), so CI guards the flatness claim at fleet scale.
+const ROUTING_SWEEP: [usize; 4] = [2, 1_000, 4_000, 10_000];
+const ROUTING_SWEEP_SMOKE: [usize; 3] = [2, 1_000, 10_000];
+/// Tenants attached to the live engine in the fleet half of the routing
+/// bench (duplicate artifacts: the dedup measurement).
+const ROUTING_FLEET_TENANTS: usize = 1_000;
 
 struct ModelRow {
     model: &'static str,
@@ -147,7 +159,7 @@ fn main() {
         .deploy(&SwitchConfig::tofino2())
         .expect("deploys");
 
-    let smoke = cfg.churn_only || cfg.raw_only || cfg.raw_batch_only;
+    let smoke = cfg.churn_only || cfg.raw_only || cfg.raw_batch_only || cfg.routing_only;
     let mut rows: Vec<ModelRow> = Vec::new();
     if !smoke {
         rows.push(bench_model(&mlp, "MLP-B", "stat", &spec, &source_cfg));
@@ -163,16 +175,23 @@ fn main() {
         rows.push(bench_model(&deployment, "RNN-B", "seq", &spec, &source_cfg));
     }
 
-    let raw = if !cfg.churn_only {
+    let raw = if !cfg.churn_only && !cfg.routing_only {
         println!("== raw path (bytes -> verdict, single thread) ==");
         Some(raw_bench(&mlp, &spec, &source_cfg))
     } else {
         None
     };
 
-    let churn = if !cfg.raw_only && !cfg.raw_batch_only {
+    let churn = if !cfg.raw_only && !cfg.raw_batch_only && !cfg.routing_only {
         println!("== heavy flow churn (bounded vs unbounded flow state) ==");
         Some(churn_bench(&mlp, &spec, &source_cfg))
+    } else {
+        None
+    };
+
+    let routing = if !cfg.churn_only && !cfg.raw_only && !cfg.raw_batch_only {
+        println!("== compiled tenant routing (O(1) dispatch, Arc-deduplicated artifacts) ==");
+        Some(routing_bench(&mlp, cfg.routing_only || cfg.quick))
     } else {
         None
     };
@@ -230,9 +249,33 @@ fn main() {
         );
     }
 
+    if let Some(routing) = &routing {
+        let first = routing.sweep.first().expect("sweep has points");
+        let last = routing.sweep.last().expect("sweep has points");
+        let _ = writeln!(
+            txt,
+            "routing: {} -> {} tenants, {:.1} -> {:.1} ns/pkt compiled ({:.2}x), naive scan \
+             {:.1} -> {:.1} ns/pkt | fleet {}: {} routed, {} unrouted, {} unique artifact(s), \
+             {} resident B vs {} copied B",
+            first.tenants,
+            last.tenants,
+            first.ns_per_packet,
+            last.ns_per_packet,
+            last.ns_per_packet / first.ns_per_packet.max(1e-9),
+            first.naive_ns_per_packet,
+            last.naive_ns_per_packet,
+            routing.fleet.tenants,
+            routing.fleet.routed,
+            routing.fleet.unrouted,
+            routing.fleet.unique_artifacts,
+            routing.fleet.resident_bytes,
+            routing.fleet.naive_bytes,
+        );
+    }
+
     if smoke {
         println!(
-            "smoke mode (--churn-only / --raw-only / --raw-batch-only): \
+            "smoke mode (--churn-only / --raw-only / --raw-batch-only / --routing-only): \
              skipping BENCH_throughput.json rewrite"
         );
     } else {
@@ -240,6 +283,7 @@ fn main() {
             &rows,
             churn.as_ref().expect("full run has churn"),
             raw.as_ref().expect("full run has raw path"),
+            routing.as_ref().expect("full run has routing"),
             workload_packets,
             cores,
         );
@@ -596,6 +640,284 @@ fn churn_bench(
     result
 }
 
+/// One tenant count of the pure dispatch sweep.
+struct RoutingPoint {
+    tenants: usize,
+    /// Wall-clock of `CompiledRouter::build` over the rule set.
+    build_micros: f64,
+    /// Heap resident size of the compiled router.
+    router_heap_bytes: u64,
+    /// Rules that fell back to the residual scan list.
+    residual_rules: usize,
+    /// Median per-packet cost of `CompiledRouter::route`.
+    ns_per_packet: f64,
+    /// Median per-packet cost of the naive first-match predicate scan
+    /// over the same rules (measured on a subset at large tenant counts).
+    naive_ns_per_packet: f64,
+}
+
+/// The live-engine fleet half: duplicate-artifact tenants on a real
+/// `EngineServer`, exercising attach-time compilation and dedup.
+struct FleetResult {
+    tenants: usize,
+    attach_total_micros: f64,
+    routed: u64,
+    unrouted: u64,
+    unique_artifacts: u64,
+    resident_bytes: u64,
+    naive_bytes: u64,
+}
+
+struct RoutingResult {
+    sweep: Vec<RoutingPoint>,
+    fleet: FleetResult,
+}
+
+/// Synthetic rule mix for `n` tenants: mostly exact dst-ports (the LUT),
+/// every 10th a /24 dst subnet (the trie), every 10th a protocol rule.
+/// Every rule compiles into an O(1) structure — the sweep isolates the
+/// LUT/trie/proto lattice the flatness claim is about. Residual rules are
+/// a bounded fallback for inexpressible predicates, not a scaling path;
+/// their cost model (early-exit scan, at most the residual-list length)
+/// is pinned by the differential suite in `tests/routing_compiled.rs`.
+fn routing_rules(n: usize) -> Vec<(u32, RoutePredicate)> {
+    (0..n)
+        .map(|i| match i % 10 {
+            1 => RoutePredicate::DstSubnet { addr: 0x0a00_0000 | ((i as u32) << 8), prefix: 24 },
+            9 => RoutePredicate::Protocol(1),
+            _ => RoutePredicate::DstPort((1024 + (i * 37) % 60_000) as u16),
+        })
+        .enumerate()
+        .map(|(i, p)| (i as u32, p))
+        .collect()
+}
+
+/// Deterministic five-tuple stream (xorshift64): dst ports spread over
+/// the LUT's assigned range, addresses outside the rule subnets — the
+/// same packets hit every sweep point, so cache behavior is comparable
+/// across tenant counts.
+fn routing_workload(count: usize) -> Vec<FiveTuple> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..count)
+        .map(|_| {
+            let a = step();
+            let b = step();
+            FiveTuple::new(
+                0xc0a8_0000 | (a as u32 & 0xffff),
+                0xc0a8_0000 | ((a >> 16) as u32 & 0xffff),
+                (b as u16) | 1,
+                1024 + ((b >> 16) % 60_000) as u16,
+                if b & 1 == 0 { 6 } else { 17 },
+            )
+        })
+        .collect()
+}
+
+fn routing_bench(deployment: &Deployment<MlpB>, small: bool) -> RoutingResult {
+    let packets = routing_workload(if small { 50_000 } else { 200_000 });
+    let counts: &[usize] = if small { &ROUTING_SWEEP_SMOKE } else { &ROUTING_SWEEP };
+
+    struct SweepCase {
+        tenants: usize,
+        rules: Vec<(u32, RoutePredicate)>,
+        router: CompiledRouter,
+        build_micros: f64,
+    }
+    let compiled: Vec<SweepCase> = counts
+        .iter()
+        .map(|&n| {
+            let rules = routing_rules(n);
+            let t0 = Instant::now();
+            let router = CompiledRouter::build(&rules);
+            let build_micros = t0.elapsed().as_secs_f64() * 1e6;
+            SweepCase { tenants: n, rules, router, build_micros }
+        })
+        .collect();
+
+    let timed = |router: &CompiledRouter, packets: &[FiveTuple]| -> f64 {
+        let mut acc = 0u64;
+        let start = Instant::now();
+        for ft in packets {
+            acc = acc.wrapping_add(u64::from(router.route(ft).payload.unwrap_or(u32::MAX)));
+        }
+        let nanos = start.elapsed().as_nanos() as f64;
+        std::hint::black_box(acc);
+        nanos / packets.len() as f64
+    };
+
+    // The routed loop is deterministic, so scheduler/interrupt noise is
+    // strictly additive: the minimum over repeated passes is the least
+    // contaminated estimate of the per-packet cost. Passes are
+    // *interleaved* round-robin across the sweep points — on a loaded
+    // shared host the noise comes in multi-millisecond phases, and timing
+    // each point in its own contiguous block would let one phase inflate a
+    // single point (and with it the flatness ratio) while leaving the
+    // others clean.
+    let mut mins = vec![f64::INFINITY; compiled.len()];
+    for case in &compiled {
+        timed(&case.router, &packets); // warm-up: page in the LUT and tries
+    }
+    for _ in 0..25 {
+        for (i, case) in compiled.iter().enumerate() {
+            mins[i] = mins[i].min(timed(&case.router, &packets));
+        }
+    }
+
+    let mut sweep = Vec::new();
+    for (i, case) in compiled.iter().enumerate() {
+        let SweepCase { tenants: n, rules, router, build_micros } = case;
+        let n = *n;
+        let ns_per_packet = mins[i];
+
+        // The naive first-match scan is O(rules); keep its packet count
+        // bounded so the 10k point doesn't dominate the bench wall-clock.
+        let naive_packets = &packets[..(packets.len() / n.max(1)).clamp(2_000, packets.len())];
+        let naive_timed = |packets: &[FiveTuple]| -> f64 {
+            let mut acc = 0u64;
+            let start = Instant::now();
+            for ft in packets {
+                let payload =
+                    rules.iter().find(|(_, p)| p.matches(ft)).map(|(t, _)| *t).unwrap_or(u32::MAX);
+                acc = acc.wrapping_add(u64::from(payload));
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(acc);
+            nanos / packets.len() as f64
+        };
+        let naive_ns_per_packet =
+            (0..3).map(|_| naive_timed(naive_packets)).fold(f64::INFINITY, f64::min);
+
+        println!(
+            "  {n} tenants: compiled {ns_per_packet:.1} ns/pkt (naive scan \
+             {naive_ns_per_packet:.1} ns/pkt), build {build_micros:.0} us, {} residual rules, \
+             router heap {} B",
+            router.residual_rules(),
+            router.heap_bytes(),
+        );
+        sweep.push(RoutingPoint {
+            tenants: n,
+            build_micros: *build_micros,
+            router_heap_bytes: router.heap_bytes(),
+            residual_rules: router.residual_rules(),
+            ns_per_packet,
+            naive_ns_per_packet,
+        });
+    }
+
+    // Sanity bound, deliberately generous for noisy shared hosts: the CI
+    // smoke run fails if dispatch cost grows with the tenant count in any
+    // way that could not be measurement noise. The committed
+    // BENCH_throughput.json records the exact ratio.
+    let first = sweep.first().expect("sweep has points");
+    let last = sweep.last().expect("sweep has points");
+    assert!(
+        last.ns_per_packet <= (first.ns_per_packet * 4.0).max(500.0),
+        "per-packet dispatch cost is not flat: {} tenants at {:.1} ns vs {} tenants at {:.1} ns",
+        last.tenants,
+        last.ns_per_packet,
+        first.tenants,
+        first.ns_per_packet,
+    );
+
+    let fleet = routing_fleet(deployment);
+    RoutingResult { sweep, fleet }
+}
+
+/// Attaches [`ROUTING_FLEET_TENANTS`] tenants serving the *same* artifact
+/// to a live engine (one exact dst-port each), pushes a workload with a
+/// known routed/unrouted split, and checks the compiled plane's counters
+/// and the dedup accounting end to end.
+fn routing_fleet(deployment: &Deployment<MlpB>) -> FleetResult {
+    let server = EngineBuilder::new().shards(1).batch(256).build().expect("engine builds");
+    let control = server.control();
+    let ingress = server.ingress();
+
+    let t0 = Instant::now();
+    for i in 0..ROUTING_FLEET_TENANTS {
+        control
+            .attach(
+                deployment.engine_artifact().expect("artifact"),
+                TenantConfig::new()
+                    .name(&format!("rt{i}"))
+                    .route(RoutePredicate::DstPort((1024 + i) as u16))
+                    .flow_capacity(8),
+            )
+            .expect("fleet tenant attaches");
+    }
+    let attach_total_micros = t0.elapsed().as_secs_f64() * 1e6;
+
+    // 10 routed packets per 1 unrouted: ports cycle over the tenant range,
+    // every 11th lands on a port no tenant claims.
+    let mut routed = 0u64;
+    let mut unrouted = 0u64;
+    for k in 0..11_000u64 {
+        let dst_port =
+            if k % 11 == 10 { 63_000 } else { (1024 + k % ROUTING_FLEET_TENANTS as u64) as u16 };
+        let pkt = TracePacket {
+            ts_micros: k * 50,
+            flow: FiveTuple::new(0xc0a8_0101, 0xc0a8_0202, 40_000, dst_port, 6),
+            wire_len: 120,
+            payload_head: Vec::new(),
+            tcp_flags: 0x18,
+            ttl: 64,
+        };
+        if ingress.push(pkt).expect("pushes") {
+            routed += 1;
+        } else {
+            unrouted += 1;
+        }
+    }
+    ingress.flush().expect("flushes");
+
+    let stats = control.stats().expect("stats");
+    assert_eq!(unrouted, 1_000, "every 11th packet misses the fleet");
+    assert_eq!(stats.unrouted, unrouted, "engine unrouted counter");
+    assert_eq!(stats.routing.lut_hits, routed, "exact-port fleet routes via the LUT");
+    assert_eq!(stats.routing.residual_hits, 0);
+    assert_eq!(stats.artifacts.tenants, ROUTING_FLEET_TENANTS as u64);
+    assert_eq!(
+        stats.artifacts.unique_artifacts, 1,
+        "identical artifact bytes must dedup to one resident copy"
+    );
+    assert!(
+        stats.artifacts.resident_bytes
+            < 2 * (stats.artifacts.naive_bytes / ROUTING_FLEET_TENANTS as u64).max(1),
+        "resident artifact bytes at {ROUTING_FLEET_TENANTS} duplicate tenants must stay under 2x \
+         one artifact: resident {} vs naive {}",
+        stats.artifacts.resident_bytes,
+        stats.artifacts.naive_bytes,
+    );
+    let result = FleetResult {
+        tenants: ROUTING_FLEET_TENANTS,
+        attach_total_micros,
+        routed,
+        unrouted,
+        unique_artifacts: stats.artifacts.unique_artifacts,
+        resident_bytes: stats.artifacts.resident_bytes,
+        naive_bytes: stats.artifacts.naive_bytes,
+    };
+    server.shutdown().expect("shuts down");
+    println!(
+        "  fleet: {} tenants attached in {:.0} ms ({:.0} us each) | {} routed / {} unrouted | \
+         {} unique artifact(s), {} B resident vs {} B if copied per tenant",
+        result.tenants,
+        result.attach_total_micros / 1e3,
+        result.attach_total_micros / result.tenants as f64,
+        result.routed,
+        result.unrouted,
+        result.unique_artifacts,
+        result.resident_bytes,
+        result.naive_bytes,
+    );
+    result
+}
+
 fn bench_model<M: DataplaneNet>(
     deployment: &Deployment<M>,
     model: &'static str,
@@ -796,6 +1118,7 @@ fn render_json(
     rows: &[ModelRow],
     churn: &ChurnResult,
     raw: &RawResult,
+    routing: &RoutingResult,
     packets: u64,
     cores: usize,
 ) -> String {
@@ -807,7 +1130,7 @@ fn render_json(
     let _ = writeln!(out, "  \"host_cores\": {cores},");
     let _ = writeln!(
         out,
-        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the control-plane call latency (flush + per-shard apply behind queued batches + all-shard ack); pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch. churn pushes 4x the streaming flow population of short-lived flows (single thread, flattened LUTs) through a fixed 1024-slot flow table with packet-count aging vs an effectively unbounded table: state_bytes_samples are taken at 8 evenly spaced points of the stream -- the bounded curve is flat at the capacity (overflow surfaces as evictions_idle/evictions_capacity) while the unbounded curve (the old HashMap tracker's per-entry estimate) grows linearly with live flows. raw_path measures the single-thread bytes-to-verdict pipeline over an in-memory pcap rendering of the streaming workload: parse_only_fps is the zero-copy wire parser alone; bytes_to_verdict_pps is the fused *batched* RawIngress pass at batch_size frames per batch (structure-of-arrays parse, hinted flow-slot resolution with a per-batch flow cache, feature extraction, one flattened-LUT batch sweep per batch, per-batch timing, no per-packet allocation); per_frame_pps is the pre-batching frame-at-a-time loop kept as the reference, and batch_sweep spans 1/8/32/64 frames per batch -- every sweep point is asserted bit-identical to the per-frame counters (verdict counts, flow table, parse buckets) before being reported. structured_single_pass_pps is the same inference loop over the identical packets pre-parsed into owned TracePackets (parse cost paid outside the timed region) -- raw_over_structured is therefore the whole-frontend overhead of serving straight from wire bytes, and wire_gbit_per_s restates bytes_to_verdict_pps as wire bandwidth at the workload's mean frame size.\",");
+        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the control-plane call latency (flush + per-shard apply behind queued batches + all-shard ack); pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch. churn pushes 4x the streaming flow population of short-lived flows (single thread, flattened LUTs) through a fixed 1024-slot flow table with packet-count aging vs an effectively unbounded table: state_bytes_samples are taken at 8 evenly spaced points of the stream -- the bounded curve is flat at the capacity (overflow surfaces as evictions_idle/evictions_capacity) while the unbounded curve (the old HashMap tracker's per-entry estimate) grows linearly with live flows. raw_path measures the single-thread bytes-to-verdict pipeline over an in-memory pcap rendering of the streaming workload: parse_only_fps is the zero-copy wire parser alone; bytes_to_verdict_pps is the fused *batched* RawIngress pass at batch_size frames per batch (structure-of-arrays parse, hinted flow-slot resolution with a per-batch flow cache, feature extraction, one flattened-LUT batch sweep per batch, per-batch timing, no per-packet allocation); per_frame_pps is the pre-batching frame-at-a-time loop kept as the reference, and batch_sweep spans 1/8/32/64 frames per batch -- every sweep point is asserted bit-identical to the per-frame counters (verdict counts, flow table, parse buckets) before being reported. structured_single_pass_pps is the same inference loop over the identical packets pre-parsed into owned TracePackets (parse cost paid outside the timed region) -- raw_over_structured is therefore the whole-frontend overhead of serving straight from wire bytes, and wire_gbit_per_s restates bytes_to_verdict_pps as wire bandwidth at the workload's mean frame size. routing measures the compiled tenant routing plane: sweep times CompiledRouter::route per packet over a synthetic rule mix (mostly exact dst-ports in the 65536-slot LUT, /24 subnets in the prefix tries, protocol rules -- every rule an O(1) structure; the residual fallback's bounded early-exit scan is pinned by tests, not this sweep) against the naive first-match predicate scan on the identical packets -- dispatch_flatness_max_over_min is the largest-over-smallest-sweep-point cost ratio, the O(1)-dispatch claim. fleet attaches 1000 tenants serving the same artifact to a live 1-shard EngineServer (one exact dst-port each), pushes a 10:1 routed:unrouted workload, and reports the content-hash dedup accounting: resident_artifact_bytes is what the fleet actually holds, naive_artifact_bytes what per-tenant copies would hold.\",");
     let _ = writeln!(out, "  \"raw_path\": {{");
     let _ = writeln!(out, "    \"frames\": {},", raw.frames);
     let _ = writeln!(out, "    \"pcap_bytes\": {},", raw.pcap_bytes);
@@ -864,6 +1187,45 @@ fn render_json(
         fmt_u64s(&churn.unbounded_bytes_samples)
     );
     let _ = writeln!(out, "    \"unbounded_final_flows\": {}", churn.unbounded_final_flows);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"routing\": {{");
+    let _ = writeln!(out, "    \"sweep\": [");
+    for (i, p) in routing.sweep.iter().enumerate() {
+        let _ = writeln!(out, "      {{");
+        let _ = writeln!(out, "        \"tenants\": {},", p.tenants);
+        let _ = writeln!(out, "        \"ns_per_packet\": {:.2},", p.ns_per_packet);
+        let _ = writeln!(out, "        \"naive_ns_per_packet\": {:.2},", p.naive_ns_per_packet);
+        let _ = writeln!(out, "        \"build_micros\": {:.1},", p.build_micros);
+        let _ = writeln!(out, "        \"router_heap_bytes\": {},", p.router_heap_bytes);
+        let _ = writeln!(out, "        \"residual_rules\": {}", p.residual_rules);
+        let _ = write!(out, "      }}");
+        let _ = writeln!(out, "{}", if i + 1 < routing.sweep.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "    ],");
+    let min_ns =
+        routing.sweep.iter().map(|p| p.ns_per_packet).fold(f64::INFINITY, f64::min).max(1e-9);
+    let max_ns = routing.sweep.iter().map(|p| p.ns_per_packet).fold(0.0, f64::max);
+    let _ = writeln!(out, "    \"dispatch_flatness_max_over_min\": {:.3},", max_ns / min_ns);
+    let _ = writeln!(out, "    \"fleet\": {{");
+    let _ = writeln!(out, "      \"tenants\": {},", routing.fleet.tenants);
+    let _ =
+        writeln!(out, "      \"attach_total_micros\": {:.1},", routing.fleet.attach_total_micros);
+    let _ = writeln!(
+        out,
+        "      \"attach_mean_micros\": {:.1},",
+        routing.fleet.attach_total_micros / routing.fleet.tenants.max(1) as f64
+    );
+    let _ = writeln!(out, "      \"routed\": {},", routing.fleet.routed);
+    let _ = writeln!(out, "      \"unrouted\": {},", routing.fleet.unrouted);
+    let _ = writeln!(out, "      \"unique_artifacts\": {},", routing.fleet.unique_artifacts);
+    let _ = writeln!(out, "      \"resident_artifact_bytes\": {},", routing.fleet.resident_bytes);
+    let _ = writeln!(out, "      \"naive_artifact_bytes\": {},", routing.fleet.naive_bytes);
+    let _ = writeln!(
+        out,
+        "      \"dedup_factor\": {:.1}",
+        routing.fleet.naive_bytes as f64 / routing.fleet.resident_bytes.max(1) as f64
+    );
+    let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"models\": [");
     for (mi, row) in rows.iter().enumerate() {

@@ -30,6 +30,10 @@ pub struct BenchConfig {
     /// same skipping rules as `churn_only`): exercises the fused
     /// batch sweep and asserts batched counters match the per-frame path.
     pub raw_batch_only: bool,
+    /// Run only the tenant-routing section (CI smoke mode; same skipping
+    /// rules as `churn_only`): attaches a 1k-tenant fleet, asserts the
+    /// routed/unrouted counters and a flat per-packet dispatch-cost bound.
+    pub routing_only: bool,
 }
 
 impl BenchConfig {
@@ -44,7 +48,7 @@ impl BenchConfig {
 }
 
 /// Parses the standard CLI flags (`--quick`, `--seed N`, `--flows N`,
-/// `--churn-only`, `--raw-only`, `--raw-batch-only`).
+/// `--churn-only`, `--raw-only`, `--raw-batch-only`, `--routing-only`).
 pub fn parse_args() -> BenchConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = BenchConfig {
@@ -54,6 +58,7 @@ pub fn parse_args() -> BenchConfig {
         churn_only: false,
         raw_only: false,
         raw_batch_only: false,
+        routing_only: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -71,6 +76,9 @@ pub fn parse_args() -> BenchConfig {
             "--raw-batch-only" => {
                 cfg.raw_batch_only = true;
             }
+            "--routing-only" => {
+                cfg.routing_only = true;
+            }
             "--seed" => {
                 i += 1;
                 cfg.seed = args[i].parse().expect("--seed takes a number");
@@ -80,14 +88,18 @@ pub fn parse_args() -> BenchConfig {
                 cfg.flows_per_class = args[i].parse().expect("--flows takes a number");
             }
             other => panic!(
-                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only / --raw-batch-only)"
+                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only / --raw-batch-only / --routing-only)"
             ),
         }
         i += 1;
     }
     assert!(
-        u8::from(cfg.churn_only) + u8::from(cfg.raw_only) + u8::from(cfg.raw_batch_only) <= 1,
-        "--churn-only, --raw-only and --raw-batch-only are mutually exclusive (each runs only its own section)"
+        u8::from(cfg.churn_only)
+            + u8::from(cfg.raw_only)
+            + u8::from(cfg.raw_batch_only)
+            + u8::from(cfg.routing_only)
+            <= 1,
+        "--churn-only, --raw-only, --raw-batch-only and --routing-only are mutually exclusive (each runs only its own section)"
     );
     cfg
 }
@@ -156,6 +168,7 @@ mod tests {
             churn_only: false,
             raw_only: false,
             raw_batch_only: false,
+            routing_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         assert_eq!(p.classes, 3);

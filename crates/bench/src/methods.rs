@@ -236,6 +236,7 @@ mod tests {
             churn_only: false,
             raw_only: false,
             raw_batch_only: false,
+            routing_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::Leo, &p, &cfg);
@@ -252,6 +253,7 @@ mod tests {
             churn_only: false,
             raw_only: false,
             raw_batch_only: false,
+            routing_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::MlpB, &p, &cfg);

@@ -69,7 +69,8 @@ pub use server::{
     TenantStats, TenantToken,
 };
 pub use stats::{
-    FlowTableCounters, LatencyHistogram, ParseErrorCounters, ShardStats, StreamReport,
+    ArtifactCounters, FlowTableCounters, LatencyHistogram, ParseErrorCounters, RoutingCounters,
+    ShardStats, StreamReport,
 };
 
 use crate::error::PegasusError;

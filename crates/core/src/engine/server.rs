@@ -10,9 +10,17 @@
 //!
 //! * [`attach`](ControlHandle::attach) registers a model under a routing
 //!   predicate — multiple tenants serve concurrently, packets steered to
-//!   one of them by a pluggable [`TenantRouter`] (default: first-match
-//!   [`RoutePredicate`]s over dst-port/subnet, FENIX-style model
-//!   selection);
+//!   one of them by a *compiled* routing plane: every attach/detach
+//!   recompiles the live tenant set into an immutable
+//!   [`CompiledRouter`] (dst-port LUT, src/dst prefix tries, protocol
+//!   filter, residual scan) published to the dispatcher as an `Arc`
+//!   swap, so per-packet steering cost is independent of the tenant
+//!   count and rebuilds never stall ingress. Identical artifacts are
+//!   content-hash deduplicated across tenants, and an optional
+//!   fleet-wide SRAM ceiling ([`EngineBuilder::fleet_state_budget_bits`])
+//!   bounds aggregate state. A custom [`TenantRouter`] can replace the
+//!   compiled plane entirely (first-match [`PredicateRouter`] is the
+//!   reference implementation);
 //! * [`swap`](ControlHandle::swap) hot-swaps a tenant's compiled artifact
 //!   atomically per shard via an epoch-published [`Arc`] — flow feature
 //!   windows and per-flow register files are *retained* across swaps of
@@ -41,7 +49,10 @@
 //! wrappers over this server: build, attach one catch-all tenant, feed the
 //! source, shut down.
 
-use crate::engine::stats::{LatencyHistogram, ParseErrorCounters, ShardStats, StreamReport};
+use crate::engine::stats::{
+    ArtifactCounters, LatencyHistogram, ParseErrorCounters, RoutingCounters, ShardStats,
+    StreamReport,
+};
 use crate::engine::{FlattenSkip, FlowShard, StatelessShard, HOST_WINDOW_STATE_BITS};
 use crate::error::PegasusError;
 use crate::flowpipe::FlowClassifier;
@@ -49,12 +60,13 @@ use crate::models::StreamFeatures;
 use crate::runtime::DataplaneModel;
 use pegasus_net::wire::parse_frame;
 use pegasus_net::{
-    FiveTuple, FlowTableConfig, FrameSource, PacketSource, ParseError, RawFrame, RoutePredicate,
-    TracePacket,
+    CompiledRouter, FiveTuple, FlowTableConfig, FrameSource, PacketSource, ParseError, RawFrame,
+    RouteHit, RoutePredicate, TracePacket,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -227,6 +239,50 @@ impl EngineArtifact {
             ),
         }
     }
+
+    /// The artifact's content identity for cross-tenant dedup: the
+    /// serialized compiled pipeline plus the switch model and feature
+    /// family it serves under. Two artifacts with equal content bytes are
+    /// interchangeable on every shard, so the engine shares one `Arc`
+    /// between their tenants (per-tenant flow tables and stats stay
+    /// separate — each worker forks its own execution state from the
+    /// shared program).
+    fn content_bytes(&self) -> Vec<u8> {
+        let mut w = serde::Writer::new();
+        match &self.plane {
+            ArtifactPlane::Stateless(dp) => {
+                w.write_u8(0);
+                serde::Serialize::serialize(dp.pipeline(), &mut w);
+                serde::Serialize::serialize(dp.switch_config(), &mut w);
+                serde::Serialize::serialize(&self.features, &mut w);
+            }
+            ArtifactPlane::Flow(fc) => {
+                w.write_u8(1);
+                serde::Serialize::serialize(fc.pipeline(), &mut w);
+                serde::Serialize::serialize(fc.switch_config(), &mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// The aggregate-budget cost of serving this artifact under `table`:
+    /// the same `capacity × bits-per-flow` product the per-tenant check
+    /// validates, summed across the fleet by the engine.
+    fn state_cost_bits(&self, table: &FlowTableConfig) -> u64 {
+        self.effective_capacity(table).saturating_mul(self.state_bits_per_flow)
+    }
+}
+
+/// FNV-1a over an artifact's content bytes — the dedup cache key. Hash
+/// collisions are survivable (the cache confirms hits by comparing the
+/// full content bytes), so a small fast non-cryptographic hash is enough.
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Per-worker, per-tenant execution state: the shard-owned processor for
@@ -461,6 +517,12 @@ pub struct EngineStats {
     /// bucketed by error kind (pre-routing: a frame with no parseable
     /// flow belongs to no tenant).
     pub parse_errors: ParseErrorCounters,
+    /// Compiled-routing-plane counters: which structure resolved each
+    /// packet, residual-scan work, rebuild activity. All zero when a
+    /// custom [`TenantRouter`] bypasses the compiled plane.
+    pub routing: RoutingCounters,
+    /// Fleet-wide compiled-artifact accounting (content-hash dedup).
+    pub artifacts: ArtifactCounters,
 }
 
 impl EngineStats {
@@ -567,36 +629,80 @@ struct BoardEntry {
 /// Worker-published per-tenant counters, read lock-free(ish) by `stats()`.
 type ShardBoard = HashMap<u32, BoardEntry>;
 
-struct TenantEntry {
+/// The slow-changing identity of one attached tenant, shared between the
+/// dispatcher (which owns the authoritative [`TenantEntry`]) and the
+/// lock-free stats path (which reads a directory of these). Counters are
+/// relaxed atomics: the dispatcher writes them under its own lock, stats
+/// snapshots them without taking that lock.
+struct TenantMeta {
     token: TenantToken,
     name: String,
+    attached: Instant,
+    routed_packets: AtomicU64,
+    epoch: AtomicU64,
+    /// Why the current artifact runs on the simulator fallback (swaps
+    /// replace it) — a mutex because it is a string, touched only at
+    /// attach/swap and on stats reads.
+    flatten_skip: Mutex<Option<String>>,
+    /// Serialized size of the tenant's artifact content, for dedup
+    /// accounting.
+    artifact_bytes: AtomicU64,
+    /// Content hash of the tenant's artifact — tenants with equal keys
+    /// share one `Arc` (the dedup invariant the cache enforces).
+    artifact_key: AtomicU64,
+}
+
+struct TenantEntry {
+    meta: Arc<TenantMeta>,
     predicate: RoutePredicate,
     record: bool,
     /// Attach-time flow-table shape; swaps re-validate the incoming
     /// artifact's state cost against it.
     table: FlowTableConfig,
-    attached: Instant,
     /// The epoch-published artifact: the control plane stores the current
-    /// `Arc` here and bumps `epoch` on every swap; workers receive the same
-    /// `Arc` in-band so each shard flips at one exact packet boundary.
+    /// `Arc` here (possibly shared with other tenants via dedup) and bumps
+    /// the meta epoch on every swap; workers receive the same `Arc`
+    /// in-band so each shard flips at one exact packet boundary.
     artifact: Arc<EngineArtifact>,
-    epoch: u64,
-    routed_packets: u64,
+    /// This tenant's contribution to the aggregate fleet SRAM ledger.
+    state_cost_bits: u64,
+}
+
+impl TenantEntry {
+    fn token(&self) -> TenantToken {
+        self.meta.token
+    }
+}
+
+/// One slot of the artifact dedup cache: a content hash plus a weak
+/// reference to the live artifact carrying it. Weak, so a fully detached
+/// artifact's memory is reclaimed instead of pinned by the cache.
+struct CachedArtifact {
+    hash: u64,
+    artifact: Weak<EngineArtifact>,
 }
 
 struct Dispatch {
     /// `None` once the engine has shut down.
     txs: Option<Vec<SyncSender<ShardMsg>>>,
     pending: Vec<Vec<Routed>>,
-    router: Box<dyn TenantRouter>,
+    /// A user-supplied router, overriding the compiled plane entirely.
+    custom_router: Option<Box<dyn TenantRouter>>,
+    /// The compiled routing plane over the live tenant set. Immutable once
+    /// built; attach/detach publish a freshly compiled replacement (see
+    /// `ControlHandle::publish_router`).
+    compiled: Arc<CompiledRouter>,
+    /// Bumped on every route-set change; a compile whose snapshot
+    /// generation is stale is discarded and redone.
+    route_gen: u64,
     tenants: Vec<TenantEntry>,
     routes: Vec<TenantRoute>,
+    /// Token id → position in `tenants`, so the per-packet routed-counter
+    /// update is O(1) instead of a scan.
+    index: HashMap<u32, usize>,
+    /// Aggregate stateful-SRAM bits currently reserved across all tenants.
+    fleet_used_bits: u64,
     next_id: u32,
-    unrouted: u64,
-    /// Raw frames [`IngressHandle::push_frame`] rejected at parse time —
-    /// counted before routing (an unparseable frame names no flow and
-    /// therefore no tenant or shard).
-    parse: ParseErrorCounters,
 }
 
 impl Dispatch {
@@ -617,19 +723,86 @@ impl Dispatch {
         Ok(())
     }
 
-    fn rebuild_routes(&mut self) {
+    /// Rebuilds the custom-router view and the token index after the
+    /// tenant list changed.
+    fn reindex(&mut self) {
         self.routes = self
             .tenants
             .iter()
-            .map(|e| TenantRoute { token: e.token, predicate: e.predicate.clone() })
+            .map(|e| TenantRoute { token: e.token(), predicate: e.predicate.clone() })
             .collect();
+        self.index = self.tenants.iter().enumerate().map(|(i, e)| (e.token().0, i)).collect();
+    }
+
+    /// The prioritized rule list the compiled router is built from:
+    /// attach order, one rule per tenant, payload = token id.
+    fn route_rules(&self) -> Vec<(u32, RoutePredicate)> {
+        self.tenants.iter().map(|e| (e.token().0, e.predicate.clone())).collect()
+    }
+
+    fn entry_index(&self, token: TenantToken) -> Result<usize, PegasusError> {
+        self.index.get(&token.0).copied().ok_or(PegasusError::UnknownTenant { tenant: token.0 })
     }
 
     fn entry_mut(&mut self, token: TenantToken) -> Result<&mut TenantEntry, PegasusError> {
-        self.tenants
-            .iter_mut()
-            .find(|e| e.token == token)
-            .ok_or(PegasusError::UnknownTenant { tenant: token.0 })
+        let pos = self.entry_index(token)?;
+        Ok(&mut self.tenants[pos])
+    }
+}
+
+/// Engine-wide counters read by the lock-free stats path and written from
+/// the hot push path (which already holds the dispatcher lock — the
+/// atomics are for the readers, not the writers; all accesses relaxed).
+#[derive(Default)]
+struct SharedCounters {
+    unrouted: AtomicU64,
+    lut_hits: AtomicU64,
+    trie_hits: AtomicU64,
+    proto_hits: AtomicU64,
+    catchall_hits: AtomicU64,
+    residual_hits: AtomicU64,
+    residual_scans: AtomicU64,
+    rebuilds: AtomicU64,
+    last_rebuild_micros: AtomicU64,
+    parse_truncated: AtomicU64,
+    parse_checksum: AtomicU64,
+    parse_malformed: AtomicU64,
+    parse_unsupported: AtomicU64,
+}
+
+impl SharedCounters {
+    fn record_parse(&self, kind: pegasus_net::ParseErrorKind) {
+        use pegasus_net::ParseErrorKind as K;
+        let cell = match kind {
+            K::Truncated => &self.parse_truncated,
+            K::Checksum => &self.parse_checksum,
+            K::Malformed => &self.parse_malformed,
+            K::Unsupported => &self.parse_unsupported,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn parse(&self) -> ParseErrorCounters {
+        ParseErrorCounters {
+            truncated: self.parse_truncated.load(Ordering::Relaxed),
+            checksum: self.parse_checksum.load(Ordering::Relaxed),
+            malformed: self.parse_malformed.load(Ordering::Relaxed),
+            unsupported: self.parse_unsupported.load(Ordering::Relaxed),
+        }
+    }
+
+    fn routing(&self) -> RoutingCounters {
+        RoutingCounters {
+            lut_hits: self.lut_hits.load(Ordering::Relaxed),
+            trie_hits: self.trie_hits.load(Ordering::Relaxed),
+            proto_hits: self.proto_hits.load(Ordering::Relaxed),
+            catchall_hits: self.catchall_hits.load(Ordering::Relaxed),
+            residual_hits: self.residual_hits.load(Ordering::Relaxed),
+            residual_scans: self.residual_scans.load(Ordering::Relaxed),
+            unrouted: self.unrouted.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            last_rebuild_micros: self.last_rebuild_micros.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -638,16 +811,63 @@ struct EngineShared {
     batch: usize,
     dispatch: Mutex<Dispatch>,
     boards: Vec<Mutex<ShardBoard>>,
+    /// The stats-path tenant directory: one `Arc<TenantMeta>` per attached
+    /// tenant, in attach order. Locked only for brief push/remove/clone
+    /// operations — never while a shard channel send is in flight — so
+    /// `stats()` cannot block behind a backpressured push.
+    directory: Mutex<Vec<Arc<TenantMeta>>>,
+    /// Engine-wide routing/parse counters (see [`SharedCounters`]).
+    counters: SharedCounters,
+    /// Content-hash → live artifact, for cross-tenant dedup at attach and
+    /// swap time.
+    artifact_cache: Mutex<Vec<CachedArtifact>>,
+    /// The aggregate stateful-SRAM ceiling across all tenants, when set.
+    fleet_budget_bits: Option<u64>,
+    /// Flipped by `shutdown` so lock-free paths (stats, frame-reject
+    /// accounting) report [`PegasusError::EngineStopped`] without
+    /// consulting the dispatcher.
+    stopped: AtomicBool,
     /// Set by a worker the moment any tenant hits a fatal per-packet
     /// error. Feeders that have nothing to gain from pushing into a dead
     /// tenant (the one-shot `stream_with` wrapper) poll it to abort early;
     /// the error itself still surfaces through detach/shutdown.
-    tenant_failed: std::sync::atomic::AtomicBool,
+    tenant_failed: AtomicBool,
 }
 
 impl EngineShared {
     fn lock_dispatch(&self) -> std::sync::MutexGuard<'_, Dispatch> {
         self.dispatch.lock().expect("engine dispatcher poisoned")
+    }
+
+    fn lock_directory(&self) -> std::sync::MutexGuard<'_, Vec<Arc<TenantMeta>>> {
+        self.directory.lock().expect("tenant directory poisoned")
+    }
+
+    /// Deduplicates an incoming artifact against every live one: equal
+    /// content bytes yield the existing `Arc` (tenants then share one
+    /// compiled program; their flow tables and stats stay per-tenant).
+    /// Returns the canonical `Arc`, the content hash, and the content
+    /// size in bytes.
+    fn dedup_artifact(&self, artifact: EngineArtifact) -> (Arc<EngineArtifact>, u64, u64) {
+        let bytes = artifact.content_bytes();
+        let hash = content_hash(&bytes);
+        let len = bytes.len() as u64;
+        let mut cache = self.artifact_cache.lock().expect("artifact cache poisoned");
+        cache.retain(|c| c.artifact.strong_count() > 0);
+        for cached in cache.iter() {
+            if cached.hash != hash {
+                continue;
+            }
+            if let Some(existing) = cached.artifact.upgrade() {
+                // Hash match is a hint; equality is decided on the bytes.
+                if existing.content_bytes() == bytes {
+                    return (existing, hash, len);
+                }
+            }
+        }
+        let arc = Arc::new(artifact);
+        cache.push(CachedArtifact { hash, artifact: Arc::downgrade(&arc) });
+        (arc, hash, len)
     }
 }
 
@@ -692,6 +912,7 @@ pub struct EngineBuilder {
     queue_batches: usize,
     stats_cadence: usize,
     router: Option<Box<dyn TenantRouter>>,
+    fleet_state_budget_bits: Option<u64>,
 }
 
 impl Default for EngineBuilder {
@@ -702,9 +923,17 @@ impl Default for EngineBuilder {
 
 impl EngineBuilder {
     /// Engine defaults: 1 shard, 256-packet batches, 8-batch queues,
-    /// 1024-packet stats cadence, [`PredicateRouter`].
+    /// 1024-packet stats cadence, compiled predicate routing, no aggregate
+    /// state budget.
     pub fn new() -> Self {
-        EngineBuilder { shards: 1, batch: 256, queue_batches: 8, stats_cadence: 1024, router: None }
+        EngineBuilder {
+            shards: 1,
+            batch: 256,
+            queue_batches: 8,
+            stats_cadence: 1024,
+            router: None,
+            fleet_state_budget_bits: None,
+        }
     }
 
     /// Worker shards (must be ≥ 1).
@@ -736,9 +965,24 @@ impl EngineBuilder {
         self
     }
 
-    /// Replaces the default [`PredicateRouter`].
+    /// Replaces the compiled routing plane with a custom [`TenantRouter`]
+    /// (called per packet with the tenants in attach order, like the
+    /// reference [`PredicateRouter`]). Custom routers bypass the compiled
+    /// structures, so the engine's routing counters stay zero.
     pub fn router(mut self, router: Box<dyn TenantRouter>) -> Self {
         self.router = Some(router);
+        self
+    }
+
+    /// Caps the *aggregate* stateful-SRAM bits reserved across all
+    /// tenants — the fleet-level companion of the per-tenant
+    /// `capacity × bits-per-flow` check. An attach (or a swap to a
+    /// hungrier artifact) that would push the fleet total past this
+    /// ceiling is rejected with [`PegasusError::FleetStateBudget`] before
+    /// any shard allocates a slab. Unset means unlimited (per-tenant
+    /// budgets still apply).
+    pub fn fleet_state_budget_bits(mut self, bits: u64) -> Self {
+        self.fleet_state_budget_bits = Some(bits);
         self
     }
 
@@ -770,15 +1014,22 @@ impl EngineBuilder {
             dispatch: Mutex::new(Dispatch {
                 txs: Some(txs),
                 pending: (0..self.shards).map(|_| Vec::new()).collect(),
-                router: self.router.unwrap_or_else(|| Box::new(PredicateRouter)),
+                custom_router: self.router,
+                compiled: Arc::new(CompiledRouter::default()),
+                route_gen: 0,
                 tenants: Vec::new(),
                 routes: Vec::new(),
+                index: HashMap::new(),
+                fleet_used_bits: 0,
                 next_id: 0,
-                unrouted: 0,
-                parse: ParseErrorCounters::default(),
             }),
             boards,
-            tenant_failed: std::sync::atomic::AtomicBool::new(false),
+            directory: Mutex::new(Vec::new()),
+            counters: SharedCounters::default(),
+            artifact_cache: Mutex::new(Vec::new()),
+            fleet_budget_bits: self.fleet_state_budget_bits,
+            stopped: AtomicBool::new(false),
+            tenant_failed: AtomicBool::new(false),
         });
         let cadence = self.stats_cadence as u64;
         let workers = rxs
@@ -928,13 +1179,44 @@ impl IngressHandle {
     /// when no tenant did (the packet is dropped and counted as unrouted),
     /// and [`PegasusError::EngineStopped`] after shutdown.
     pub fn push(&self, pkt: TracePacket) -> Result<bool, PegasusError> {
+        let counters = &self.shared.counters;
         let mut d = self.shared.lock_dispatch();
         d.txs()?;
-        let Some(token) = d.router.route(&pkt, &d.routes) else {
-            d.unrouted += 1;
-            return Ok(false);
+        let token = if let Some(router) = &d.custom_router {
+            match router.route(&pkt, &d.routes) {
+                Some(token) => token,
+                None => {
+                    counters.unrouted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(false);
+                }
+            }
+        } else {
+            let decision = d.compiled.route(&pkt.flow);
+            if decision.residual_scanned > 0 {
+                counters
+                    .residual_scans
+                    .fetch_add(u64::from(decision.residual_scanned), Ordering::Relaxed);
+            }
+            match decision.payload {
+                Some(id) => {
+                    let cell = match decision.hit {
+                        RouteHit::Lut => &counters.lut_hits,
+                        RouteHit::Trie => &counters.trie_hits,
+                        RouteHit::Proto => &counters.proto_hits,
+                        RouteHit::CatchAll => &counters.catchall_hits,
+                        RouteHit::Residual => &counters.residual_hits,
+                    };
+                    cell.fetch_add(1, Ordering::Relaxed);
+                    TenantToken(id)
+                }
+                None => {
+                    counters.unrouted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(false);
+                }
+            }
         };
-        d.entry_mut(token)?.routed_packets += 1;
+        let pos = d.entry_index(token)?;
+        d.tenants[pos].meta.routed_packets.fetch_add(1, Ordering::Relaxed);
         let shard = pkt.flow.shard_of(self.shared.shards);
         d.pending[shard].push(Routed { tenant: token.0, pkt });
         if d.pending[shard].len() >= self.shared.batch {
@@ -973,9 +1255,12 @@ impl IngressHandle {
                 Ok(if self.push(pkt)? { FramePush::Routed } else { FramePush::Unrouted })
             }
             Err(e) => {
-                let mut d = self.shared.lock_dispatch();
-                d.txs()?;
-                d.parse.record(e.kind());
+                // A rejected frame names no flow, so it never touches the
+                // dispatcher: account it in the shared counters directly.
+                if self.shared.stopped.load(Ordering::Acquire) {
+                    return Err(PegasusError::EngineStopped);
+                }
+                self.shared.counters.record_parse(e.kind());
                 Ok(FramePush::Rejected(e))
             }
         }
@@ -1022,6 +1307,15 @@ impl ControlHandle {
     /// register SRAM for per-flow ones) must fit the model's
     /// `register_bits_total`, or the attach is rejected with
     /// [`PegasusError::StateBudget`] before any shard allocates a slab.
+    /// When the engine carries an aggregate ceiling
+    /// ([`EngineBuilder::fleet_state_budget_bits`]), the fleet-wide sum of
+    /// those costs is checked too, rejecting with
+    /// [`PegasusError::FleetStateBudget`].
+    ///
+    /// The artifact is content-hashed and deduplicated against every live
+    /// tenant's: attaching the same compiled program a thousand times
+    /// keeps one copy resident (the tenants share one `Arc`; their flow
+    /// tables, routes, and stats stay separate).
     pub fn attach(
         &self,
         artifact: EngineArtifact,
@@ -1035,33 +1329,87 @@ impl ControlHandle {
             return Err(PegasusError::Verify { report: Box::new(report) });
         }
         artifact.validate_state_budget(&cfg.flow_table)?;
-        let artifact = Arc::new(artifact);
-        let mut d = self.shared.lock_dispatch();
-        let token = TenantToken(d.next_id);
-        d.next_id += 1;
-        for tx in d.txs()? {
-            tx.send(ShardMsg::Attach {
-                tenant: token.0,
-                artifact: Arc::clone(&artifact),
+        let state_cost = artifact.state_cost_bits(&cfg.flow_table);
+        let (artifact, key, bytes) = self.shared.dedup_artifact(artifact);
+        let name = cfg.name.unwrap_or_else(|| artifact.name.clone());
+        let token = {
+            let mut d = self.shared.lock_dispatch();
+            d.txs()?;
+            if let Some(budget) = self.shared.fleet_budget_bits {
+                let needed = d.fleet_used_bits.saturating_add(state_cost);
+                if needed > budget {
+                    return Err(PegasusError::FleetStateBudget {
+                        needed_bits: needed,
+                        budget_bits: budget,
+                        tenants: d.tenants.len(),
+                    });
+                }
+            }
+            let token = TenantToken(d.next_id);
+            d.next_id += 1;
+            for tx in d.txs()? {
+                tx.send(ShardMsg::Attach {
+                    tenant: token.0,
+                    artifact: Arc::clone(&artifact),
+                    record: cfg.record_predictions,
+                    table: cfg.flow_table,
+                })
+                .map_err(|_| PegasusError::EngineStopped)?;
+            }
+            let meta = Arc::new(TenantMeta {
+                token,
+                name,
+                attached: Instant::now(),
+                routed_packets: AtomicU64::new(0),
+                epoch: AtomicU64::new(0),
+                flatten_skip: Mutex::new(artifact.flatten_skip()),
+                artifact_bytes: AtomicU64::new(bytes),
+                artifact_key: AtomicU64::new(key),
+            });
+            d.fleet_used_bits = d.fleet_used_bits.saturating_add(state_cost);
+            d.tenants.push(TenantEntry {
+                meta: Arc::clone(&meta),
+                predicate: cfg.route,
                 record: cfg.record_predictions,
                 table: cfg.flow_table,
-            })
-            .map_err(|_| PegasusError::EngineStopped)?;
-        }
-        let name = cfg.name.unwrap_or_else(|| artifact.name.clone());
-        d.tenants.push(TenantEntry {
-            token,
-            name,
-            predicate: cfg.route,
-            record: cfg.record_predictions,
-            table: cfg.flow_table,
-            attached: Instant::now(),
-            artifact,
-            epoch: 0,
-            routed_packets: 0,
-        });
-        d.rebuild_routes();
+                artifact,
+                state_cost_bits: state_cost,
+            });
+            d.reindex();
+            d.route_gen += 1;
+            self.shared.lock_directory().push(meta);
+            token
+        };
+        // Compile the new route set outside the dispatcher lock and
+        // publish it; the tenant serves from the moment this returns.
+        self.publish_router()?;
         Ok(token)
+    }
+
+    /// Recompiles the routing plane from the live tenant set *outside*
+    /// the dispatcher lock and publishes the result, retrying if the
+    /// route set changed mid-compile (another attach racing this one).
+    /// Ingress keeps flowing on the previous compiled router throughout —
+    /// rebuilds never stall the push path.
+    fn publish_router(&self) -> Result<(), PegasusError> {
+        loop {
+            let (gen, rules) = {
+                let d = self.shared.lock_dispatch();
+                d.txs()?;
+                (d.route_gen, d.route_rules())
+            };
+            let t0 = Instant::now();
+            let compiled = Arc::new(CompiledRouter::build(&rules));
+            let micros = t0.elapsed().as_micros() as u64;
+            let mut d = self.shared.lock_dispatch();
+            d.txs()?;
+            if d.route_gen == gen {
+                d.compiled = compiled;
+                self.shared.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.last_rebuild_micros.store(micros, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
     }
 
     /// Hot-swaps a tenant's artifact: the new `Arc` is published with a
@@ -1100,9 +1448,7 @@ impl ControlHandle {
         {
             let d = self.shared.lock_dispatch();
             d.txs()?;
-            if !d.tenants.iter().any(|e| e.token == token) {
-                return Err(PegasusError::UnknownTenant { tenant: token.0 });
-            }
+            d.entry_index(token)?;
         }
         // Same gate as attach: the replacement artifact must verify clean
         // before any shard sees the swap message.
@@ -1110,21 +1456,42 @@ impl ControlHandle {
         if report.has_errors() {
             return Err(PegasusError::Verify { report: Box::new(report) });
         }
-        let artifact = Arc::new(artifact);
+        let (artifact, key, bytes) = self.shared.dedup_artifact(artifact);
         let (ack_tx, ack_rx) = sync_channel::<bool>(self.shared.shards);
         let epoch = {
             let mut d = self.shared.lock_dispatch();
             // Flush so already-pushed packets precede the swap in every
             // shard's FIFO: the epoch boundary is exact.
             d.flush()?;
+            let fleet_used = d.fleet_used_bits;
+            let tenant_count = d.tenants.len();
             let entry = d.entry_mut(token)?;
             // The incoming artifact must fit the tenant's state budget
             // just like the original attach did (a swap to a hungrier
-            // pipeline shape must not sneak past the SRAM model).
+            // pipeline shape must not sneak past the SRAM model), and the
+            // fleet ledger must absorb the cost delta.
             artifact.validate_state_budget(&entry.table)?;
+            let new_cost = artifact.state_cost_bits(&entry.table);
+            if let Some(budget) = self.shared.fleet_budget_bits {
+                let needed =
+                    fleet_used.saturating_sub(entry.state_cost_bits).saturating_add(new_cost);
+                if needed > budget {
+                    return Err(PegasusError::FleetStateBudget {
+                        needed_bits: needed,
+                        budget_bits: budget,
+                        tenants: tenant_count,
+                    });
+                }
+            }
             entry.artifact = Arc::clone(&artifact);
-            entry.epoch += 1;
-            let epoch = entry.epoch;
+            let epoch = entry.meta.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            *entry.meta.flatten_skip.lock().expect("flatten-skip poisoned") =
+                artifact.flatten_skip();
+            entry.meta.artifact_bytes.store(bytes, Ordering::Relaxed);
+            entry.meta.artifact_key.store(key, Ordering::Relaxed);
+            let old_cost = entry.state_cost_bits;
+            entry.state_cost_bits = new_cost;
+            d.fleet_used_bits = d.fleet_used_bits.saturating_sub(old_cost).saturating_add(new_cost);
             for tx in d.txs()? {
                 tx.send(ShardMsg::Swap {
                     tenant: token.0,
@@ -1146,18 +1513,29 @@ impl ControlHandle {
     /// Unregisters a tenant: routing stops immediately, its in-flight
     /// batches drain, and its final report (with recorded predictions, if
     /// enabled) comes back. Other tenants are untouched.
+    ///
+    /// Unlike attach, the routing plane is recompiled *synchronously*
+    /// under the dispatcher lock: a detached tenant must stop receiving
+    /// packets the moment this call commits, and later rules must fall
+    /// through exactly as a fresh first-match scan would.
     pub fn detach(&self, token: TenantToken) -> Result<TenantReport, PegasusError> {
         let (ack_tx, ack_rx) = sync_channel::<TenantShardOut>(self.shared.shards);
         let entry = {
             let mut d = self.shared.lock_dispatch();
-            let pos = d
-                .tenants
-                .iter()
-                .position(|e| e.token == token)
-                .ok_or(PegasusError::UnknownTenant { tenant: token.0 })?;
+            let pos = d.entry_index(token)?;
             d.flush()?;
             let entry = d.tenants.remove(pos);
-            d.rebuild_routes();
+            d.reindex();
+            d.route_gen += 1;
+            let t0 = Instant::now();
+            d.compiled = Arc::new(CompiledRouter::build(&d.route_rules()));
+            self.shared.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .counters
+                .last_rebuild_micros
+                .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            d.fleet_used_bits = d.fleet_used_bits.saturating_sub(entry.state_cost_bits);
+            self.shared.lock_directory().retain(|m| m.token != token);
             for tx in d.txs()? {
                 tx.send(ShardMsg::Detach { tenant: token.0, ack: ack_tx.clone() })
                     .map_err(|_| PegasusError::EngineStopped)?;
@@ -1176,21 +1554,25 @@ impl ControlHandle {
     /// signalling the workers: shards publish their counters every
     /// [`stats_cadence`](EngineBuilder::stats_cadence) packets and when
     /// idle, and this call merges the latest publications — it never
-    /// enqueues behind packet batches. It does serialize with ingress on
-    /// the dispatcher lock, so while a `push` is blocked on a full shard
-    /// queue (backpressure), `stats` waits with it; control and ingress
-    /// are ordered through one dispatcher by design (see the module docs
-    /// on ordering guarantees).
+    /// enqueues behind packet batches, and it never takes the dispatcher
+    /// lock. Reads come from the worker-published boards, the tenant
+    /// directory, and the shared atomic counters, so `stats` returns
+    /// promptly even while a `push` is blocked on a full shard queue
+    /// (backpressure) with the dispatcher lock held.
     pub fn stats(&self) -> Result<EngineStats, PegasusError> {
-        let d = self.shared.lock_dispatch();
-        d.txs()?;
-        let mut tenants = Vec::with_capacity(d.tenants.len());
-        for entry in &d.tenants {
+        if self.shared.stopped.load(Ordering::Acquire) {
+            return Err(PegasusError::EngineStopped);
+        }
+        let metas: Vec<Arc<TenantMeta>> = self.shared.lock_directory().clone();
+        let mut tenants = Vec::with_capacity(metas.len());
+        let mut artifacts = ArtifactCounters::default();
+        let mut seen_keys: Vec<u64> = Vec::new();
+        for meta in &metas {
             let mut shards: Vec<ShardStats> = Vec::with_capacity(self.shared.shards);
             let mut failed = false;
             for (shard, board) in self.shared.boards.iter().enumerate() {
                 let board = board.lock().expect("stats board poisoned");
-                match board.get(&entry.token.0) {
+                match board.get(&meta.token.0) {
                     Some(cell) => {
                         failed |= cell.failed;
                         shards.push(cell.stats.clone());
@@ -1198,17 +1580,33 @@ impl ControlHandle {
                     None => shards.push(ShardStats::new(shard)),
                 }
             }
+            let bytes = meta.artifact_bytes.load(Ordering::Relaxed);
+            let key = meta.artifact_key.load(Ordering::Relaxed);
+            artifacts.tenants += 1;
+            artifacts.naive_bytes += bytes;
+            if !seen_keys.contains(&key) {
+                seen_keys.push(key);
+                artifacts.unique_artifacts += 1;
+                artifacts.resident_bytes += bytes;
+            }
             tenants.push(TenantStats {
-                token: entry.token,
-                name: entry.name.clone(),
-                epoch: entry.epoch,
-                routed_packets: entry.routed_packets,
+                token: meta.token,
+                name: meta.name.clone(),
+                epoch: meta.epoch.load(Ordering::Relaxed),
+                routed_packets: meta.routed_packets.load(Ordering::Relaxed),
                 failed,
-                report: merge_report(shards, entry.attached.elapsed().as_nanos() as u64, None),
-                flatten_skip: entry.artifact.flatten_skip(),
+                report: merge_report(shards, meta.attached.elapsed().as_nanos() as u64, None),
+                flatten_skip: meta.flatten_skip.lock().expect("flatten-skip poisoned").clone(),
             });
         }
-        Ok(EngineStats { tenants, unrouted: d.unrouted, parse_errors: d.parse })
+        let routing = self.shared.counters.routing();
+        Ok(EngineStats {
+            tenants,
+            unrouted: routing.unrouted,
+            parse_errors: self.shared.counters.parse(),
+            routing,
+            artifacts,
+        })
     }
 
     /// The live snapshot of one tenant, failing with
@@ -1262,7 +1660,7 @@ fn merge_report(
 }
 
 fn tenant_report(entry: TenantEntry, outs: Vec<TenantShardOut>) -> TenantReport {
-    let elapsed_nanos = entry.attached.elapsed().as_nanos() as u64;
+    let elapsed_nanos = entry.meta.attached.elapsed().as_nanos() as u64;
     let mut shards = Vec::with_capacity(outs.len());
     let mut preds: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
     let mut first_err = None;
@@ -1280,10 +1678,10 @@ fn tenant_report(entry: TenantEntry, outs: Vec<TenantShardOut>) -> TenantReport 
         None => Ok(merge_report(shards, elapsed_nanos, entry.record.then_some(preds))),
     };
     TenantReport {
-        token: entry.token,
-        name: entry.name,
-        epoch: entry.epoch,
-        routed_packets: entry.routed_packets,
+        token: entry.meta.token,
+        name: entry.meta.name.clone(),
+        epoch: entry.meta.epoch.load(Ordering::Relaxed),
+        routed_packets: entry.meta.routed_packets.load(Ordering::Relaxed),
         result,
     }
 }
@@ -1329,14 +1727,20 @@ impl EngineServer {
     /// for all tenants still attached. Handles created from this server
     /// return [`PegasusError::EngineStopped`] afterwards.
     pub fn shutdown(self) -> Result<EngineReport, PegasusError> {
-        let (entries, unrouted, parse_errors) = {
+        let entries = {
             let mut d = self.shared.lock_dispatch();
             d.flush()?;
             // Dropping the senders closes each shard's channel; workers
             // drain what is queued and exit with their tenants' final state.
             d.txs = None;
-            (std::mem::take(&mut d.tenants), d.unrouted, d.parse)
+            // Flip the lock-free stop flag inside the dispatch critical
+            // section so stats/push observers agree on the boundary.
+            self.shared.stopped.store(true, Ordering::Release);
+            self.shared.lock_directory().clear();
+            std::mem::take(&mut d.tenants)
         };
+        let unrouted = self.shared.counters.unrouted.load(Ordering::Relaxed);
+        let parse_errors = self.shared.counters.parse();
         let mut by_tenant: HashMap<u32, Vec<TenantShardOut>> = HashMap::new();
         for handle in self.workers {
             for (id, out) in handle.join().expect("shard worker panicked") {
@@ -1346,7 +1750,7 @@ impl EngineServer {
         let tenants = entries
             .into_iter()
             .map(|e| {
-                let outs = by_tenant.remove(&e.token.0).unwrap_or_default();
+                let outs = by_tenant.remove(&e.token().0).unwrap_or_default();
                 tenant_report(e, outs)
             })
             .collect();

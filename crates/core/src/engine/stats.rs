@@ -51,6 +51,49 @@ impl ParseErrorCounters {
     }
 }
 
+/// Counters of the engine's compiled routing plane: which structure
+/// resolved each packet, residual-scan work, and rebuild activity.
+/// Mergeable by field-wise summation except `last_rebuild_micros`, which
+/// is a gauge (most recent compile time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoutingCounters {
+    /// Packets resolved by the dense destination-port LUT.
+    pub lut_hits: u64,
+    /// Packets resolved by the src/dst prefix tries.
+    pub trie_hits: u64,
+    /// Packets resolved by the protocol filter.
+    pub proto_hits: u64,
+    /// Packets resolved by a catch-all rule.
+    pub catchall_hits: u64,
+    /// Packets resolved by the residual predicate scan.
+    pub residual_hits: u64,
+    /// Total residual predicates evaluated across all lookups (scan work
+    /// actually done — stays near zero when every rule compiles).
+    pub residual_scans: u64,
+    /// Packets no tenant rule matched.
+    pub unrouted: u64,
+    /// Compiled-router rebuilds (attach/swap/detach recompiles).
+    pub rebuilds: u64,
+    /// Wall-clock microseconds the most recent rebuild took.
+    pub last_rebuild_micros: u64,
+}
+
+/// Fleet-wide compiled-artifact accounting: how many tenants share how
+/// many distinct artifacts, and what content-hash dedup saves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactCounters {
+    /// Tenants currently attached.
+    pub tenants: u64,
+    /// Distinct compiled artifacts among them (by content hash).
+    pub unique_artifacts: u64,
+    /// Bytes of compiled-artifact payload actually resident (each
+    /// distinct artifact counted once).
+    pub resident_bytes: u64,
+    /// Bytes that would be resident without dedup (each tenant's artifact
+    /// counted separately).
+    pub naive_bytes: u64,
+}
+
 /// A log₂-bucketed latency histogram over nanoseconds.
 ///
 /// Bucket `i` holds samples whose value has its highest set bit at
@@ -299,6 +342,23 @@ impl StreamReport {
 // `ControlHandle::stats` call would.
 
 serde::impl_serde_struct!(ParseErrorCounters { truncated, checksum, malformed, unsupported });
+serde::impl_serde_struct!(RoutingCounters {
+    lut_hits,
+    trie_hits,
+    proto_hits,
+    catchall_hits,
+    residual_hits,
+    residual_scans,
+    unrouted,
+    rebuilds,
+    last_rebuild_micros,
+});
+serde::impl_serde_struct!(ArtifactCounters {
+    tenants,
+    unique_artifacts,
+    resident_bytes,
+    naive_bytes
+});
 serde::impl_serde_struct!(LatencyHistogram { buckets, count, sum_nanos, max_nanos });
 serde::impl_serde_struct!(FlowTableCounters {
     occupancy,

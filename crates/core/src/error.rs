@@ -98,6 +98,22 @@ pub enum PegasusError {
         /// Register bits the switch model offers (`register_bits_total`).
         budget_bits: u64,
     },
+    /// An attach (or swap) would push the *aggregate* flow-state cost
+    /// across every attached tenant past the engine's fleet-wide SRAM
+    /// ceiling ([`EngineBuilder::fleet_state_budget_bits`]) — the
+    /// per-tenant budget's fleet-level companion.
+    ///
+    /// [`EngineBuilder::fleet_state_budget_bits`]:
+    /// crate::engine::server::EngineBuilder::fleet_state_budget_bits
+    FleetStateBudget {
+        /// Aggregate register bits the fleet would consume after the
+        /// operation.
+        needed_bits: u64,
+        /// The configured fleet-wide ceiling.
+        budget_bits: u64,
+        /// Tenants attached when the operation was rejected.
+        tenants: usize,
+    },
     /// A control-plane operation referenced a tenant that is not attached
     /// (never attached, already detached, or a stale token after the
     /// engine restarted).
@@ -161,6 +177,13 @@ impl fmt::Display for PegasusError {
                     f,
                     "per-tenant flow-state budget exceeded: needs {needed_bits} register bits, \
                      the switch model offers {budget_bits}"
+                )
+            }
+            PegasusError::FleetStateBudget { needed_bits, budget_bits, tenants } => {
+                write!(
+                    f,
+                    "fleet flow-state budget exceeded: {tenants} attached tenants would need \
+                     {needed_bits} aggregate register bits, the fleet ceiling is {budget_bits}"
                 )
             }
             PegasusError::UnknownTenant { tenant } => {

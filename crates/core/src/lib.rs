@@ -77,8 +77,8 @@ pub use engine::server::{
     TenantStats, TenantToken,
 };
 pub use engine::{
-    FlattenSkip, FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict, StreamConfig,
-    StreamReport, DEFAULT_BATCH_FRAMES, HOST_WINDOW_STATE_BITS,
+    ArtifactCounters, FlattenSkip, FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict,
+    RoutingCounters, StreamConfig, StreamReport, DEFAULT_BATCH_FRAMES, HOST_WINDOW_STATE_BITS,
 };
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};

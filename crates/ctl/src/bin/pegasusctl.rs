@@ -190,19 +190,46 @@ fn print_response(response: &Response) {
             }
             println!("tenants ({}):", listing.tenants.len());
             for t in &listing.tenants {
+                let r = &t.route;
+                let route = format!(
+                    "route[lut {} subnets {} protos {}{} residual {}]",
+                    r.lut_ports,
+                    r.subnets,
+                    r.protocols,
+                    if r.catch_all { " catch-all" } else { "" },
+                    r.residual
+                );
                 match &t.state {
                     TenantState::Serving { token, epoch } => println!(
-                        "  {} -> {} serving (token {token}, epoch {epoch})",
+                        "  {} -> {} serving (token {token}, epoch {epoch}) {route}",
                         t.name, t.artifact
                     ),
                     TenantState::Degraded { reason } => {
-                        println!("  {} -> {} DEGRADED: {reason}", t.name, t.artifact);
+                        println!("  {} -> {} DEGRADED: {reason} {route}", t.name, t.artifact);
                     }
                 }
             }
         }
         Response::Stats(stats) => {
             println!("unrouted {} | parse errors: {}", stats.unrouted, stats.parse_errors.total());
+            let r = &stats.routing;
+            println!(
+                "routing: lut {} trie {} proto {} catch-all {} residual {} (scanned {}) | \
+                 rebuilds {} (last {} us)",
+                r.lut_hits,
+                r.trie_hits,
+                r.proto_hits,
+                r.catchall_hits,
+                r.residual_hits,
+                r.residual_scans,
+                r.rebuilds,
+                r.last_rebuild_micros
+            );
+            let a = &stats.artifacts;
+            println!(
+                "artifacts: {} tenants share {} unique ({} resident bytes, {} if copied)",
+                a.tenants, a.unique_artifacts, a.resident_bytes, a.naive_bytes
+            );
             for t in &stats.tenants {
                 println!(
                     "  {} (token {}, epoch {}): routed {} packets {} classified {} warmup {} flows {}{}",

@@ -38,7 +38,7 @@ use pegasus_core::{
     ControlHandle, EngineBuilder, EngineServer, EngineStats, IngressHandle, PegasusError,
     TenantConfig, TenantStats, TenantToken,
 };
-use pegasus_net::PcapSource;
+use pegasus_net::{PcapSource, RouteSummary};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
@@ -177,6 +177,8 @@ fn wire_engine_stats(s: &EngineStats) -> WireEngineStats {
         tenants: s.tenants.iter().map(wire_tenant_stats).collect(),
         unrouted: s.unrouted,
         parse_errors: s.parse_errors,
+        routing: s.routing,
+        artifacts: s.artifacts,
     }
 }
 
@@ -552,7 +554,12 @@ impl Daemon {
                         },
                     },
                 };
-                TenantInfo { name: record.name.clone(), artifact: record.artifact.clone(), state }
+                TenantInfo {
+                    name: record.name.clone(),
+                    artifact: record.artifact.clone(),
+                    state,
+                    route: RouteSummary::of(&record.route),
+                }
             })
             .collect();
         Response::Listing(ListReply { artifacts, tenants })

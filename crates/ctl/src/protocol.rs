@@ -21,11 +21,11 @@
 //! `tests/wire_protocol.rs` fuzzes exactly these paths, mirroring the
 //! repo's `tests/wire_parse.rs` style for packet parsing.
 
-use pegasus_net::RoutePredicate;
+use pegasus_net::{RoutePredicate, RouteSummary};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use pegasus_core::engine::stats::ParseErrorCounters;
+use pegasus_core::engine::stats::{ArtifactCounters, ParseErrorCounters, RoutingCounters};
 use pegasus_core::StreamReport;
 
 /// Hard ceiling on one frame's body size (64 MiB). Compiled artifact
@@ -517,9 +517,12 @@ pub struct TenantInfo {
     pub artifact: String,
     /// Serving or degraded.
     pub state: TenantState,
+    /// How the tenant's route predicate compiles into the routing plane
+    /// (LUT ports / subnet tries / residual scan list).
+    pub route: RouteSummary,
 }
 
-serde::impl_serde_struct!(TenantInfo { name, artifact, state });
+serde::impl_serde_struct!(TenantInfo { name, artifact, state, route });
 
 /// The `list` reply.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -573,9 +576,14 @@ pub struct WireEngineStats {
     pub unrouted: u64,
     /// Raw frames rejected at parse time, by kind.
     pub parse_errors: ParseErrorCounters,
+    /// Fleet-wide compiled-routing counters (LUT/trie/residual hits,
+    /// rebuilds).
+    pub routing: RoutingCounters,
+    /// Compiled-artifact dedup accounting across the fleet.
+    pub artifacts: ArtifactCounters,
 }
 
-serde::impl_serde_struct!(WireEngineStats { tenants, unrouted, parse_errors });
+serde::impl_serde_struct!(WireEngineStats { tenants, unrouted, parse_errors, routing, artifacts });
 
 /// A tenant's terminal report on the wire (the serde mirror of
 /// [`TenantReport`](pegasus_core::engine::server::TenantReport), with the

@@ -178,6 +178,13 @@ fn full_lifecycle_with_kill_9_recovery() {
     assert_eq!(t0.routed_packets, 338);
     assert_eq!(t0.epoch, 0);
     assert!(!t0.failed);
+    // The stats verb carries the fleet routing counters: every golden
+    // frame hit the compiled catch-all slot, never the residual scan.
+    assert_eq!(stats.routing.catchall_hits, 338);
+    assert_eq!(stats.routing.residual_hits, 0);
+    assert!(stats.routing.rebuilds >= 1, "attach must rebuild the router");
+    assert_eq!(stats.artifacts.tenants, 1);
+    assert_eq!(stats.artifacts.unique_artifacts, 1);
 
     let out = ctl(&socket, &["load", "mlp2", "--file", art2_path.to_str().expect("utf8 path")]);
     assert!(out.contains("loaded mlp2 v1"), "unexpected load output: {out}");
@@ -207,6 +214,10 @@ fn full_lifecycle_with_kill_9_recovery() {
                     "t0 must come back serving, got {:?}",
                     tenant.state
                 );
+                // The compiled route summary is derived from the recovered
+                // registry record: the catch-all predicate survived kill -9.
+                assert!(tenant.route.catch_all, "route summary lost in recovery");
+                assert_eq!(tenant.route.residual, 0);
             }
             other => panic!("expected Listing, got {other:?}"),
         }

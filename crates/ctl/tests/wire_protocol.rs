@@ -13,7 +13,7 @@ use pegasus_ctl::protocol::{
     ListReply, Request, Response, TenantInfo, TenantState, WireTenantConfig, WireTenantReport,
     MAX_FRAME_BYTES,
 };
-use pegasus_net::RoutePredicate;
+use pegasus_net::{RoutePredicate, RouteSummary};
 use std::io::Cursor;
 use std::io::Write as _;
 use std::os::unix::net::UnixStream;
@@ -163,13 +163,20 @@ fn responses_round_trip() {
             name: "t0".into(),
             artifact: "mlp".into(),
             state: TenantState::Degraded { reason: DegradedReason::Verify { errors: 2 } },
+            route: RouteSummary::of(&RoutePredicate::AnyOf(vec![
+                RoutePredicate::DstPort(443),
+                RoutePredicate::DstPortRange { lo: 8080, hi: 8081 },
+            ])),
         }],
     });
     match serde::from_bytes::<Response>(&serde::to_bytes(&listing)).expect("decodes") {
-        Response::Listing(l) => match &l.tenants[0].state {
-            TenantState::Degraded { reason: DegradedReason::Verify { errors: 2 } } => {}
-            other => panic!("expected degraded/verify state, got {other:?}"),
-        },
+        Response::Listing(l) => {
+            match &l.tenants[0].state {
+                TenantState::Degraded { reason: DegradedReason::Verify { errors: 2 } } => {}
+                other => panic!("expected degraded/verify state, got {other:?}"),
+            }
+            assert_eq!(l.tenants[0].route.lut_ports, 3, "compiled route summary survives the wire");
+        }
         other => panic!("expected Listing, got {other:?}"),
     }
 

@@ -47,7 +47,7 @@ pub use replay::{
     FrameSource, PacketSink, PacketSource, RawFrame, ReplayOptions, ReplayStats, Replayer, Trace,
     TracePacket, TraceSource,
 };
-pub use router::RoutePredicate;
+pub use router::{CompiledRouter, RouteDecision, RouteHit, RoutePredicate, RouteSummary};
 pub use wire::{
     build_frame, encode_frame, encode_trace_packet, parse_frame, FrameBatch, FrameSpec, IpAddrs,
     ParsedFrame,
