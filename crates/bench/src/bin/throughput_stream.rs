@@ -15,6 +15,7 @@
 
 use pegasus_bench::{parse_args, write_report};
 use pegasus_core::compile::CompileOptions;
+use pegasus_core::models::cnn_l::{CnnL, CnnLVariant};
 use pegasus_core::models::mlp_b::MlpB;
 use pegasus_core::models::rnn_b::RnnB;
 use pegasus_core::models::{DataplaneNet, ModelData, StreamFeatures, TrainSettings};
@@ -73,13 +74,23 @@ struct ModelRow {
 
 /// Cost of one mid-run hot swap, measured on the live engine server.
 struct SwapCost {
-    /// Wall-clock of the `swap` call itself: flush, per-shard apply
-    /// (including draining queued batches ahead of it), all-shard ack.
+    /// The control-plane apply latency the swap call reports about
+    /// itself: validation, dedup and the epoch/RCU publication. No queue
+    /// is drained, so this is independent of queue depth and flow count.
     apply_micros: f64,
     pps_no_swap: f64,
     pps_with_swap: f64,
     max_latency_ns_no_swap: u64,
     max_latency_ns_with_swap: u64,
+    /// Shard-side convergence: swaps actually applied at packet
+    /// boundaries and the min applied epoch across shards at shutdown.
+    swaps_applied: u64,
+    applied_epoch: u64,
+    /// Adopt-on-first-touch transplant progress (zero for stateless
+    /// pipelines, which carry no per-flow register file).
+    adopted_slots: u64,
+    pending_slots: u64,
+    transplants_completed: u64,
 }
 
 /// Table shape for reference (non-engine) measurement paths: room for the
@@ -159,7 +170,8 @@ fn main() {
         .deploy(&SwitchConfig::tofino2())
         .expect("deploys");
 
-    let smoke = cfg.churn_only || cfg.raw_only || cfg.raw_batch_only || cfg.routing_only;
+    let smoke =
+        cfg.churn_only || cfg.raw_only || cfg.raw_batch_only || cfg.routing_only || cfg.swap_only;
     let mut rows: Vec<ModelRow> = Vec::new();
     if !smoke {
         rows.push(bench_model(&mlp, "MLP-B", "stat", &spec, &source_cfg));
@@ -175,26 +187,31 @@ fn main() {
         rows.push(bench_model(&deployment, "RNN-B", "seq", &spec, &source_cfg));
     }
 
-    let raw = if !cfg.churn_only && !cfg.routing_only {
+    let raw = if !cfg.churn_only && !cfg.routing_only && !cfg.swap_only {
         println!("== raw path (bytes -> verdict, single thread) ==");
         Some(raw_bench(&mlp, &spec, &source_cfg))
     } else {
         None
     };
 
-    let churn = if !cfg.raw_only && !cfg.raw_batch_only && !cfg.routing_only {
+    let churn = if !cfg.raw_only && !cfg.raw_batch_only && !cfg.routing_only && !cfg.swap_only {
         println!("== heavy flow churn (bounded vs unbounded flow state) ==");
         Some(churn_bench(&mlp, &spec, &source_cfg))
     } else {
         None
     };
 
-    let routing = if !cfg.churn_only && !cfg.raw_only && !cfg.raw_batch_only {
+    let routing = if !cfg.churn_only && !cfg.raw_only && !cfg.raw_batch_only && !cfg.swap_only {
         println!("== compiled tenant routing (O(1) dispatch, Arc-deduplicated artifacts) ==");
         Some(routing_bench(&mlp, cfg.routing_only || cfg.quick))
     } else {
         None
     };
+
+    if cfg.swap_only {
+        println!("== hot swap (epoch/RCU apply + adopt-on-first-touch transplant) ==");
+        swap_smoke(&mlp, &views, &settings, &spec, &source_cfg);
+    }
 
     let mut txt = String::new();
     for row in &rows {
@@ -275,8 +292,8 @@ fn main() {
 
     if smoke {
         println!(
-            "smoke mode (--churn-only / --raw-only / --raw-batch-only / --routing-only): \
-             skipping BENCH_throughput.json rewrite"
+            "smoke mode (--churn-only / --raw-only / --raw-batch-only / --routing-only / \
+             --swap-only): skipping BENCH_throughput.json rewrite"
         );
     } else {
         let json = render_json(
@@ -968,13 +985,16 @@ fn bench_model<M: DataplaneNet>(
     }
     let swap = swap_cost(deployment, spec, source_cfg);
     println!(
-        "  mid-run hot swap: apply {:.0} µs, pps {:.0} -> {:.0} ({:+.1}%), max latency {} -> {} ns",
+        "  mid-run hot swap: apply {:.0} µs (epoch/RCU, no drain), pps {:.0} -> {:.0} ({:+.1}%), \
+         max latency {} -> {} ns, applied epoch {} ({} shard swap(s))",
         swap.apply_micros,
         swap.pps_no_swap,
         swap.pps_with_swap,
         100.0 * (swap.pps_with_swap - swap.pps_no_swap) / swap.pps_no_swap.max(1e-9),
         swap.max_latency_ns_no_swap,
         swap.max_latency_ns_with_swap,
+        swap.applied_epoch,
+        swap.swaps_applied,
     );
 
     ModelRow {
@@ -991,8 +1011,11 @@ fn bench_model<M: DataplaneNet>(
 /// Streams the workload through a live [`EngineBuilder`] server twice —
 /// once untouched, once with a hot swap to a second artifact of the same
 /// deployment at the halfway packet — and reports the swap's cost: the
-/// control-plane apply latency and the throughput / max-latency impact on
-/// the stream it interrupted. Median of three runs per mode.
+/// epoch/RCU apply latency (from the swap's own report — the call never
+/// drains a queue), the throughput / max-latency impact on the stream it
+/// interrupted, and the shard-side convergence and adopt-on-first-touch
+/// transplant counters from the final report. Median of three runs per
+/// mode.
 fn swap_cost<M: DataplaneNet>(
     deployment: &Deployment<M>,
     spec: &pegasus_datasets::DatasetSpec,
@@ -1013,11 +1036,10 @@ fn swap_cost<M: DataplaneNet>(
             ingress.push(pkt).expect("pushes");
             pushed += 1;
             if do_swap && pushed == total / 2 {
-                let t0 = Instant::now();
-                control
+                let swap = control
                     .swap(token, deployment.engine_artifact().expect("artifact"))
                     .expect("swaps");
-                apply_micros = t0.elapsed().as_secs_f64() * 1e6;
+                apply_micros = swap.apply_micros as f64;
             }
         }
         let mut report = server.shutdown().expect("shuts down");
@@ -1036,7 +1058,72 @@ fn swap_cost<M: DataplaneNet>(
         pps_with_swap: swapped.pps(),
         max_latency_ns_no_swap: base.latency.max_nanos(),
         max_latency_ns_with_swap: swapped.latency.max_nanos(),
+        swaps_applied: swapped.swap.swaps_applied,
+        applied_epoch: swapped.swap.applied_epoch,
+        adopted_slots: swapped.swap.adopted_slots,
+        pending_slots: swapped.swap.pending_slots,
+        transplants_completed: swapped.swap.transplants_completed,
     }
+}
+
+/// The `--swap-only` CI smoke: asserts the stall-free swap bounds on the
+/// stateless hot path — sub-millisecond epoch/RCU apply, <5% throughput
+/// dip — then exercises the adopt-on-first-touch register transplant on
+/// a per-flow CNN-L pipeline and asserts it makes progress.
+fn swap_smoke(
+    mlp: &Deployment<MlpB>,
+    views: &pegasus_datasets::SampleViews,
+    settings: &TrainSettings,
+    spec: &pegasus_datasets::DatasetSpec,
+    source_cfg: &SyntheticConfig,
+) {
+    let cost = swap_cost(mlp, spec, source_cfg);
+    let dip = 100.0 * (cost.pps_no_swap - cost.pps_with_swap) / cost.pps_no_swap.max(1e-9);
+    println!(
+        "  MLP-B: apply {:.0} µs, pps {:.0} -> {:.0} (dip {:.1}%), max latency {} -> {} ns, \
+         applied epoch {}",
+        cost.apply_micros,
+        cost.pps_no_swap,
+        cost.pps_with_swap,
+        dip,
+        cost.max_latency_ns_no_swap,
+        cost.max_latency_ns_with_swap,
+        cost.applied_epoch,
+    );
+    assert!(
+        cost.apply_micros < 1_000.0,
+        "epoch/RCU apply must be sub-millisecond, got {:.0} µs",
+        cost.apply_micros
+    );
+    assert!(dip < 5.0, "hot swap must dip throughput by <5%, got {dip:.1}%");
+    assert_eq!(cost.applied_epoch, 1, "the shard must have adopted the publication");
+
+    println!("  training CNN-L (per-flow registers) for the transplant smoke...");
+    let data = ModelData::new().with_raw(&views.raw).with_seq(&views.seq);
+    let cnn = Pegasus::new(CnnL::fit(&views.raw, &views.seq, CnnLVariant::v44(), settings))
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys");
+    let flow = swap_cost(&cnn, spec, source_cfg);
+    println!(
+        "  CNN-L: apply {:.0} µs, pps {:.0} -> {:.0}, transplant {} slot(s) adopted on first \
+         touch, {} pending at shutdown, {} completed",
+        flow.apply_micros,
+        flow.pps_no_swap,
+        flow.pps_with_swap,
+        flow.adopted_slots,
+        flow.pending_slots,
+        flow.transplants_completed,
+    );
+    assert!(
+        flow.apply_micros < 1_000.0,
+        "flow-pipeline apply must be sub-millisecond too (the swap never walks the register \
+         file), got {:.0} µs",
+        flow.apply_micros
+    );
+    assert!(flow.adopted_slots > 0, "post-swap traffic must adopt register slots");
 }
 
 /// The design the engine's sharding removes: N worker threads over ONE
@@ -1130,7 +1217,7 @@ fn render_json(
     let _ = writeln!(out, "  \"host_cores\": {cores},");
     let _ = writeln!(
         out,
-        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the control-plane call latency (flush + per-shard apply behind queued batches + all-shard ack); pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch. churn pushes 4x the streaming flow population of short-lived flows (single thread, flattened LUTs) through a fixed 1024-slot flow table with packet-count aging vs an effectively unbounded table: state_bytes_samples are taken at 8 evenly spaced points of the stream -- the bounded curve is flat at the capacity (overflow surfaces as evictions_idle/evictions_capacity) while the unbounded curve (the old HashMap tracker's per-entry estimate) grows linearly with live flows. raw_path measures the single-thread bytes-to-verdict pipeline over an in-memory pcap rendering of the streaming workload: parse_only_fps is the zero-copy wire parser alone; bytes_to_verdict_pps is the fused *batched* RawIngress pass at batch_size frames per batch (structure-of-arrays parse, hinted flow-slot resolution with a per-batch flow cache, feature extraction, one flattened-LUT batch sweep per batch, per-batch timing, no per-packet allocation); per_frame_pps is the pre-batching frame-at-a-time loop kept as the reference, and batch_sweep spans 1/8/32/64 frames per batch -- every sweep point is asserted bit-identical to the per-frame counters (verdict counts, flow table, parse buckets) before being reported. structured_single_pass_pps is the same inference loop over the identical packets pre-parsed into owned TracePackets (parse cost paid outside the timed region) -- raw_over_structured is therefore the whole-frontend overhead of serving straight from wire bytes, and wire_gbit_per_s restates bytes_to_verdict_pps as wire bandwidth at the workload's mean frame size. routing measures the compiled tenant routing plane: sweep times CompiledRouter::route per packet over a synthetic rule mix (mostly exact dst-ports in the 65536-slot LUT, /24 subnets in the prefix tries, protocol rules -- every rule an O(1) structure; the residual fallback's bounded early-exit scan is pinned by tests, not this sweep) against the naive first-match predicate scan on the identical packets -- dispatch_flatness_max_over_min is the largest-over-smallest-sweep-point cost ratio, the O(1)-dispatch claim. fleet attaches 1000 tenants serving the same artifact to a live 1-shard EngineServer (one exact dst-port each), pushes a 10:1 routed:unrouted workload, and reports the content-hash dedup accounting: resident_artifact_bytes is what the fleet actually holds, naive_artifact_bytes what per-tenant copies would hold.\",");
+        "  \"note\": \"pps is wall-clock over the whole streaming pipeline (generation + dispatch + inference). Shard scaling and lock contention are only observable when host_cores >= shards; on a single-core host every thread serializes, so the engine's measured gain is the flattened-LUT hot path (see flat_engine_speedup_over_simulator) and shard_speedup_4_over_1 hovers around 1.0. reference_locked_shared_4threads_pps is the naive multithreaded design (one mutex-guarded flow table shared by 4 workers) measured WITHOUT generation/dispatch cost; with real core counts it collapses under lock contention while shard-owned state scales. p50/p99_latency_ns are the geometric midpoint of the log2 latency bucket the quantile rank falls in (max sqrt(2) relative error), clamped to the largest recorded sample — not the bucket upper bound the pre-control-plane format reported. swap measures one mid-run hot swap on a 1-shard EngineServer: swap_apply_micros is the dataplane-visible apply latency the swap call reports about itself: the dispatcher-lock commit window (budget gates + epoch/RCU publication -- artifact verification and dedup run before it outside any lock and stall nothing; no queue is drained, so the apply is independent of queue depth and flow count, where the old flush-based apply held the lock for tens of milliseconds). Each shard adopts the publication at its next packet boundary: swaps_applied/applied_epoch confirm shard-side convergence, and adopted_slots/pending_slots/transplants_completed report the adopt-on-first-touch register transplant's progress (zero for stateless pipelines, which carry no per-flow register file; the --swap-only smoke additionally exercises a per-flow CNN-L swap and asserts the transplant advances). pps_with_swap vs pps_no_swap is the throughput dip of the interrupted stream (median of 3 runs each); max_latency_ns_* bounds the worst per-packet processing latency across the swap epoch. churn pushes 4x the streaming flow population of short-lived flows (single thread, flattened LUTs) through a fixed 1024-slot flow table with packet-count aging vs an effectively unbounded table: state_bytes_samples are taken at 8 evenly spaced points of the stream -- the bounded curve is flat at the capacity (overflow surfaces as evictions_idle/evictions_capacity) while the unbounded curve (the old HashMap tracker's per-entry estimate) grows linearly with live flows. raw_path measures the single-thread bytes-to-verdict pipeline over an in-memory pcap rendering of the streaming workload: parse_only_fps is the zero-copy wire parser alone; bytes_to_verdict_pps is the fused *batched* RawIngress pass at batch_size frames per batch (structure-of-arrays parse, hinted flow-slot resolution with a per-batch flow cache, feature extraction, one flattened-LUT batch sweep per batch, per-batch timing, no per-packet allocation); per_frame_pps is the pre-batching frame-at-a-time loop kept as the reference, and batch_sweep spans 1/8/32/64 frames per batch -- every sweep point is asserted bit-identical to the per-frame counters (verdict counts, flow table, parse buckets) before being reported. structured_single_pass_pps is the same inference loop over the identical packets pre-parsed into owned TracePackets (parse cost paid outside the timed region) -- raw_over_structured is therefore the whole-frontend overhead of serving straight from wire bytes, and wire_gbit_per_s restates bytes_to_verdict_pps as wire bandwidth at the workload's mean frame size. routing measures the compiled tenant routing plane: sweep times CompiledRouter::route per packet over a synthetic rule mix (mostly exact dst-ports in the 65536-slot LUT, /24 subnets in the prefix tries, protocol rules -- every rule an O(1) structure; the residual fallback's bounded early-exit scan is pinned by tests, not this sweep) against the naive first-match predicate scan on the identical packets -- dispatch_flatness_max_over_min is the largest-over-smallest-sweep-point cost ratio, the O(1)-dispatch claim. fleet attaches 1000 tenants serving the same artifact to a live 1-shard EngineServer (one exact dst-port each), pushes a 10:1 routed:unrouted workload, and reports the content-hash dedup accounting: resident_artifact_bytes is what the fleet actually holds, naive_artifact_bytes what per-tenant copies would hold.\",");
     let _ = writeln!(out, "  \"raw_path\": {{");
     let _ = writeln!(out, "    \"frames\": {},", raw.frames);
     let _ = writeln!(out, "    \"pcap_bytes\": {},", raw.pcap_bytes);
@@ -1269,9 +1356,15 @@ fn render_json(
         );
         let _ = writeln!(
             out,
-            "        \"max_latency_ns_with_swap\": {}",
+            "        \"max_latency_ns_with_swap\": {},",
             row.swap.max_latency_ns_with_swap
         );
+        let _ = writeln!(out, "        \"swaps_applied\": {},", row.swap.swaps_applied);
+        let _ = writeln!(out, "        \"applied_epoch\": {},", row.swap.applied_epoch);
+        let _ = writeln!(out, "        \"adopted_slots\": {},", row.swap.adopted_slots);
+        let _ = writeln!(out, "        \"pending_slots\": {},", row.swap.pending_slots);
+        let _ =
+            writeln!(out, "        \"transplants_completed\": {}", row.swap.transplants_completed);
         let _ = writeln!(out, "      }},");
         let _ = writeln!(out, "      \"runs\": [");
         for (ri, (shards, r)) in row.runs.iter().enumerate() {

@@ -34,6 +34,12 @@ pub struct BenchConfig {
     /// rules as `churn_only`): attaches a 1k-tenant fleet, asserts the
     /// routed/unrouted counters and a flat per-packet dispatch-cost bound.
     pub routing_only: bool,
+    /// Run only the hot-swap cost section (CI smoke mode; same skipping
+    /// rules as `churn_only`): measures the epoch/RCU apply latency, the
+    /// throughput dip and the adopt-on-first-touch transplant progress,
+    /// and asserts the stall-free bounds (sub-millisecond apply, <5% pps
+    /// dip).
+    pub swap_only: bool,
 }
 
 impl BenchConfig {
@@ -48,7 +54,8 @@ impl BenchConfig {
 }
 
 /// Parses the standard CLI flags (`--quick`, `--seed N`, `--flows N`,
-/// `--churn-only`, `--raw-only`, `--raw-batch-only`, `--routing-only`).
+/// `--churn-only`, `--raw-only`, `--raw-batch-only`, `--routing-only`,
+/// `--swap-only`).
 pub fn parse_args() -> BenchConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = BenchConfig {
@@ -59,6 +66,7 @@ pub fn parse_args() -> BenchConfig {
         raw_only: false,
         raw_batch_only: false,
         routing_only: false,
+        swap_only: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -79,6 +87,9 @@ pub fn parse_args() -> BenchConfig {
             "--routing-only" => {
                 cfg.routing_only = true;
             }
+            "--swap-only" => {
+                cfg.swap_only = true;
+            }
             "--seed" => {
                 i += 1;
                 cfg.seed = args[i].parse().expect("--seed takes a number");
@@ -88,7 +99,7 @@ pub fn parse_args() -> BenchConfig {
                 cfg.flows_per_class = args[i].parse().expect("--flows takes a number");
             }
             other => panic!(
-                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only / --raw-batch-only / --routing-only)"
+                "unknown argument {other} (try --quick / --seed N / --flows N / --churn-only / --raw-only / --raw-batch-only / --routing-only / --swap-only)"
             ),
         }
         i += 1;
@@ -98,8 +109,9 @@ pub fn parse_args() -> BenchConfig {
             + u8::from(cfg.raw_only)
             + u8::from(cfg.raw_batch_only)
             + u8::from(cfg.routing_only)
+            + u8::from(cfg.swap_only)
             <= 1,
-        "--churn-only, --raw-only, --raw-batch-only and --routing-only are mutually exclusive (each runs only its own section)"
+        "--churn-only, --raw-only, --raw-batch-only, --routing-only and --swap-only are mutually exclusive (each runs only its own section)"
     );
     cfg
 }
@@ -169,6 +181,7 @@ mod tests {
             raw_only: false,
             raw_batch_only: false,
             routing_only: false,
+            swap_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         assert_eq!(p.classes, 3);

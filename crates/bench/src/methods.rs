@@ -237,6 +237,7 @@ mod tests {
             raw_only: false,
             raw_batch_only: false,
             routing_only: false,
+            swap_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::Leo, &p, &cfg);
@@ -254,6 +255,7 @@ mod tests {
             raw_only: false,
             raw_batch_only: false,
             routing_only: false,
+            swap_only: false,
         };
         let p = prepare(&peerrush(), &cfg);
         let r = run_method(Method::MlpB, &p, &cfg);

@@ -57,6 +57,9 @@ enum RawExec {
 pub struct RawIngress {
     exec: RawExec,
     stats: ShardStats,
+    /// Build-time flow-table shape, kept for kind-changing swaps (the
+    /// rebuilt exec keeps the configured bounds).
+    table: FlowTableConfig,
     /// Reused verdict buffer for the batched path.
     verdicts: Vec<Option<usize>>,
 }
@@ -80,12 +83,57 @@ impl RawIngress {
             ))),
             ArtifactPlane::Flow(fc) => RawExec::Flow(Box::new(FlowShard::new(fc.fork()))),
         };
-        Ok(RawIngress { exec, stats: ShardStats::new(0), verdicts: Vec::new() })
+        Ok(RawIngress { exec, stats: ShardStats::new(0), table, verdicts: Vec::new() })
     }
 
     /// [`RawIngress::new`] with the default flow-table shape.
     pub fn with_defaults(artifact: &EngineArtifact) -> Result<Self, PegasusError> {
         RawIngress::new(artifact, FlowTableConfig::default())
+    }
+
+    /// Hot-swaps the executing artifact between frames (or batches) —
+    /// the raw path's equivalent of the server's epoch/RCU apply, with
+    /// the same boundary semantics: every frame processed before this
+    /// call ran under the old artifact, every frame after it runs under
+    /// the new one, and per-flow register state migrates
+    /// adopt-on-first-touch under the same `grace_packets` contract as
+    /// [`TenantConfig::swap_grace_packets`]. The incoming artifact is
+    /// validated against the build-time flow-table shape exactly like
+    /// [`ControlHandle::swap`]; a rejected swap changes nothing. Returns
+    /// whether per-flow state carried over.
+    ///
+    /// [`ControlHandle::swap`]: crate::engine::ControlHandle::swap
+    /// [`TenantConfig::swap_grace_packets`]: crate::engine::TenantConfig::swap_grace_packets
+    pub fn swap(
+        &mut self,
+        artifact: &EngineArtifact,
+        grace_packets: u64,
+    ) -> Result<bool, PegasusError> {
+        artifact.validate_state_budget(&self.table)?;
+        let t0 = Instant::now();
+        let retained = match (&mut self.exec, &artifact.plane) {
+            (RawExec::Stateless(shard), ArtifactPlane::Stateless(dp)) => {
+                shard.swap(dp.clone(), artifact.features);
+                true
+            }
+            (RawExec::Flow(shard), ArtifactPlane::Flow(fc)) => shard.swap(fc, grace_packets),
+            (exec, ArtifactPlane::Stateless(dp)) => {
+                *exec = RawExec::Stateless(Box::new(StatelessShard::new(
+                    dp.clone(),
+                    artifact.features,
+                    self.table,
+                )));
+                false
+            }
+            (exec, ArtifactPlane::Flow(fc)) => {
+                *exec = RawExec::Flow(Box::new(FlowShard::new(fc.fork())));
+                false
+            }
+        };
+        self.stats.swap.applied_epoch += 1;
+        self.stats.swap.swaps_applied += 1;
+        self.stats.swap.last_apply_nanos = t0.elapsed().as_nanos() as u64;
+        Ok(retained)
     }
 
     /// Processes one raw frame: parse, flow update, features, verdict —
@@ -237,6 +285,9 @@ impl RawIngress {
             RawExec::Stateless(s) => s.table_counters(),
             RawExec::Flow(s) => s.table_counters(),
         };
+        if let RawExec::Flow(s) = &self.exec {
+            s.swap_counters(&mut stats.swap);
+        }
         stats.flows = stats.table.occupancy;
         stats
     }

@@ -22,10 +22,13 @@
 //!   compiled plane entirely (first-match [`PredicateRouter`] is the
 //!   reference implementation);
 //! * [`swap`](ControlHandle::swap) hot-swaps a tenant's compiled artifact
-//!   atomically per shard via an epoch-published [`Arc`] — flow feature
-//!   windows and per-flow register files are *retained* across swaps of
-//!   compatible pipelines, so established flows keep classifying without
-//!   re-warming (the table-entry-rewrite story);
+//!   via epoch/RCU publication — the control plane validates, commits the
+//!   new `Arc` into the tenant entry, and returns without draining a
+//!   single queue; each shard adopts the new epoch at its next packet
+//!   boundary. Flow feature windows and per-flow register files are
+//!   *retained* across swaps of compatible pipelines — migrated slot by
+//!   slot as flows are touched under the new epoch — so established flows
+//!   keep classifying without re-warming (the table-entry-rewrite story);
 //! * [`detach`](ControlHandle::detach) drains a tenant's in-flight batches
 //!   and returns its final report without disturbing other tenants;
 //! * [`stats`](ControlHandle::stats) snapshots live per-tenant/per-shard
@@ -36,13 +39,31 @@
 //!
 //! # Ordering guarantees
 //!
-//! Control operations are serialized with ingress through the dispatcher:
-//! a `swap` (or `detach`) takes effect *after* every packet pushed before
-//! the call and *before* every packet pushed after it, on every shard —
-//! each shard's channel is FIFO and control messages travel in-band. That
-//! makes swap semantics exact rather than approximate: there is a single
-//! per-shard epoch boundary, which `tests/stream_engine.rs` exploits to
-//! assert verdict equivalence around a mid-stream swap.
+//! `attach` and `detach` are serialized with ingress through the
+//! dispatcher: their control messages travel in-band on each shard's FIFO
+//! channel, so a detach takes effect after every packet pushed before the
+//! call and before every packet pushed after it.
+//!
+//! `swap` is deliberately weaker — and therefore stall-free. The new
+//! artifact is published epoch/RCU-style into the tenant entry (an atomic
+//! epoch hint plus a mutex-guarded `(epoch, Arc)` slot); each shard
+//! compares the hint against its locally applied epoch at every packet
+//! boundary and adopts the publication when they differ. The guarantee
+//! is one-sided: every packet pushed *after* `swap` returns is processed
+//! under the new artifact, while packets pushed before the call but
+//! still queued may land on either side of the boundary (the flip can
+//! only move *earlier*, never later). No queue is drained and the
+//! dispatcher lock is held only for the O(1) validate-and-commit, so
+//! apply latency is microseconds regardless of queue depth. Callers that
+//! need the old exact boundary (the equivalence tests in
+//! `tests/stream_engine.rs`) quiesce first: flush, wait for the packet
+//! counters to settle, then swap.
+//!
+//! Per-flow register state survives a state-compatible swap without a
+//! stop-the-world transplant: the outgoing register file is detached and
+//! each flow's slot is copied into the new fork the first time that flow
+//! is touched under the new epoch (see `SwapCounters` for the progress
+//! counters and the grace-window memory bound).
 //!
 //! The legacy one-shot [`Deployment::stream`](crate::pipeline::Deployment::stream) /
 //! [`stream_with`](crate::pipeline::Deployment::stream_with) calls are thin
@@ -51,7 +72,7 @@
 
 use crate::engine::stats::{
     ArtifactCounters, LatencyHistogram, ParseErrorCounters, RoutingCounters, ShardStats,
-    StreamReport,
+    StreamReport, SwapCounters,
 };
 use crate::engine::{FlattenSkip, FlowShard, StatelessShard, HOST_WINDOW_STATE_BITS};
 use crate::error::PegasusError;
@@ -305,7 +326,10 @@ impl TenantExec {
     }
 
     /// Applies a hot swap; returns whether per-flow state was retained.
-    fn swap(&mut self, artifact: &EngineArtifact, table: FlowTableConfig) -> bool {
+    /// For per-flow pipelines the apply is O(1): register state migrates
+    /// adopt-on-first-touch afterwards, with `grace_packets` bounding how
+    /// long the detached old file may live (0 = until drained).
+    fn swap(&mut self, artifact: &EngineArtifact, table: FlowTableConfig, grace: u64) -> bool {
         match (&mut *self, &artifact.plane) {
             (TenantExec::Stateless(shard), ArtifactPlane::Stateless(dp)) => {
                 // Host feature windows are keyed by five-tuple alone:
@@ -313,7 +337,7 @@ impl TenantExec {
                 shard.swap(dp.clone(), artifact.features);
                 true
             }
-            (TenantExec::Flow(shard), ArtifactPlane::Flow(fc)) => shard.swap(fc),
+            (TenantExec::Flow(shard), ArtifactPlane::Flow(fc)) => shard.swap(fc, grace),
             // Kind change: rebuild from scratch, state cannot carry over.
             (slot, _) => {
                 *slot = TenantExec::new(artifact, table);
@@ -334,6 +358,34 @@ impl TenantExec {
             TenantExec::Stateless(s) => s.table_counters(),
             TenantExec::Flow(s) => s.table_counters(),
         }
+    }
+
+    /// Refreshes the transplant-progress gauges (apply-side counters are
+    /// maintained by the worker that performed the apply).
+    fn swap_counters(&self, swap: &mut SwapCounters) {
+        match self {
+            TenantExec::Stateless(_) => {}
+            TenantExec::Flow(s) => s.swap_counters(swap),
+        }
+    }
+}
+
+/// Whether swapping `old` for `new` carries per-flow state across, decided
+/// control-plane-side so [`SwapReport::state_retained`] never waits on a
+/// shard: stateless pipelines always keep their host feature windows
+/// (keyed by five-tuple alone), per-flow pipelines keep register files
+/// exactly when the shapes are [`state_compatible`]
+/// (every shard applies the same deterministic check), and a kind change
+/// rebuilds from scratch.
+///
+/// [`state_compatible`]: FlowClassifier::state_compatible
+fn swap_retains_state(old: &EngineArtifact, new: &EngineArtifact) -> bool {
+    match (&old.plane, &new.plane) {
+        (ArtifactPlane::Stateless(_), ArtifactPlane::Stateless(_)) => true,
+        (ArtifactPlane::Flow(old_fc), ArtifactPlane::Flow(new_fc)) => {
+            new_fc.state_compatible(old_fc)
+        }
+        _ => false,
     }
 }
 
@@ -359,6 +411,7 @@ pub struct TenantConfig {
     route: RoutePredicate,
     record_predictions: bool,
     flow_table: FlowTableConfig,
+    swap_grace_packets: u64,
 }
 
 impl Default for TenantConfig {
@@ -368,6 +421,7 @@ impl Default for TenantConfig {
             route: RoutePredicate::Any,
             record_predictions: false,
             flow_table: FlowTableConfig::default(),
+            swap_grace_packets: 0,
         }
     }
 }
@@ -427,6 +481,19 @@ impl TenantConfig {
         self.flow_table.idle_timeout_packets = packets;
         self
     }
+
+    /// Bounds, per shard, how many packets the *old* register file may
+    /// outlive a state-compatible swap while its slots migrate
+    /// adopt-on-first-touch into the new artifact. `0` (the default)
+    /// keeps it until every slot has been adopted — memory stays bounded
+    /// at ≤ 2× register SRAM either way, since at most one transplant is
+    /// pending per shard — while a positive count trades completeness
+    /// for promptness: slots not touched within the window are dropped
+    /// and those flows re-warm from zeroed registers.
+    pub fn swap_grace_packets(mut self, packets: u64) -> Self {
+        self.swap_grace_packets = packets;
+        self
+    }
 }
 
 /// One tenant's routing registration, as routers see it.
@@ -473,13 +540,25 @@ pub enum FramePush {
 /// What one swap did.
 #[derive(Clone, Copy, Debug)]
 pub struct SwapReport {
-    /// The tenant's artifact epoch after the swap (attach = epoch 0; each
-    /// swap increments it once it is applied on every shard).
+    /// The tenant's published artifact epoch after the swap (attach =
+    /// epoch 0; each swap increments it). Shards adopt the publication at
+    /// their next packet boundary — watch the merged
+    /// [`SwapCounters::applied_epoch`] catch up to this value.
     pub epoch: u64,
-    /// Whether per-flow state (feature windows / register files) was
-    /// carried into the new artifact on all shards. `false` means the
-    /// pipelines were not state-compatible and flows re-warm.
+    /// Whether per-flow state (feature windows / register files) carries
+    /// into the new artifact: `true` when the pipelines are
+    /// state-compatible, in which case each shard migrates register slots
+    /// adopt-on-first-touch under the new epoch. `false` means flows
+    /// re-warm.
     pub state_retained: bool,
+    /// Wall-clock microseconds of the dataplane-visible apply: the
+    /// dispatcher-lock commit window — budget gates, tenant-entry
+    /// update, epoch/RCU publication. Artifact verification and dedup
+    /// run before it, outside any lock, and stall nothing. No queue is
+    /// drained, so this is independent of queue depth and flow count
+    /// (the old flush-based apply held the lock for tens of
+    /// milliseconds).
+    pub apply_micros: u64,
 }
 
 /// A live per-tenant statistics snapshot.
@@ -590,9 +669,45 @@ struct TenantShardOut {
 
 enum ShardMsg {
     Batch(Vec<Routed>),
-    Attach { tenant: u32, artifact: Arc<EngineArtifact>, record: bool, table: FlowTableConfig },
-    Swap { tenant: u32, artifact: Arc<EngineArtifact>, ack: SyncSender<bool> },
-    Detach { tenant: u32, ack: SyncSender<TenantShardOut> },
+    Attach {
+        tenant: u32,
+        artifact: Arc<EngineArtifact>,
+        record: bool,
+        table: FlowTableConfig,
+        /// The tenant's epoch/RCU publication cell — how every later swap
+        /// reaches this worker. Swaps send no shard message at all.
+        cell: Arc<SwapCell>,
+        grace: u64,
+    },
+    Detach {
+        tenant: u32,
+        ack: SyncSender<TenantShardOut>,
+    },
+}
+
+/// A tenant's epoch/RCU artifact publication, shared between the control
+/// plane (writer) and every shard worker (readers).
+///
+/// The atomic `epoch` is the fast-path hint: each worker compares it
+/// against its locally applied epoch once per packet boundary — one
+/// `Acquire` load on the hot path — and only when they differ takes the
+/// mutex to read the authoritative `(epoch, Arc)` pair. The workspace
+/// forbids `unsafe`, so this hint-plus-mutex pair is the safe-Rust RCU:
+/// the slot lock is contended only during the one boundary crossing that
+/// actually applies a swap, never in steady state.
+///
+/// Publication order matters: the control plane commits the slot first,
+/// then stores the epoch hint with `Release`, so a worker whose `Acquire`
+/// load observes the new epoch is guaranteed to find (at least) that
+/// publication in the slot.
+struct SwapCell {
+    epoch: AtomicU64,
+    slot: Mutex<SwapSlot>,
+}
+
+struct SwapSlot {
+    epoch: u64,
+    artifact: Arc<EngineArtifact>,
 }
 
 /// One worker's per-tenant serving state.
@@ -603,15 +718,47 @@ struct WorkerTenant {
     /// Attach-time flow-table shape, kept for kind-changing swaps (the
     /// rebuilt exec keeps the tenant's configured bounds).
     table: FlowTableConfig,
+    /// The tenant's epoch/RCU publication cell (shared with the control
+    /// plane and the other shards).
+    cell: Arc<SwapCell>,
+    /// The publication epoch this worker's exec currently runs.
+    applied_epoch: u64,
+    /// Attach-time transplant grace window (see
+    /// [`TenantConfig::swap_grace_packets`]).
+    grace: u64,
     preds: HashMap<FiveTuple, Vec<usize>>,
     err: Option<PegasusError>,
 }
 
 impl WorkerTenant {
+    /// The per-packet-boundary RCU check: one `Acquire` load against the
+    /// locally applied epoch; on mismatch, adopt the published artifact.
+    /// The apply is O(1) in flows — per-flow register state migrates
+    /// adopt-on-first-touch afterwards.
+    fn maybe_apply_swap(&mut self) {
+        if self.cell.epoch.load(Ordering::Acquire) == self.applied_epoch {
+            return;
+        }
+        let (epoch, artifact) = {
+            let slot = self.cell.slot.lock().expect("swap cell poisoned");
+            (slot.epoch, Arc::clone(&slot.artifact))
+        };
+        if epoch == self.applied_epoch {
+            return;
+        }
+        let t0 = Instant::now();
+        self.exec.swap(&artifact, self.table, self.grace);
+        self.applied_epoch = epoch;
+        self.stats.swap.applied_epoch = epoch;
+        self.stats.swap.swaps_applied += 1;
+        self.stats.swap.last_apply_nanos = t0.elapsed().as_nanos() as u64;
+    }
+
     fn finalize(mut self) -> TenantShardOut {
         self.stats.table = self.exec.table_counters();
         // The flows metric IS the table's occupancy — one source of truth.
         self.stats.flows = self.stats.table.occupancy;
+        self.exec.swap_counters(&mut self.stats.swap);
         TenantShardOut { stats: self.stats, preds: self.preds, err: self.err }
     }
 }
@@ -639,17 +786,29 @@ struct TenantMeta {
     name: String,
     attached: Instant,
     routed_packets: AtomicU64,
-    epoch: AtomicU64,
-    /// Why the current artifact runs on the simulator fallback (swaps
-    /// replace it) — a mutex because it is a string, touched only at
-    /// attach/swap and on stats reads.
-    flatten_skip: Mutex<Option<String>>,
-    /// Serialized size of the tenant's artifact content, for dedup
-    /// accounting.
-    artifact_bytes: AtomicU64,
+    /// The tenant's artifact identity as one consistently published
+    /// value: epoch, dedup key, content size and flatten-skip reason
+    /// change *together* under this mutex on every swap, so a stats/list
+    /// snapshot can never pair the new epoch with the old artifact's key
+    /// or byte size. (These used to be independent relaxed atomics, and a
+    /// snapshot racing a swap could mix generations.) Touched only at
+    /// attach/swap and on stats reads — never on the packet path.
+    published: Mutex<PublishedArtifact>,
+}
+
+/// The swap-published portion of a tenant's identity — see
+/// [`TenantMeta::published`].
+struct PublishedArtifact {
+    /// Artifact epoch (attach = 0; each swap increments it).
+    epoch: u64,
     /// Content hash of the tenant's artifact — tenants with equal keys
     /// share one `Arc` (the dedup invariant the cache enforces).
-    artifact_key: AtomicU64,
+    artifact_key: u64,
+    /// Serialized size of the tenant's artifact content, for dedup
+    /// accounting.
+    artifact_bytes: u64,
+    /// Why the current artifact runs on the simulator fallback.
+    flatten_skip: Option<String>,
 }
 
 struct TenantEntry {
@@ -659,11 +818,13 @@ struct TenantEntry {
     /// Attach-time flow-table shape; swaps re-validate the incoming
     /// artifact's state cost against it.
     table: FlowTableConfig,
-    /// The epoch-published artifact: the control plane stores the current
-    /// `Arc` here (possibly shared with other tenants via dedup) and bumps
-    /// the meta epoch on every swap; workers receive the same `Arc`
-    /// in-band so each shard flips at one exact packet boundary.
+    /// The current artifact `Arc` (possibly shared with other tenants via
+    /// dedup) — the control plane's authoritative copy, used to decide
+    /// state retention and budget deltas on the next swap.
     artifact: Arc<EngineArtifact>,
+    /// The epoch/RCU cell every shard worker polls; swaps publish the new
+    /// artifact here instead of broadcasting shard messages.
+    cell: Arc<SwapCell>,
     /// This tenant's contribution to the aggregate fleet SRAM ledger.
     state_cost_bits: u64,
 }
@@ -1055,6 +1216,7 @@ fn publish(shard: usize, shared: &EngineShared, tenants: &HashMap<u32, WorkerTen
         let mut stats = wt.stats.clone();
         stats.table = wt.exec.table_counters();
         stats.flows = stats.table.occupancy;
+        wt.exec.swap_counters(&mut stats.swap);
         board.insert(id, BoardEntry { stats, failed: wt.err.is_some() });
     }
 }
@@ -1073,6 +1235,14 @@ fn worker_loop(
         let msg = match rx.try_recv() {
             Ok(m) => m,
             Err(TryRecvError::Empty) => {
+                // An idle shard adopts pending swap publications eagerly:
+                // a quiesced engine converges to the published epoch
+                // without waiting for the next packet.
+                for wt in tenants.values_mut() {
+                    if wt.err.is_none() {
+                        wt.maybe_apply_swap();
+                    }
+                }
                 publish(shard, shared, &tenants);
                 since_publish = 0;
                 match rx.recv() {
@@ -1089,6 +1259,7 @@ fn worker_loop(
                     if wt.err.is_some() {
                         continue;
                     }
+                    wt.maybe_apply_swap();
                     let t0 = Instant::now();
                     let verdict = wt.exec.process(&routed.pkt);
                     let nanos = t0.elapsed().as_nanos() as u64;
@@ -1115,7 +1286,10 @@ fn worker_loop(
                     }
                 }
             }
-            ShardMsg::Attach { tenant, artifact, record, table } => {
+            ShardMsg::Attach { tenant, artifact, record, table, cell, grace } => {
+                // The cell may already carry swaps published after this
+                // attach was enqueued; start from the artifact the attach
+                // shipped and let the first boundary check catch up.
                 tenants.insert(
                     tenant,
                     WorkerTenant {
@@ -1123,22 +1297,14 @@ fn worker_loop(
                         stats: ShardStats::new(shard),
                         record,
                         table,
+                        cell,
+                        applied_epoch: 0,
+                        grace,
                         preds: HashMap::new(),
                         err: None,
                     },
                 );
                 publish(shard, shared, &tenants);
-            }
-            ShardMsg::Swap { tenant, artifact, ack } => {
-                let retained = match tenants.get_mut(&tenant) {
-                    Some(wt) => {
-                        let table = wt.table;
-                        wt.exec.swap(&artifact, table)
-                    }
-                    None => false,
-                };
-                publish(shard, shared, &tenants);
-                let _ = ack.send(retained);
             }
             ShardMsg::Detach { tenant, ack } => {
                 let out = match tenants.remove(&tenant) {
@@ -1155,6 +1321,27 @@ fn worker_loop(
         }
     }
     tenants.into_iter().map(|(id, wt)| (id, wt.finalize())).collect()
+}
+
+/// Broadcasts one control message per shard, all-or-nothing: if a send
+/// fails partway (a worker's receiver is gone), every shard already
+/// reached is sent the `undo` message best-effort and the whole operation
+/// fails — no shard is left carrying state the control plane never
+/// committed, and no two shards end up on different sides of the change.
+fn broadcast_all_or_nothing(
+    txs: &[SyncSender<ShardMsg>],
+    mut msg: impl FnMut() -> ShardMsg,
+    mut undo: impl FnMut() -> ShardMsg,
+) -> Result<(), PegasusError> {
+    for (reached, tx) in txs.iter().enumerate() {
+        if tx.send(msg()).is_err() {
+            for prev in &txs[..reached] {
+                let _ = prev.send(undo());
+            }
+            return Err(PegasusError::EngineStopped);
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -1347,24 +1534,41 @@ impl ControlHandle {
             }
             let token = TenantToken(d.next_id);
             d.next_id += 1;
-            for tx in d.txs()? {
-                tx.send(ShardMsg::Attach {
+            let cell = Arc::new(SwapCell {
+                epoch: AtomicU64::new(0),
+                slot: Mutex::new(SwapSlot { epoch: 0, artifact: Arc::clone(&artifact) }),
+            });
+            // All-or-nothing: a partial broadcast is rolled back with
+            // best-effort detaches so no shard keeps a tenant the control
+            // plane never committed.
+            broadcast_all_or_nothing(
+                d.txs()?,
+                || ShardMsg::Attach {
                     tenant: token.0,
                     artifact: Arc::clone(&artifact),
                     record: cfg.record_predictions,
                     table: cfg.flow_table,
-                })
-                .map_err(|_| PegasusError::EngineStopped)?;
-            }
+                    cell: Arc::clone(&cell),
+                    grace: cfg.swap_grace_packets,
+                },
+                || {
+                    // The rollback's ack receiver is dropped immediately:
+                    // workers send their detach ack best-effort.
+                    let (ack, _) = sync_channel::<TenantShardOut>(1);
+                    ShardMsg::Detach { tenant: token.0, ack }
+                },
+            )?;
             let meta = Arc::new(TenantMeta {
                 token,
                 name,
                 attached: Instant::now(),
                 routed_packets: AtomicU64::new(0),
-                epoch: AtomicU64::new(0),
-                flatten_skip: Mutex::new(artifact.flatten_skip()),
-                artifact_bytes: AtomicU64::new(bytes),
-                artifact_key: AtomicU64::new(key),
+                published: Mutex::new(PublishedArtifact {
+                    epoch: 0,
+                    artifact_key: key,
+                    artifact_bytes: bytes,
+                    flatten_skip: artifact.flatten_skip(),
+                }),
             });
             d.fleet_used_bits = d.fleet_used_bits.saturating_add(state_cost);
             d.tenants.push(TenantEntry {
@@ -1373,6 +1577,7 @@ impl ControlHandle {
                 record: cfg.record_predictions,
                 table: cfg.flow_table,
                 artifact,
+                cell,
                 state_cost_bits: state_cost,
             });
             d.reindex();
@@ -1412,15 +1617,27 @@ impl ControlHandle {
         }
     }
 
-    /// Hot-swaps a tenant's artifact: the new `Arc` is published with a
-    /// bumped epoch and applied by every shard at one exact packet
-    /// boundary — after all packets pushed before this call, before all
-    /// pushed after it. Per-flow state (feature windows, register files)
-    /// survives the swap when the artifacts are state-compatible (same
-    /// pipeline shape — e.g. a retrained model); otherwise the tenant's
-    /// flows re-warm, reported via
-    /// [`SwapReport::state_retained`]. Blocks until every shard has
-    /// applied the swap.
+    /// Hot-swaps a tenant's artifact via epoch/RCU publication: the new
+    /// `Arc` is committed into the tenant entry with a bumped epoch and
+    /// each shard adopts it at its next packet boundary. Nothing is
+    /// drained and no shard is signalled — the dispatcher lock is held
+    /// only for the O(1) validate-and-commit, so ingress pushes proceed
+    /// concurrently and apply latency ([`SwapReport::apply_micros`]) is
+    /// microseconds regardless of queue depth.
+    ///
+    /// Every validation gate (artifact verification, per-tenant state
+    /// budget, fleet budget) runs *before* anything is mutated: a
+    /// rejected swap is free — no queue drained, no state touched.
+    ///
+    /// The ordering guarantee is one-sided (see the [module
+    /// docs](self#ordering-guarantees)): packets pushed after this call
+    /// returns classify under the new artifact; packets already queued
+    /// may land on either side of the boundary. Per-flow state (feature
+    /// windows, register files) survives when the artifacts are
+    /// state-compatible (same pipeline shape — e.g. a retrained model),
+    /// migrated slot by slot as flows are touched under the new epoch;
+    /// otherwise the tenant's flows re-warm, reported via
+    /// [`SwapReport::state_retained`].
     ///
     /// ```no_run
     /// use pegasus_core::engine::server::TenantConfig;
@@ -1451,63 +1668,66 @@ impl ControlHandle {
             d.entry_index(token)?;
         }
         // Same gate as attach: the replacement artifact must verify clean
-        // before any shard sees the swap message.
+        // before it can be published to any shard. Runs outside the
+        // dispatcher lock — verification cost never stalls ingress, and
+        // is excluded from `apply_micros`, which times only the
+        // dataplane-visible commit window below.
         let report = artifact.verify_report();
         if report.has_errors() {
             return Err(PegasusError::Verify { report: Box::new(report) });
         }
         let (artifact, key, bytes) = self.shared.dedup_artifact(artifact);
-        let (ack_tx, ack_rx) = sync_channel::<bool>(self.shared.shards);
-        let epoch = {
-            let mut d = self.shared.lock_dispatch();
-            // Flush so already-pushed packets precede the swap in every
-            // shard's FIFO: the epoch boundary is exact.
-            d.flush()?;
-            let fleet_used = d.fleet_used_bits;
-            let tenant_count = d.tenants.len();
-            let entry = d.entry_mut(token)?;
-            // The incoming artifact must fit the tenant's state budget
-            // just like the original attach did (a swap to a hungrier
-            // pipeline shape must not sneak past the SRAM model), and the
-            // fleet ledger must absorb the cost delta.
-            artifact.validate_state_budget(&entry.table)?;
-            let new_cost = artifact.state_cost_bits(&entry.table);
-            if let Some(budget) = self.shared.fleet_budget_bits {
-                let needed =
-                    fleet_used.saturating_sub(entry.state_cost_bits).saturating_add(new_cost);
-                if needed > budget {
-                    return Err(PegasusError::FleetStateBudget {
-                        needed_bits: needed,
-                        budget_bits: budget,
-                        tenants: tenant_count,
-                    });
-                }
+        let t0 = Instant::now();
+        let mut d = self.shared.lock_dispatch();
+        d.txs()?;
+        let fleet_used = d.fleet_used_bits;
+        let tenant_count = d.tenants.len();
+        let entry = d.entry_mut(token)?;
+        // Remaining gates, still before any mutation: the incoming
+        // artifact must fit the tenant's state budget just like the
+        // original attach did (a swap to a hungrier pipeline shape must
+        // not sneak past the SRAM model), and the fleet ledger must
+        // absorb the cost delta. A swap rejected here has touched
+        // nothing — no queue drained, no entry mutated.
+        artifact.validate_state_budget(&entry.table)?;
+        let new_cost = artifact.state_cost_bits(&entry.table);
+        if let Some(budget) = self.shared.fleet_budget_bits {
+            let needed = fleet_used.saturating_sub(entry.state_cost_bits).saturating_add(new_cost);
+            if needed > budget {
+                return Err(PegasusError::FleetStateBudget {
+                    needed_bits: needed,
+                    budget_bits: budget,
+                    tenants: tenant_count,
+                });
             }
-            entry.artifact = Arc::clone(&artifact);
-            let epoch = entry.meta.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-            *entry.meta.flatten_skip.lock().expect("flatten-skip poisoned") =
-                artifact.flatten_skip();
-            entry.meta.artifact_bytes.store(bytes, Ordering::Relaxed);
-            entry.meta.artifact_key.store(key, Ordering::Relaxed);
-            let old_cost = entry.state_cost_bits;
-            entry.state_cost_bits = new_cost;
-            d.fleet_used_bits = d.fleet_used_bits.saturating_sub(old_cost).saturating_add(new_cost);
-            for tx in d.txs()? {
-                tx.send(ShardMsg::Swap {
-                    tenant: token.0,
-                    artifact: Arc::clone(&artifact),
-                    ack: ack_tx.clone(),
-                })
-                .map_err(|_| PegasusError::EngineStopped)?;
-            }
-            epoch
-        };
-        drop(ack_tx);
-        let mut state_retained = true;
-        for _ in 0..self.shared.shards {
-            state_retained &= ack_rx.recv().map_err(|_| PegasusError::EngineStopped)?;
         }
-        Ok(SwapReport { epoch, state_retained })
+        // Commit. State retention is decided here, against the artifact
+        // being replaced — the same deterministic shape check every shard
+        // applies — so the report never waits on a shard.
+        let state_retained = swap_retains_state(&entry.artifact, &artifact);
+        entry.artifact = Arc::clone(&artifact);
+        let old_cost = entry.state_cost_bits;
+        entry.state_cost_bits = new_cost;
+        let epoch = {
+            let mut p = entry.meta.published.lock().expect("tenant publication poisoned");
+            p.epoch += 1;
+            p.artifact_key = key;
+            p.artifact_bytes = bytes;
+            p.flatten_skip = artifact.flatten_skip();
+            p.epoch
+        };
+        // The RCU publication proper: authoritative slot first, epoch
+        // hint second (Release), so a worker that observes the new hint
+        // is guaranteed to find the new artifact in the slot.
+        {
+            let mut slot = entry.cell.slot.lock().expect("swap cell poisoned");
+            slot.epoch = epoch;
+            slot.artifact = Arc::clone(&artifact);
+        }
+        entry.cell.epoch.store(epoch, Ordering::Release);
+        d.fleet_used_bits = fleet_used.saturating_sub(old_cost).saturating_add(new_cost);
+        drop(d);
+        Ok(SwapReport { epoch, state_retained, apply_micros: t0.elapsed().as_micros() as u64 })
     }
 
     /// Unregisters a tenant: routing stops immediately, its in-flight
@@ -1580,8 +1800,14 @@ impl ControlHandle {
                     None => shards.push(ShardStats::new(shard)),
                 }
             }
-            let bytes = meta.artifact_bytes.load(Ordering::Relaxed);
-            let key = meta.artifact_key.load(Ordering::Relaxed);
+            // One lock, one generation: epoch, key, bytes and the
+            // flatten-skip reason are snapshotted together, so a swap
+            // racing this read can never yield a mixed view (new epoch
+            // with the old artifact's key/size).
+            let (epoch, key, bytes, flatten_skip) = {
+                let p = meta.published.lock().expect("tenant publication poisoned");
+                (p.epoch, p.artifact_key, p.artifact_bytes, p.flatten_skip.clone())
+            };
             artifacts.tenants += 1;
             artifacts.naive_bytes += bytes;
             if !seen_keys.contains(&key) {
@@ -1592,11 +1818,11 @@ impl ControlHandle {
             tenants.push(TenantStats {
                 token: meta.token,
                 name: meta.name.clone(),
-                epoch: meta.epoch.load(Ordering::Relaxed),
+                epoch,
                 routed_packets: meta.routed_packets.load(Ordering::Relaxed),
                 failed,
                 report: merge_report(shards, meta.attached.elapsed().as_nanos() as u64, None),
-                flatten_skip: meta.flatten_skip.lock().expect("flatten-skip poisoned").clone(),
+                flatten_skip,
             });
         }
         let routing = self.shared.counters.routing();
@@ -1635,6 +1861,9 @@ fn merge_report(
     let mut latency = LatencyHistogram::default();
     let mut table = crate::engine::stats::FlowTableCounters::default();
     let mut parse = ParseErrorCounters::default();
+    // Seed the epoch at MAX so the min-merge reflects the slowest shard;
+    // an empty shard list degrades to 0.
+    let mut swap = SwapCounters { applied_epoch: u64::MAX, ..SwapCounters::default() };
     let (mut packets, mut classified, mut warmup, mut flows) = (0u64, 0u64, 0u64, 0u64);
     for s in &shards {
         packets += s.packets;
@@ -1644,6 +1873,10 @@ fn merge_report(
         latency.merge(&s.latency);
         table.merge(&s.table);
         parse.merge(&s.parse);
+        swap.merge(&s.swap);
+    }
+    if swap.applied_epoch == u64::MAX {
+        swap.applied_epoch = 0;
     }
     StreamReport {
         shards,
@@ -1654,6 +1887,7 @@ fn merge_report(
         elapsed_nanos,
         latency,
         table,
+        swap,
         parse,
         predictions,
     }
@@ -1680,7 +1914,7 @@ fn tenant_report(entry: TenantEntry, outs: Vec<TenantShardOut>) -> TenantReport 
     TenantReport {
         token: entry.meta.token,
         name: entry.meta.name.clone(),
-        epoch: entry.meta.epoch.load(Ordering::Relaxed),
+        epoch: entry.meta.published.lock().expect("tenant publication poisoned").epoch,
         routed_packets: entry.meta.routed_packets.load(Ordering::Relaxed),
         result,
     }
@@ -1807,6 +2041,28 @@ mod tests {
         };
         assert_eq!(ingress.push(pkt), Err(PegasusError::EngineStopped));
         assert_eq!(ingress.flush().unwrap_err(), PegasusError::EngineStopped);
+    }
+
+    #[test]
+    fn partial_broadcast_rolls_back_reached_shards() {
+        let (tx0, rx0) = sync_channel::<ShardMsg>(4);
+        let (tx1, rx1) = sync_channel::<ShardMsg>(4);
+        let (tx2, rx2) = sync_channel::<ShardMsg>(4);
+        // Shard 1's worker is gone: the mid-loop send must fail, and the
+        // control message shard 0 already received must be undone so the
+        // shards never diverge.
+        drop(rx1);
+        let txs = vec![tx0, tx1, tx2];
+        let mk = || {
+            let (ack, _) = sync_channel::<TenantShardOut>(1);
+            ShardMsg::Detach { tenant: 7, ack }
+        };
+        let err = broadcast_all_or_nothing(&txs, mk, mk).unwrap_err();
+        assert_eq!(err, PegasusError::EngineStopped);
+        // Shard 0 (reached before the failure) got the message plus its
+        // undo; shard 2 (past the failure) was never touched.
+        assert_eq!(rx0.try_iter().count(), 2);
+        assert_eq!(rx2.try_iter().count(), 0);
     }
 
     #[test]

@@ -218,6 +218,58 @@ impl FlowTableCounters {
     }
 }
 
+/// Hot-swap application and adopt-on-first-touch transplant progress for
+/// one shard (or, merged, a whole tenant).
+///
+/// Swaps are published epoch/RCU-style: the control plane stores the new
+/// artifact in the tenant entry and each shard picks it up at its next
+/// packet/batch boundary, so these counters are how an operator watches an
+/// apply land — `applied_epoch` catching up to the control plane's epoch,
+/// then `pending_slots` draining to zero as flows are touched under the
+/// new artifact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwapCounters {
+    /// Artifact epoch this shard last applied. In a merged report this is
+    /// the *minimum* across shards — the epoch every shard has reached —
+    /// so one lagging shard keeps the tenant's reported epoch honest.
+    pub applied_epoch: u64,
+    /// Swap publications this shard picked up at a packet/batch boundary.
+    pub swaps_applied: u64,
+    /// Nanoseconds the most recent apply took on this shard: the fork and
+    /// register detach only — the transplant itself is amortized over
+    /// subsequent packets. Merged reports keep the max across shards.
+    pub last_apply_nanos: u64,
+    /// Flow slots whose register state was migrated old→new, either on a
+    /// flow's first touch under the new epoch or by the eager completion
+    /// a chained swap forces.
+    pub adopted_slots: u64,
+    /// Slots still awaiting adoption (gauge). The outgoing register file
+    /// stays alive — bounding swap memory at ≤ 2× register SRAM — exactly
+    /// while this is non-zero.
+    pub pending_slots: u64,
+    /// Transplants that completed by draining every slot.
+    pub transplants_completed: u64,
+    /// Transplants cut short by the packet-count grace window; their
+    /// remaining flows re-warm from zeroed registers.
+    pub transplants_expired: u64,
+}
+
+impl SwapCounters {
+    /// Folds another shard's swap counters into this one (see the field
+    /// docs for per-field merge semantics). Start the fold from the first
+    /// shard's counters, not `default()`, so the `applied_epoch` minimum
+    /// is taken over real values.
+    pub fn merge(&mut self, other: &SwapCounters) {
+        self.applied_epoch = self.applied_epoch.min(other.applied_epoch);
+        self.swaps_applied += other.swaps_applied;
+        self.last_apply_nanos = self.last_apply_nanos.max(other.last_apply_nanos);
+        self.adopted_slots += other.adopted_slots;
+        self.pending_slots += other.pending_slots;
+        self.transplants_completed += other.transplants_completed;
+        self.transplants_expired += other.transplants_expired;
+    }
+}
+
 /// One shard worker's counters.
 #[derive(Clone, Debug)]
 pub struct ShardStats {
@@ -239,6 +291,8 @@ pub struct ShardStats {
     pub latency: LatencyHistogram,
     /// Occupancy/eviction/collision counters of this shard's flow table.
     pub table: FlowTableCounters,
+    /// Hot-swap apply and transplant-progress counters.
+    pub swap: SwapCounters,
     /// Raw frames this execution context rejected at parse time. Always
     /// zero for server shard workers (the dispatcher parses before
     /// routing — see `EngineStats::parse_errors`); populated by the
@@ -258,6 +312,7 @@ impl ShardStats {
             busy_nanos: 0,
             latency: LatencyHistogram::default(),
             table: FlowTableCounters::default(),
+            swap: SwapCounters::default(),
             parse: ParseErrorCounters::default(),
         }
     }
@@ -294,6 +349,9 @@ pub struct StreamReport {
     /// Merged flow-table counters across shards (capacity sums: each
     /// shard owns a full table, the forked register-file model).
     pub table: FlowTableCounters,
+    /// Merged hot-swap apply/transplant counters (`applied_epoch` is the
+    /// minimum across shards, counts sum, `last_apply_nanos` is the max).
+    pub swap: SwapCounters,
     /// Frames the raw (bytes-to-verdict) ingress rejected at parse time:
     /// shard-side rejections plus, for reports produced by the frame
     /// wrappers (`Deployment::stream_frames*`), the dispatcher's. Always
@@ -368,6 +426,15 @@ serde::impl_serde_struct!(FlowTableCounters {
     alias_collisions,
     state_bytes,
 });
+serde::impl_serde_struct!(SwapCounters {
+    applied_epoch,
+    swaps_applied,
+    last_apply_nanos,
+    adopted_slots,
+    pending_slots,
+    transplants_completed,
+    transplants_expired,
+});
 serde::impl_serde_struct!(ShardStats {
     shard,
     packets,
@@ -377,6 +444,7 @@ serde::impl_serde_struct!(ShardStats {
     busy_nanos,
     latency,
     table,
+    swap,
     parse,
 });
 serde::impl_serde_struct!(StreamReport {
@@ -388,6 +456,7 @@ serde::impl_serde_struct!(StreamReport {
     elapsed_nanos,
     latency,
     table,
+    swap,
     parse,
     predictions,
 });
@@ -453,6 +522,7 @@ mod tests {
             elapsed_nanos: 1,
             latency: LatencyHistogram::default(),
             table: FlowTableCounters::default(),
+            swap: SwapCounters::default(),
             parse: ParseErrorCounters::default(),
             predictions: Some(preds),
         };

@@ -27,7 +27,7 @@ use crate::fuzzy::ClusterTree;
 use crate::numformat::NumFormat;
 use crate::primitives::PrimitiveProgram;
 use pegasus_switch::{
-    Action, AluOp, FieldId, KeyPart, LoadedProgram, MatchKind, Operand, PhvLayout, RegId,
+    Action, AluOp, FieldId, KeyPart, LoadedProgram, MatchKind, Operand, PhvLayout, RegFile, RegId,
     RegisterArray, ResourceReport, SwitchConfig, SwitchProgram, Table, TableEntry, TernaryKey,
 };
 use std::collections::HashMap;
@@ -624,6 +624,37 @@ impl FlowClassifier {
         }
         *self.loaded.registers_mut() = prev.loaded.with_registers(|r| r.clone());
         true
+    }
+
+    /// Detaches this classifier's register file, leaving zeroed registers
+    /// of the same shape behind. The incremental hot-swap transplant calls
+    /// this on the *outgoing* classifier: the detached file is kept beside
+    /// the fresh fork and drained slot by slot via
+    /// [`adopt_slot`](FlowClassifier::adopt_slot) as flows are touched
+    /// under the new epoch.
+    pub fn take_registers(&mut self) -> RegFile {
+        std::mem::take(self.loaded.registers_mut())
+    }
+
+    /// Copies one flow slot's state (every register array's element at
+    /// `slot`) from a previously [taken](FlowClassifier::take_registers)
+    /// register file into this classifier — the adopt-on-first-touch unit
+    /// of work. `old` must come from a
+    /// [`state_compatible`](FlowClassifier::state_compatible) classifier;
+    /// with matching shapes the per-array width truncation in
+    /// `RegFile::write` is the identity, so the copy is bit-exact.
+    pub fn adopt_slot(&mut self, old: &RegFile, slot: usize) {
+        let regs = self.loaded.registers_mut();
+        for i in 0..old.len() {
+            regs.write(RegId(i), slot, old.read(RegId(i), slot));
+        }
+    }
+
+    /// The per-flow register slot a flow hash indexes — shared by every
+    /// register array (all are sized `flow_slots`), so one slot index
+    /// addresses the same flow's state across the whole file.
+    pub fn flow_slot(&self, flow_hash: u32) -> usize {
+        (flow_hash & self.hash_mask) as usize
     }
 
     /// Processes one packet of a flow.

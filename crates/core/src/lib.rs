@@ -78,7 +78,8 @@ pub use engine::server::{
 };
 pub use engine::{
     ArtifactCounters, FlattenSkip, FlowTableCounters, ParseErrorCounters, RawIngress, RawVerdict,
-    RoutingCounters, StreamConfig, StreamReport, DEFAULT_BATCH_FRAMES, HOST_WINDOW_STATE_BITS,
+    RoutingCounters, StreamConfig, StreamReport, SwapCounters, DEFAULT_BATCH_FRAMES,
+    HOST_WINDOW_STATE_BITS,
 };
 pub use error::PegasusError;
 pub use models::{DataplaneNet, Lowered, ModelData, StreamFeatures, TrainSettings};

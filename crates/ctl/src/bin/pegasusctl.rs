@@ -169,10 +169,14 @@ fn print_response(response: &Response) {
         Response::Attached { tenant, token, epoch } => {
             println!("attached {tenant} (token {token}, epoch {epoch})");
         }
-        Response::Swapped { tenant, epoch, state_retained } => {
+        Response::Swapped { tenant, epoch, state_retained, apply_micros } => {
             println!(
-                "swapped {tenant} to epoch {epoch} ({})",
-                if *state_retained { "flow state retained" } else { "flows re-warm" }
+                "swapped {tenant} to epoch {epoch} in {apply_micros} us ({})",
+                if *state_retained {
+                    "flow state retained, adopted on first touch"
+                } else {
+                    "flows re-warm"
+                }
             );
         }
         Response::Detached(report) => match (&report.report, &report.error) {

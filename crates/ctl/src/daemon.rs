@@ -490,6 +490,7 @@ impl Daemon {
             tenant: tenant.to_string(),
             epoch: swap.epoch,
             state_retained: swap.state_retained,
+            apply_micros: swap.apply_micros,
         }
     }
 

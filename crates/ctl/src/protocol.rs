@@ -625,14 +625,20 @@ pub enum Response {
         /// Starting epoch (0).
         epoch: u64,
     },
-    /// `swap` applied on every shard.
+    /// `swap` published the new artifact (shards adopt it at their next
+    /// packet boundary — epoch/RCU, no drain).
     Swapped {
         /// Tenant name.
         tenant: String,
-        /// Epoch after the swap.
+        /// Published epoch after the swap.
         epoch: u64,
-        /// Whether per-flow state survived.
+        /// Whether per-flow state carries into the new artifact
+        /// (migrated adopt-on-first-touch).
         state_retained: bool,
+        /// Dataplane-visible apply latency in microseconds: the
+        /// dispatcher-lock commit window (budget gates + epoch/RCU
+        /// publication; no queue drain — verification runs outside it).
+        apply_micros: u64,
     },
     /// `detach` drained the tenant.
     Detached(Box<WireTenantReport>),
@@ -668,11 +674,12 @@ impl serde::Serialize for Response {
                 token.serialize(w);
                 epoch.serialize(w);
             }
-            Response::Swapped { tenant, epoch, state_retained } => {
+            Response::Swapped { tenant, epoch, state_retained, apply_micros } => {
                 w.write_u8(4);
                 tenant.serialize(w);
                 epoch.serialize(w);
                 state_retained.serialize(w);
+                apply_micros.serialize(w);
             }
             Response::Detached(report) => {
                 w.write_u8(5);
@@ -711,6 +718,7 @@ impl<'de> serde::Deserialize<'de> for Response {
                 tenant: D::deserialize(r)?,
                 epoch: D::deserialize(r)?,
                 state_retained: D::deserialize(r)?,
+                apply_micros: D::deserialize(r)?,
             },
             5 => Response::Detached(D::deserialize(r)?),
             6 => Response::Listing(D::deserialize(r)?),

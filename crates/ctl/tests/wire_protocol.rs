@@ -157,6 +157,22 @@ fn responses_round_trip() {
         other => panic!("expected Error, got {other:?}"),
     }
 
+    let swapped = Response::Swapped {
+        tenant: "vpn".into(),
+        epoch: 4,
+        state_retained: true,
+        apply_micros: 87,
+    };
+    match serde::from_bytes::<Response>(&serde::to_bytes(&swapped)).expect("decodes") {
+        Response::Swapped { tenant, epoch, state_retained, apply_micros } => {
+            assert_eq!(
+                (tenant.as_str(), epoch, state_retained, apply_micros),
+                ("vpn", 4, true, 87)
+            );
+        }
+        other => panic!("expected Swapped, got {other:?}"),
+    }
+
     let listing = Response::Listing(ListReply {
         artifacts: vec![],
         tenants: vec![TenantInfo {

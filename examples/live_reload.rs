@@ -10,10 +10,11 @@
 //!
 //! Mid-run, the control plane hot-swaps the **vpn** tenant onto a
 //! retrained CNN-L artifact — the paper's table-entry rewrite: no
-//! recompile, no traffic drain. The swap is atomic per shard, the other
-//! tenant's packets keep flowing (none dropped), and the swapped tenant's
-//! per-flow register files are transplanted into the new artifact, so its
-//! established flows keep classifying without re-warming.
+//! recompile, no traffic drain. The apply is an epoch/RCU publication
+//! each shard adopts at its next packet boundary, the other tenant's
+//! packets keep flowing (none dropped), and the swapped tenant's
+//! per-flow register files migrate into the new artifact on first touch,
+//! so its established flows keep classifying without re-warming.
 //!
 //! Run: `cargo run --example live_reload --release`
 

@@ -1,0 +1,454 @@
+//! Hot-swap behaviour under the epoch/RCU apply.
+//!
+//! `tests/stream_engine.rs` proves swap *equivalence* (bit-identical
+//! verdicts around a quiesced epoch boundary). This suite pins the
+//! control-plane properties of the stall-free apply itself:
+//!
+//! * a swap rejected by validation is free — no queue drained, no epoch
+//!   burned, the tenant keeps serving;
+//! * live stats snapshots never pair one generation's epoch with another
+//!   generation's artifact identity, no matter how hard they race the
+//!   swap loop;
+//! * repeated swaps under a sustained stream neither stall the engine
+//!   nor diverge its verdicts from a segmented sequential reference,
+//!   and every shard converges to the last published epoch;
+//! * the adopt-on-first-touch transplant's grace window bounds the old
+//!   register file's lifetime (raw path, where the boundary is exact by
+//!   construction).
+
+use pegasus::core::compile::CompileOptions;
+use pegasus::core::models::cnn_l::{CnnL, CnnLVariant};
+use pegasus::core::models::mlp_b::MlpB;
+use pegasus::core::models::{DataplaneNet, ModelData, StreamFeatures, TrainSettings};
+use pegasus::core::{
+    ControlHandle, Deployment, EngineBuilder, IngressHandle, Pegasus, PegasusError, RawIngress,
+    StreamReport, TenantConfig, TenantToken, HOST_WINDOW_STATE_BITS,
+};
+use pegasus::datasets::{extract_views, generate_trace, iscxvpn, peerrush, GenConfig};
+use pegasus::net::wire::build_frame;
+use pegasus::net::{FiveTuple, FlowTracker, FrameSpec, StatFeatures, Trace, WINDOW};
+use pegasus::switch::SwitchConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_trace() -> Trace {
+    generate_trace(&peerrush(), &GenConfig { flows_per_class: 12, seed: 21 })
+}
+
+fn train_mlp(data: &ModelData, depth: usize) -> Deployment<MlpB> {
+    Pegasus::<MlpB>::train(data, &TrainSettings::quick())
+        .expect("trains")
+        .options(CompileOptions { clustering_depth: depth, ..Default::default() })
+        .compile(data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys")
+}
+
+fn train_cnn(trace: &Trace) -> Deployment<CnnL> {
+    let views = extract_views(trace);
+    let data = ModelData::new().with_raw(&views.raw).with_seq(&views.seq);
+    Pegasus::new(CnnL::fit(&views.raw, &views.seq, CnnLVariant::v44(), &TrainSettings::quick()))
+        .options(CompileOptions { clustering_depth: 5, ..Default::default() })
+        .compile(&data)
+        .expect("compiles")
+        .deploy(&SwitchConfig::tofino2())
+        .expect("deploys")
+}
+
+/// Flush + wait until every routed packet has been processed (swaps are
+/// epoch/RCU-published and never drain queues themselves, so exact
+/// boundaries are the caller's job — same helper as `stream_engine.rs`).
+fn quiesce(
+    ingress: &IngressHandle,
+    control: &ControlHandle,
+    token: TenantToken,
+    expect_packets: u64,
+) {
+    ingress.flush().expect("flushes");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = control.tenant_stats(token).expect("stats");
+        if stats.report.packets >= expect_packets {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "engine failed to quiesce: {} of {expect_packets} packets processed",
+            stats.report.packets
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Sequential reference for a multi-swap run: one tracker whose windows
+/// survive every boundary, packets in segment `i` (delimited by
+/// `bounds`) classified by `models[i]`.
+fn segmented_reference(
+    models: &[&Deployment<MlpB>],
+    bounds: &[usize],
+    trace: &Trace,
+) -> HashMap<FiveTuple, Vec<usize>> {
+    assert_eq!(models.len(), bounds.len() + 1);
+    assert_eq!(models[0].model().stream_features(), StreamFeatures::Stat);
+    let mut tracker = FlowTracker::new(WINDOW);
+    let mut out: HashMap<FiveTuple, Vec<usize>> = HashMap::new();
+    for (i, pkt) in trace.packets.iter().enumerate() {
+        let (obs, state) = tracker.observe(pkt.flow, pkt.ts_micros, pkt.wire_len);
+        if !state.window_full() {
+            continue;
+        }
+        let codes = StatFeatures::extract(
+            state,
+            &obs,
+            pkt.flow.protocol,
+            pkt.tcp_flags,
+            pkt.flow.src_port,
+            pkt.flow.dst_port,
+            pkt.ttl,
+            pkt.payload_head.len() as u16,
+        )
+        .to_f32();
+        let segment = bounds.iter().filter(|&&b| i >= b).count();
+        let class = models[segment].classify(&codes).expect("classifies");
+        out.entry(pkt.flow).or_default().push(class);
+    }
+    out
+}
+
+/// Streams `trace` with a quiesced swap at every bound, waits for all
+/// shards to converge to the last published epoch, and returns the final
+/// merged report.
+fn run_with_swaps(
+    models: &[&Deployment<MlpB>],
+    bounds: &[usize],
+    trace: &Trace,
+    shards: usize,
+) -> StreamReport {
+    let server = EngineBuilder::new().shards(shards).build().expect("builds");
+    let control = server.control();
+    let ingress = server.ingress();
+    let token = control
+        .attach(
+            models[0].engine_artifact().expect("artifact"),
+            TenantConfig::new().record_predictions(true),
+        )
+        .expect("attaches");
+    let mut start = 0;
+    for segment in 0..models.len() {
+        let end = bounds.get(segment).copied().unwrap_or(trace.packets.len());
+        for pkt in &trace.packets[start..end] {
+            ingress.push(pkt.clone()).expect("pushes");
+        }
+        quiesce(&ingress, &control, token, end as u64);
+        if segment + 1 < models.len() {
+            let swap = control
+                .swap(token, models[segment + 1].engine_artifact().expect("artifact"))
+                .expect("swaps");
+            assert_eq!(swap.epoch, segment as u64 + 1, "{shards} shards");
+            assert!(swap.state_retained, "{shards} shards: same-shape swap retains state");
+        }
+        start = end;
+    }
+    // Idle workers apply pending publications eagerly, so even a shard
+    // that saw no packet after the last swap must converge.
+    let want = (models.len() - 1) as u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = control.tenant_stats(token).expect("stats");
+        if stats.report.swap.applied_epoch == want {
+            assert!(
+                stats.report.swap.swaps_applied >= shards as u64,
+                "{shards} shards: every shard must have applied at least one swap"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{shards} shards: shards stuck at applied epoch {} (want {want})",
+            stats.report.swap.applied_epoch
+        );
+        std::thread::yield_now();
+    }
+    let mut report = server.shutdown().expect("shuts down");
+    let tenant = report.take_tenant(token).expect("tenant report");
+    assert_eq!(tenant.routed_packets, trace.packets.len() as u64, "{shards} shards");
+    tenant.result.expect("tenant served cleanly")
+}
+
+/// Plain no-swap run of the same shape, for latency baselines.
+fn run_without_swaps(model: &Deployment<MlpB>, trace: &Trace, shards: usize) -> StreamReport {
+    let server = EngineBuilder::new().shards(shards).build().expect("builds");
+    let control = server.control();
+    let ingress = server.ingress();
+    let token = control
+        .attach(model.engine_artifact().expect("artifact"), TenantConfig::new())
+        .expect("attaches");
+    for pkt in &trace.packets {
+        ingress.push(pkt.clone()).expect("pushes");
+    }
+    quiesce(&ingress, &control, token, trace.packets.len() as u64);
+    let mut report = server.shutdown().expect("shuts down");
+    report.take_tenant(token).expect("tenant report").result.expect("tenant served cleanly")
+}
+
+#[test]
+fn rejected_swap_is_free_and_does_not_drain_queues() {
+    // The old flush-based swap drained every queue before it could fail
+    // validation, so a rejected swap still cost a full stall. The
+    // epoch/RCU apply validates *everything* before touching the
+    // dispatcher: a swap the fleet ledger rejects must leave queued
+    // packets exactly where they were, burn no epoch, and leave the
+    // tenant serving.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let mlp = train_mlp(&data, 5);
+    let cnn = train_cnn(&generate_trace(&iscxvpn(), &GenConfig { flows_per_class: 4, seed: 41 }));
+
+    // Fleet budget sized to exactly the stateless tenant's host-window
+    // mirror — the per-flow CNN-L artifact's register slab cannot fit.
+    let capacity = 64u64;
+    let fleet_budget = capacity * HOST_WINDOW_STATE_BITS;
+    let cnn_artifact = cnn.engine_artifact().expect("artifact");
+    let cnn_cost = cnn_artifact.flow_slots().expect("flow pipeline") as u64
+        * cnn_artifact.state_bits_per_flow();
+    assert!(cnn_cost > fleet_budget, "CNN-L slab ({cnn_cost} bits) must exceed {fleet_budget}");
+
+    let server = EngineBuilder::new()
+        .shards(2)
+        .batch(4096) // far above what we push: everything stays queued
+        .fleet_state_budget_bits(fleet_budget)
+        .build()
+        .expect("builds");
+    let control = server.control();
+    let ingress = server.ingress();
+    let token = control
+        .attach(
+            mlp.engine_artifact().expect("artifact"),
+            TenantConfig::new().flow_capacity(capacity as usize),
+        )
+        .expect("attaches");
+
+    let queued = trace.packets.len().min(128);
+    for pkt in &trace.packets[..queued] {
+        ingress.push(pkt.clone()).expect("pushes");
+    }
+    let before = control.tenant_stats(token).expect("stats");
+    assert_eq!(before.report.packets, 0, "packets must still be queued, not processed");
+
+    let err = control.swap(token, cnn_artifact).expect_err("fleet budget must reject");
+    assert!(matches!(err, PegasusError::FleetStateBudget { .. }), "{err:?}");
+
+    // Rejection was free: nothing drained, no epoch burned.
+    let after = control.tenant_stats(token).expect("stats");
+    assert_eq!(after.report.packets, 0, "rejected swap must not drain queues");
+    assert_eq!(after.epoch, 0, "rejected swap must not burn an epoch");
+
+    // The tenant still serves, and a valid swap still lands.
+    let swap = control.swap(token, mlp.engine_artifact().expect("artifact")).expect("swaps");
+    assert_eq!(swap.epoch, 1);
+    quiesce(&ingress, &control, token, queued as u64);
+    let mut report = server.shutdown().expect("shuts down");
+    let tenant = report.take_tenant(token).expect("tenant report");
+    assert_eq!(tenant.routed_packets, queued as u64);
+    assert_eq!(tenant.result.expect("serves cleanly").packets, queued as u64);
+}
+
+#[test]
+fn stats_snapshots_never_mix_swap_generations() {
+    // Epoch, artifact key and artifact bytes are published under one
+    // lock. A stats reader racing a swap storm must therefore always see
+    // a coherent (epoch, artifact) pairing — never the new epoch with
+    // the old artifact's size. Two artifacts of different byte sizes
+    // alternate at even/odd epochs; any mixed snapshot is a bug.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let a = train_mlp(&data, 5);
+    let b = train_mlp(&data, 4);
+
+    let server = EngineBuilder::new().shards(1).build().expect("builds");
+    let control = server.control();
+    let token = control
+        .attach(a.engine_artifact().expect("artifact"), TenantConfig::new())
+        .expect("attaches");
+    let bytes_a = control.stats().expect("stats").artifacts.resident_bytes;
+    control.swap(token, b.engine_artifact().expect("artifact")).expect("swaps"); // epoch 1
+    let bytes_b = control.stats().expect("stats").artifacts.resident_bytes;
+    assert_ne!(bytes_a, bytes_b, "artifacts must differ in size for this test to bite");
+    control.swap(token, a.engine_artifact().expect("artifact")).expect("swaps"); // epoch 2
+
+    // From here on: even epoch <=> artifact A, odd epoch <=> artifact B.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let control = control.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snapshots = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let stats = control.stats().expect("stats");
+                snapshots.push((stats.tenants[0].epoch, stats.artifacts.resident_bytes));
+            }
+            snapshots
+        })
+    };
+    for i in 0..60u64 {
+        let next = if i % 2 == 0 { &b } else { &a };
+        control.swap(token, next.engine_artifact().expect("artifact")).expect("swaps");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots = hammer.join().expect("hammer thread");
+    assert!(!snapshots.is_empty(), "stats thread never got a snapshot in");
+    for (epoch, bytes) in snapshots {
+        let expected = if epoch % 2 == 0 { bytes_a } else { bytes_b };
+        assert_eq!(
+            bytes, expected,
+            "epoch {epoch} snapshotted with the other generation's artifact bytes"
+        );
+    }
+    server.shutdown().expect("shuts down");
+}
+
+#[test]
+fn repeated_swaps_under_sustained_load_match_segmented_reference() {
+    // N swaps during one steady stream: verdicts must match a sequential
+    // reference that switches models at the same (quiesced) boundaries,
+    // at every shard count, and all shards must converge to the last
+    // published epoch without the stream ever stalling.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let a = train_mlp(&data, 5);
+    let rotated: Vec<usize> =
+        views.stat.y.iter().map(|&y| (y + 1) % views.stat.classes()).collect();
+    let stat_rot = pegasus::nn::Dataset::new(views.stat.x.clone(), rotated);
+    let data_rot = ModelData::new().with_stat(&stat_rot);
+    let b = train_mlp(&data_rot, 5);
+
+    let n = trace.packets.len();
+    let bounds = [n / 4, n / 2, 3 * n / 4];
+    let models = [&a, &b, &a, &b];
+    let reference = segmented_reference(&models, &bounds, &trace);
+    let unswapped = segmented_reference(&[&a], &[], &trace);
+    assert_ne!(reference, unswapped, "retrained model never disagreed; swaps are vacuous");
+
+    for shards in [1usize, 2, 4] {
+        let report = run_with_swaps(&models, &bounds, &trace, shards);
+        assert_eq!(report.packets, n as u64, "{shards} shards");
+        let preds = report.predictions.expect("recording was requested");
+        assert_eq!(preds.len(), reference.len(), "{shards} shards: flow sets differ");
+        for (flow, seq) in &reference {
+            assert_eq!(
+                preds.get(flow),
+                Some(seq),
+                "{shards} shards: flow {flow:?} diverged across the swap sequence"
+            );
+        }
+    }
+}
+
+#[test]
+fn swaps_do_not_spike_per_packet_latency() {
+    // The stall-free apply's latency promise: a stream that absorbs
+    // three swaps must keep its worst per-packet latency within 2x of a
+    // swap-free run (plus a floor that absorbs debug-build timer noise;
+    // the release-mode `--swap-only` bench smoke enforces the strict
+    // bound). Baselines take the max of three trials and the swap run
+    // the min, so a single preempted packet cannot fail the test in
+    // either direction.
+    let trace = test_trace();
+    let views = extract_views(&trace);
+    let data = ModelData::new().with_stat(&views.stat);
+    let a = train_mlp(&data, 5);
+    let rotated: Vec<usize> =
+        views.stat.y.iter().map(|&y| (y + 1) % views.stat.classes()).collect();
+    let stat_rot = pegasus::nn::Dataset::new(views.stat.x.clone(), rotated);
+    let data_rot = ModelData::new().with_stat(&stat_rot);
+    let b = train_mlp(&data_rot, 5);
+
+    let n = trace.packets.len();
+    let bounds = [n / 4, n / 2, 3 * n / 4];
+    let models = [&a, &b, &a, &b];
+
+    let baseline_max = (0..3)
+        .map(|_| run_without_swaps(&a, &trace, 1).latency.max_nanos())
+        .max()
+        .expect("three baseline trials");
+    let swapped_max = (0..3)
+        .map(|_| run_with_swaps(&models, &bounds, &trace, 1).latency.max_nanos())
+        .min()
+        .expect("three swap trials");
+    let bound = (2 * baseline_max).max(2_000_000);
+    assert!(
+        swapped_max <= bound,
+        "worst per-packet latency {swapped_max}ns under swaps exceeds bound {bound}ns \
+         (steady-state max {baseline_max}ns)"
+    );
+}
+
+#[test]
+fn raw_swap_grace_window_bounds_transplant_lifetime() {
+    // The adopt-on-first-touch transplant on the raw path, where the
+    // swap boundary is exact by construction: grace 0 keeps the old
+    // register file until a chained swap completes it eagerly; a finite
+    // grace drops it (flows re-warm) once the window is spent.
+    let cnn = train_cnn(&generate_trace(&iscxvpn(), &GenConfig { flows_per_class: 4, seed: 41 }));
+    let artifact = cnn.engine_artifact().expect("artifact");
+    let slots = artifact.flow_slots().expect("flow pipeline") as u64;
+    let mut raw = RawIngress::with_defaults(&artifact).expect("raw ingress");
+
+    let f1 = build_frame(&FrameSpec::v4_udp(0x0a00_0001, 0x0a00_0002, 1111, 2222, vec![7; 24]));
+    let f2 = build_frame(&FrameSpec::v4_udp(0x0a00_0003, 0x0a00_0004, 3333, 4444, vec![9; 24]));
+    let f3 = build_frame(&FrameSpec::v4_udp(0x0a00_0005, 0x0a00_0006, 5555, 6666, vec![3; 24]));
+    let mut ts = 0u64;
+    let mut feed = |raw: &mut RawIngress, frame: &[u8]| {
+        ts += 100;
+        raw.process_frame(ts, frame).expect("processes");
+    };
+
+    // Warm some pre-swap state; no transplant exists yet.
+    for frame in [&f1, &f2, &f3, &f1, &f2, &f3] {
+        feed(&mut raw, frame);
+    }
+    assert_eq!(raw.stats().swap.adopted_slots, 0);
+
+    // Swap with grace 0: the whole register file goes pending, kept
+    // until drained (or a chained swap).
+    assert!(raw.swap(&artifact, 0).expect("swaps"), "same-shape swap retains state");
+    let s = raw.stats().swap;
+    assert_eq!((s.applied_epoch, s.swaps_applied), (1, 1));
+    assert_eq!(s.pending_slots, slots, "nothing adopted yet");
+
+    // First touch migrates exactly that flow's slot.
+    feed(&mut raw, &f1);
+    let s = raw.stats().swap;
+    assert_eq!(s.adopted_slots, 1);
+    assert_eq!(s.pending_slots, slots - 1);
+    assert_eq!((s.transplants_completed, s.transplants_expired), (0, 0));
+
+    // A chained swap completes the pending transplant eagerly (the
+    // memory bound: at most one old register file alive at a time),
+    // then opens a new one with a 2-packet grace window.
+    assert!(raw.swap(&artifact, 2).expect("swaps"), "chained swap retains state");
+    let s = raw.stats().swap;
+    assert_eq!(s.transplants_completed, 1, "chained swap must finish the pending transplant");
+    assert_eq!(s.adopted_slots, slots, "completion migrates every remaining slot");
+    assert_eq!(s.pending_slots, slots, "and the new transplant starts full");
+
+    // Two packets spend the grace window: the touched slots migrate,
+    // everything else is dropped — those flows re-warm.
+    feed(&mut raw, &f2);
+    feed(&mut raw, &f3);
+    let s = raw.stats().swap;
+    assert_eq!(s.transplants_expired, 1, "grace exhausted must drop the old file");
+    assert_eq!(s.pending_slots, 0, "expired transplant holds no slots");
+    assert!(s.adopted_slots > slots, "grace-window touches still migrated their slots");
+    assert_eq!((s.applied_epoch, s.swaps_applied), (2, 2));
+
+    // Post-expiry traffic runs plain: counters are frozen.
+    feed(&mut raw, &f1);
+    assert_eq!(raw.stats().swap, s);
+}

@@ -168,8 +168,37 @@ fn sequential_reference_swap<M: DataplaneNet>(
     out
 }
 
+/// Quiesces a tenant: flushes buffered batches and waits until every
+/// routed packet has been processed. Swaps are epoch/RCU-published and
+/// apply at each shard's *next* packet boundary instead of draining
+/// queues, so a test that wants an exact swap boundary quiesces first —
+/// once the engine is idle, the next packet after the swap is guaranteed
+/// to run under the new artifact.
+fn quiesce(
+    ingress: &pegasus::core::IngressHandle,
+    control: &pegasus::core::ControlHandle,
+    token: pegasus::core::TenantToken,
+    expect_packets: u64,
+) {
+    ingress.flush().expect("flushes");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let stats = control.tenant_stats(token).expect("stats");
+        if stats.report.packets >= expect_packets {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "engine failed to quiesce: {} of {expect_packets} packets processed",
+            stats.report.packets
+        );
+        std::thread::yield_now();
+    }
+}
+
 /// Streams `trace` through an [`EngineServer`], hot-swapping the tenant
-/// from `old` to `new` exactly at packet index `split`.
+/// from `old` to `new` exactly at packet index `split` (quiescing first,
+/// so the epoch boundary is exact despite the stall-free apply).
 fn stream_with_midrun_swap<M: DataplaneNet>(
     old: &Deployment<M>,
     new: &Deployment<M>,
@@ -189,6 +218,7 @@ fn stream_with_midrun_swap<M: DataplaneNet>(
     for pkt in &trace.packets[..split] {
         ingress.push(pkt.clone()).expect("pushes");
     }
+    quiesce(&ingress, &control, token, split as u64);
     let swap = control.swap(token, new.engine_artifact().expect("artifact")).expect("swaps");
     for pkt in &trace.packets[split..] {
         ingress.push(pkt.clone()).expect("pushes");
